@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark harness.
+
+Every file under benchmarks/ regenerates one artifact of the paper's
+evaluation (a table, a figure, or a design-choice ablation).  The
+pytest-benchmark fixture times the simulation harness itself; the
+*reproduced numbers* (the paper's Mflops/Gflops figures) are attached to
+``benchmark.extra_info`` and printed, and the shape claims (who wins, by
+roughly what factor) are asserted.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.timing import RateReport, report  # noqa: E402
+from repro.compiler.driver import compile_stencil  # noqa: E402
+from repro.machine.machine import CM2  # noqa: E402
+from repro.machine.params import MachineParams  # noqa: E402
+from repro.runtime.cm_array import CMArray  # noqa: E402
+from repro.runtime.stencil_op import apply_stencil  # noqa: E402
+
+
+def make_machine(num_nodes=16, **overrides) -> CM2:
+    return CM2(MachineParams(num_nodes=num_nodes, **overrides))
+
+
+def stencil_run(
+    pattern,
+    subgrid,
+    *,
+    machine=None,
+    iterations=100,
+    with_data=False,
+    seed=0,
+):
+    """Compile and run one results-table cell.
+
+    ``subgrid`` is the per-node subgrid shape, as in the paper's table.
+    """
+    machine = machine or make_machine()
+    params = machine.params
+    gshape = (
+        subgrid[0] * machine.grid_rows,
+        subgrid[1] * machine.grid_cols,
+    )
+    compiled = compile_stencil(pattern, params)
+    if with_data:
+        rng = np.random.default_rng(seed)
+        x = CMArray.from_numpy(
+            "X", machine, rng.standard_normal(gshape).astype(np.float32)
+        )
+        coeffs = {
+            name: CMArray.from_numpy(
+                name,
+                machine,
+                rng.standard_normal(gshape).astype(np.float32),
+            )
+            for name in pattern.coefficient_names()
+        }
+    else:
+        x = CMArray("X", machine, gshape)
+        coeffs = {
+            name: CMArray(name, machine, gshape)
+            for name in pattern.coefficient_names()
+        }
+    return apply_stencil(compiled, x, coeffs, iterations=iterations)
+
+
+def emit(benchmark, label, value):
+    """Record a reproduced number both in the benchmark report and on
+    stdout."""
+    benchmark.extra_info[label] = value
+    print(f"  {label}: {value}")

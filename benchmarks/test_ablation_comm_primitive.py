@@ -1,0 +1,69 @@
+"""A8: the new four-neighbor primitive vs the old one-direction-at-a-time
+grid communication (paper section 4.1).
+
+"Previous CM-2 grid primitives ... allow every processor in parallel to
+pass a single datum to a single neighbor, all in the same direction.
+... The new primitive organizes nodes, not processors, into a
+two-dimensional grid, and allows each node to pass data to all four
+neighbors simultaneously."
+"""
+
+import pytest
+
+from conftest import emit, make_machine
+from repro.runtime.halo import exchange_cost, legacy_exchange_cost
+from repro.stencil.gallery import cross5, cross9, diamond13
+
+
+def sweep():
+    params = make_machine(16).params
+    out = {}
+    for pattern_fn in (cross5, cross9, diamond13):
+        pattern = pattern_fn()
+        for subgrid in ((64, 64), (256, 256)):
+            new = exchange_cost(pattern, subgrid, params)
+            old = legacy_exchange_cost(pattern, subgrid, params)
+            out[(pattern.name, subgrid)] = (new.cycles, old.cycles)
+    return out
+
+
+def test_new_primitive_beats_old(benchmark):
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for (name, subgrid), (new, old) in costs.items():
+        speedup = old / new
+        emit(
+            benchmark,
+            f"{name} {subgrid[0]}x{subgrid[1]} comm speedup",
+            round(speedup, 2),
+        )
+        # The simultaneous exchange always wins...
+        assert new < old
+        # ...and by more for wider halos (each extra halo row/column is
+        # another sequential primitive call the old way).
+    cross5_speedup = costs[("cross5", (64, 64))][1] / costs[("cross5", (64, 64))][0]
+    cross9_speedup = costs[("cross9", (64, 64))][1] / costs[("cross9", (64, 64))][0]
+    assert cross9_speedup > cross5_speedup
+
+
+def test_comm_share_with_old_primitive(benchmark):
+    """With the old primitive, communication would no longer be 'a
+    relatively small fraction' at small subgrids -- part of why the new
+    primitive was worth microcoding."""
+
+    def shares():
+        from repro.analysis.sweeps import run_cell
+        from repro.stencil.gallery import cross9
+
+        params = make_machine(16).params
+        run = run_cell(cross9(), (64, 64), num_nodes=16)
+        old = legacy_exchange_cost(cross9(), (64, 64), params)
+        new_share = run.comm.cycles / (run.compute_cycles + run.comm.cycles)
+        old_share = old.cycles / (run.compute_cycles + old.cycles)
+        return new_share, old_share
+
+    new_share, old_share = benchmark.pedantic(shares, rounds=1, iterations=1)
+    print()
+    emit(benchmark, "new primitive comm share", round(new_share, 4))
+    emit(benchmark, "old primitive comm share", round(old_share, 4))
+    assert old_share > 3 * new_share

@@ -1,0 +1,69 @@
+"""A4: communication share vs problem size (paper section 4.1).
+
+"For two-dimensional grids on fixed hardware, the cost of communication
+grows as the square root of the number of flops to be performed, so for
+sufficiently large problems the communications overhead will be a
+relatively small fraction of the total work."
+"""
+
+import pytest
+
+from conftest import emit, make_machine, stencil_run
+from repro.stencil.gallery import cross9
+
+SUBGRIDS = [(16, 16), (32, 32), (64, 64), (128, 128), (256, 256)]
+
+
+def sweep():
+    out = {}
+    for subgrid in SUBGRIDS:
+        run = stencil_run(cross9(), subgrid, machine=make_machine(16))
+        out[subgrid] = {
+            "comm": run.comm.cycles,
+            "compute": run.compute_cycles,
+            "share": run.comm.cycles / (run.compute_cycles + run.comm.cycles),
+        }
+    return out
+
+
+def test_comm_share_shrinks_with_problem_size(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    shares = []
+    for subgrid in SUBGRIDS:
+        share = results[subgrid]["share"]
+        shares.append(share)
+        emit(
+            benchmark,
+            f"{subgrid[0]}x{subgrid[1]} comm share",
+            round(share, 4),
+        )
+    # Monotonically shrinking share.
+    assert shares == sorted(shares, reverse=True)
+    # The square-root law: quadrupling the points doubles comm but
+    # quadruples compute, so the variable part of the comm/compute ratio
+    # halves.  Check the asymptotic trend between the two largest sizes.
+    big, huge = results[(128, 128)], results[(256, 256)]
+    ratio_big = big["comm"] / big["compute"]
+    ratio_huge = huge["comm"] / huge["compute"]
+    assert ratio_huge < ratio_big
+    assert ratio_huge > ratio_big / 4  # slower than linear collapse
+    # For the paper's production sizes the share is small.
+    assert results[(256, 256)]["share"] < 0.01
+
+
+def test_comm_cost_tracks_longer_side(benchmark):
+    """Doubling only one side doubles comm, quadrupling neither."""
+
+    def pair():
+        square = stencil_run(cross9(), (64, 64), machine=make_machine(16))
+        wide = stencil_run(cross9(), (64, 128), machine=make_machine(16))
+        return square.comm, wide.comm
+
+    square, wide = benchmark.pedantic(pair, rounds=1, iterations=1)
+    params = make_machine(16).params
+    variable_square = square.cycles - params.comm_startup_cycles
+    variable_wide = wide.cycles - params.comm_startup_cycles
+    assert variable_wide == 2 * variable_square
+    emit(benchmark, "64x64 comm cycles", square.cycles)
+    emit(benchmark, "64x128 comm cycles", wide.cycles)

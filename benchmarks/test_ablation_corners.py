@@ -1,0 +1,62 @@
+"""A3: the corner-exchange skip (paper section 5.1).
+
+"For some common stencil patterns, such as [the cross], the third step
+may be omitted ... the test is very easy and quick and does save a
+noticeable amount of time for smaller arrays."
+"""
+
+import pytest
+
+from conftest import emit, make_machine
+from repro.runtime.halo import exchange_cost
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+
+
+def sweep():
+    params = make_machine(16).params
+    out = {}
+    for pattern_fn in (cross5, cross9, square9, diamond13):
+        pattern = pattern_fn()
+        for subgrid in ((32, 32), (64, 64), (256, 256)):
+            out[(pattern.name, subgrid)] = exchange_cost(
+                pattern, subgrid, params
+            )
+    return out
+
+
+def test_corner_skip(benchmark):
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    # Crosses skip the corner step; squares and diamonds cannot.
+    for subgrid in ((32, 32), (64, 64), (256, 256)):
+        assert costs[("cross5", subgrid)].corner_step_skipped
+        assert costs[("cross9", subgrid)].corner_step_skipped
+        assert not costs[("square9", subgrid)].corner_step_skipped
+        assert not costs[("diamond13", subgrid)].corner_step_skipped
+
+    # The saving is noticeable for small arrays, negligible for large.
+    for size, floor, ceil in (((32, 32), 0.15, 1.0), ((256, 256), 0.0, 0.15)):
+        skipped = costs[("cross9", size)].cycles
+        # A same-pad pattern that cannot skip:
+        paid = costs[("diamond13", size)].cycles
+        saving = (paid - skipped) / paid
+        emit(
+            benchmark,
+            f"corner-step share of comm at {size[0]}x{size[1]}",
+            round(saving, 3),
+        )
+        assert floor <= saving < ceil
+
+    # Absolute comm time is proportional to pad x longer side, so the
+    # large-array absolute saving equals the small-array one (startup)
+    # while the relative saving collapses.
+    small_gain = (
+        costs[("diamond13", (32, 32))].cycles
+        - costs[("cross9", (32, 32))].cycles
+    )
+    large_gain = (
+        costs[("diamond13", (256, 256))].cycles
+        - costs[("cross9", (256, 256))].cycles
+    )
+    assert small_gain == large_gain
+    emit(benchmark, "corner-step absolute cycles", small_gain)

@@ -1,0 +1,56 @@
+"""A6: the hypercube embedding of the node grid (paper section 4.1).
+
+"This grid is embedded within the hypercube topology in such a way that
+grid neighbors are hypercube neighbors, thereby making effective use of
+the network."  The ablation replaces the Gray-code embedding with naive
+binary addresses: grid steps across power-of-two boundaries become
+multi-hop routes that pile onto shared wires, and the exchange slows
+down.
+"""
+
+import pytest
+
+from conftest import emit, make_machine
+from repro.machine.geometry import grid_shape
+from repro.machine.router import (
+    binary_embedding,
+    exchange_route_cost,
+    gray_embedding,
+)
+
+
+def sweep():
+    out = {}
+    for num_nodes in (16, 64, 256, 2048):
+        params = make_machine(num_nodes).params
+        for name, embedding in (
+            ("gray", gray_embedding),
+            ("binary", binary_embedding),
+        ):
+            out[(num_nodes, name)] = exchange_route_cost(
+                params, (64, 64), pad=1, embedding=embedding
+            )
+    return out
+
+
+def test_embedding_ablation(benchmark):
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for num_nodes in (16, 64, 256, 2048):
+        gray = costs[(num_nodes, "gray")]
+        binary = costs[(num_nodes, "binary")]
+        slowdown = binary.busiest_wire_words / gray.busiest_wire_words
+        emit(
+            benchmark,
+            f"{num_nodes} nodes: binary/gray wire-load ratio",
+            round(slowdown, 2),
+        )
+        # The production embedding is always single-hop...
+        assert gray.max_hops == 1
+        # ...the naive one is not, and its congestion grows with size.
+        assert binary.max_hops > 1
+        assert slowdown > 1.5
+    # More machine, more boundary crossings, worse naive congestion.
+    small = costs[(16, "binary")].busiest_wire_words
+    large = costs[(2048, "binary")].busiest_wire_words
+    assert large >= small

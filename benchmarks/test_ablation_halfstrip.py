@@ -1,0 +1,90 @@
+"""A1: the half-strip design choice (paper section 5.2).
+
+The half-strip loop handles one boundary condition, so its microcode is
+small enough that all four width routines fit instruction memory; the
+price is starting the loop twice as often.  The ablation compares the
+modeled cycle costs and checks both sides of the trade-off.
+"""
+
+import pytest
+
+from conftest import emit, make_machine
+from repro.compiler.plan import compile_pattern
+from repro.machine.microcode import (
+    MICROCODE_MEMORY_WORDS,
+    full_strip_routine,
+    half_strip_routine,
+)
+from repro.stencil.gallery import cross5
+
+
+def strip_costs(subgrid_rows, params):
+    """Cycles to process one strip of the given height, both designs."""
+    compiled = compile_pattern(cross5(), params)
+    plan = compiled.plans[8]
+    half_routine = half_strip_routine(8, params)
+    full_routine = full_strip_routine(8, params)
+    lower = subgrid_rows - subgrid_rows // 2
+    upper = subgrid_rows // 2
+    half_cost = (
+        2 * half_routine.dispatch_cycles
+        + 2 * plan.prologue_cycles
+        + (lower - 1 + upper - 1) * plan.steady_line_cycles
+        + subgrid_rows * half_routine.line_overhead_cycles
+    )
+    full_cost = (
+        full_routine.dispatch_cycles
+        + plan.prologue_cycles
+        + (subgrid_rows - 1) * plan.steady_line_cycles
+        + subgrid_rows * full_routine.line_overhead_cycles
+    )
+    return half_cost, full_cost, half_routine, full_routine
+
+
+def test_halfstrip_tradeoff(benchmark):
+    params = make_machine(16).params
+
+    def sweep():
+        return {
+            rows: strip_costs(rows, params)[:2] for rows in (16, 64, 256)
+        }
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for rows, (half, full) in costs.items():
+        overhead = (half - full) / full
+        print(
+            f"  strip height {rows:>3}: half-strips {half} cycles, "
+            f"full strip {full} cycles ({overhead:+.1%})"
+        )
+        emit(benchmark, f"height {rows} half-strip overhead", round(overhead, 4))
+        # The paper's admission: half-strips pay extra start-up overhead...
+        assert half >= full
+        # ...but it is "relatively small when operating on medium to
+        # large arrays".
+        if rows >= 64:
+            assert overhead < 0.02
+
+
+def test_fullstrip_routines_blow_microcode_memory(benchmark):
+    """The other side of the trade-off: the full-strip routine set does
+    not fit the sequencer's microcode instruction memory."""
+    params = make_machine(16).params
+
+    def footprints():
+        half = sum(
+            half_strip_routine(w, params).instruction_words
+            for w in (8, 4, 2, 1)
+        )
+        full = sum(
+            full_strip_routine(w, params).instruction_words
+            for w in (8, 4, 2, 1)
+        )
+        return half, full
+
+    half, full = benchmark.pedantic(footprints, rounds=1, iterations=1)
+    emit(benchmark, "half-strip routine set words", half)
+    emit(benchmark, "full-strip routine set words", full)
+    emit(benchmark, "microcode memory words", MICROCODE_MEMORY_WORDS)
+    assert half <= MICROCODE_MEMORY_WORDS
+    assert full > MICROCODE_MEMORY_WORDS

@@ -1,0 +1,85 @@
+"""A7: ring-size strategy — the paper's heuristic vs the clever one.
+
+Section 5.4 closes: "This approach tends to minimize the LCM, at least
+for the column heights typically encountered (less than 10).  In the
+general case even more clever strategies may be required."  The
+LCM-minimizing dynamic program is that strategy; the ablation confirms
+both halves of the sentence: on every pattern the paper displays the
+heuristic is already optimal, and on general column-height mixes the
+clever strategy wins real scratch memory.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.compiler.plan import compile_pattern
+from repro.compiler.ringbuf import (
+    lcm_of,
+    plan_ring_sizes,
+    plan_ring_sizes_optimal,
+)
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+from repro.stencil.multistencil import ColumnProfile
+
+
+def paper_patterns():
+    out = {}
+    for pattern_fn in (cross5, cross9, square9, diamond13):
+        pattern = pattern_fn()
+        paper = compile_pattern(pattern, strategy="paper")
+        optimal = compile_pattern(pattern, strategy="optimal")
+        out[pattern.name] = (paper, optimal)
+    return out
+
+
+def test_paper_heuristic_is_optimal_on_displayed_patterns(benchmark):
+    results = benchmark.pedantic(paper_patterns, rounds=1, iterations=1)
+    print()
+    for name, (paper, optimal) in results.items():
+        for width in paper.widths:
+            heuristic_unroll = paper.plans[width].unroll
+            optimal_unroll = optimal.plans[width].unroll
+            assert heuristic_unroll == optimal_unroll, (
+                f"{name} width {width}"
+            )
+        emit(
+            benchmark,
+            f"{name} max-width unroll (both strategies)",
+            paper.plans[paper.max_width].unroll,
+        )
+
+
+def test_general_case_needs_the_clever_strategy(benchmark):
+    """Mixed column heights under pressure: the heuristic's LCM blows
+    up; padding rings to compatible periods contains it."""
+
+    def sweep():
+        cases = {
+            "heights 2,3,5 budget 12": ([2, 3, 5], 12),
+            "heights 3,4,5 budget 14": ([3, 4, 5], 14),
+            "heights 2,3,4,6 budget 18": ([2, 3, 4, 6], 18),
+        }
+        out = {}
+        for label, (heights, budget) in cases.items():
+            cols = [
+                ColumnProfile(x=i, rows=tuple(range(h)))
+                for i, h in enumerate(heights)
+            ]
+            heuristic = plan_ring_sizes(cols, budget)
+            optimal = plan_ring_sizes_optimal(cols, budget)
+            out[label] = (lcm_of(heuristic), lcm_of(optimal))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    any_win = False
+    for label, (heuristic_lcm, optimal_lcm) in results.items():
+        emit(
+            benchmark,
+            f"{label}: heuristic vs optimal LCM",
+            f"{heuristic_lcm} vs {optimal_lcm}",
+        )
+        assert optimal_lcm <= heuristic_lcm
+        if optimal_lcm < heuristic_lcm:
+            any_win = True
+    assert any_win  # the general case really does need it

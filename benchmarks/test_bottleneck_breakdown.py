@@ -1,0 +1,74 @@
+"""B2: the section 4 bottleneck accounting, made visible.
+
+"The four bottlenecks that might obstruct this goal are interprocessor
+communication, the floating-point unit, the instruction sequencer, and
+the memory interface."  This bench decomposes a full iteration into
+exactly those buckets for each stencil group and asserts the paper's
+qualitative claims about each one.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.breakdown import breakdown_run
+from repro.analysis.sweeps import run_cell
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+
+
+def sweep(subgrid=(256, 256)):
+    out = {}
+    for pattern_fn in (cross5, square9, cross9, diamond13):
+        pattern = pattern_fn()
+        run = run_cell(pattern, subgrid, num_nodes=16)
+        out[pattern.name] = (run, breakdown_run(run))
+    return out
+
+
+def test_bottleneck_breakdown(benchmark):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, (run, breakdown) in results.items():
+        shares = breakdown.shares()
+        print(f"--- {name} ---")
+        print(breakdown.describe())
+        emit(
+            benchmark,
+            f"{name} useful-MA share",
+            round(shares["useful multiply-adds"], 3),
+        )
+        # Exactness: the decomposition accounts for every compute cycle.
+        assert breakdown.compute_total == run.compute_cycles
+        # Section 4.1: for large problems communication is a small
+        # fraction of the total work.
+        assert shares["communication"] < 0.01
+        # The memory interface (loads + stores) stays below the
+        # arithmetic -- the multistencil's whole purpose.
+        memory_share = shares["loads"] + shares["stores"]
+        assert memory_share < shares["useful multiply-adds"]
+
+    # Larger stencils spend proportionally more time in useful work.
+    assert (
+        results["diamond13"][1].shares()["useful multiply-adds"]
+        > results["cross5"][1].shares()["useful multiply-adds"]
+    )
+
+
+def test_small_problem_shifts_to_overhead(benchmark):
+    """At 64x64, the front end and sequencer shares grow at the expense
+    of useful work -- the size dependence of the whole results table."""
+
+    def pair():
+        small_run = run_cell(cross9(), (64, 64), num_nodes=16)
+        large_run = run_cell(cross9(), (256, 256), num_nodes=16)
+        return breakdown_run(small_run), breakdown_run(large_run)
+
+    small, large = benchmark.pedantic(pair, rounds=1, iterations=1)
+    small_overhead = small.shares()["front end"]
+    large_overhead = large.shares()["front end"]
+    emit(benchmark, "64x64 front-end share", round(small_overhead, 3))
+    emit(benchmark, "256x256 front-end share", round(large_overhead, 3))
+    assert small_overhead > large_overhead
+    assert (
+        small.shares()["useful multiply-adds"]
+        < large.shares()["useful multiply-adds"]
+    )

@@ -1,0 +1,87 @@
+"""Throughput of the reproduction itself: compile and simulate speed.
+
+Unlike the table/figure benches (which reproduce the paper's numbers
+with single-shot pedantic runs), these are ordinary multi-round
+pytest-benchmark measurements of the reproduction's own hot paths:
+pattern compilation, the fast executor, and the cycle-stepped datapath.
+They guard against performance regressions in the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_machine
+from repro.baseline.reference import reference_stencil
+from repro.compiler.driver import compile_fortran, compile_stencil
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.stencil_op import apply_stencil
+from repro.stencil.gallery import cross5, diamond13
+
+PAPER_SUBROUTINE = """
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+
+def test_compile_cross5_from_fortran(benchmark):
+    compiled = benchmark(compile_fortran, PAPER_SUBROUTINE)
+    assert compiled.max_width == 8
+
+
+def test_compile_diamond13_all_widths(benchmark):
+    """The heaviest compilation: 15-way unrolled width-4 plans."""
+    compiled = benchmark(compile_stencil, diamond13())
+    assert compiled.plans[4].unroll == 15
+
+
+def test_fast_executor_throughput(benchmark):
+    params = MachineParams(num_nodes=16)
+    machine = make_machine(16)
+    pattern = cross5()
+    compiled = compile_stencil(pattern, params)
+    gshape = (256, 256)
+    rng = np.random.default_rng(0)
+    x = CMArray.from_numpy(
+        "X", machine, rng.standard_normal(gshape).astype(np.float32)
+    )
+    coeffs = {
+        name: CMArray.from_numpy(
+            name, machine, rng.standard_normal(gshape).astype(np.float32)
+        )
+        for name in pattern.coefficient_names()
+    }
+
+    run = benchmark(apply_stencil, compiled, x, coeffs, "R")
+    expected = reference_stencil(
+        pattern,
+        x.to_numpy(),
+        {name: c.to_numpy() for name, c in coeffs.items()},
+    )
+    np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+
+def test_exact_datapath_throughput(benchmark):
+    """Cycle-stepped simulation speed on a small single-node problem."""
+    params = MachineParams(num_nodes=1)
+    machine = make_machine(1)
+    pattern = cross5()
+    compiled = compile_stencil(pattern, params)
+    rng = np.random.default_rng(1)
+    x = CMArray.from_numpy(
+        "X", machine, rng.standard_normal((16, 16)).astype(np.float32)
+    )
+    coeffs = {
+        name: CMArray.from_numpy(
+            name, machine, rng.standard_normal((16, 16)).astype(np.float32)
+        )
+        for name in pattern.coefficient_names()
+    }
+    run = benchmark(apply_stencil, compiled, x, coeffs, "R", exact=True)
+    assert run.exact

@@ -1,0 +1,101 @@
+"""EXT-FUSE: the paper's future work, measured.
+
+Section 7: the Gordon Bell tenth term "was added in separately.  (Future
+versions of the compiler should be able to handle all ten terms as one
+stencil pattern.)"  This extension implements that fusion; the benchmark
+measures what it buys on the seismic kernel: the copy loop, the paper's
+3x-unrolled loop, and the fused 10-term loop, all bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, make_machine
+from repro.analysis.timing import extrapolate_mflops
+from repro.apps.seismic import SeismicModel, ricker_wavelet
+
+STEPS = 16
+RUNNERS = ("run_copy_loop", "run_unrolled_loop", "run_fused_loop")
+
+
+def run_all(subgrid=(128, 256), steps=STEPS):
+    timings, fields = {}, {}
+    for runner in RUNNERS:
+        machine = make_machine(16)
+        shape = (
+            subgrid[0] * machine.grid_rows,
+            subgrid[1] * machine.grid_cols,
+        )
+        model = SeismicModel(
+            machine,
+            shape,
+            dt=0.001,
+            dx=10.0,
+            source=(shape[0] // 4, shape[1] // 2),
+        )
+        model.set_initial_pulse(sigma=3.0)
+        wavelet = ricker_wavelet(steps, 0.001)
+        timing = getattr(model, runner)(steps, wavelet)
+        timings[runner] = timing
+        fields[runner] = model.wavefield()
+    return timings, fields
+
+
+def test_fused_ten_term_kernel(benchmark):
+    timings, fields = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    # All three formulations compute the same physics, bit for bit.
+    np.testing.assert_array_equal(
+        fields["run_copy_loop"], fields["run_fused_loop"]
+    )
+    np.testing.assert_array_equal(
+        fields["run_unrolled_loop"], fields["run_fused_loop"]
+    )
+    rates = {}
+    for runner in RUNNERS:
+        gflops = (
+            extrapolate_mflops(timings[runner].mflops, 16, 2048) / 1e3
+        )
+        rates[runner] = gflops
+        emit(benchmark, f"{runner} extrapolated Gflops", round(gflops, 2))
+    # The ladder: fused > unrolled > copy.
+    assert (
+        rates["run_fused_loop"]
+        > rates["run_unrolled_loop"]
+        > rates["run_copy_loop"]
+    )
+    gain = rates["run_fused_loop"] / rates["run_unrolled_loop"]
+    emit(benchmark, "fusion gain over unrolled", round(gain, 3))
+    assert 1.02 < gain < 1.5
+
+
+def test_fusion_removes_the_separate_pass(benchmark):
+    """The fused loop issues fewer host calls and fewer memory cycles:
+    the tenth term rides inside the microcode loop."""
+
+    def pair():
+        out = {}
+        for runner in ("run_unrolled_loop", "run_fused_loop"):
+            machine = make_machine(16)
+            model = SeismicModel(machine, (256, 512), dt=0.001, dx=10.0)
+            model.set_initial_pulse()
+            timing = getattr(model, runner)(4)
+            out[runner] = timing
+        return out
+
+    timings = benchmark.pedantic(pair, rounds=1, iterations=1)
+    fused = timings["run_fused_loop"]
+    unrolled = timings["run_unrolled_loop"]
+    assert fused.useful_flops == unrolled.useful_flops
+    assert fused.machine_seconds < unrolled.machine_seconds
+    assert fused.host_seconds < unrolled.host_seconds
+    emit(
+        benchmark,
+        "machine-time saving",
+        round(1 - fused.machine_seconds / unrolled.machine_seconds, 3),
+    )
+    emit(
+        benchmark,
+        "host-time saving",
+        round(1 - fused.host_seconds / unrolled.host_seconds, 3),
+    )

@@ -1,0 +1,55 @@
+"""F1: Figure 1 -- division of a 256x256 array among 16 nodes.
+
+Regenerates the figure's block table and asserts the index ranges the
+paper prints.
+"""
+
+import pytest
+
+from conftest import emit, make_machine
+from repro.machine.geometry import NodeCoord
+from repro.runtime.decomposition import Decomposition
+
+#: Every range printed in the paper's Figure 1 (the OCR shows a subset;
+#: these are the unambiguous ones).
+PAPER_RANGES = {
+    (0, 0): "A(1:64,1:64)",
+    (1, 1): "A(65:128,65:128)",
+    (1, 2): "A(65:128,129:192)",
+    (2, 1): "A(129:192,65:128)",
+    (2, 2): "A(129:192,129:192)",
+    (3, 1): "A(193:256,65:128)",
+    (3, 2): "A(193:256,129:192)",
+    (3, 3): "A(193:256,193:256)",
+}
+
+
+def build():
+    machine = make_machine(16)
+    return Decomposition((256, 256), machine)
+
+
+def test_figure1_division(benchmark):
+    decomposition = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(decomposition.figure1_text())
+    assert decomposition.subgrid_shape == (64, 64)
+    for (row, col), expected in PAPER_RANGES.items():
+        actual = decomposition.block(NodeCoord(row, col)).fortran_ranges()
+        assert actual == expected, f"node ({row},{col}): {actual}"
+    emit(benchmark, "subgrid shape", "64x64")
+    emit(benchmark, "blocks verified against Figure 1", len(PAPER_RANGES))
+
+
+def test_figure1_scatter_gather_identity(benchmark):
+    """The decomposition's data movement is lossless."""
+    import numpy as np
+
+    decomposition = build()
+
+    def round_trip():
+        array = np.arange(256 * 256, dtype=np.float32).reshape(256, 256)
+        return decomposition.gather(decomposition.scatter(array)), array
+
+    gathered, original = benchmark.pedantic(round_trip, rounds=1, iterations=1)
+    np.testing.assert_array_equal(gathered, original)

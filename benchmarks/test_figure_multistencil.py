@@ -1,0 +1,65 @@
+"""F-MULTI: the section 5.3 multistencil figures.
+
+* The width-8 multistencil of the 5-point cross spans 26 positions where
+  the naive schedule performs 40 loads.
+* The width-8 13-point diamond needs 48 registers (rejected); width 4
+  needs 28 (accepted).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.compiler.allocation import AllocationError, allocate
+from repro.stencil.gallery import cross5, diamond13
+from repro.stencil.multistencil import Multistencil
+
+
+def build_all():
+    return {
+        ("cross5", 8): Multistencil(cross5(), 8),
+        ("diamond13", 8): Multistencil(diamond13(), 8),
+        ("diamond13", 4): Multistencil(diamond13(), 4),
+    }
+
+
+def test_multistencil_figures(benchmark):
+    ms = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    print()
+    print("width-8 cross5 multistencil:")
+    print(ms[("cross5", 8)].pictogram())
+
+    assert ms[("cross5", 8)].num_positions == 26
+    assert ms[("cross5", 8)].naive_load_count() == 40
+    emit(benchmark, "cross5 w8 positions (paper 26)", 26)
+    emit(benchmark, "cross5 w8 naive loads (paper 40)", 40)
+    emit(
+        benchmark,
+        "cross5 w8 load savings",
+        round(ms[("cross5", 8)].load_savings(), 3),
+    )
+
+    assert ms[("diamond13", 8)].num_positions == 48
+    assert ms[("diamond13", 4)].num_positions == 28
+    emit(benchmark, "diamond13 w8 positions (paper 48)", 48)
+    emit(benchmark, "diamond13 w4 positions (paper 28)", 28)
+
+
+def test_register_file_verdicts(benchmark):
+    """Width 8 of the diamond is rejected by allocation; width 4 fits."""
+
+    def verdicts():
+        out = {}
+        try:
+            allocate(diamond13(), 8)
+            out[8] = "accepted"
+        except AllocationError:
+            out[8] = "rejected"
+        alloc = allocate(diamond13(), 4)
+        out[4] = alloc.data_registers
+        return out
+
+    result = benchmark.pedantic(verdicts, rounds=1, iterations=1)
+    assert result[8] == "rejected"
+    assert result[4] == 28
+    emit(benchmark, "diamond13 width-8 verdict", result[8])
+    emit(benchmark, "diamond13 width-4 data registers (paper 28)", result[4])

@@ -1,0 +1,94 @@
+"""F-STEN: the section 2 stencil diagrams.
+
+Each Fortran statement the paper displays is parsed, recognized, and
+round-tripped to its tap set; the section 5.1 border-width example
+(N=2, S=0, W=3, E=1) is checked through the geometry code.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.fortran.parser import parse_assignment
+from repro.fortran.recognizer import recognize_assignment
+from repro.stencil.gallery import border_demo
+
+PAPER_STATEMENTS = {
+    "cross5": (
+        "R = C1 * CSHIFT (X, DIM=1, SHIFT=-1)"
+        " + C2 * CSHIFT (X, DIM=2, SHIFT=-1)"
+        " + C3 * X"
+        " + C4 * CSHIFT (X, DIM=2, SHIFT=+1)"
+        " + C5 * CSHIFT (X, DIM=1, SHIFT=+1)",
+        {(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)},
+    ),
+    "cross9": (
+        "R = C1 * CSHIFT (X, DIM=1, SHIFT=-2)"
+        " + C2 * CSHIFT (X, DIM=1, SHIFT=-1)"
+        " + C3 * CSHIFT (X, DIM=2, SHIFT=-2)"
+        " + C4 * CSHIFT (X, DIM=2, SHIFT=-1)"
+        " + C5 * X"
+        " + C6 * CSHIFT (X, DIM=2, SHIFT=+2)"
+        " + C7 * CSHIFT (X, DIM=2, SHIFT=+1)"
+        " + C8 * CSHIFT (X, DIM=1, SHIFT=+1)"
+        " + C9 * CSHIFT (X, DIM=1, SHIFT=+2)",
+        {(-2, 0), (-1, 0), (0, -2), (0, -1), (0, 0),
+         (0, 2), (0, 1), (1, 0), (2, 0)},
+    ),
+    "square9": (
+        "R = C1 * CSHIFT(CSHIFT (X, 1, -1), 2, -1)"
+        " + C2 * CSHIFT(X, 1, -1)"
+        " + C3 * CSHIFT(CSHIFT (X, 1, -1), 2, +1)"
+        " + C4 * CSHIFT (X, 2, -1)"
+        " + C5 * X"
+        " + C6 * CSHIFT (X, 2, +1)"
+        " + C7 * CSHIFT (CSHIFT (X, 1, +1), 2, -1)"
+        " + C8 * CSHIFT(X, 1, +1)"
+        " + C9 * CSHIFT(CSHIFT (X, 1, +1), 2, +1)",
+        {(dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1)},
+    ),
+    "asymmetric5": (
+        "R = C1 * X"
+        " + C2 * CSHIFT (X, 2, +1)"
+        " + C3 * CSHIFT(CSHIFT (X, 1, +1), 2, -1)"
+        " + C4 * CSHIFT (X, 1, +1)"
+        " + C5 * CSHIFT (X, 1, +2)",
+        {(0, 0), (0, 1), (1, -1), (1, 0), (2, 0)},
+    ),
+}
+
+
+def recognize_all():
+    return {
+        name: recognize_assignment(parse_assignment(source))
+        for name, (source, _) in PAPER_STATEMENTS.items()
+    }
+
+
+def test_section2_statements_round_trip(benchmark):
+    patterns = benchmark.pedantic(recognize_all, rounds=1, iterations=1)
+    print()
+    for name, (_, expected) in PAPER_STATEMENTS.items():
+        pattern = patterns[name]
+        assert set(pattern.offsets) == expected, name
+        print(f"--- {name} ---")
+        print(pattern.pictogram())
+        emit(benchmark, f"{name} taps", pattern.num_points)
+    # Coefficient order is preserved from the source statements.
+    assert patterns["cross9"].coefficient_names() == tuple(
+        f"C{i}" for i in range(1, 10)
+    )
+
+
+def test_section51_border_width_example(benchmark):
+    """The asymmetric border-width pictogram: N=2, S=0, W=3, E=1."""
+    pattern = benchmark.pedantic(border_demo, rounds=1, iterations=1)
+    widths = pattern.border_widths()
+    print()
+    print(pattern.pictogram())
+    assert widths.north == 2
+    assert widths.south == 0
+    assert widths.west == 3
+    assert widths.east == 1
+    # The runtime pads all four sides by the maximum (section 5.1).
+    assert widths.max_width == 3
+    emit(benchmark, "border widths N/S/W/E", widths.as_tuple())

@@ -1,0 +1,155 @@
+"""T1-GB: the Gordon Bell seismic rows of the results table.
+
+Regenerates the 10-term kernel rows: the 16-node 128x256 / 256x256
+extrapolation rows, the honest 2,048-node 64x128 runs, and the paper's
+headline comparison -- the copy-based main loop (11.62 Gflops) versus the
+3x-unrolled loop (14.88 Gflops, a 1.28x speedup).
+
+Our kernel runs the 9-point cross at multistencil width 4 (width 8 needs
+44 registers, more than the 31 available -- see EXPERIMENTS.md), so
+absolute rates land below the paper's; the asserted shape is the
+unrolled-over-copy win, the 2,048-node shortfall versus linear
+extrapolation, and bit-identical physics between the two loops.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit, make_machine
+from repro.analysis.timing import extrapolate_mflops
+from repro.apps.seismic import SeismicModel, ricker_wavelet
+
+STEPS = 24
+
+_CACHE = {}
+
+
+def run_loops_cached(num_nodes, subgrid, steps=STEPS):
+    """The 2,048-node sweeps are expensive; share them across tests."""
+    key = (num_nodes, subgrid, steps)
+    if key not in _CACHE:
+        _CACHE[key] = run_loops(num_nodes, subgrid, steps)
+    return _CACHE[key]
+
+
+def run_loops(num_nodes, subgrid, steps=STEPS):
+    """Run both main-loop formulations on identical initial data."""
+    timings = {}
+    fields = {}
+    for runner in ("run_copy_loop", "run_unrolled_loop"):
+        machine = make_machine(num_nodes)
+        shape = (
+            subgrid[0] * machine.grid_rows,
+            subgrid[1] * machine.grid_cols,
+        )
+        rows = shape[0]
+        model = SeismicModel(
+            machine, shape, dt=0.001, dx=10.0, source=(rows // 4, shape[1] // 2)
+        )
+        model.set_initial_pulse(sigma=3.0)
+        wavelet = ricker_wavelet(steps, 0.001)
+        timing = getattr(model, runner)(steps, wavelet)
+        timings[runner] = timing
+        fields[runner] = model.wavefield()
+    return timings, fields
+
+
+def test_gordon_bell_sixteen_node_rows(benchmark):
+    timings, fields = benchmark.pedantic(
+        run_loops, args=(16, (128, 256)), rounds=1, iterations=1
+    )
+    copy = timings["run_copy_loop"]
+    unrolled = timings["run_unrolled_loop"]
+    np.testing.assert_array_equal(
+        fields["run_copy_loop"], fields["run_unrolled_loop"]
+    )
+    copy_extrapolated = extrapolate_mflops(copy.mflops, 16, 2048) / 1e3
+    unrolled_extrapolated = extrapolate_mflops(unrolled.mflops, 16, 2048) / 1e3
+    print()
+    emit(benchmark, "copy loop 16-node Mflops (paper 106.6)", round(copy.mflops, 1))
+    emit(
+        benchmark,
+        "copy loop extrapolated Gflops (paper 13.65)",
+        round(copy_extrapolated, 2),
+    )
+    emit(
+        benchmark,
+        "unrolled extrapolated Gflops (paper 14.95)",
+        round(unrolled_extrapolated, 2),
+    )
+    speedup = unrolled.gflops / copy.gflops
+    emit(benchmark, "unrolled/copy speedup (paper 1.28)", round(speedup, 3))
+    # Shape: the unrolled loop wins by eliminating the two copies, by a
+    # factor in the paper's neighbourhood.
+    assert 1.05 < speedup < 1.6
+    # Same useful flops either way: the win is pure overhead removal.
+    assert unrolled.useful_flops == copy.useful_flops
+
+
+def test_gordon_bell_full_machine_rows(benchmark):
+    """The 2,048-node runs with 64x128 per-node subgrids."""
+    timings, _ = benchmark.pedantic(
+        run_loops_cached, args=(2048, (64, 128), 3), rounds=1, iterations=1
+    )
+    copy = timings["run_copy_loop"]
+    unrolled = timings["run_unrolled_loop"]
+    print()
+    emit(benchmark, "copy loop 2048-node Gflops (paper 11.62)", round(copy.gflops, 2))
+    emit(
+        benchmark,
+        "unrolled 2048-node Gflops (paper 14.88)",
+        round(unrolled.gflops, 2),
+    )
+    assert unrolled.gflops > copy.gflops
+
+
+def test_full_run_elapsed_times(benchmark):
+    """The table's long rows: 35,000 copy-loop iterations in 1919.41 s
+    and 38,001 unrolled iterations in 1627.59 s on 2,048 nodes.  We
+    model the same runs from the per-step time; absolute agreement
+    tracks the rate ratio (~0.45x, see EXPERIMENTS.md), the asserted
+    shape is that the unrolled production run finishes sooner despite
+    running 3,001 more steps -- the whole point of the unrolling."""
+    timings, _ = benchmark.pedantic(
+        run_loops_cached, args=(2048, (64, 128), 3), rounds=1, iterations=1
+    )
+    per_step = {
+        runner: timing.elapsed_seconds / timing.steps
+        for runner, timing in timings.items()
+    }
+    copy_elapsed = per_step["run_copy_loop"] * 35_000
+    unrolled_elapsed = per_step["run_unrolled_loop"] * 38_001
+    print()
+    emit(benchmark, "copy 35000-step elapsed s (paper 1919.41)", round(copy_elapsed, 1))
+    emit(
+        benchmark,
+        "unrolled 38001-step elapsed s (paper 1627.59)",
+        round(unrolled_elapsed, 1),
+    )
+    # Shape: unrolled finishes sooner despite 3,001 extra steps.
+    assert unrolled_elapsed < copy_elapsed
+    # Absolutes within the documented rate gap (ours ~2x slower).
+    assert 1000 < copy_elapsed < 4 * 1919.41
+    assert 1000 < unrolled_elapsed < 4 * 1627.59
+
+
+def test_extrapolation_exceeds_honest_full_machine_rate(benchmark):
+    """The paper's own gap: the 128x256-subgrid extrapolation (13.65)
+    exceeds what the 2,048-node machine measured with its smaller
+    64x128 subgrids (11.62), because the single front end's overhead
+    does not scale away and smaller subgrids amortize it less."""
+
+    def both():
+        sixteen, _ = run_loops(16, (128, 256), steps=3)
+        full, _ = run_loops_cached(2048, (64, 128), 3)
+        return sixteen, full
+
+    sixteen, full = benchmark.pedantic(both, rounds=1, iterations=1)
+    extrapolated = (
+        extrapolate_mflops(sixteen["run_copy_loop"].mflops, 16, 2048) / 1e3
+    )
+    measured = full["run_copy_loop"].gflops
+    print()
+    emit(benchmark, "extrapolated Gflops", round(extrapolated, 2))
+    emit(benchmark, "honest 2048-node Gflops", round(measured, 2))
+    assert measured < extrapolated

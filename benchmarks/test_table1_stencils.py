@@ -1,0 +1,115 @@
+"""T1: the section 7 results table, 16-node stencil groups.
+
+Regenerates the paper's measured-Mflops / extrapolated-Gflops rows for
+the four stencil groups over the per-node subgrid sizes the paper
+sweeps, and asserts the table's shape: rates rise with subgrid size, the
+5-point cross is the slowest group, the large stencils sustain the
+8.8-12 Gflops band, and the best rows clear the title's 10-Gflops bar.
+
+Group attribution (the pictograms are garbled in the source text; see
+DESIGN.md): group 1 = cross5, group 2 = square9, group 3 = cross9,
+group 4 = diamond13.
+"""
+
+import pytest
+
+from conftest import make_machine, stencil_run, emit
+from repro.analysis.tables import format_table
+from repro.analysis.timing import report
+from repro.stencil import gallery
+
+SUBGRIDS = [(64, 64), (64, 128), (128, 128), (128, 256), (256, 256)]
+
+#: Paper values (measured Mflops at 16 nodes) for comparison printing.
+PAPER_MFLOPS = {
+    ("cross5", (64, 128)): 44.6,
+    ("cross5", (128, 256)): 69.5,
+    ("cross5", (256, 256)): 72.8,
+    ("square9", (64, 64)): 68.8,
+    ("square9", (64, 128)): 91.7,
+    ("square9", (128, 128)): 89.8,
+    ("square9", (128, 256)): 86.7,
+    ("square9", (256, 256)): 88.6,
+    ("cross9", (64, 64)): 56.8,
+    ("cross9", (64, 128)): 68.0,
+    ("cross9", (128, 128)): 72.9,
+    ("cross9", (128, 256)): 85.3,
+    ("cross9", (256, 256)): 85.6,
+    ("diamond13", (64, 64)): 71.6,
+    ("diamond13", (64, 128)): 82.0,
+    ("diamond13", (128, 128)): 87.7,
+    ("diamond13", (128, 256)): 85.6,
+    ("diamond13", (256, 256)): 85.9,
+}
+
+
+def sweep():
+    """Run the whole table sweep; returns (reports, rates dict)."""
+    reports = []
+    rates = {}
+    for pattern_fn in (
+        gallery.cross5,
+        gallery.square9,
+        gallery.cross9,
+        gallery.diamond13,
+    ):
+        for subgrid in SUBGRIDS:
+            pattern = pattern_fn()
+            run = stencil_run(pattern, subgrid, machine=make_machine())
+            rep = report(run)
+            reports.append(rep)
+            rates[(pattern.name, subgrid)] = rep.measured_mflops
+    return reports, rates
+
+
+def test_table1_sixteen_node_groups(benchmark):
+    reports, rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(reports))
+    print()
+    for key, paper in sorted(PAPER_MFLOPS.items()):
+        ours = rates[key]
+        emit(
+            benchmark,
+            f"{key[0]} {key[1][0]}x{key[1][1]} Mflops (paper {paper})",
+            round(ours, 1),
+        )
+
+    # Shape claim 1: rates rise with per-node subgrid size (overhead
+    # amortizes), per group.
+    for pattern_fn in (gallery.cross5, gallery.square9, gallery.cross9,
+                       gallery.diamond13):
+        name = pattern_fn().name
+        assert rates[(name, (256, 256))] > rates[(name, (64, 64))]
+
+    # Shape claim 2: the 5-point cross is the slowest group at every size
+    # (fewest flops per point over the same overheads).
+    for subgrid in SUBGRIDS:
+        others = [
+            rates[(p().name, subgrid)]
+            for p in (gallery.square9, gallery.cross9, gallery.diamond13)
+        ]
+        assert rates[("cross5", subgrid)] < min(others)
+
+    # Shape claim 3: the large-stencil groups land in the paper's band
+    # (extrapolated 7-13 Gflops; the paper's rows span 7.3-11.7).
+    for name in ("square9", "cross9", "diamond13"):
+        extrapolated = rates[(name, (256, 256))] * 128 / 1e3
+        assert 7.0 < extrapolated < 13.0
+
+    # Shape claim 4 (the title): the best stencil rows exceed 10 Gflops
+    # when extrapolated to the full machine.
+    best = max(rates.values()) * 128 / 1e3
+    emit(benchmark, "best extrapolated Gflops", round(best, 2))
+    assert best > 10.0
+
+
+def test_table1_within_factor_of_paper(benchmark):
+    """Every reproduced cell within 2x of the paper's (noisy) numbers."""
+    _, rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    worst = 0.0
+    for key, paper in PAPER_MFLOPS.items():
+        ratio = rates[key] / paper
+        worst = max(worst, abs(ratio - 1.0))
+        assert 0.5 < ratio < 2.0, f"{key}: ours {rates[key]:.1f} vs paper {paper}"
+    emit(benchmark, "worst relative deviation", round(worst, 3))

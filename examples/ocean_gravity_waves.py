@@ -1,0 +1,70 @@
+"""Shallow-water gravity waves: coupled fields, fused updates.
+
+Drops a Gaussian mound of water into a periodic ocean basin and watches
+the gravity-wave ring radiate.  Each of the four updates per step is a
+*fused* stencil: shifted taps on one field plus the carried field as an
+extra (0, 0) term -- the paper's future-work fusion driving a coupled
+multi-field application, with mass conserved to float32 accuracy.
+
+Run:  python examples/ocean_gravity_waves.py
+"""
+
+import numpy as np
+
+from repro import CM2, MachineParams
+from repro.apps import ShallowWaterModel
+
+
+def render_height(h: np.ndarray, width: int = 64) -> str:
+    """ASCII view: troughs dark dots, crests bright hashes."""
+    ramp = " .:-=+*#%@"
+    rows, cols = h.shape
+    step_r = max(1, rows // 22)
+    step_c = max(1, cols // width)
+    sample = np.abs(h[::step_r, ::step_c])
+    peak = sample.max() or 1.0
+    lines = []
+    for row in sample:
+        indices = np.minimum(
+            (row / peak * (len(ramp) - 1)).astype(int), len(ramp) - 1
+        )
+        lines.append("".join(ramp[i] for i in indices))
+    return "\n".join(lines)
+
+
+def main():
+    machine = CM2(MachineParams(num_nodes=16))
+    model = ShallowWaterModel(
+        machine, (128, 128), depth=100.0, dt=15.0, dx=1000.0
+    )
+    model.set_gaussian_bump(amplitude=1.0, sigma=5.0)
+    print(
+        f"basin 128 km x 128 km, depth {model.depth:g} m, gravity-wave "
+        f"speed {np.sqrt(9.81 * model.depth):.1f} m/s, Courant "
+        f"{model.courant:.2f}"
+    )
+    print(
+        "each step: 4 fused stencil applications "
+        f"(widths {model._u_update.widths})"
+    )
+    print()
+    mass0 = model.total_mass()
+    for checkpoint in (0, 25, 60):
+        if checkpoint:
+            model.step(checkpoint - model.timing.steps)
+        h = model.fields()["h"]
+        print(
+            f"t = {model.timing.steps * model.dt / 60:5.1f} min "
+            f"(step {model.timing.steps:>3}): peak |h| = {np.abs(h).max():.3f} m, "
+            f"mass drift = {abs(model.total_mass() - mass0):.2e}"
+        )
+        print(render_height(h))
+        print()
+    print(
+        f"sustained {model.timing.mflops:.1f} Mflops over "
+        f"{model.timing.steps} steps on {machine.num_nodes} nodes"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Regenerate the paper's section 7 results table in one go.
+
+Sweeps the four stencil groups over the paper's per-node subgrid sizes
+on a simulated 16-node board, printing measured Mflops and the
+extrapolation to the full 2,048-node machine, followed by the Gordon
+Bell seismic rows in all three main-loop formulations.
+
+Run:  python examples/results_table.py
+"""
+
+from repro import CM2, MachineParams
+from repro.analysis.sweeps import table1_sweep
+from repro.analysis.tables import format_table
+from repro.analysis.timing import extrapolate_mflops
+from repro.apps import SeismicModel, ricker_wavelet
+
+
+def gordon_bell_rows(steps: int = 20) -> str:
+    lines = ["Gordon Bell seismic kernel (9-point cross + tenth term):"]
+    for label, runner in (
+        ("copy loop        (paper 13.65 Gf)", "run_copy_loop"),
+        ("3x-unrolled loop (paper 14.95 Gf)", "run_unrolled_loop"),
+        ("fused 10-term    (future work)   ", "run_fused_loop"),
+    ):
+        machine = CM2(MachineParams(num_nodes=16))
+        model = SeismicModel(
+            machine, (512, 1024), dt=0.001, dx=10.0, source=(128, 512)
+        )
+        model.set_initial_pulse(sigma=3.0)
+        timing = getattr(model, runner)(steps, ricker_wavelet(steps, 0.001))
+        gflops = extrapolate_mflops(timing.mflops, 16, 2048) / 1e3
+        lines.append(
+            f"  {label}: {timing.mflops:6.1f} Mflops on 16 nodes "
+            f"-> {gflops:5.2f} Gflops on 2,048"
+        )
+    return "\n".join(lines)
+
+
+def main():
+    print("Section 7 results table, regenerated (16 nodes, extrapolated")
+    print("to the full 2,048-node CM-2 by the paper's linear scaling):")
+    print()
+    print(format_table(table1_sweep()))
+    print()
+    print(gordon_bell_rows())
+
+
+if __name__ == "__main__":
+    main()

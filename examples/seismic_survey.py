@@ -1,0 +1,80 @@
+"""A small synthetic seismic survey: shot record over a layered medium.
+
+The Gordon Bell code's purpose was seismic modeling for Mobil Oil; this
+example runs the survey workflow around the kernel: a Ricker source at
+the surface, a receiver line recording every time step, and the shot
+record (seismogram) rendered as ASCII wiggle traces.  The direct wave
+and the reflection from the first velocity interface are visible as the
+two characteristic moveout curves.
+
+Run:  python examples/seismic_survey.py
+"""
+
+import numpy as np
+
+from repro import CM2, MachineParams
+from repro.apps import SeismicModel, layered_velocity, ricker_wavelet
+
+
+def render_shot_record(traces: np.ndarray, width: int = 70) -> str:
+    """ASCII shot record: rows = time samples (downward), columns =
+    receivers; darker glyphs = larger |amplitude|."""
+    ramp = " .:-=+*#%@"
+    receivers, samples = traces.shape
+    step_t = max(1, samples // 40)
+    sample = np.abs(traces[:, ::step_t].T)  # time down, receivers across
+    peak = sample.max() or 1.0
+    lines = []
+    for time_row in sample:
+        indices = np.minimum(
+            (time_row / peak * (len(ramp) - 1)).astype(int), len(ramp) - 1
+        )
+        lines.append("".join(ramp[i] for i in indices))
+    return "\n".join(lines)
+
+
+def main():
+    machine = CM2(MachineParams(num_nodes=16))
+    shape = (256, 512)
+    velocity = layered_velocity(shape, layers=(1800.0, 3500.0))
+    dt, dx = 0.0015, 10.0
+    steps = 420
+
+    source = (8, 128)
+    receiver_row = 8
+    receivers = [(receiver_row, 136 + 4 * i) for i in range(24)]
+
+    model = SeismicModel(
+        machine, shape, velocity=velocity, dt=dt, dx=dx, source=source
+    )
+    model.place_receivers(receivers)
+    print(
+        f"shot at {source}, {len(receivers)} receivers along row "
+        f"{receiver_row}, medium: 1800 m/s over 3500 m/s"
+    )
+    print(f"propagating {steps} steps of {dt * 1e3:g} ms ...")
+    timing = model.run_fused_loop(steps, ricker_wavelet(steps, dt, peak_hz=8.0))
+
+    traces = model.seismogram_array()
+    print()
+    print("shot record (time down, offset across):")
+    print(render_shot_record(traces))
+    print()
+    near, far = np.abs(traces[0]), np.abs(traces[-1])
+    threshold = 0.005 * np.abs(traces).max()
+    first_near = int(np.argmax(near > threshold))
+    first_far = int(np.argmax(far > threshold))
+    print(
+        f"first arrival: sample {first_near} at the near offset, "
+        f"{first_far} at the far offset (moveout "
+        f"{(first_far - first_near) * dt * 1e3:.1f} ms)"
+    )
+    print(
+        f"kernel: {timing.mflops:.1f} Mflops sustained on "
+        f"{machine.num_nodes} nodes over {timing.steps} steps "
+        f"({timing.elapsed_seconds:.2f} modeled seconds)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package
+that PEP 660 editable installs require, so `python setup.py develop`
+(or `pip install -e . --no-build-isolation`) uses this instead."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``compile <file>``
+    Compile a Fortran subroutine/statement (``.f``, ``.f90``, or
+    anything else) or a Lisp ``defstencil`` form (``.lisp``/``.lsp``)
+    and print the full compilation report: the recognized stencil, its
+    pictogram, per-width plans, and rejections.
+
+``bench <pattern>``
+    Run a gallery pattern on the simulated machine and print a results-
+    table row (``--subgrid 256x256 --nodes 16 --iterations 100``).
+
+``figure1``
+    Print the paper's Figure 1 decomposition for ``--shape`` over
+    ``--nodes``.
+
+``gallery``
+    List the built-in patterns with their pictograms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _parse_shape(text: str):
+    try:
+        rows, cols = text.lower().split("x")
+        return int(rows), int(cols)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected ROWSxCOLS (e.g. 256x256), got {text!r}"
+        )
+
+
+def cmd_compile(args) -> int:
+    from .compiler.driver import compile_defstencil, compile_fortran
+    from .machine.params import MachineParams
+
+    source = Path(args.file).read_text()
+    params = MachineParams(num_nodes=args.nodes)
+    if Path(args.file).suffix.lower() in (".lisp", ".lsp", ".cl"):
+        compiled = compile_defstencil(source, params)
+    else:
+        compiled = compile_fortran(source, params)
+    if args.strategy != "paper":
+        from .compiler.plan import compile_pattern
+
+        compiled = compile_pattern(
+            compiled.pattern, params, strategy=args.strategy
+        )
+    pattern = compiled.pattern
+    print(pattern.describe())
+    print()
+    print(pattern.pictogram())
+    print()
+    from .fortran.printer import emit_statement
+
+    print("canonical form:")
+    print(emit_statement(pattern, width=60))
+    widths = pattern.border_widths()
+    print()
+    print(
+        f"taps: {pattern.num_points}  useful flops/point: "
+        f"{pattern.useful_flops_per_point()}  borders N/S/W/E: "
+        f"{widths.as_tuple()}  corner exchange: "
+        f"{'needed' if pattern.needs_corner_exchange() else 'skippable'}"
+    )
+    print()
+    print(compiled.describe())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .analysis.timing import report
+    from .compiler.driver import compile_stencil
+    from .machine.machine import CM2
+    from .machine.params import MachineParams
+    from .runtime.cm_array import CMArray
+    from .runtime.stencil_op import apply_stencil
+    from .stencil import gallery
+
+    builder = getattr(gallery, args.pattern, None)
+    if builder is None:
+        print(f"unknown pattern {args.pattern!r}; try 'gallery'", file=sys.stderr)
+        return 1
+    pattern = builder()
+    params = MachineParams(num_nodes=args.nodes)
+    machine = CM2(params)
+    subgrid = args.subgrid
+    gshape = (subgrid[0] * machine.grid_rows, subgrid[1] * machine.grid_cols)
+    compiled = compile_stencil(pattern, params)
+    x = CMArray("X", machine, gshape)
+    coeffs = {
+        name: CMArray(name, machine, gshape)
+        for name in pattern.coefficient_names()
+    }
+    run = apply_stencil(compiled, x, coeffs, iterations=args.iterations)
+    rep = report(run)
+    print(rep.row())
+    return 0
+
+
+def cmd_figure1(args) -> int:
+    from .machine.machine import CM2
+    from .machine.params import MachineParams
+    from .runtime.decomposition import Decomposition
+
+    machine = CM2(MachineParams(num_nodes=args.nodes))
+    print(Decomposition(args.shape, machine).figure1_text())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Cross-validate the three execution semantics on a problem grid.
+
+    For each gallery pattern: the vectorized fast path must match the
+    pure-numpy reference bit for bit, the cycle-stepped WTL3164 datapath
+    must match the fast path bit for bit, and the closed-form cycle
+    model must equal the stepped simulator exactly.
+    """
+    import numpy as np
+
+    from .baseline.reference import reference_stencil
+    from .compiler.driver import compile_stencil
+    from .machine.machine import CM2
+    from .machine.params import MachineParams
+    from .runtime.cm_array import CMArray
+    from .runtime.stencil_op import apply_stencil
+    from .stencil import gallery
+
+    params = MachineParams(num_nodes=args.nodes)
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for name in ("cross5", "cross9", "square9", "diamond13", "asymmetric5"):
+        pattern = getattr(gallery, name)()
+        machine = CM2(params)
+        shape = (16, 24)
+        x = rng.standard_normal(shape).astype(np.float32)
+        coeffs = {
+            coeff_name: rng.standard_normal(shape).astype(np.float32)
+            for coeff_name in pattern.coefficient_names()
+        }
+        compiled = compile_stencil(pattern, params)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            coeff_name: CMArray.from_numpy(coeff_name, machine, data)
+            for coeff_name, data in coeffs.items()
+        }
+        fast = apply_stencil(compiled, X, C, "RFAST")
+        exact = apply_stencil(compiled, X, C, "REXACT", exact=True)
+        reference = reference_stencil(pattern, x, coeffs)
+        checks = {
+            "fast == reference (bitwise)": np.array_equal(
+                fast.result.to_numpy(), reference
+            ),
+            "exact == fast (bitwise)": np.array_equal(
+                exact.result.to_numpy(), fast.result.to_numpy()
+            ),
+            "cycle model == stepped datapath": (
+                exact.compute_cycles == fast.compute_cycles
+            ),
+        }
+        verdict = "ok" if all(checks.values()) else "FAILED"
+        print(f"{name:<12} {verdict}")
+        for label, passed in checks.items():
+            print(f"    {'pass' if passed else 'FAIL'}  {label}")
+            failures += 0 if passed else 1
+    if failures:
+        print(f"\n{failures} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nall semantics agree")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """Regenerate the headline paper-vs-measured numbers in one run."""
+    from .analysis.sweeps import table1_sweep
+    from .analysis.tables import format_comparison, format_table
+    from .analysis.timing import extrapolate_mflops
+    from .apps.seismic import SeismicModel, ricker_wavelet
+    from .machine.machine import CM2
+    from .machine.params import MachineParams
+
+    print("Section 7 results table (16 nodes, extrapolated to 2,048):")
+    print()
+    reports = table1_sweep()
+    print(format_table(reports))
+    print()
+
+    paper_cells = {
+        ("cross5", 256): 72.8,
+        ("square9", 256): 88.6,
+        ("cross9", 256): 85.6,
+        ("diamond13", 256): 85.9,
+    }
+    rows = []
+    for rep in reports:
+        key = (rep.stencil, rep.subgrid_rows)
+        if key in paper_cells and rep.subgrid_cols == 256:
+            rows.append(
+                (
+                    f"{rep.stencil} 256x256 (Mflops)",
+                    paper_cells[key],
+                    rep.measured_mflops,
+                )
+            )
+
+    print("Gordon Bell seismic kernel (copy / unrolled / fused):")
+    steps = 20
+    gb = {}
+    for label, runner, paper in (
+        ("GB copy loop (Gflops)", "run_copy_loop", 13.65),
+        ("GB 3x-unrolled (Gflops)", "run_unrolled_loop", 14.95),
+    ):
+        machine = CM2(MachineParams(num_nodes=16))
+        model = SeismicModel(
+            machine, (512, 1024), dt=0.001, dx=10.0, source=(128, 512)
+        )
+        model.set_initial_pulse(sigma=3.0)
+        timing = getattr(model, runner)(steps, ricker_wavelet(steps, 0.001))
+        gflops = extrapolate_mflops(timing.mflops, 16, 2048) / 1e3
+        gb[label] = gflops
+        rows.append((label, paper, gflops))
+        print(f"  {label:<28} paper {paper:6.2f}  ours {gflops:6.2f}")
+    speedup = gb["GB 3x-unrolled (Gflops)"] / gb["GB copy loop (Gflops)"]
+    rows.append(("GB unrolled/copy speedup", 1.28, speedup))
+    print(f"  {'unrolled / copy speedup':<28} paper   1.28  ours {speedup:6.2f}")
+    print()
+    print(format_comparison(rows, unit=""))
+    print()
+    print("Full per-cell tables and ablations: EXPERIMENTS.md and")
+    print("`pytest benchmarks/ --benchmark-only -s`.")
+    return 0
+
+
+def cmd_gallery(args) -> int:
+    from .stencil import gallery
+
+    for name in (
+        "cross5",
+        "cross9",
+        "square9",
+        "diamond13",
+        "asymmetric5",
+        "border_demo",
+    ):
+        pattern = getattr(gallery, name)()
+        print(f"--- {name} ({pattern.num_points} taps) ---")
+        print(pattern.pictogram())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="The Connection Machine Convolution Compiler, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a stencil source file")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--nodes", type=int, default=16)
+    p_compile.add_argument(
+        "--strategy",
+        choices=("paper", "optimal"),
+        default="paper",
+        help="ring-sizing strategy: the paper's heuristic or the "
+        "LCM-minimizing dynamic program",
+    )
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_bench = sub.add_parser("bench", help="time a gallery pattern")
+    p_bench.add_argument("pattern")
+    p_bench.add_argument("--subgrid", type=_parse_shape, default=(256, 256))
+    p_bench.add_argument("--nodes", type=int, default=16)
+    p_bench.add_argument("--iterations", type=int, default=100)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_fig = sub.add_parser("figure1", help="print the Figure 1 decomposition")
+    p_fig.add_argument("--shape", type=_parse_shape, default=(256, 256))
+    p_fig.add_argument("--nodes", type=int, default=16)
+    p_fig.set_defaults(func=cmd_figure1)
+
+    p_gallery = sub.add_parser("gallery", help="list built-in patterns")
+    p_gallery.set_defaults(func=cmd_gallery)
+
+    p_reproduce = sub.add_parser(
+        "reproduce", help="regenerate the headline paper-vs-measured numbers"
+    )
+    p_reproduce.set_defaults(func=cmd_reproduce)
+
+    p_validate = sub.add_parser(
+        "validate", help="cross-validate the execution semantics"
+    )
+    p_validate.add_argument("--nodes", type=int, default=4)
+    p_validate.add_argument("--seed", type=int, default=0)
+    p_validate.set_defaults(func=cmd_validate)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Cycle breakdown: where one stencil iteration's time goes.
+
+Paper section 4 names the four bottlenecks that might obstruct the flop
+rate: interprocessor communication, the floating-point unit, the
+instruction sequencer, and the memory interface.  This module
+decomposes a :class:`~repro.runtime.stencil_op.StencilRun` into exactly
+those buckets (plus the front end, which section 7 adds in practice),
+so the design choices can be read straight off the numbers: dummy
+multiply-adds from odd widths, load/store cycles the multistencil is
+minimizing, the per-line sequencer overhead the LCM unrolling keeps off
+the critical path, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..machine.isa import LoadOp, MAOp, NopOp, StoreOp
+from ..machine.params import MachineParams
+from ..runtime.stencil_op import StencilRun
+from ..runtime.strips import StripSchedule
+
+
+@dataclass
+class CycleBreakdown:
+    """Per-iteration node cycles by activity, plus host time.
+
+    The compute buckets sum exactly to the run's compute cycle count
+    (tests assert it); communication and host time are reported in the
+    same units for an end-to-end share picture.
+    """
+
+    useful_ma: int = 0
+    dummy_ma: int = 0
+    loads: int = 0
+    stores: int = 0
+    pipeline_gaps: int = 0  # fill + drain + solo interleave
+    sequencer: int = 0  # line overhead + dispatch + strip setup
+    communication: int = 0
+    host_cycles: float = 0.0  # front-end time, expressed in node cycles
+
+    @property
+    def compute_total(self) -> int:
+        return (
+            self.useful_ma
+            + self.dummy_ma
+            + self.loads
+            + self.stores
+            + self.pipeline_gaps
+            + self.sequencer
+        )
+
+    @property
+    def grand_total(self) -> float:
+        return self.compute_total + self.communication + self.host_cycles
+
+    def shares(self) -> Dict[str, float]:
+        total = self.grand_total
+        return {
+            "useful multiply-adds": self.useful_ma / total,
+            "dummy multiply-adds": self.dummy_ma / total,
+            "loads": self.loads / total,
+            "stores": self.stores / total,
+            "pipeline gaps": self.pipeline_gaps / total,
+            "sequencer overhead": self.sequencer / total,
+            "communication": self.communication / total,
+            "front end": self.host_cycles / total,
+        }
+
+    def describe(self) -> str:
+        lines = ["cycle breakdown (per iteration, per node):"]
+        for label, share in self.shares().items():
+            lines.append(f"  {label:<22} {share:7.2%}")
+        return "\n".join(lines)
+
+
+def breakdown_run(run: StencilRun) -> CycleBreakdown:
+    """Decompose one run's per-iteration time into the section 4 buckets."""
+    params = run.params
+    schedule = StripSchedule(run.compiled, run.result.subgrid_shape)
+    breakdown = CycleBreakdown()
+
+    for strip in schedule.strips:
+        breakdown.sequencer += params.strip_setup_cycles
+        for job in strip.half_strips:
+            if job.lines <= 0:
+                continue
+            breakdown.sequencer += params.half_strip_dispatch_cycles
+            breakdown.sequencer += job.lines * params.sequencer_line_overhead
+            for line_index in range(job.lines):
+                pattern = strip.plan.pattern_for_line(line_index)
+                _count_line(pattern.ops, breakdown, params)
+
+    breakdown.communication = run.comm.cycles
+    breakdown.host_cycles = (
+        run.host_seconds_per_iteration * params.clock_hz
+    )
+    return breakdown
+
+
+def _count_line(ops, breakdown: CycleBreakdown, params: MachineParams) -> None:
+    previous = None
+    for op in ops:
+        if isinstance(op, MAOp):
+            breakdown.useful_ma += 1
+        elif isinstance(op, LoadOp):
+            breakdown.loads += 1
+        elif isinstance(op, StoreOp):
+            breakdown.stores += 1
+        elif isinstance(op, NopOp):
+            if op.reason == "mem-transfer":
+                # The transfer cycle belongs to the load/store it extends.
+                if isinstance(previous, LoadOp):
+                    breakdown.loads += 1
+                else:
+                    breakdown.stores += 1
+            elif op.reason == "solo-interleave":
+                breakdown.dummy_ma += 1
+            else:
+                breakdown.pipeline_gaps += 1
+        if not (isinstance(op, NopOp) and op.reason == "mem-transfer"):
+            previous = op

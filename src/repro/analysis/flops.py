@@ -1,0 +1,54 @@
+"""Useful-flop accounting, per the paper's counting rules.
+
+"Only useful floating-point operations are counted; for example,
+computation of one result for the [5-point] pattern is counted as 9
+floating-point operations (5 multiplies and 4 adds), despite the fact
+that it is executed on the CM-2 as 5 multiply-add steps, because one of
+the adds is not really useful (it merely adds a product to zero)."
+(paper section 7)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..stencil.pattern import StencilPattern
+
+
+@dataclass(frozen=True)
+class FlopAccounting:
+    """Work accounting for one stencil applied to one point set."""
+
+    pattern_name: str
+    points: int
+    iterations: int
+    useful_per_point: int
+    issued_ma_per_point: int
+
+    @property
+    def useful_flops(self) -> int:
+        return self.useful_per_point * self.points * self.iterations
+
+    @property
+    def issued_flops(self) -> int:
+        """Flops the hardware executes: 2 per multiply-add cycle."""
+        return 2 * self.issued_ma_per_point * self.points * self.iterations
+
+    @property
+    def usefulness(self) -> float:
+        """Fraction of issued flops that are useful: (2k-1)/2k for a
+        k-coefficient stencil."""
+        return self.useful_flops / self.issued_flops
+
+
+def account(
+    pattern: StencilPattern, points: int, iterations: int = 1
+) -> FlopAccounting:
+    """Build the flop accounting for ``points`` outputs of a pattern."""
+    return FlopAccounting(
+        pattern_name=pattern.name or "stencil",
+        points=points,
+        iterations=iterations,
+        useful_per_point=pattern.useful_flops_per_point(),
+        issued_ma_per_point=pattern.issued_multiply_adds_per_point(),
+    )

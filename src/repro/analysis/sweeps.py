@@ -1,0 +1,90 @@
+"""High-level sweep drivers: regenerate the paper's results table.
+
+These are the programmatic equivalents of the benchmark harness,
+packaged for downstream use (the ``results_table.py`` example prints
+the full table with one call).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..compiler.driver import compile_stencil
+from ..machine.machine import CM2
+from ..machine.params import MachineParams
+from ..runtime.cm_array import CMArray
+from ..runtime.stencil_op import StencilRun, apply_stencil
+from ..stencil import gallery
+from ..stencil.pattern import StencilPattern
+from .timing import RateReport, report
+
+#: The per-node subgrid sizes of the paper's results table.
+PAPER_SUBGRIDS: Tuple[Tuple[int, int], ...] = (
+    (64, 64),
+    (64, 128),
+    (128, 128),
+    (128, 256),
+    (256, 256),
+)
+
+#: Iteration counts roughly matching the paper's (more iterations for
+#: smaller problems).
+def paper_iterations(subgrid: Tuple[int, int]) -> int:
+    points = subgrid[0] * subgrid[1]
+    if points <= 64 * 64:
+        return 500
+    if points <= 128 * 128:
+        return 250
+    return 100
+
+
+def run_cell(
+    pattern: StencilPattern,
+    subgrid: Tuple[int, int],
+    *,
+    num_nodes: int = 16,
+    iterations: Optional[int] = None,
+    params: Optional[MachineParams] = None,
+) -> StencilRun:
+    """Run one results-table cell (zero data; rates are data-independent)."""
+    params = params or MachineParams(num_nodes=num_nodes)
+    machine = CM2(params)
+    gshape = (
+        subgrid[0] * machine.grid_rows,
+        subgrid[1] * machine.grid_cols,
+    )
+    compiled = compile_stencil(pattern, params)
+    x = CMArray("X", machine, gshape)
+    coefficients = {
+        name: CMArray(name, machine, gshape)
+        for name in pattern.coefficient_names()
+    }
+    return apply_stencil(
+        compiled,
+        x,
+        coefficients,
+        iterations=iterations or paper_iterations(subgrid),
+    )
+
+
+def table1_sweep(
+    patterns: Optional[Sequence[StencilPattern]] = None,
+    subgrids: Sequence[Tuple[int, int]] = PAPER_SUBGRIDS,
+    *,
+    num_nodes: int = 16,
+    extrapolate_to: int = 2048,
+) -> List[RateReport]:
+    """The full 16-node stencil-group sweep of the results table."""
+    if patterns is None:
+        patterns = [
+            gallery.cross5(),
+            gallery.square9(),
+            gallery.cross9(),
+            gallery.diamond13(),
+        ]
+    reports: List[RateReport] = []
+    for pattern in patterns:
+        for subgrid in subgrids:
+            run = run_cell(pattern, subgrid, num_nodes=num_nodes)
+            reports.append(report(run, extrapolate_to=extrapolate_to))
+    return reports

@@ -1,0 +1,45 @@
+"""Formatting for the paper's results table."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .timing import RateReport
+
+_HEADER = (
+    f"{'Stencil':<12} {'Subgrid':<10} {'Nodes':>5} {'Iters':>6} "
+    f"{'Elapsed':>11} {'Measured':>15} {'Extrapolated':>14}"
+)
+
+
+def format_table(reports: Sequence[RateReport]) -> str:
+    """Render rows in the layout of the paper's section 7 table."""
+    lines: List[str] = [_HEADER, "-" * len(_HEADER)]
+    last_stencil: Optional[str] = None
+    for item in reports:
+        if last_stencil is not None and item.stencil != last_stencil:
+            lines.append("")
+        last_stencil = item.stencil
+        lines.append(item.row())
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Iterable[
+        "tuple[str, float, float]"
+    ],  # (label, paper value, measured value)
+    *,
+    unit: str = "Gflops",
+) -> str:
+    """Paper-vs-measured comparison table for EXPERIMENTS.md."""
+    lines = [
+        f"{'Case':<34} {'Paper':>10} {'Ours':>10} {'Ratio':>7}",
+        "-" * 64,
+    ]
+    for label, paper, ours in rows:
+        ratio = ours / paper if paper else float("nan")
+        lines.append(
+            f"{label:<34} {paper:>7.2f} {unit[:3]} {ours:>7.2f} {unit[:3]} "
+            f"{ratio:>6.2f}x"
+        )
+    return "\n".join(lines)

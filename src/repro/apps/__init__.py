@@ -1,0 +1,29 @@
+"""Application kernels built on the public API."""
+
+from .heat import HeatSolver, HeatTiming, heat_source
+from .shallow_water import GRAVITY, ShallowWaterModel, ShallowWaterTiming
+from .seismic import (
+    FD4_WEIGHTS,
+    SeismicModel,
+    SeismicTiming,
+    layered_velocity,
+    ricker_wavelet,
+)
+from .wave import WaveSolver, WaveTiming, wave_defstencil
+
+__all__ = [
+    "FD4_WEIGHTS",
+    "GRAVITY",
+    "ShallowWaterModel",
+    "ShallowWaterTiming",
+    "HeatSolver",
+    "HeatTiming",
+    "SeismicModel",
+    "SeismicTiming",
+    "WaveSolver",
+    "WaveTiming",
+    "heat_source",
+    "layered_velocity",
+    "ricker_wavelet",
+    "wave_defstencil",
+]

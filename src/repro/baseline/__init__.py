@@ -1,0 +1,37 @@
+"""Baselines and reference semantics."""
+
+from .cmfortran import (
+    FIELDWISE_COSTS,
+    CmFortranCosts,
+    CmFortranRun,
+    count_operations,
+    run_cmfortran,
+)
+from .handlib import (
+    UnsupportedPattern,
+    compile_library_routine,
+    handlib_params,
+)
+from .reference import (
+    evaluate_assignment,
+    evaluate_expr,
+    reference_stencil,
+    shift_by_offset,
+    tap_data,
+)
+
+__all__ = [
+    "CmFortranCosts",
+    "FIELDWISE_COSTS",
+    "CmFortranRun",
+    "UnsupportedPattern",
+    "compile_library_routine",
+    "count_operations",
+    "evaluate_assignment",
+    "evaluate_expr",
+    "handlib_params",
+    "reference_stencil",
+    "run_cmfortran",
+    "shift_by_offset",
+    "tap_data",
+]

@@ -1,0 +1,168 @@
+"""The stock slicewise CM Fortran execution model (the ~4-Gflops baseline).
+
+Without the convolution compiler, CM Fortran evaluates a stencil
+statement operation by operation: each CSHIFT materializes a shifted
+temporary (grid communication plus a full-array copy), and each
+multiply/add is a separate elementwise pass over memory in vector
+batches of 4.  "This new target machine model for the CM-2 routinely
+allows Fortran users to achieve execution rates of around 4 gigaflops"
+(paper section 3) -- the comparison point the convolution compiler beats
+by 2.5-3.5x.
+
+The model charges per-point costs per elementwise pass and per shift;
+numerics are computed with the same reference semantics (the stock
+compiler computes the same values, just slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..machine.params import MachineParams
+from ..stencil.pattern import CoeffKind, StencilPattern
+from .reference import reference_stencil
+
+
+@dataclass(frozen=True)
+class CmFortranCosts:
+    """Per-point cycle costs of the stock slicewise code generator.
+
+    An elementwise pass streams operands and results through memory in
+    vector batches of 4; with the two-cycle register load/store of the
+    interface chip, a two-operand pass costs about 3 cycles per point
+    (two loads and a store, overlapped with arithmetic).  A CSHIFT costs
+    a pass plus the NEWS communication of the off-node edge.
+    """
+
+    cycles_per_elementwise_point: float = 3.0
+    cycles_per_shift_point: float = 3.0
+    shift_comm_startup: int = 250
+
+
+#: The pre-slicewise ("fieldwise") execution model of paper section 3:
+#: floating-point data stored one number per bit-serial processor, so
+#: every FPU operand passes through the transposer chip and work is
+#: forced into batches of 32.  Each elementwise pass pays roughly the
+#: transpose on both operands and the result (about 3x the slicewise
+#: per-point cost) -- which is why the slicewise compiler's ~4 Gflops
+#: was itself news, and what the convolution compiler builds on.
+FIELDWISE_COSTS = CmFortranCosts(
+    cycles_per_elementwise_point=9.0,
+    cycles_per_shift_point=5.0,
+    shift_comm_startup=250,
+)
+
+
+@dataclass(frozen=True)
+class CmFortranRun:
+    """The stock compiler's modeled execution of one stencil statement."""
+
+    pattern: StencilPattern
+    subgrid_shape: Tuple[int, int]
+    num_nodes: int
+    iterations: int
+    cycles_per_iteration: int
+    host_seconds_per_iteration: float
+    params: MachineParams
+    result: Optional[np.ndarray] = None
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        return (
+            self.params.seconds(self.cycles_per_iteration)
+            + self.host_seconds_per_iteration
+        )
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.iterations * self.seconds_per_iteration
+
+    @property
+    def useful_flops(self) -> int:
+        rows, cols = self.subgrid_shape
+        return (
+            rows
+            * cols
+            * self.num_nodes
+            * self.iterations
+            * self.pattern.useful_flops_per_point()
+        )
+
+    @property
+    def mflops(self) -> float:
+        return self.useful_flops / self.elapsed_seconds / 1e6
+
+    @property
+    def gflops(self) -> float:
+        return self.mflops / 1e3
+
+
+def count_operations(pattern: StencilPattern) -> Tuple[int, int]:
+    """(elementwise passes, shift calls) the stock compiler executes.
+
+    Each term costs one multiply pass (unless it is a bare data or bare
+    constant term) and one add pass (except the first term, which simply
+    initializes the accumulation); each term's shift chain costs one
+    CSHIFT call per intrinsic in the source (a composed corner reference
+    like ``CSHIFT(CSHIFT(X,1,-1),2,-1)`` is two calls).
+    """
+    passes = 0
+    shifts = 0
+    for index, tap in enumerate(pattern.taps):
+        has_multiply = (
+            not tap.is_constant_term and tap.coeff.kind is not CoeffKind.UNIT
+        )
+        if has_multiply:
+            passes += 1
+        if index > 0:
+            passes += 1
+        if tap.shifts:
+            shifts += len(tap.shifts)
+        elif tap.reads_data:
+            shifts += sum(1 for d in tap.offset if d != 0)
+    return passes, shifts
+
+
+def run_cmfortran(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: Optional[MachineParams] = None,
+    *,
+    iterations: int = 1,
+    x: Optional[np.ndarray] = None,
+    coefficients: Optional[Dict[str, np.ndarray]] = None,
+    costs: CmFortranCosts = CmFortranCosts(),
+) -> CmFortranRun:
+    """Model the stock compiler executing a stencil statement.
+
+    If ``x`` (a global array) is given, the numeric result is attached.
+    """
+    params = params or MachineParams()
+    rows, cols = subgrid_shape
+    points = rows * cols
+    passes, shifts = count_operations(pattern)
+    cycles = int(
+        points * passes * costs.cycles_per_elementwise_point
+        + points * shifts * costs.cycles_per_shift_point
+        + shifts * costs.shift_comm_startup
+    )
+    # The stock code generator issues one macro-instruction per pass and
+    # per shift; host cost scales with the operation count, not with
+    # half-strips.
+    host = params.host_fixed_s + (passes + shifts) * params.host_halfstrip_s
+    result = None
+    if x is not None:
+        result = reference_stencil(pattern, x, coefficients)
+    return CmFortranRun(
+        pattern=pattern,
+        subgrid_shape=subgrid_shape,
+        num_nodes=params.num_nodes,
+        iterations=iterations,
+        cycles_per_iteration=cycles,
+        host_seconds_per_iteration=host,
+        params=params,
+        result=result,
+    )

@@ -1,0 +1,82 @@
+"""The 1989 hand-coded convolution library (the 5.6-Gflops lineage).
+
+The Gordon Bell 1989 code used "library routines that were carefully
+coded at a low level ... general enough to be used by many users, but
+each library routine performs a fixed pattern of computation" (paper
+section 1).  The convolution compiler generalizes and *improves* those
+techniques; this module models the original library as the comparison
+point:
+
+* only a fixed menu of stencil patterns (the 5-point and 9-point crosses
+  used by the seismic code);
+* a fixed multistencil width of 4 (no per-pattern width search);
+* no LCM unrolling of register access patterns, so each line pays
+  register-shuffling moves (the compiler's unrolling exists precisely
+  "to avoid register shuffling");
+* the pre-recoding run-time library (no strength reduction in the
+  front-end inner loops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from ..compiler.driver import compile_stencil
+from ..compiler.plan import CompiledStencil
+from ..machine.params import MachineParams
+from ..stencil import gallery
+from ..stencil.pattern import StencilPattern
+
+#: The fixed patterns the 1989 library shipped.
+LIBRARY_PATTERNS: Dict[str, StencilPattern] = {}
+
+
+def _library() -> Dict[str, StencilPattern]:
+    if not LIBRARY_PATTERNS:
+        for pattern in (gallery.cross5(), gallery.cross9()):
+            LIBRARY_PATTERNS[pattern.name] = pattern
+    return LIBRARY_PATTERNS
+
+
+class UnsupportedPattern(KeyError):
+    """The hand library has no routine for this pattern -- the paper's
+    core motivation: 'the class of stencil patterns is so large that we
+    believe it is more effective to allow users to express them as
+    program fragments than to provide a large selection of library
+    routines.'"""
+
+
+def handlib_params(params: Optional[MachineParams] = None) -> MachineParams:
+    """Machine parameters as the 1989 library experienced them.
+
+    Register shuffling (no unrolled access patterns) adds per-line
+    sequencer work, and the run-time library predates the strength-
+    reduction recoding.
+    """
+    params = params or MachineParams()
+    return replace(
+        params,
+        sequencer_line_overhead=params.sequencer_line_overhead + 24,
+        host_overhead_recoded=False,
+    )
+
+
+def compile_library_routine(
+    name: str, params: Optional[MachineParams] = None
+) -> CompiledStencil:
+    """'Select' a library routine: compile its fixed pattern with the
+    1989 library's fixed width-4 strategy and overheads.
+
+    Raises:
+        UnsupportedPattern: the library has no routine of that name.
+    """
+    library = _library()
+    if name not in library:
+        raise UnsupportedPattern(
+            f"the 1989 library has no {name!r} routine "
+            f"(available: {sorted(library)})"
+        )
+    return compile_stencil(
+        library[name], handlib_params(params), widths=(4, 2, 1)
+    )

@@ -1,0 +1,59 @@
+"""High-level compilation entry points for the three front ends."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..fortran.parser import parse_assignment, parse_subroutine
+from ..fortran.recognizer import recognize_assignment, recognize_subroutine
+from ..lisp.defstencil import parse_defstencil, parse_defstencil_with_types
+from ..machine.params import MachineParams
+from ..stencil.multistencil import multistencil_widths
+from ..stencil.pattern import StencilPattern
+from .plan import CompiledStencil, compile_pattern
+
+
+def compile_stencil(
+    pattern: StencilPattern,
+    params: Optional[MachineParams] = None,
+    widths: Sequence[int] = multistencil_widths(),
+    *,
+    strategy: str = "paper",
+) -> CompiledStencil:
+    """Compile a stencil pattern (any front end's output)."""
+    return compile_pattern(pattern, params, widths, strategy=strategy)
+
+
+def compile_fortran(
+    source: str,
+    params: Optional[MachineParams] = None,
+    widths: Sequence[int] = multistencil_widths(),
+) -> CompiledStencil:
+    """Compile Fortran source: either an isolated stencil subroutine
+    (the paper's second version) or a bare assignment statement.
+
+    The source is treated as a subroutine if it contains the SUBROUTINE
+    keyword, otherwise as a single assignment.
+    """
+    if "SUBROUTINE" in source.upper():
+        pattern = recognize_subroutine(parse_subroutine(source))
+    else:
+        pattern = recognize_assignment(parse_assignment(source))
+    return compile_pattern(pattern, params, widths)
+
+
+def compile_defstencil(
+    source: str,
+    params: Optional[MachineParams] = None,
+    widths: Sequence[int] = multistencil_widths(),
+) -> CompiledStencil:
+    """Compile a Lisp ``defstencil`` form (the paper's first version).
+
+    Accepts both the 4-element form and the paper's 5-element form with
+    the type list.
+    """
+    try:
+        pattern = parse_defstencil_with_types(source)
+    except Exception:
+        pattern = parse_defstencil(source)
+    return compile_pattern(pattern, params, widths)

@@ -1,0 +1,117 @@
+"""The integrated compiler: the paper's version 3, realized.
+
+"The third version, now under construction, will be fully integrated
+into the CM Fortran compiler ... The need for isolated subroutines will
+be eliminated.  We plan to allow the user to flag stencil assignment
+statements with a directive in the form of a structured comment; while
+the compiler can easily recognize candidate assignment statements, the
+presence of a directive justifies the compiler in providing feedback to
+the user" (paper section 6).
+
+:func:`compile_program` scans every subroutine of a source file,
+compiles every assignment the convolution module can take (whether or
+not it carries a ``!REPRO$ STENCIL`` / ``!CMF$ STENCIL`` directive),
+leaves the rest to the notional stock compiler, and collects the
+directive-justified warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fortran.ast_nodes import Assignment, Subroutine
+from ..fortran.errors import DiagnosticSink
+from ..fortran.parser import parse_program
+from ..fortran.recognizer import scan_subroutine
+from ..machine.params import MachineParams
+from .plan import CompiledStencil, StencilCompileError, compile_pattern
+
+
+@dataclass
+class CompiledStatement:
+    """One assignment statement's disposition."""
+
+    subroutine: str
+    statement: Assignment
+    compiled: Optional[CompiledStencil]  # None: left to the stock compiler
+
+    @property
+    def handled(self) -> bool:
+        return self.compiled is not None
+
+    def describe(self) -> str:
+        verdict = (
+            f"convolution module ({self.compiled.widths})"
+            if self.handled
+            else "stock compiler"
+        )
+        return f"{self.subroutine}: {self.statement.describe()} -> {verdict}"
+
+
+@dataclass
+class ProgramCompilation:
+    """The integrated compiler's output for one source file."""
+
+    statements: List[CompiledStatement] = field(default_factory=list)
+    diagnostics: DiagnosticSink = field(default_factory=DiagnosticSink)
+
+    @property
+    def handled(self) -> List[CompiledStatement]:
+        return [s for s in self.statements if s.handled]
+
+    @property
+    def fallback(self) -> List[CompiledStatement]:
+        return [s for s in self.statements if not s.handled]
+
+    def handled_in(self, subroutine: str) -> List[CompiledStatement]:
+        name = subroutine.upper()
+        return [s for s in self.handled if s.subroutine == name]
+
+    def describe(self) -> str:
+        lines = [s.describe() for s in self.statements]
+        if self.diagnostics.diagnostics:
+            lines.append(self.diagnostics.describe())
+        return "\n".join(lines)
+
+
+def compile_program(
+    source: str,
+    params: Optional[MachineParams] = None,
+    *,
+    filename: str = "<fortran>",
+) -> ProgramCompilation:
+    """Scan and compile a whole Fortran source file.
+
+    Statements the recognizer accepts but that exhaust machine resources
+    (no feasible multistencil width) fall back to the stock compiler; if
+    such a statement carries a stencil directive, a warning explains why
+    -- "such as a warning if the statement could not be processed by
+    this technique after all (for lack of registers, for example)".
+    """
+    params = params or MachineParams()
+    program = parse_program(source, filename)
+    result = ProgramCompilation()
+    for subroutine in program.subroutines:
+        for statement, pattern in scan_subroutine(
+            subroutine, result.diagnostics
+        ):
+            compiled = None
+            if pattern is not None:
+                try:
+                    compiled = compile_pattern(pattern, params)
+                except StencilCompileError as exc:
+                    if statement.directive is not None:
+                        result.diagnostics.warn(
+                            f"statement flagged {statement.directive!r} was "
+                            f"recognized but could not be compiled: {exc}",
+                            statement.location,
+                        )
+            result.statements.append(
+                CompiledStatement(
+                    subroutine=subroutine.name,
+                    statement=statement,
+                    compiled=compiled,
+                )
+            )
+    return result

@@ -1,0 +1,195 @@
+"""Per-column ring buffers of registers (paper section 5.4).
+
+Each multistencil column gets its own ring buffer of registers.  As the
+sweep moves North one line at a time, each column loads one new element
+(its leading-edge position) into the slot vacated by its retiring bottom
+element, so the register access pattern *rotates*; the whole pattern
+repeats with period LCM(ring sizes), which is the factor by which the
+compiler unrolls the register access patterns in sequencer scratch
+memory.
+
+Sizing strategy (from the paper): start with every ring equal to the
+maximum column size -- uniform sizes keep the LCM equal to the maximum --
+except that columns of height 1 always get size 1 ("reducing a ring
+buffer to size 1 always saves registers and never makes the LCM larger").
+If that uses too many registers, compress columns from smallest natural
+size to largest, down to their natural size, until the allocation fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+from typing import List, Optional, Sequence, Tuple
+
+from ..stencil.multistencil import ColumnProfile, Multistencil
+
+
+def column_span(column: ColumnProfile) -> int:
+    """The natural ring size of a column: its row extent.
+
+    For the contiguous columns of every pattern in the paper this equals
+    the column height (the number of occupied rows).  For a column with
+    gaps the ring must hold elements while they age through the gap, so
+    the span ``bottom - top + 1`` is the natural size.
+    """
+    return column.bottom - column.top + 1
+
+
+@dataclass(frozen=True)
+class RingBuffer:
+    """One column's rotating register set.
+
+    Attributes:
+        column: the multistencil column this ring serves.
+        size: the ring size (>= the column's natural span).
+        registers: the physical registers, ``size`` of them.
+
+    Slot discipline: the element at row offset ``row`` during line ``n``
+    of the sweep lives in slot ``(row - top - n) mod size``.  Each line,
+    the new leading-edge element (row ``top``) enters slot ``(-n) mod
+    size`` -- which is exactly the slot the retiring element (and, in the
+    tag column, the just-stored accumulator) vacated.
+    """
+
+    column: ColumnProfile
+    size: int
+    registers: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.registers) != self.size:
+            raise ValueError(
+                f"ring of size {self.size} given {len(self.registers)} registers"
+            )
+        if self.size < column_span(self.column):
+            raise ValueError(
+                f"ring size {self.size} below the column span "
+                f"{column_span(self.column)}"
+            )
+
+    def slot_for(self, row: int, line: int) -> int:
+        """Ring slot holding the element at row offset ``row`` on ``line``."""
+        if not self.column.top <= row <= self.column.bottom:
+            raise ValueError(
+                f"row {row} outside column extent "
+                f"[{self.column.top}, {self.column.bottom}]"
+            )
+        return (row - self.column.top - line) % self.size
+
+    def register_for(self, row: int, line: int) -> int:
+        """Physical register holding the element at ``row`` on ``line``."""
+        return self.registers[self.slot_for(row, line)]
+
+    def load_slot(self, line: int) -> int:
+        """Slot receiving the leading-edge element loaded for ``line``."""
+        return (-line) % self.size
+
+    def load_register(self, line: int) -> int:
+        return self.registers[self.load_slot(line)]
+
+
+def lcm_of(sizes: Sequence[int]) -> int:
+    """Least common multiple of the ring sizes: the unroll factor."""
+    return reduce(math.lcm, sizes, 1)
+
+
+def plan_ring_sizes(
+    columns: Sequence[ColumnProfile], budget: int
+) -> Optional[List[int]]:
+    """Choose ring sizes for the columns within a register budget.
+
+    Returns the chosen sizes (aligned with ``columns``), or None when
+    even fully compressed (natural-size) rings exceed the budget, in
+    which case this multistencil width is infeasible.
+
+    Compression proceeds level by level: all columns sharing the smallest
+    too-large natural size are compressed together, matching the paper's
+    worked example where *both* height-3 columns of the width-4 13-point
+    diamond drop from 5 to 3 (ring sizes 1,3,5,5,5,5,3,1; LCM 15).
+    """
+    naturals = [column_span(col) for col in columns]
+    maximum = max(naturals)
+    sizes = [1 if natural == 1 else maximum for natural in naturals]
+    if sum(sizes) <= budget:
+        return sizes
+    # Compress, smallest natural level first.
+    for level in sorted({n for n in naturals if 1 < n < maximum}):
+        for index, natural in enumerate(naturals):
+            if natural == level:
+                sizes[index] = natural
+        if sum(sizes) <= budget:
+            return sizes
+    # Finally compress the maximum-height columns (no-ops: already natural).
+    if sum(naturals) <= budget:
+        return list(naturals)
+    return None
+
+
+def plan_ring_sizes_optimal(
+    columns: Sequence[ColumnProfile],
+    budget: int,
+    *,
+    max_padding: int = 4,
+) -> Optional[List[int]]:
+    """The "even more clever strategy" the paper anticipates (section
+    5.4): choose ring sizes minimizing the unroll LCM outright, with the
+    register total as the tie-breaker, by dynamic programming over
+    achievable LCM values.
+
+    Each column may use any size from its natural span up to ``span +
+    max_padding`` (padding a ring only ever helps by aligning its period
+    with the others').  States are (lcm -> minimal total registers);
+    transitions fold one column at a time.  The achievable LCMs stay
+    tiny in practice (column spans are small integers), so the search is
+    fast.
+
+    Returns sizes aligned with ``columns`` or None when even the natural
+    sizes exceed the budget.  Never worse than :func:`plan_ring_sizes`
+    on either metric (tests assert it).
+    """
+    naturals = [column_span(col) for col in columns]
+    if sum(naturals) > budget:
+        return None
+
+    # Candidate sizes reach at least the tallest column, so the
+    # heuristic's uniform-maximum solution is always in the search space
+    # (hence the DP is never worse than the paper's strategy).
+    ceiling = max(naturals)
+
+    # states: lcm -> (total_registers, chosen sizes)
+    states: Dict[int, Tuple[int, List[int]]] = {1: (0, [])}
+    for natural in naturals:
+        top = max(natural + max_padding, ceiling)
+        candidates = range(natural, top + 1)
+        next_states: Dict[int, Tuple[int, List[int]]] = {}
+        for current_lcm, (total, sizes) in states.items():
+            for size in candidates:
+                new_total = total + size
+                if new_total > budget:
+                    continue
+                new_lcm = math.lcm(current_lcm, size)
+                best = next_states.get(new_lcm)
+                if best is None or new_total < best[0]:
+                    next_states[new_lcm] = (new_total, sizes + [size])
+        states = next_states
+        if not states:
+            return None  # budget exhausted mid-way (cannot happen if
+            # naturals fit, since natural sizes are always candidates)
+    best_lcm = min(states, key=lambda value: (value, states[value][0]))
+    return states[best_lcm][1]
+
+
+def build_rings(
+    columns: Sequence[ColumnProfile],
+    sizes: Sequence[int],
+    first_register: int,
+) -> Tuple[RingBuffer, ...]:
+    """Assign physical registers to the planned rings, left to right."""
+    rings: List[RingBuffer] = []
+    next_register = first_register
+    for column, size in zip(columns, sizes):
+        registers = tuple(range(next_register, next_register + size))
+        next_register += size
+        rings.append(RingBuffer(column=column, size=size, registers=registers))
+    return tuple(rings)

@@ -1,0 +1,68 @@
+"""Fortran 90 front end: lexer, parser, and stencil recognizer."""
+
+from .ast_nodes import (
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    Expr,
+    IntLit,
+    Name,
+    Program,
+    RealLit,
+    Statement,
+    Subroutine,
+    UnaryOp,
+)
+from .errors import (
+    Diagnostic,
+    DiagnosticSink,
+    FortranError,
+    LexError,
+    NotAStencilError,
+    ParseError,
+    SourceLocation,
+)
+from .lexer import Lexer, Token, TokenKind, tokenize
+from .parser import Parser, parse_assignment, parse_program, parse_subroutine
+from .printer import emit_statement, emit_subroutine
+from .recognizer import (
+    recognize_assignment,
+    recognize_subroutine,
+    scan_subroutine,
+)
+
+__all__ = [
+    "Assignment",
+    "BinOp",
+    "Call",
+    "Declaration",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Expr",
+    "FortranError",
+    "IntLit",
+    "LexError",
+    "Lexer",
+    "Name",
+    "NotAStencilError",
+    "ParseError",
+    "Parser",
+    "Program",
+    "RealLit",
+    "SourceLocation",
+    "Statement",
+    "Subroutine",
+    "Token",
+    "TokenKind",
+    "UnaryOp",
+    "emit_statement",
+    "emit_subroutine",
+    "parse_assignment",
+    "parse_program",
+    "parse_subroutine",
+    "recognize_assignment",
+    "recognize_subroutine",
+    "scan_subroutine",
+    "tokenize",
+]

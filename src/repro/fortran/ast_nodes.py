@@ -1,0 +1,154 @@
+"""Abstract syntax for the Fortran subset.
+
+Expression nodes carry their source location so the recognizer can point
+its diagnostics at the offending term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .errors import SourceLocation
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expression nodes."""
+
+    location: SourceLocation
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A whole-array or scalar variable reference."""
+
+    ident: str = ""
+
+    def describe(self) -> str:
+        return self.ident
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int = 0
+
+    def describe(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class RealLit(Expr):
+    value: float = 0.0
+
+    def describe(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str = "+"
+    operand: Optional[Expr] = None
+
+    def describe(self) -> str:
+        return f"({self.op}{self.operand.describe()})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str = "+"
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} {self.op} {self.right.describe()})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """An intrinsic call, e.g. ``CSHIFT(X, DIM=1, SHIFT=-1)``.
+
+    ``args`` holds positional arguments; ``kwargs`` the keyword arguments
+    in source order.
+    """
+
+    func: str = ""
+    args: Tuple[Expr, ...] = ()
+    kwargs: Tuple[Tuple[str, Expr], ...] = ()
+
+    def describe(self) -> str:
+        parts = [a.describe() for a in self.args]
+        parts += [f"{k}={v.describe()}" for k, v in self.kwargs]
+        return f"{self.func}({', '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Statement:
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class Assignment(Statement):
+    """A whole-array assignment ``target = expr``."""
+
+    target: str = ""
+    expr: Optional[Expr] = None
+    directive: Optional[str] = None  # text of a preceding !REPRO$/!CMF$ comment
+
+    def describe(self) -> str:
+        return f"{self.target} = {self.expr.describe()}"
+
+
+@dataclass(frozen=True)
+class Declaration(Statement):
+    """A type declaration, e.g. ``REAL, ARRAY(:, :) :: R, X, C1``.
+
+    Only the pieces the recognizer needs are kept: the base type, the
+    declared rank (number of ``:`` placeholders, 0 for scalars), and the
+    declared names.
+    """
+
+    base_type: str = "REAL"
+    rank: int = 0
+    names: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        shape = f", ARRAY({', '.join(':' * 1 for _ in range(self.rank))})" if self.rank else ""
+        return f"{self.base_type}{shape} :: {', '.join(self.names)}"
+
+
+@dataclass
+class Subroutine:
+    """A parsed subroutine: the unit the paper's second version compiles."""
+
+    name: str
+    params: Tuple[str, ...]
+    declarations: List[Declaration] = field(default_factory=list)
+    statements: List[Assignment] = field(default_factory=list)
+    location: SourceLocation = SourceLocation(1, 1)
+
+    def rank_of(self, name: str) -> Optional[int]:
+        """Declared rank of ``name``, or None if undeclared."""
+        for decl in self.declarations:
+            if name.upper() in decl.names:
+                return decl.rank
+        return None
+
+    def describe(self) -> str:
+        return f"SUBROUTINE {self.name}({', '.join(self.params)})"
+
+
+@dataclass
+class Program:
+    """A parsed source file: a sequence of subroutines."""
+
+    subroutines: List[Subroutine] = field(default_factory=list)
+
+    def find(self, name: str) -> Subroutine:
+        for sub in self.subroutines:
+            if sub.name == name.upper():
+                return sub
+        raise KeyError(f"no subroutine named {name!r}")

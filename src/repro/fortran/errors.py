@@ -1,0 +1,85 @@
+"""Source-located diagnostics for the Fortran front end.
+
+The paper's third compiler version plans user feedback: when a statement
+carries a stencil directive but cannot be compiled by the convolution
+module (for lack of registers, say), the compiler warns instead of
+silently falling back.  These classes carry the location and reason for
+that feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in the Fortran source text (1-based line and column)."""
+
+    line: int
+    column: int
+    filename: str = "<fortran>"
+
+    def describe(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class FortranError(Exception):
+    """Base class for all front-end errors."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        self.message = message
+        prefix = f"{location.describe()}: " if location else ""
+        super().__init__(prefix + message)
+
+
+class LexError(FortranError):
+    """The tokenizer met a character sequence it cannot tokenize."""
+
+
+class ParseError(FortranError):
+    """The parser met a token sequence outside the supported subset."""
+
+
+class NotAStencilError(FortranError):
+    """An assignment statement does not fit the convolution compiler's form.
+
+    The statement is legal Fortran (the stock compiler would handle it);
+    it simply is not a sum of products of shifted references of a single
+    variable, or violates a resource constraint.
+    """
+
+
+@dataclass
+class Diagnostic:
+    """One piece of feedback about a candidate stencil statement."""
+
+    severity: str  # "warning" | "note"
+    message: str
+    location: Optional[SourceLocation] = None
+
+    def describe(self) -> str:
+        where = f"{self.location.describe()}: " if self.location else ""
+        return f"{where}{self.severity}: {self.message}"
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects warnings emitted while scanning subroutines for stencils."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def warn(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("warning", message, location))
+
+    def note(self, message: str, location: Optional[SourceLocation] = None) -> None:
+        self.diagnostics.append(Diagnostic("note", message, location))
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+    def describe(self) -> str:
+        return "\n".join(d.describe() for d in self.diagnostics)

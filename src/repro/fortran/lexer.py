@@ -1,0 +1,288 @@
+"""Tokenizer for the Fortran 90 subset the convolution compiler accepts.
+
+Free-form source, case-insensitive keywords and identifiers (normalized to
+upper case), ``!`` comments, and ``&`` continuation lines (a trailing ``&``
+continues the statement; an optional leading ``&`` on the next line is
+consumed, per Fortran 90 rules).
+
+Directives survive tokenization: a comment beginning ``!REPRO$`` or
+``!CMF$`` is emitted as a DIRECTIVE token attached to the following
+statement, supporting the paper's planned structured-comment stencil
+directive (section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .errors import LexError, SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    REAL = "real"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EQUALS = "="
+    DOUBLE_COLON = "::"
+    COLON = ":"
+    NEWLINE = "newline"
+    DIRECTIVE = "directive"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    location: SourceLocation
+
+    def describe(self) -> str:
+        return f"{self.kind.value}({self.text!r})"
+
+
+_SINGLE_CHAR_TOKENS = {
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+}
+
+_DIRECTIVE_PREFIXES = ("!REPRO$", "!CMF$")
+
+
+class Lexer:
+    """Tokenizes one Fortran source string."""
+
+    def __init__(self, source: str, filename: str = "<fortran>") -> None:
+        self.filename = filename
+        self.lines = source.splitlines()
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the whole source, folding continuation lines."""
+        out: List[Token] = []
+        continuing = False
+        for line_no, raw_line in enumerate(self.lines, start=1):
+            line, directive = self._strip_comment(raw_line)
+            if directive is not None:
+                out.append(
+                    Token(
+                        TokenKind.DIRECTIVE,
+                        directive,
+                        SourceLocation(line_no, 1, self.filename),
+                    )
+                )
+                continue
+            stripped = line.strip()
+            if not stripped:
+                if not continuing:
+                    self._append_newline(out, line_no)
+                continue
+            if continuing and stripped.startswith("&"):
+                # Optional leading & on a continuation line.
+                lead = line.index("&")
+                line = " " * (lead + 1) + line[lead + 1 :]
+                stripped = line.strip()
+            trailing_continuation = stripped.endswith("&")
+            if trailing_continuation:
+                amp = line.rindex("&")
+                line = line[:amp]
+            out.extend(self._tokenize_line(line, line_no))
+            if trailing_continuation:
+                continuing = True
+            else:
+                continuing = False
+                self._append_newline(out, line_no)
+        if continuing:
+            raise LexError(
+                "source ends in the middle of a continued statement",
+                SourceLocation(len(self.lines), 1, self.filename),
+            )
+        out.append(
+            Token(
+                TokenKind.EOF, "", SourceLocation(len(self.lines) + 1, 1, self.filename)
+            )
+        )
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _append_newline(self, out: List[Token], line_no: int) -> None:
+        # Collapse consecutive newlines; the parser treats NEWLINE as a
+        # statement separator and never needs empties.
+        if out and out[-1].kind is TokenKind.NEWLINE:
+            return
+        out.append(
+            Token(TokenKind.NEWLINE, "\n", SourceLocation(line_no, 1, self.filename))
+        )
+
+    def _strip_comment(self, line: str) -> "tuple[str, Optional[str]]":
+        """Remove a trailing ``!`` comment; detect directive comments.
+
+        Returns ``(code, directive_text_or_None)``.  A directive line
+        contains nothing but the directive comment.
+        """
+        upper = line.lstrip().upper()
+        for prefix in _DIRECTIVE_PREFIXES:
+            if upper.startswith(prefix):
+                return "", line.strip()[len(prefix) :].strip().upper()
+        if "!" in line:
+            line = line[: line.index("!")]
+        return line, None
+
+    def _tokenize_line(self, line: str, line_no: int) -> Iterator[Token]:
+        i = 0
+        n = len(line)
+        while i < n:
+            ch = line[i]
+            if ch in " \t":
+                i += 1
+                continue
+            loc = SourceLocation(line_no, i + 1, self.filename)
+            if ch == ":":
+                if i + 1 < n and line[i + 1] == ":":
+                    yield Token(TokenKind.DOUBLE_COLON, "::", loc)
+                    i += 2
+                else:
+                    yield Token(TokenKind.COLON, ":", loc)
+                    i += 1
+                continue
+            if ch in _SINGLE_CHAR_TOKENS:
+                yield Token(_SINGLE_CHAR_TOKENS[ch], ch, loc)
+                i += 1
+                continue
+            if ch.isdigit() or (ch == "." and i + 1 < n and line[i + 1].isdigit()):
+                token, i = self._lex_number(line, i, loc)
+                yield token
+                continue
+            if ch.isalpha() or ch == "_":
+                start = i
+                while i < n and (line[i].isalnum() or line[i] == "_"):
+                    i += 1
+                yield Token(TokenKind.IDENT, line[start:i].upper(), loc)
+                continue
+            raise LexError(f"unexpected character {ch!r}", loc)
+
+    def _lex_number(
+        self, line: str, i: int, loc: SourceLocation
+    ) -> "tuple[Token, int]":
+        n = len(line)
+        start = i
+        while i < n and line[i].isdigit():
+            i += 1
+        is_real = False
+        if i < n and line[i] == ".":
+            # Careful: 1.0 is real, but "1." followed by another "." would be
+            # an operator like .EQ. (outside our subset anyway).
+            is_real = True
+            i += 1
+            while i < n and line[i].isdigit():
+                i += 1
+        if i < n and line[i] in "eEdD":
+            mark = i
+            i += 1
+            if i < n and line[i] in "+-":
+                i += 1
+            if i < n and line[i].isdigit():
+                is_real = True
+                while i < n and line[i].isdigit():
+                    i += 1
+            else:
+                i = mark  # not an exponent; back off
+        text = line[start:i]
+        kind = TokenKind.REAL if is_real else TokenKind.INT
+        return Token(kind, text, loc), i
+
+
+def tokenize(source: str, filename: str = "<fortran>") -> List[Token]:
+    """Convenience wrapper: tokenize a source string."""
+    return Lexer(source, filename).tokens()
+
+
+# ----------------------------------------------------------------------
+# Fixed-form (FORTRAN 77 card-image) support
+# ----------------------------------------------------------------------
+
+
+#: Characters conventionally used in column 6 to mark a continuation
+#: card (free-form code indented five spaces would put a letter there).
+_CONTINUATION_MARKS = set("123456789*+&$.")
+
+
+def looks_fixed_form(source: str) -> bool:
+    """Heuristic: classic comment cards or column-6 continuation marks.
+
+    Free-form sources in the paper's style (indented code, trailing
+    ``&`` continuations, ``!`` comments) do not match: a 'C' in column 1
+    only counts as a comment card when the line carries no ``=`` (so
+    statements like ``C1 = ...`` stay free-form).
+    """
+    for line in source.splitlines():
+        if not line.strip():
+            continue
+        if line[0] in ("C", "c", "*") and "=" not in line:
+            return True
+        if (
+            len(line) > 6
+            and line[:5] == "     "
+            and line[5] in _CONTINUATION_MARKS
+        ):
+            return True
+    return False
+
+
+def fixed_to_free(source: str) -> str:
+    """Convert fixed-form card images to the free-form the lexer reads.
+
+    Rules applied: column-1 ``C``/``c``/``*`` comments are dropped
+    (except directive comments like ``CMF$``, which pass through as
+    ``!CMF$``); columns 1-5 may hold a numeric label (dropped -- the
+    stencil subset has no branches); a non-blank, non-zero column 6
+    continues the previous statement; code occupies columns 7-72.
+    """
+    statements: List[str] = []
+    for raw in source.splitlines():
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        head = line[0]
+        if head in ("C", "c", "*", "!"):
+            text = line.strip()
+            upper = text.upper()
+            # Directive cards survive conversion: CMF$ in column 1 (the
+            # fixed-form spelling) and !CMF$/!REPRO$ both become the
+            # free-form !-prefixed directive.
+            if upper.startswith(("CMF$", "!CMF$", "!REPRO$")):
+                statements.append(text if text.startswith("!") else "!" + text)
+            continue
+        code = line[6:72] if len(line) > 6 else ""
+        continuation = len(line) > 5 and line[5] not in (" ", "0")
+        label = line[:5].strip()
+        if label and not label.isdigit():
+            # Not really fixed form (e.g. code starting in column 1);
+            # treat the whole line as free-form code.
+            code = line
+            continuation = False
+        if continuation and statements and not statements[-1].startswith("!"):
+            statements[-1] += " " + code.strip()
+        else:
+            statements.append(code.strip())
+    return "\n".join(s for s in statements if s)
+
+
+def tokenize_fixed(source: str, filename: str = "<fortran>") -> List[Token]:
+    """Tokenize fixed-form source (line numbers refer to the converted
+    free-form text)."""
+    return Lexer(fixed_to_free(source), filename).tokens()

@@ -1,0 +1,356 @@
+"""Recursive-descent parser for the stencil-relevant Fortran subset.
+
+Grammar (statement separators are newlines; ``&`` continuations were
+already folded by the lexer)::
+
+    program      ::= { subroutine | assignment }
+    subroutine   ::= SUBROUTINE name ( name {, name} ) NL
+                     { declaration NL }
+                     { assignment NL }
+                     END [SUBROUTINE [name]] NL
+    declaration  ::= type-name [, ARRAY ( : {, :} )] [,DIMENSION( : {, :})]
+                     :: name {, name}
+    assignment   ::= name = expr
+    expr         ::= term { (+|-) term }
+    term         ::= factor { (*|/) factor }
+    factor       ::= [+|-] primary
+    primary      ::= number | name | call | ( expr )
+    call         ::= name ( arg {, arg} )
+    arg          ::= expr | name = expr
+
+Bare assignments outside a subroutine are accepted so callers can hand a
+single statement to :func:`parse_assignment`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast_nodes import (
+    Assignment,
+    BinOp,
+    Call,
+    Declaration,
+    Expr,
+    IntLit,
+    Name,
+    Program,
+    RealLit,
+    Statement,
+    Subroutine,
+    UnaryOp,
+)
+from .errors import ParseError, SourceLocation
+from .lexer import Token, TokenKind, fixed_to_free, looks_fixed_form, tokenize
+
+_TYPE_KEYWORDS = {"REAL", "INTEGER", "DOUBLE", "COMPLEX", "LOGICAL"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str = "") -> Token:
+        token = self.peek()
+        if token.kind is not kind:
+            wanted = what or kind.value
+            raise ParseError(
+                f"expected {wanted}, found {token.describe()}", token.location
+            )
+        return self.advance()
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.peek()
+        if token.kind is not TokenKind.IDENT or token.text != keyword:
+            raise ParseError(
+                f"expected {keyword}, found {token.describe()}", token.location
+            )
+        return self.advance()
+
+    def at_keyword(self, keyword: str) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.IDENT and token.text == keyword
+
+    def skip_newlines(self) -> None:
+        while self.peek().kind is TokenKind.NEWLINE:
+            self.advance()
+
+    def end_statement(self) -> None:
+        token = self.peek()
+        if token.kind is TokenKind.EOF:
+            return
+        if token.kind is not TokenKind.NEWLINE:
+            raise ParseError(
+                f"unexpected {token.describe()} at end of statement",
+                token.location,
+            )
+        self.skip_newlines()
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        self.skip_newlines()
+        pending_directive: Optional[str] = None
+        while self.peek().kind is not TokenKind.EOF:
+            token = self.peek()
+            if token.kind is TokenKind.DIRECTIVE:
+                pending_directive = self.advance().text
+                self.skip_newlines()
+                continue
+            if self.at_keyword("SUBROUTINE"):
+                program.subroutines.append(self.parse_subroutine())
+                pending_directive = None
+            else:
+                raise ParseError(
+                    f"expected SUBROUTINE, found {token.describe()}",
+                    token.location,
+                )
+            self.skip_newlines()
+        return program
+
+    def parse_subroutine(self) -> Subroutine:
+        start = self.expect_keyword("SUBROUTINE")
+        name = self.expect(TokenKind.IDENT, "subroutine name").text
+        params: List[str] = []
+        self.expect(TokenKind.LPAREN)
+        if self.peek().kind is not TokenKind.RPAREN:
+            params.append(self.expect(TokenKind.IDENT, "parameter name").text)
+            while self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                params.append(self.expect(TokenKind.IDENT, "parameter name").text)
+        self.expect(TokenKind.RPAREN)
+        self.end_statement()
+
+        sub = Subroutine(name=name, params=tuple(params), location=start.location)
+        pending_directive: Optional[str] = None
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.EOF:
+                raise ParseError("missing END for subroutine", token.location)
+            if token.kind is TokenKind.DIRECTIVE:
+                pending_directive = self.advance().text
+                self.skip_newlines()
+                continue
+            if self.at_keyword("END"):
+                self.advance()
+                if self.at_keyword("SUBROUTINE"):
+                    self.advance()
+                    if self.peek().kind is TokenKind.IDENT:
+                        self.advance()
+                self.end_statement()
+                return sub
+            if token.kind is TokenKind.IDENT and token.text in _TYPE_KEYWORDS:
+                sub.declarations.append(self.parse_declaration())
+                self.end_statement()
+                continue
+            statement = self.parse_assignment_statement(pending_directive)
+            pending_directive = None
+            sub.statements.append(statement)
+            self.end_statement()
+
+    def parse_declaration(self) -> Declaration:
+        start = self.peek()
+        base = self.advance().text
+        if base == "DOUBLE" and self.at_keyword("PRECISION"):
+            self.advance()
+            base = "DOUBLE PRECISION"
+        rank = 0
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            attr = self.expect(TokenKind.IDENT, "declaration attribute").text
+            if attr in ("ARRAY", "DIMENSION"):
+                rank = self._parse_deferred_shape()
+            elif attr in ("INTENT",):
+                # INTENT(IN) and friends: skip the parenthesized part.
+                self.expect(TokenKind.LPAREN)
+                while self.peek().kind is not TokenKind.RPAREN:
+                    self.advance()
+                self.expect(TokenKind.RPAREN)
+            # Other attributes (PARAMETER, SAVE...) take no arguments here.
+        self.expect(TokenKind.DOUBLE_COLON, "'::'")
+        names = [self.expect(TokenKind.IDENT, "declared name").text]
+        while self.peek().kind is TokenKind.COMMA:
+            self.advance()
+            names.append(self.expect(TokenKind.IDENT, "declared name").text)
+        return Declaration(
+            location=start.location, base_type=base, rank=rank, names=tuple(names)
+        )
+
+    def _parse_deferred_shape(self) -> int:
+        """Parse ``( : , : , ... )`` and return the rank."""
+        self.expect(TokenKind.LPAREN)
+        rank = 0
+        while True:
+            self.expect(TokenKind.COLON, "':' in deferred shape")
+            rank += 1
+            if self.peek().kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.RPAREN)
+        return rank
+
+    def parse_assignment_statement(
+        self, directive: Optional[str] = None
+    ) -> Assignment:
+        target_token = self.expect(TokenKind.IDENT, "assignment target")
+        self.expect(TokenKind.EQUALS, "'='")
+        expr = self.parse_expr()
+        return Assignment(
+            location=target_token.location,
+            target=target_token.text,
+            expr=expr,
+            directive=directive,
+        )
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self.advance()
+            right = self.parse_term()
+            left = BinOp(location=op.location, op=op.text, left=left, right=right)
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.peek().kind in (TokenKind.STAR, TokenKind.SLASH):
+            op = self.advance()
+            right = self.parse_factor()
+            left = BinOp(location=op.location, op=op.text, left=left, right=right)
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.peek()
+        if token.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            self.advance()
+            operand = self.parse_factor()
+            return UnaryOp(location=token.location, op=token.text, operand=operand)
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return IntLit(location=token.location, value=int(token.text))
+        if token.kind is TokenKind.REAL:
+            self.advance()
+            text = token.text.upper().replace("D", "E")
+            return RealLit(location=token.location, value=float(text))
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.peek().kind is TokenKind.LPAREN:
+                return self._parse_call(token)
+            return Name(location=token.location, ident=token.text)
+        raise ParseError(
+            f"expected an expression, found {token.describe()}", token.location
+        )
+
+    def _parse_call(self, name_token: Token) -> Call:
+        self.expect(TokenKind.LPAREN)
+        args: List[Expr] = []
+        kwargs: List[Tuple[str, Expr]] = []
+        if self.peek().kind is not TokenKind.RPAREN:
+            while True:
+                if (
+                    self.peek().kind is TokenKind.IDENT
+                    and self.peek(1).kind is TokenKind.EQUALS
+                ):
+                    key = self.advance().text
+                    self.advance()  # '='
+                    kwargs.append((key, self.parse_expr()))
+                else:
+                    if kwargs:
+                        raise ParseError(
+                            "positional argument after keyword argument",
+                            self.peek().location,
+                        )
+                    args.append(self.parse_expr())
+                if self.peek().kind is TokenKind.COMMA:
+                    self.advance()
+                    continue
+                break
+        self.expect(TokenKind.RPAREN)
+        return Call(
+            location=name_token.location,
+            func=name_token.text,
+            args=tuple(args),
+            kwargs=tuple(kwargs),
+        )
+
+
+def _prepare(source: str, fixed_form) -> str:
+    """Normalize the source format before tokenizing.
+
+    ``fixed_form`` None auto-detects the classic card-image layout
+    (column-1 comments, column-6 continuations) and converts it to the
+    free form the lexer reads; True forces the conversion; False leaves
+    the source untouched.
+    """
+    if fixed_form is None:
+        fixed_form = looks_fixed_form(source)
+    return fixed_to_free(source) if fixed_form else source
+
+
+def parse_program(
+    source: str, filename: str = "<fortran>", *, fixed_form=None
+) -> Program:
+    """Parse a source file of subroutines (free or fixed form)."""
+    prepared = _prepare(source, fixed_form)
+    return Parser(tokenize(prepared, filename)).parse_program()
+
+
+def parse_subroutine(
+    source: str, filename: str = "<fortran>", *, fixed_form=None
+) -> Subroutine:
+    """Parse a source file expected to contain exactly one subroutine."""
+    program = parse_program(source, filename, fixed_form=fixed_form)
+    if len(program.subroutines) != 1:
+        raise ParseError(
+            f"expected exactly one subroutine, found {len(program.subroutines)}"
+        )
+    return program.subroutines[0]
+
+
+def parse_assignment(source: str, filename: str = "<statement>") -> Assignment:
+    """Parse a bare array assignment statement (with continuations)."""
+    parser = Parser(tokenize(source, filename))
+    parser.skip_newlines()
+    directive = None
+    if parser.peek().kind is TokenKind.DIRECTIVE:
+        directive = parser.advance().text
+        parser.skip_newlines()
+    statement = parser.parse_assignment_statement(directive)
+    parser.end_statement()
+    token = parser.peek()
+    if token.kind is not TokenKind.EOF:
+        raise ParseError(
+            f"trailing input after assignment: {token.describe()}", token.location
+        )
+    return statement

@@ -1,0 +1,96 @@
+"""Emit Fortran source from stencil patterns (the recognizer, inverted).
+
+Given a :class:`~repro.stencil.pattern.StencilPattern`, produce the
+canonical Fortran 90 statement (and optionally the isolated subroutine
+of the paper's second version) that the recognizer maps back to the
+same pattern -- a round trip the property tests pin down.  Useful for
+showing users what a programmatically built pattern means, and for
+generating test decks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..stencil.offsets import BoundaryMode
+from ..stencil.pattern import CoeffKind, StencilPattern, Tap
+
+
+def _shift_reference(
+    tap: Tap, pattern: StencilPattern
+) -> str:
+    """Render the data reference of one tap as (possibly nested) shifts.
+
+    Emits the paper's positional convention: ``CSHIFT(x, DIM, SHIFT)``,
+    innermost dimension 1 first.  EOSHIFT dimensions carry the pattern's
+    fill value when it is non-zero.
+    """
+    reference = pattern.source
+    dims = (
+        (pattern.plane_dims[0], tap.dy),
+        (pattern.plane_dims[1], tap.dx),
+    )
+    for dim, amount in dims:
+        if amount == 0:
+            continue
+        mode = pattern.boundary.get(dim, BoundaryMode.CIRCULAR)
+        if mode is BoundaryMode.CIRCULAR:
+            reference = f"CSHIFT({reference}, {dim}, {amount:+d})"
+        elif pattern.fill_value:
+            reference = (
+                f"EOSHIFT({reference}, {dim}, {amount:+d}, "
+                f"{_literal(pattern.fill_value)})"
+            )
+        else:
+            reference = f"EOSHIFT({reference}, {dim}, {amount:+d})"
+    return reference
+
+
+def _literal(value: float) -> str:
+    """A Fortran REAL literal round-trippable by the lexer."""
+    text = repr(float(value))
+    if "e" in text or "E" in text or "." in text:
+        return text
+    return text + ".0"
+
+
+def _term(tap: Tap, pattern: StencilPattern) -> str:
+    if tap.is_constant_term:
+        if tap.coeff.kind is CoeffKind.ARRAY:
+            return tap.coeff.name
+        return _literal(tap.coeff.value)
+    reference = _shift_reference(tap, pattern)
+    if tap.coeff.kind is CoeffKind.ARRAY:
+        return f"{tap.coeff.name} * {reference}"
+    if tap.coeff.kind is CoeffKind.SCALAR:
+        return f"{_literal(tap.coeff.value)} * {reference}"
+    return reference
+
+
+def emit_statement(pattern: StencilPattern, *, width: int = 0) -> str:
+    """The canonical assignment statement for a pattern.
+
+    With ``width`` > 0, terms after the first are broken onto continued
+    lines (``&``) like the paper's listings.
+    """
+    terms = [_term(tap, pattern) for tap in pattern.taps]
+    if not width:
+        return f"{pattern.result} = " + " + ".join(terms)
+    lines = [f"{pattern.result} = {terms[0]}"]
+    for term in terms[1:]:
+        lines[-1] += " &"
+        lines.append(f"  + {term}")
+    return "\n".join(lines)
+
+
+def emit_subroutine(
+    pattern: StencilPattern, name: Optional[str] = None
+) -> str:
+    """The isolated stencil subroutine of the paper's second version."""
+    subroutine = (name or pattern.name or "stencil").upper()
+    arguments: List[str] = [pattern.result, pattern.source]
+    arguments += [n for n in pattern.coefficient_names()]
+    header = f"SUBROUTINE {subroutine} ({', '.join(arguments)})"
+    declaration = f"REAL, ARRAY(:, :) :: {', '.join(arguments)}"
+    body = emit_statement(pattern, width=60)
+    return "\n".join([header, declaration, body, "END"]) + "\n"

@@ -1,0 +1,20 @@
+"""Lisp prototype front end: s-expression reader and defstencil forms."""
+
+from .defstencil import (
+    DefstencilError,
+    parse_defstencil,
+    parse_defstencil_with_types,
+)
+from .sexpr import Sexpr, SexprError, Symbol, read, read_all, write
+
+__all__ = [
+    "DefstencilError",
+    "Sexpr",
+    "SexprError",
+    "Symbol",
+    "parse_defstencil",
+    "parse_defstencil_with_types",
+    "read",
+    "read_all",
+    "write",
+]

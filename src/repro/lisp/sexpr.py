@@ -1,0 +1,111 @@
+"""A small s-expression reader for the Lisp prototype front end.
+
+The paper's first implementation was prototyped in Lucid Common Lisp and
+accepted ``defstencil`` forms.  This reader supports exactly what those
+forms need: symbols, integers (with explicit signs), floats, nested lists,
+and ``;`` comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Union
+
+
+class SexprError(ValueError):
+    """Malformed s-expression input."""
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """A Lisp symbol, stored upper-cased (Common Lisp reader behaviour)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+Atom = Union[Symbol, int, float]
+Sexpr = Union[Atom, List["Sexpr"]]
+
+
+def _atom(text: str) -> Atom:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return Symbol(text.upper())
+
+
+def _tokenize(source: str) -> List[str]:
+    tokens: List[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+        elif ch == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif ch in "()":
+            tokens.append(ch)
+            i += 1
+        else:
+            start = i
+            while i < n and source[i] not in " \t\r\n();":
+                i += 1
+            tokens.append(source[start:i])
+    return tokens
+
+
+def read(source: str) -> Sexpr:
+    """Read exactly one s-expression from the source string."""
+    forms = read_all(source)
+    if len(forms) != 1:
+        raise SexprError(f"expected one form, found {len(forms)}")
+    return forms[0]
+
+
+def read_all(source: str) -> List[Sexpr]:
+    """Read all top-level s-expressions from the source string."""
+    tokens = _tokenize(source)
+    forms: List[Sexpr] = []
+    pos = 0
+    while pos < len(tokens):
+        form, pos = _read_form(tokens, pos)
+        forms.append(form)
+    return forms
+
+
+def _read_form(tokens: List[str], pos: int) -> "tuple[Sexpr, int]":
+    if pos >= len(tokens):
+        raise SexprError("unexpected end of input")
+    token = tokens[pos]
+    if token == "(":
+        pos += 1
+        items: List[Sexpr] = []
+        while True:
+            if pos >= len(tokens):
+                raise SexprError("unclosed parenthesis")
+            if tokens[pos] == ")":
+                return items, pos + 1
+            item, pos = _read_form(tokens, pos)
+            items.append(item)
+    if token == ")":
+        raise SexprError("unexpected ')'")
+    return _atom(token), pos + 1
+
+
+def write(form: Sexpr) -> str:
+    """Render an s-expression back to text (round-trip aid for tests)."""
+    if isinstance(form, list):
+        return "(" + " ".join(write(item) for item in form) + ")"
+    if isinstance(form, Symbol):
+        return form.name
+    return repr(form)

@@ -1,0 +1,127 @@
+"""Slicewise vs. processorwise data formats (paper section 3).
+
+The CM-2's bit-serial processors each own their memory column; a 32-bit
+float stored *processorwise* lives entirely within one processor's
+memory, one bit per memory row, so "in a single memory cycle every
+processor can fetch one bit of a floating-point datum; for every
+processor to inspect its entire datum requires 32 cycles".  The
+floating-point ALU, by contrast, wants each datum bit-parallel,
+word-serial -- so processorwise data must pass through the node's
+transposer (interface) chip in batches of 32.
+
+The slicewise format stores "the 32 bits of a floating-point number ...
+one bit per bit-serial processor, occupying a slice through memory that
+can be accessed in a single memory cycle" -- data reads straight into
+the FPU with no transposing, freeing the compiler "to process data in
+batches of size 4" instead of 32.
+
+This module models a node's 32-processor memory bank as a bit matrix
+(rows = memory addresses, columns = processors) and implements both
+layouts, the transposer, and their fetch-cost accounting.  The
+convolution compiler's whole register strategy presumes the slicewise
+format; these primitives make the presumption checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+#: Bit-serial processors sharing one floating-point ALU (one node's
+#: worth; chosen to match the 32-bit memory path).
+PROCESSORS_PER_BANK = 32
+BITS_PER_WORD = 32
+
+
+def float_to_words(values: np.ndarray) -> np.ndarray:
+    """View float32 data as uint32 bit patterns."""
+    array = np.ascontiguousarray(values, dtype=np.float32)
+    return array.view(np.uint32)
+
+
+def words_to_float(words: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(words, dtype=np.uint32).view(np.float32)
+
+
+def _bit_matrix(words: np.ndarray) -> np.ndarray:
+    """Explode a batch of 32 words into a 32x32 boolean matrix:
+    ``matrix[i, b]`` is bit ``b`` of word ``i``."""
+    if words.shape != (PROCESSORS_PER_BANK,):
+        raise ValueError(
+            f"a batch is exactly {PROCESSORS_PER_BANK} words, got "
+            f"{words.shape}"
+        )
+    bits = (words[:, None] >> np.arange(BITS_PER_WORD, dtype=np.uint32)) & 1
+    return bits.astype(bool)
+
+
+def _from_bit_matrix(matrix: np.ndarray) -> np.ndarray:
+    weights = (np.uint64(1) << np.arange(BITS_PER_WORD, dtype=np.uint64))
+    return (matrix.astype(np.uint64) * weights).sum(axis=1).astype(np.uint32)
+
+
+@dataclass(frozen=True)
+class MemoryBank:
+    """One node's memory for a batch of 32 words.
+
+    ``rows[address, processor]`` is the bit each processor reads from
+    that memory address in one cycle; a *memory cycle* fetches one whole
+    row.
+    """
+
+    rows: np.ndarray  # (BITS_PER_WORD, PROCESSORS_PER_BANK) bool
+
+    def fetch_row(self, address: int) -> np.ndarray:
+        return self.rows[address]
+
+
+def store_processorwise(words: np.ndarray) -> MemoryBank:
+    """Word ``j`` lives in processor ``j``'s column, bit ``b`` at row ``b``."""
+    return MemoryBank(rows=_bit_matrix(words).T.copy())
+
+
+def store_slicewise(words: np.ndarray) -> MemoryBank:
+    """Word ``j`` occupies row ``j``: one of its bits in every processor."""
+    return MemoryBank(rows=_bit_matrix(words).copy())
+
+
+def transpose_bank(bank: MemoryBank) -> MemoryBank:
+    """The interface chip's transposer: swaps the two layouts."""
+    return MemoryBank(rows=bank.rows.T.copy())
+
+
+def read_word_slicewise(bank: MemoryBank, index: int) -> np.uint32:
+    """One memory cycle: row ``index`` is the whole word, bit-parallel."""
+    row = bank.fetch_row(index)
+    return _from_bit_matrix(row[None, :])[0]
+
+
+def read_words_processorwise(bank: MemoryBank) -> np.ndarray:
+    """Thirty-two memory cycles: every row contributes one bit of every
+    word; the transposer reassembles the batch."""
+    return _from_bit_matrix(bank.rows.T)
+
+
+# ----------------------------------------------------------------------
+# Fetch-cost accounting
+# ----------------------------------------------------------------------
+
+
+def slicewise_fetch_cycles(num_words: int) -> int:
+    """Memory cycles to deliver ``num_words`` words to the FPU from
+    slicewise storage: one row each, any batch size (the CM Fortran
+    compiler uses batches of 4)."""
+    if num_words < 0:
+        raise ValueError("word count must be non-negative")
+    return num_words
+
+
+def processorwise_fetch_cycles(num_words: int) -> int:
+    """Memory cycles to deliver ``num_words`` words from processorwise
+    storage: whole batches of 32 rows, wanted or not."""
+    if num_words < 0:
+        raise ValueError("word count must be non-negative")
+    batches = -(-num_words // PROCESSORS_PER_BANK)  # ceil division
+    return batches * BITS_PER_WORD

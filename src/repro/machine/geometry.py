@@ -1,0 +1,95 @@
+"""Node-grid geometry and its hypercube embedding.
+
+The CM-2's nodes form an 11-dimensional hypercube (2,048 nodes; a 16-node
+single board is a 4-cube).  Grid communication primitives embed a 2-D
+grid in the hypercube "in such a way that grid neighbors are hypercube
+neighbors, thereby making effective use of the network" (paper section
+4.1) -- the classic binary-reflected Gray code embedding, reproduced
+here and checked by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def grid_shape(num_nodes: int) -> Tuple[int, int]:
+    """The 2-D node grid for a power-of-two machine size.
+
+    The dimensions are as close to square as powers of two allow, with
+    the larger extent horizontal: 16 nodes form a 4x4 grid (paper's
+    example), 2,048 nodes a 32x64 grid.
+    """
+    if not is_power_of_two(num_nodes):
+        raise ValueError(
+            f"the CM-2 node count must be a power of two, got {num_nodes}"
+        )
+    log2 = num_nodes.bit_length() - 1
+    rows = 1 << (log2 // 2)
+    cols = 1 << (log2 - log2 // 2)
+    return rows, cols
+
+
+def gray_code(index: int) -> int:
+    """The binary-reflected Gray code of ``index``."""
+    return index ^ (index >> 1)
+
+
+def node_address(row: int, col: int, shape: Tuple[int, int]) -> int:
+    """Hypercube address of the node at grid position ``(row, col)``.
+
+    Rows and columns are Gray-coded independently and the column bits are
+    placed above the row bits, so stepping to any of the four grid
+    neighbors flips exactly one address bit.
+    """
+    rows, cols = shape
+    if not (0 <= row < rows and 0 <= col < cols):
+        raise ValueError(f"({row}, {col}) outside node grid {shape}")
+    row_bits = (rows - 1).bit_length()
+    return (gray_code(col) << row_bits) | gray_code(row)
+
+
+def hamming_distance(a: int, b: int) -> int:
+    return bin(a ^ b).count("1")
+
+
+@dataclass(frozen=True)
+class NodeCoord:
+    """A node's position in the 2-D grid (torus)."""
+
+    row: int
+    col: int
+
+    def neighbors(self, shape: Tuple[int, int]) -> "dict[str, NodeCoord]":
+        """The four torus neighbors, keyed North/South/West/East.
+
+        North is toward smaller rows, matching the stencil convention.
+        """
+        rows, cols = shape
+        return {
+            "N": NodeCoord((self.row - 1) % rows, self.col),
+            "S": NodeCoord((self.row + 1) % rows, self.col),
+            "W": NodeCoord(self.row, (self.col - 1) % cols),
+            "E": NodeCoord(self.row, (self.col + 1) % cols),
+        }
+
+    def diagonal_neighbors(self, shape: Tuple[int, int]) -> "dict[str, NodeCoord]":
+        rows, cols = shape
+        return {
+            "NW": NodeCoord((self.row - 1) % rows, (self.col - 1) % cols),
+            "NE": NodeCoord((self.row - 1) % rows, (self.col + 1) % cols),
+            "SW": NodeCoord((self.row + 1) % rows, (self.col - 1) % cols),
+            "SE": NodeCoord((self.row + 1) % rows, (self.col + 1) % cols),
+        }
+
+
+def all_coords(shape: Tuple[int, int]) -> Iterator[NodeCoord]:
+    rows, cols = shape
+    for row in range(rows):
+        for col in range(cols):
+            yield NodeCoord(row, col)

@@ -1,0 +1,151 @@
+"""The dynamic-part instruction set shared by the compiler and the FPU.
+
+The CM-2 splits floating-point instructions into a *static part* (the
+operation code, latched once) and *dynamic parts* (register load/store
+control and addresses, streamed cycle by cycle from sequencer scratch
+memory).  The convolution compiler fixes the static part to "chained
+multiply-add" for a whole half-strip and generates only dynamic parts
+(section 4.3).
+
+This module defines those dynamic parts in two flavours:
+
+* **Abstract ops** (:class:`LoadOp`, :class:`MAOp`, :class:`StoreOp`,
+  :class:`NopOp`) -- what the compiler emits.  Positions are relative to
+  the current line (``row``/``col`` offsets from the line's base point);
+  coefficients are symbolic.  One op corresponds to exactly one machine
+  cycle.
+* **Concrete instructions** (:class:`Instr` with a resolved
+  :class:`MemRef`) -- what the sequencer produces by filling in run-time
+  addresses, and what the FPU model executes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from ..stencil.pattern import Coefficient
+
+#: Buffer name of the constant 1.0 page streamed for unit coefficients.
+ONES_BUFFER = "__ones__"
+
+
+def const_buffer_name(value: float) -> str:
+    """Buffer name of the constant page holding a scalar coefficient."""
+    return f"__const_{float(value)!r}__"
+
+
+class MemDirection(enum.Enum):
+    """Direction of a memory/interface-pipe transfer."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+# ----------------------------------------------------------------------
+# Abstract ops (compiler output; positions relative to the line base)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadOp:
+    """Load the source element at line-relative ``(row, col)`` into ``reg``.
+
+    ``row``/``col`` are offsets from the line's base point (the leftmost
+    result position of the line); the sequencer adds the run-time base.
+
+    ``buffer`` is None for the primary (padded) source; fused extra-term
+    loads name their own source array, addressed without halo padding
+    (extra terms read only offset (0, 0)).
+    """
+
+    reg: int
+    row: int
+    col: int
+    buffer: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MAOp:
+    """One chained multiply-add cycle.
+
+    ``product = coeff_value * regs[data_reg]``; the add chains with the
+    same thread's previous product, or with ``regs[addend_reg]`` when
+    ``first`` is set; when ``last`` is set the chain's sum is written to
+    ``dest_reg`` four cycles after this issue.
+
+    ``result_col`` is the line-relative column of the result being
+    accumulated (used to address the coefficient array); dummy ops (the
+    zero-times-zero-plus-zero filler the hardware forces during
+    non-compute cycles) have ``is_dummy`` set and target the zero
+    register.
+    """
+
+    coeff: Coefficient
+    data_reg: int
+    dest_reg: int
+    thread: int
+    first: bool
+    last: bool
+    result_col: int
+    is_dummy: bool = False
+
+
+@dataclass(frozen=True)
+class StoreOp:
+    """Store the accumulated result for line-relative column ``result_col``
+    from ``reg`` to the result array."""
+
+    reg: int
+    result_col: int
+
+
+@dataclass(frozen=True)
+class NopOp:
+    """A cycle with no memory traffic: pipeline fill, drain, or reversal
+    stall.  (On the real machine this is a dummy multiply-add into the
+    zero register; numerically it is a no-op.)
+
+    ``reason`` is kept for cycle-accounting introspection.
+    """
+
+    reason: str = "stall"
+
+
+AbstractOp = Union[LoadOp, MAOp, StoreOp, NopOp]
+
+
+# ----------------------------------------------------------------------
+# Concrete instructions (sequencer output; FPU input)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A resolved node-memory address: a named buffer plus 2-D indices."""
+
+    buffer: str
+    row: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One executed cycle: the abstract op plus its resolved address.
+
+    ``mem`` is the address touched this cycle: the loaded element for
+    loads, the streamed coefficient for multiply-adds, the stored result
+    for stores; None for pure stalls.
+    """
+
+    op: AbstractOp
+    mem: Optional[MemRef]
+
+    @property
+    def direction(self) -> Optional[MemDirection]:
+        if isinstance(self.op, (LoadOp, MAOp)):
+            return MemDirection.READ if self.mem is not None else None
+        if isinstance(self.op, StoreOp):
+            return MemDirection.WRITE
+        return None

@@ -1,0 +1,64 @@
+"""The simulated Connection Machine: a synchronous grid of nodes.
+
+The CM-2 is a completely synchronous SIMD machine: every node executes
+the same instruction stream, so per-node time does not change with
+machine size -- the property that makes the paper's extrapolation from
+16 to 2,048 nodes reliable (section 7).  The simulator exploits the same
+property: cycle counts are computed for the common instruction stream,
+and all nodes advance together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .geometry import NodeCoord, all_coords, grid_shape, node_address
+from .node import Node
+from .params import MachineParams
+
+
+class CM2:
+    """A machine instance: parameters plus the 2-D torus of nodes."""
+
+    def __init__(self, params: Optional[MachineParams] = None) -> None:
+        self.params = params or MachineParams()
+        self.shape: Tuple[int, int] = grid_shape(self.params.num_nodes)
+        self._nodes: Dict[NodeCoord, Node] = {
+            coord: Node(
+                coord=coord,
+                address=node_address(coord.row, coord.col, self.shape),
+                params=self.params,
+            )
+            for coord in all_coords(self.shape)
+        }
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def grid_rows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def grid_cols(self) -> int:
+        return self.shape[1]
+
+    def node(self, row: int, col: int) -> Node:
+        return self._nodes[NodeCoord(row % self.grid_rows, col % self.grid_cols)]
+
+    def nodes(self) -> Iterator[Node]:
+        for coord in all_coords(self.shape):
+            yield self._nodes[coord]
+
+    def peak_gflops(self) -> float:
+        """Peak chained multiply-add rate of the whole machine."""
+        return self.params.peak_mflops_per_node * self.num_nodes / 1e3
+
+    def describe(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"CM-2: {self.num_nodes} nodes as a {rows}x{cols} grid, "
+            f"{self.params.clock_hz / 1e6:g} MHz, "
+            f"peak {self.peak_gflops():.2f} Gflops"
+        )

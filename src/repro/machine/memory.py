@@ -1,0 +1,129 @@
+"""Per-node memory: named buffers behind the interface chip.
+
+Each CM-2 node owns a slice of the machine's memory holding its subgrid
+of every array involved in the computation (source with halo,
+coefficients, result) plus small constant pages for scalar and unit
+coefficients.  All data is single-precision, matching the paper's
+measurements ("All measurements are for single-precision (that is,
+32-bit) floating-point operations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .isa import ONES_BUFFER, MemRef, const_buffer_name
+
+
+class MemoryError_(Exception):
+    """An out-of-bounds or unknown-buffer access (a compiler/runtime bug)."""
+
+
+@dataclass
+class AccessCounts:
+    """Word-transfer counters for one node's memory system."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class NodeMemory:
+    """Named 2-D float32 buffers with bounds-checked, counted access."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+        self.counts = AccessCounts()
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def allocate(self, name: str, shape: Tuple[int, int]) -> np.ndarray:
+        """Allocate (or replace) a zero-filled buffer."""
+        buffer = np.zeros(shape, dtype=np.float32)
+        self._buffers[name] = buffer
+        return buffer
+
+    def install(self, name: str, data: np.ndarray) -> np.ndarray:
+        """Install an existing array as a buffer (copied to float32)."""
+        if data.ndim != 2:
+            raise MemoryError_(f"buffer {name!r} must be 2-D, got {data.ndim}-D")
+        buffer = np.array(data, dtype=np.float32)
+        self._buffers[name] = buffer
+        return buffer
+
+    def ensure_constant_pages(self, values=()) -> None:
+        """Allocate the 1.0 page and one page per scalar coefficient value.
+
+        The floating-point unit requires one multiplicand to come from
+        memory, so unit and scalar coefficients are streamed from these
+        single-element pages at a fixed address.
+        """
+        if ONES_BUFFER not in self._buffers:
+            self.install(ONES_BUFFER, np.array([[1.0]], dtype=np.float32))
+        for value in values:
+            name = const_buffer_name(value)
+            if name not in self._buffers:
+                self.install(name, np.array([[value]], dtype=np.float32))
+
+    def alias(self, name: str, target: str) -> None:
+        """Make ``name`` refer to the same storage as ``target``.
+
+        Used by the multidimensional outer loop: compiled register access
+        patterns bake buffer names, so the runtime re-points stable alias
+        names (e.g. the slab-above/slab-below sources) at the right slab
+        before each plane is processed -- the software analogue of the
+        sequencer's run-time base-address parameters.
+        """
+        self._buffers[name] = self.buffer(target)
+
+    def free(self, name: str) -> None:
+        self._buffers.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def buffer(self, name: str) -> np.ndarray:
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise MemoryError_(f"no buffer named {name!r}") from None
+
+    def has_buffer(self, name: str) -> bool:
+        return name in self._buffers
+
+    def read(self, ref: MemRef) -> np.float32:
+        buffer = self.buffer(ref.buffer)
+        self._check(buffer, ref)
+        self.counts.reads += 1
+        return buffer[ref.row, ref.col]
+
+    def write(self, ref: MemRef, value: float) -> None:
+        buffer = self.buffer(ref.buffer)
+        self._check(buffer, ref)
+        self.counts.writes += 1
+        buffer[ref.row, ref.col] = np.float32(value)
+
+    def _check(self, buffer: np.ndarray, ref: MemRef) -> None:
+        rows, cols = buffer.shape
+        if not (0 <= ref.row < rows and 0 <= ref.col < cols):
+            raise MemoryError_(
+                f"access ({ref.row}, {ref.col}) outside buffer "
+                f"{ref.buffer!r} of shape {buffer.shape}"
+            )
+
+    @property
+    def buffer_names(self) -> Tuple[str, ...]:
+        return tuple(self._buffers)
+
+    def total_words(self) -> int:
+        """Total words allocated (for temporary-storage accounting)."""
+        return sum(buf.size for buf in self._buffers.values())

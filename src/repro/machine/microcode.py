@@ -1,0 +1,105 @@
+"""The fixed microcode routine set.
+
+The paper's microcode provides the critical inner looping structure; the
+compiler "is responsible for ... the choice of particular microcode
+routines" while "a fixed set of microcode routines can support a wide
+variety of stencil patterns" because the register access patterns live
+in sequencer scratch memory, not in the microcode (section 4.3).
+
+In the simulator a routine is a descriptor: which multistencil width it
+drives, and the overhead cycles its loop structure costs.  The paper's
+half-strip design trades doubled start-up count for a microcode loop
+with a single boundary condition, conserving scarce microcode
+instruction memory (section 5.2); the alternative full-strip routines
+are modeled for the ablation benchmark with a larger dispatch cost (the
+second boundary condition) and doubled instruction-memory footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .params import MachineParams
+
+
+@dataclass(frozen=True)
+class MicrocodeRoutine:
+    """A hand-written sequencer routine the compiler can select.
+
+    Attributes:
+        name: routine identifier.
+        width: multistencil width the routine's loop drives.
+        half_strip: True for the production half-strip routines; False
+            for the full-strip ablation variants.
+        dispatch_cycles: per-invocation start-up cost.
+        line_overhead_cycles: sequencer cost per processed line.
+        instruction_words: microcode instruction memory consumed.
+    """
+
+    name: str
+    width: int
+    half_strip: bool
+    dispatch_cycles: int
+    line_overhead_cycles: int
+    instruction_words: int
+
+
+#: Microcode instruction memory on the sequencer (words); the half-strip
+#: design exists because this resource is scarce.
+MICROCODE_MEMORY_WORDS = 2048
+
+#: Instruction-memory footprint of one half-strip routine.  The
+#: full-strip variant handles boundary conditions at both ends of the
+#: strip, which "avoids a great deal of complexity in the microcode"
+#: when dropped -- the full-strip routines are several times larger, and
+#: the set of four widths does not fit the instruction memory at all.
+_HALF_STRIP_WORDS = 176
+_FULL_STRIP_WORDS = 600
+
+
+def half_strip_routine(width: int, params: MachineParams) -> MicrocodeRoutine:
+    """The production routine for the given width."""
+    return MicrocodeRoutine(
+        name=f"convolve_halfstrip_w{width}",
+        width=width,
+        half_strip=True,
+        dispatch_cycles=params.half_strip_dispatch_cycles,
+        line_overhead_cycles=params.sequencer_line_overhead,
+        instruction_words=_HALF_STRIP_WORDS,
+    )
+
+
+def full_strip_routine(width: int, params: MachineParams) -> MicrocodeRoutine:
+    """The rejected design: one loop per whole strip.
+
+    Halves the number of dispatches (the half-strip design's admitted
+    overhead) at the price of a costlier dispatch -- two boundary
+    conditions to set up -- and a microcode footprint so large the four
+    width variants cannot coexist in instruction memory.
+    """
+    return MicrocodeRoutine(
+        name=f"convolve_fullstrip_w{width}",
+        width=width,
+        half_strip=False,
+        dispatch_cycles=(3 * params.half_strip_dispatch_cycles) // 2,
+        line_overhead_cycles=params.sequencer_line_overhead,
+        instruction_words=_FULL_STRIP_WORDS,
+    )
+
+
+def routine_set(
+    params: MachineParams, widths: Tuple[int, ...] = (8, 4, 2, 1), *,
+    half_strip: bool = True,
+) -> Dict[int, MicrocodeRoutine]:
+    """The routine per width, with a microcode-memory capacity check."""
+    build = half_strip_routine if half_strip else full_strip_routine
+    routines = {width: build(width, params) for width in widths}
+    total = sum(routine.instruction_words for routine in routines.values())
+    if total > MICROCODE_MEMORY_WORDS:
+        raise ValueError(
+            f"routine set needs {total} microcode words; only "
+            f"{MICROCODE_MEMORY_WORDS} available (the half-strip design "
+            "exists to avoid exactly this)"
+        )
+    return routines

@@ -1,0 +1,167 @@
+"""Machine and calibration parameters for the simulated CM-2.
+
+Architectural constants (clock rate, register count, pipeline latencies,
+machine sizes) come straight from the paper and the CM-2 Technical
+Summary it cites.  A handful of overhead constants are not specified
+numerically in the paper; they are calibration parameters with documented
+defaults, chosen so the simulated 16-node rates land in the neighbourhood
+of the paper's results table (see EXPERIMENTS.md for the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """Everything the simulator needs to know about the machine.
+
+    Architectural constants (from the paper):
+
+    Attributes:
+        clock_hz: CM-2 system clock.  "In all cases the clock rate of the
+            Connection Machine system was 7 MHz" (section 7).
+        num_nodes: nodes in the simulated configuration.  The paper's
+            preliminary timings use 16-node single-board machines; a
+            full-size CM-2 has 2,048 nodes.
+        registers: WTL3164 internal registers available to the dynamic
+            instruction parts (32; the compiler reserves one for 0.0 and
+            sometimes one for 1.0, leaving 31 or 30 for data).
+        mult_to_add_cycles: a multiplication started on cycle k becomes an
+            operand of the addition started on cycle k+2 (section 4.2).
+        add_to_writeback_cycles: the result of that addition is stored
+            into the destination register on cycle k+4, i.e. two cycles
+            after the add issues.
+        load_latency: cycles from a load issue until the value is usable
+            from the register (the interface chip introduces a cycle of
+            latency; we charge two cycles issue-to-use, matching the
+            pipeline-fill gap the code generator inserts).
+        memory_access_cycles: cycles occupied by one explicit register
+            load or store through the interface chip.  Coefficients
+            stream one word per multiply-add cycle (the pipelined steady
+            state), but a register load/store also occupies the single
+            dynamic-part issue slot with its register address, so it
+            costs two cycles.  This matches the per-point cycle counts
+            implied by the paper's measured rates (see EXPERIMENTS.md).
+        pipe_reversal_penalty: stall cycles charged when the
+            memory/interface pipe reverses direction (section 5.3: "there
+            is a penalty every time the direction of this pipe is
+            reversed").
+        flops_per_ma: floating-point operations retired by one chained
+            multiply-add cycle (2: a multiply and an add).
+        scratch_memory_words: capacity of the sequencer scratch data
+            memory available for unrolled register access patterns.  The
+            paper calls unrolling "a cost (in consumption of sequencer
+            scratch data memory)"; 4,096 words is the era-appropriate
+            default that makes LCM minimization matter.
+
+    Calibration constants (not numeric in the paper):
+
+    Attributes:
+        sequencer_line_overhead: stall cycles between half-strip lines:
+            the loop-closing branch cannot share a cycle with a dynamic
+            issue (section 4.3), plus scratch-counter and address-base
+            updates by the sequencer ALU.
+        half_strip_dispatch_cycles: cycles to start one half-strip
+            invocation of the microcode loop (argument unpacking, static
+            instruction part issue, address setup).  The half-strip
+            design doubles how often this is paid (section 5.2).
+        strip_setup_cycles: run-time library cycles to set up each strip
+            (selecting the plan, computing bases).
+        comm_startup_cycles: fixed cost of one four-neighbor exchange.
+        comm_cycles_per_element: per-element transfer cost of the grid
+            communication primitive, per 32-bit word per node.
+        corner_exchange_startup_cycles: fixed cost of the third
+            (diagonal corner) communication step when it cannot be
+            skipped.
+        host_call_overhead_s: fixed front-end (host) time per stencil
+            call; the paper notes the front end was "hard pressed to
+            keep up" with the microcode loops.
+        host_per_halfstrip_s: front-end time per half-strip invocation
+            (the dominant host cost: issuing the macro-instruction and
+            its run-time parameters down the FIFO).
+        host_overhead_recoded: whether the "careful recoding of the
+            run-time support routines, including strength reduction to
+            avoid integer multiplications in the inner front-end loops"
+            (section 7) is in effect; when False the pre-recoding
+            overheads apply.
+        host_call_overhead_slow_s: the pre-recoding fixed overhead.
+        host_per_halfstrip_slow_s: the pre-recoding per-half-strip cost.
+    """
+
+    # Architectural constants.
+    clock_hz: float = 7.0e6
+    num_nodes: int = 16
+    registers: int = 32
+    mult_to_add_cycles: int = 2
+    add_to_writeback_cycles: int = 2
+    load_latency: int = 2
+    memory_access_cycles: int = 2
+    pipe_reversal_penalty: int = 2
+    flops_per_ma: int = 2
+    scratch_memory_words: int = 4096
+    processors_per_node: int = 32
+
+    # Calibration constants.
+    sequencer_line_overhead: int = 40
+    half_strip_dispatch_cycles: int = 60
+    strip_setup_cycles: int = 60
+    comm_startup_cycles: int = 350
+    comm_cycles_per_element: float = 4.0
+    corner_exchange_startup_cycles: int = 120
+    host_call_overhead_s: float = 300e-6
+    host_per_halfstrip_s: float = 150e-6
+    host_overhead_recoded: bool = True
+    host_call_overhead_slow_s: float = 900e-6
+    host_per_halfstrip_slow_s: float = 450e-6
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("a machine needs at least one node")
+        if self.registers < 4:
+            raise ValueError("the WTL3164 model needs a plausible register file")
+
+    @property
+    def writeback_latency(self) -> int:
+        """Issue-to-writeback latency of a chain-closing multiply-add."""
+        return self.mult_to_add_cycles + self.add_to_writeback_cycles
+
+    @property
+    def peak_mflops_per_node(self) -> float:
+        """2 flops/cycle at the machine clock: 14 Mflops at 7 MHz."""
+        return self.flops_per_ma * self.clock_hz / 1e6
+
+    @property
+    def host_fixed_s(self) -> float:
+        """The fixed per-call host overhead currently in effect."""
+        if self.host_overhead_recoded:
+            return self.host_call_overhead_s
+        return self.host_call_overhead_slow_s
+
+    @property
+    def host_halfstrip_s(self) -> float:
+        """The per-half-strip host overhead currently in effect."""
+        if self.host_overhead_recoded:
+            return self.host_per_halfstrip_s
+        return self.host_per_halfstrip_slow_s
+
+    def host_overhead_s(self, half_strips: int) -> float:
+        """Front-end time for one stencil call issuing ``half_strips``
+        microcode invocations."""
+        return self.host_fixed_s + half_strips * self.host_halfstrip_s
+
+    def with_nodes(self, num_nodes: int) -> "MachineParams":
+        """A copy configured for a different machine size."""
+        return replace(self, num_nodes=num_nodes)
+
+    def seconds(self, cycles: float) -> float:
+        """Convert a cycle count to wall-clock seconds."""
+        return cycles / self.clock_hz
+
+
+#: The 16-node single-board machine of the paper's preliminary timings.
+SIXTEEN_NODE = MachineParams(num_nodes=16)
+
+#: The full-size 65,536-processor CM-2 (2,048 nodes).
+FULL_CM2 = MachineParams(num_nodes=2048)

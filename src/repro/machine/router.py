@@ -1,0 +1,199 @@
+"""The hypercube network and the node-grid communication primitive.
+
+Paper section 3: the processors "communicate through a router mechanism
+that forwards messages through a network that is logically structured
+as a 16-dimensional boolean hypercube"; the 2,048 nodes form an
+11-dimensional hypercube with doubled-bandwidth edges.  Section 4.1:
+previous grid primitives moved one datum to one neighbor at a time; the
+new primitive "organizes nodes, not processors, into a two-dimensional
+grid, and allows each node to pass data to all four neighbors
+simultaneously", with the grid "embedded within the hypercube topology
+in such a way that grid neighbors are hypercube neighbors, thereby
+making effective use of the network".
+
+This module makes that story executable: dimension-ordered routing over
+the node hypercube, transfer scheduling with per-edge serialization,
+and the four-neighbor exchange built on top.  The halo layer's
+closed-form cost model (`repro.runtime.halo.exchange_cost`) is the fast
+path; :func:`exchange_route_cost` derives the same quantity from actual
+routed transfers, and the tests pin the two to each other -- and show
+what breaks when the embedding is *not* neighbor-preserving (each grid
+hop becomes a multi-wire route and the exchange serializes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .geometry import NodeCoord, all_coords, grid_shape, node_address
+from .params import MachineParams
+
+#: An embedding maps a grid coordinate to a hypercube address.
+Embedding = Callable[[int, int, Tuple[int, int]], int]
+
+
+def gray_embedding(row: int, col: int, shape: Tuple[int, int]) -> int:
+    """The production embedding: Gray-coded rows and columns, so every
+    grid step flips exactly one address bit."""
+    return node_address(row, col, shape)
+
+
+def binary_embedding(row: int, col: int, shape: Tuple[int, int]) -> int:
+    """The naive embedding (the ablation): plain binary concatenation.
+
+    Stepping across a power-of-two boundary flips many bits, so grid
+    neighbors can be several hypercube hops apart.
+    """
+    rows, _ = shape
+    row_bits = (rows - 1).bit_length()
+    return (col << row_bits) | row
+
+
+def route(source: int, destination: int) -> List[Tuple[int, int]]:
+    """Dimension-ordered (e-cube) route between two hypercube addresses.
+
+    Returns the wire hops as (from, to) pairs, correcting address bits
+    from the lowest dimension upward -- the classic deadlock-free order.
+    """
+    hops: List[Tuple[int, int]] = []
+    current = source
+    difference = source ^ destination
+    dimension = 0
+    while difference:
+        if difference & 1:
+            nxt = current ^ (1 << dimension)
+            hops.append((current, nxt))
+            current = nxt
+        difference >>= 1
+        dimension += 1
+    return hops
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One node-to-node message of ``words`` 32-bit words."""
+
+    source: int
+    destination: int
+    words: int
+
+
+@dataclass(frozen=True)
+class RoutedCost:
+    """The outcome of scheduling a set of transfers on the hypercube.
+
+    Attributes:
+        max_hops: longest route among the transfers.
+        busiest_wire_words: words carried by the most-loaded directed
+            wire -- with per-edge serialization this bounds the transfer
+            time of the whole synchronous step.
+        total_wire_words: aggregate word-hops (network energy/traffic).
+    """
+
+    max_hops: int
+    busiest_wire_words: int
+    total_wire_words: int
+
+    def cycles(self, params: MachineParams) -> int:
+        """Time for the synchronous exchange step.
+
+        All wires run in parallel; the step completes when the busiest
+        wire drains, plus the fixed startup.
+        """
+        return params.comm_startup_cycles + int(
+            params.comm_cycles_per_element * self.busiest_wire_words
+        )
+
+
+def schedule_transfers(transfers: Iterable[Transfer]) -> RoutedCost:
+    """Route every transfer and accumulate per-wire load."""
+    wire_load: Dict[Tuple[int, int], int] = {}
+    max_hops = 0
+    total = 0
+    for transfer in transfers:
+        hops = route(transfer.source, transfer.destination)
+        max_hops = max(max_hops, len(hops))
+        for wire in hops:
+            wire_load[wire] = wire_load.get(wire, 0) + transfer.words
+            total += transfer.words
+    busiest = max(wire_load.values(), default=0)
+    return RoutedCost(
+        max_hops=max_hops,
+        busiest_wire_words=busiest,
+        total_wire_words=total,
+    )
+
+
+def four_neighbor_transfers(
+    shape: Tuple[int, int],
+    subgrid_shape: Tuple[int, int],
+    pad: int,
+    embedding: Embedding = gray_embedding,
+) -> List[Transfer]:
+    """The edge-exchange traffic: every node sends ``pad`` rows/columns
+    to each of its four torus neighbors simultaneously."""
+    rows, cols = subgrid_shape
+    transfers: List[Transfer] = []
+    for coord in all_coords(shape):
+        here = embedding(coord.row, coord.col, shape)
+        for direction, neighbor in coord.neighbors(shape).items():
+            words = pad * (cols if direction in ("N", "S") else rows)
+            there = embedding(neighbor.row, neighbor.col, shape)
+            if here == there:
+                continue  # single-row/column torus: data stays put
+            transfers.append(
+                Transfer(source=here, destination=there, words=words)
+            )
+    return transfers
+
+
+def corner_transfers(
+    shape: Tuple[int, int],
+    pad: int,
+    embedding: Embedding = gray_embedding,
+) -> List[Transfer]:
+    """The third-step traffic: pad x pad corners to diagonal neighbors."""
+    transfers: List[Transfer] = []
+    for coord in all_coords(shape):
+        here = embedding(coord.row, coord.col, shape)
+        for neighbor in coord.diagonal_neighbors(shape).values():
+            there = embedding(neighbor.row, neighbor.col, shape)
+            if here == there:
+                continue
+            transfers.append(
+                Transfer(source=here, destination=there, words=pad * pad)
+            )
+    return transfers
+
+
+def exchange_route_cost(
+    params: MachineParams,
+    subgrid_shape: Tuple[int, int],
+    pad: int,
+    *,
+    include_corners: bool = False,
+    embedding: Embedding = gray_embedding,
+) -> RoutedCost:
+    """Cost of one whole halo exchange derived from routed transfers.
+
+    With the Gray embedding every edge transfer is a single hop, the
+    four directions use disjoint wires, and the busiest wire carries
+    ``pad * max(subgrid dims)`` words -- reproducing the closed-form
+    model of :func:`repro.runtime.halo.exchange_cost` from first
+    principles.  Corner traffic (two hops) is scheduled as a separate
+    step, as in the paper.
+    """
+    shape = grid_shape(params.num_nodes)
+    edge = schedule_transfers(
+        four_neighbor_transfers(shape, subgrid_shape, pad, embedding)
+    )
+    if not include_corners:
+        return edge
+    corners = schedule_transfers(corner_transfers(shape, pad, embedding))
+    return RoutedCost(
+        max_hops=max(edge.max_hops, corners.max_hops),
+        busiest_wire_words=edge.busiest_wire_words
+        + corners.busiest_wire_words,
+        total_wire_words=edge.total_wire_words + corners.total_wire_words,
+    )

@@ -1,0 +1,55 @@
+"""The run-time library: arrays, halo exchange, strip mining, execution."""
+
+from .cm_array import CMArray
+from .decomposition import Block, Decomposition
+from .executor import (
+    ExecutionSetupError,
+    check_arrays,
+    node_execute_exact,
+    node_execute_fast,
+)
+from .halo import (
+    CommStats,
+    exchange_cost,
+    exchange_halo,
+    halo_buffer_name,
+    legacy_exchange_cost,
+)
+from .multidim import (
+    CMArray3D,
+    DepthTap,
+    Stencil3DRun,
+    apply_stencil_3d,
+    compile_3d,
+)
+from .stencil_op import StencilRun, apply_stencil
+from .strips import Strip, StripSchedule, split_rows
+from .subroutine import StencilFunction, make_stencil_function, make_subroutine
+
+__all__ = [
+    "Block",
+    "CMArray",
+    "CMArray3D",
+    "DepthTap",
+    "Stencil3DRun",
+    "apply_stencil_3d",
+    "compile_3d",
+    "CommStats",
+    "Decomposition",
+    "ExecutionSetupError",
+    "StencilFunction",
+    "StencilRun",
+    "Strip",
+    "make_stencil_function",
+    "make_subroutine",
+    "StripSchedule",
+    "apply_stencil",
+    "check_arrays",
+    "exchange_cost",
+    "exchange_halo",
+    "halo_buffer_name",
+    "legacy_exchange_cost",
+    "node_execute_exact",
+    "node_execute_fast",
+    "split_rows",
+]

@@ -1,0 +1,87 @@
+"""Distributed Connection Machine arrays.
+
+A :class:`CMArray` is a named, 2-D, single-precision array block-divided
+over the machine's node grid; each node's subgrid lives in that node's
+:class:`~repro.machine.memory.NodeMemory` under the array's name, which
+is how the sequencer's address generation finds it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..machine.machine import CM2
+from .decomposition import Decomposition
+
+
+class CMArray:
+    """A named distributed array."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: CM2,
+        global_shape: Tuple[int, int],
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        self.decomposition = Decomposition(global_shape, machine)
+        for node in machine.nodes():
+            node.memory.allocate(name, self.decomposition.subgrid_shape)
+
+    @property
+    def global_shape(self) -> Tuple[int, int]:
+        return self.decomposition.global_shape
+
+    @property
+    def subgrid_shape(self) -> Tuple[int, int]:
+        return self.decomposition.subgrid_shape
+
+    # ------------------------------------------------------------------
+    # Host <-> machine data movement
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_numpy(
+        cls, name: str, machine: CM2, array: np.ndarray
+    ) -> "CMArray":
+        """Create a distributed array from host data (scatter)."""
+        cm_array = cls(name, machine, tuple(array.shape))
+        cm_array.set(array)
+        return cm_array
+
+    def set(self, array: np.ndarray) -> None:
+        """Scatter host data into the node subgrids."""
+        subgrids = self.decomposition.scatter(np.asarray(array))
+        for node in self.machine.nodes():
+            node.memory.install(self.name, subgrids[node.coord])
+
+    def fill(self, value: float) -> None:
+        for node in self.machine.nodes():
+            node.memory.buffer(self.name)[:] = np.float32(value)
+
+    def to_numpy(self) -> np.ndarray:
+        """Gather the node subgrids into a host array."""
+        subgrids = {
+            node.coord: node.memory.buffer(self.name)
+            for node in self.machine.nodes()
+        }
+        return self.decomposition.gather(subgrids)
+
+    # ------------------------------------------------------------------
+    # Node-local views
+    # ------------------------------------------------------------------
+
+    def subgrid(self, row: int, col: int) -> np.ndarray:
+        """Direct view of the node-(row, col) subgrid buffer."""
+        return self.machine.node(row, col).memory.buffer(self.name)
+
+    def like(self, name: str) -> "CMArray":
+        """A new zero-filled array with the same shape and machine."""
+        return CMArray(name, self.machine, self.global_shape)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows, cols = self.global_shape
+        return f"CMArray({self.name!r}, {rows}x{cols})"

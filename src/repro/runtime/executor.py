@@ -1,0 +1,158 @@
+"""Node-level execution of compiled stencils.
+
+Two execution modes with identical semantics:
+
+* **exact** -- every node's half-strips run through the cycle-stepped
+  sequencer + WTL3164 model: real register contents, ring-buffer
+  rotation, writeback timing, and exact cycle counts.  Used by the
+  correctness tests (and usable anywhere, just slow).
+* **fast** -- numerics computed vectorized per node in the *same
+  accumulation order* the schedules use (so results are bit-identical in
+  float32), with cycles from the closed-form cost model that the exact
+  mode validates.  Used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..compiler.plan import CompiledStencil
+from ..machine.machine import CM2
+from ..machine.node import Node
+from ..machine.sequencer import Sequencer
+from ..stencil.pattern import CoeffKind, StencilPattern
+from .cm_array import CMArray
+from .halo import halo_buffer_name
+from .strips import StripSchedule
+
+
+class ExecutionSetupError(Exception):
+    """Arrays handed to the executor do not match the compiled stencil."""
+
+
+def check_arrays(
+    compiled: CompiledStencil,
+    source: CMArray,
+    coefficients: Dict[str, CMArray],
+    result: CMArray,
+) -> None:
+    """Validate that the run-time arrays match the compiled statement."""
+    pattern = compiled.pattern
+    if result.global_shape != source.global_shape:
+        raise ExecutionSetupError(
+            f"result shape {result.global_shape} != source shape "
+            f"{source.global_shape}"
+        )
+    for name in pattern.coefficient_names():
+        if name not in coefficients:
+            raise ExecutionSetupError(
+                f"missing coefficient array {name!r} "
+                f"(statement needs {pattern.coefficient_names()})"
+            )
+        if coefficients[name].global_shape != source.global_shape:
+            raise ExecutionSetupError(
+                f"coefficient {name!r} shape "
+                f"{coefficients[name].global_shape} != source shape "
+                f"{source.global_shape}"
+            )
+    for term in getattr(pattern, "extra_terms", ()):
+        sample_node = next(iter(source.machine.nodes()))
+        if not sample_node.memory.has_buffer(term.source):
+            raise ExecutionSetupError(
+                f"missing fused extra-source array {term.source!r}; create "
+                "it as a CMArray on the same machine before applying"
+            )
+
+
+def node_execute_exact(
+    compiled: CompiledStencil,
+    node: Node,
+    schedule: StripSchedule,
+    *,
+    source_name: str,
+    result_name: str,
+    halo: int,
+) -> int:
+    """Run one node's whole subgrid through the cycle-stepped datapath.
+
+    Returns the exact cycle count (identical on every node: the machine
+    is synchronous SIMD).
+    """
+    params = compiled.params
+    node.memory.ensure_constant_pages(compiled.scalar_coefficient_values())
+    any_plan = next(iter(compiled.plans.values()))
+    fpu = node.make_fpu(
+        zero_reg=any_plan.allocation.zero_reg,
+        unit_reg=any_plan.allocation.unit_reg,
+    )
+    sequencer = Sequencer(
+        params,
+        node.memory,
+        source_buffer=halo_buffer_name(source_name),
+        result_buffer=result_name,
+        halo=halo,
+    )
+    for strip in schedule.strips:
+        fpu.stall(params.strip_setup_cycles, "strip-setup")
+        for job in strip.half_strips:
+            if job.lines > 0:
+                sequencer.run_half_strip(strip.plan, job, fpu)
+    fpu.drain()
+    return fpu.stats.cycles
+
+
+def node_execute_fast(
+    pattern: StencilPattern,
+    node: Node,
+    *,
+    source_name: str,
+    result_name: str,
+    halo: int,
+) -> None:
+    """Compute one node's subgrid vectorized, in schedule order.
+
+    Accumulates taps in statement order with float32 rounding after every
+    multiply and every add -- exactly the chained multiply-add semantics
+    of the WTL3164 model, so the result is bit-identical to exact mode.
+    """
+    padded = node.memory.buffer(halo_buffer_name(source_name))
+    result = node.memory.buffer(result_name)
+    rows, cols = result.shape
+    acc = np.zeros((rows, cols), dtype=np.float32)
+    for tap in pattern.taps:
+        coeff = _coefficient_subgrid(tap, node, rows, cols)
+        if tap.is_constant_term:
+            product = np.float32(1.0) * coeff
+        else:
+            window = padded[
+                halo + tap.dy : halo + tap.dy + rows,
+                halo + tap.dx : halo + tap.dx + cols,
+            ]
+            if tap.coeff.kind is CoeffKind.UNIT:
+                product = np.float32(1.0) * window
+            else:
+                product = coeff * window
+        acc = acc + product.astype(np.float32)
+    # Fused extra terms join the chain after the base taps, in order.
+    for term in getattr(pattern, "extra_terms", ()):
+        data = node.memory.buffer(term.source)
+        coeff = _term_coefficient_subgrid(term.coeff, node, rows, cols)
+        acc = acc + (coeff * data).astype(np.float32)
+    result[:] = acc
+
+
+def _coefficient_subgrid(tap, node: Node, rows: int, cols: int) -> np.ndarray:
+    return _term_coefficient_subgrid(tap.coeff, node, rows, cols)
+
+
+def _term_coefficient_subgrid(
+    coeff, node: Node, rows: int, cols: int
+) -> np.ndarray:
+    if coeff.kind is CoeffKind.ARRAY:
+        return node.memory.buffer(coeff.name)
+    if coeff.kind is CoeffKind.SCALAR:
+        return np.full((rows, cols), np.float32(coeff.value), dtype=np.float32)
+    return np.ones((rows, cols), dtype=np.float32)

@@ -1,0 +1,232 @@
+"""Temporary-storage allocation and the four-neighbor halo exchange.
+
+Interprocessor communication for an entire stencil computation happens
+up front, all at once (paper section 5.1):
+
+1. temporary storage is allocated around each subgrid, padded on *all
+   four sides* by the largest of the four border widths -- the
+   four-neighbor exchange primitive makes the extra data free, and "in
+   practice most stencils have fourfold symmetry anyway";
+2. data is exchanged with all four grid neighbors simultaneously (the
+   new node-grid communication primitive);
+3. corner data is exchanged for patterns that reach diagonally; the test
+   for skipping this step "is very easy and quick and does save a
+   noticeable amount of time for smaller arrays".
+
+Boundary treatment: CSHIFT dimensions wrap (the node grid is a torus);
+EOSHIFT dimensions fill out-of-bounds halo regions with the statement's
+boundary value at the global array edges (interior node boundaries still
+receive neighbor data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..machine.machine import CM2
+from ..machine.params import MachineParams
+from ..stencil.offsets import BoundaryMode
+from ..stencil.pattern import StencilPattern
+from .cm_array import CMArray
+
+
+def halo_buffer_name(array_name: str) -> str:
+    """Name of the temporary padded buffer for a source array."""
+    return f"{array_name}__halo__"
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Cost accounting for one halo exchange (per node, per call)."""
+
+    pad: int
+    cycles: int
+    edge_elements: int
+    corner_elements: int
+    corner_step_skipped: bool
+    temp_words: int
+
+    @property
+    def total_elements(self) -> int:
+        return self.edge_elements + self.corner_elements
+
+
+def exchange_cost(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+) -> CommStats:
+    """The communication cost model, without moving any data.
+
+    The four-neighbor exchange moves ``pad`` rows/columns along every
+    edge simultaneously, so its time is proportional to the *longer*
+    subgrid side; the corner step (when needed) moves four ``pad x pad``
+    blocks.
+    """
+    pad = pattern.border_widths().max_width
+    rows, cols = subgrid_shape
+    skipped = not pattern.needs_corner_exchange()
+    if pad == 0:
+        return CommStats(
+            pad=0,
+            cycles=0,
+            edge_elements=0,
+            corner_elements=0,
+            corner_step_skipped=True,
+            temp_words=rows * cols,
+        )
+    cycles = params.comm_startup_cycles + int(
+        params.comm_cycles_per_element * pad * max(rows, cols)
+    )
+    corner_elements = 0
+    if not skipped:
+        cycles += params.corner_exchange_startup_cycles + int(
+            params.comm_cycles_per_element * pad * pad
+        )
+        corner_elements = 4 * pad * pad
+    return CommStats(
+        pad=pad,
+        cycles=cycles,
+        edge_elements=2 * pad * (rows + cols),
+        corner_elements=corner_elements,
+        corner_step_skipped=skipped,
+        temp_words=(rows + 2 * pad) * (cols + 2 * pad),
+    )
+
+
+def legacy_exchange_cost(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+) -> CommStats:
+    """The *previous* CM-2 grid primitive's cost (paper section 4.1).
+
+    "Previous CM-2 grid primitives were designed to organize the
+    bit-serial processors into a grid and to allow every processor in
+    parallel to pass a single datum to a single neighbor, all in the
+    same direction (West, say)."  Filling a width-``pad`` halo that way
+    takes one whole-direction transfer per row/column of halo per
+    direction -- ``4 * pad`` sequential primitive calls, each moving one
+    element per processor and paying its own startup -- where the new
+    node-grid primitive exchanges everything with all four neighbors at
+    once.
+    """
+    pad = pattern.border_widths().max_width
+    rows, cols = subgrid_shape
+    skipped = not pattern.needs_corner_exchange()
+    if pad == 0:
+        return exchange_cost(pattern, subgrid_shape, params)
+    cycles = 0
+    for extent, directions in ((cols, 2), (rows, 2)):
+        # One call per halo row/column per direction; each call shifts
+        # one element across every processor boundary on the path, so
+        # its transfer time covers the full edge length.
+        cycles += directions * pad * (
+            params.comm_startup_cycles
+            + int(params.comm_cycles_per_element * extent)
+        )
+    corner_elements = 0
+    if not skipped:
+        # Corners arrive via composed row+column shifts: pad extra calls
+        # per diagonal pair.
+        cycles += 2 * pad * (
+            params.corner_exchange_startup_cycles
+            + int(params.comm_cycles_per_element * pad)
+        )
+        corner_elements = 4 * pad * pad
+    return CommStats(
+        pad=pad,
+        cycles=cycles,
+        edge_elements=2 * pad * (rows + cols),
+        corner_elements=corner_elements,
+        corner_step_skipped=skipped,
+        temp_words=(rows + 2 * pad) * (cols + 2 * pad),
+    )
+
+
+def exchange_halo(
+    source: CMArray,
+    pattern: StencilPattern,
+    params: MachineParams,
+) -> CommStats:
+    """Build every node's padded source buffer by neighbor exchange.
+
+    Allocates (or refreshes) the ``<name>__halo__`` buffer on each node
+    and fills its interior from the node's own subgrid and its halo from
+    the four edge neighbors plus, when the pattern reaches diagonally,
+    the four corner neighbors.
+
+    Returns the per-node cost statistics.
+    """
+    machine = source.machine
+    rows, cols = source.subgrid_shape
+    pad = pattern.border_widths().max_width
+    if pad > min(rows, cols):
+        raise ValueError(
+            f"halo width {pad} exceeds the subgrid extent {source.subgrid_shape}; "
+            "the exchange primitive reaches only immediate neighbors"
+        )
+    stats = exchange_cost(pattern, source.subgrid_shape, params)
+    name = halo_buffer_name(source.name)
+    dim_row, dim_col = pattern.plane_dims
+    row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+    col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+    fill = np.float32(pattern.fill_value)
+    grid_rows, grid_cols = machine.shape
+
+    for node in machine.nodes():
+        padded = node.memory.allocate(name, (rows + 2 * pad, cols + 2 * pad))
+        own = node.memory.buffer(source.name)
+        padded[pad : pad + rows, pad : pad + cols] = own
+        if pad == 0:
+            continue
+        r, c = node.coord.row, node.coord.col
+        at_north = r == 0 and row_wraps is BoundaryMode.FILL
+        at_south = r == grid_rows - 1 and row_wraps is BoundaryMode.FILL
+        at_west = c == 0 and col_wraps is BoundaryMode.FILL
+        at_east = c == grid_cols - 1 and col_wraps is BoundaryMode.FILL
+
+        def subgrid(row: int, col: int) -> np.ndarray:
+            return machine.node(row, col).memory.buffer(source.name)
+
+        # Step 2: edges, exchanged with all four neighbors at once.
+        padded[:pad, pad : pad + cols] = (
+            fill if at_north else subgrid(r - 1, c)[rows - pad :, :]
+        )
+        padded[pad + rows :, pad : pad + cols] = (
+            fill if at_south else subgrid(r + 1, c)[:pad, :]
+        )
+        padded[pad : pad + rows, :pad] = (
+            fill if at_west else subgrid(r, c - 1)[:, cols - pad :]
+        )
+        padded[pad : pad + rows, pad + cols :] = (
+            fill if at_east else subgrid(r, c + 1)[:, :pad]
+        )
+
+        # Step 3: corners, unless the pattern has no diagonal reach.
+        if stats.corner_step_skipped:
+            continue
+        padded[:pad, :pad] = (
+            fill
+            if (at_north or at_west)
+            else subgrid(r - 1, c - 1)[rows - pad :, cols - pad :]
+        )
+        padded[:pad, pad + cols :] = (
+            fill
+            if (at_north or at_east)
+            else subgrid(r - 1, c + 1)[rows - pad :, :pad]
+        )
+        padded[pad + rows :, :pad] = (
+            fill
+            if (at_south or at_west)
+            else subgrid(r + 1, c - 1)[:pad, cols - pad :]
+        )
+        padded[pad + rows :, pad + cols :] = (
+            fill
+            if (at_south or at_east)
+            else subgrid(r + 1, c + 1)[:pad, :pad]
+        )
+    return stats

@@ -1,0 +1,211 @@
+"""The user-facing stencil application entry point.
+
+``apply_stencil`` does what the paper's run-time library does for one
+call: allocate temporary halo storage, perform the up-front neighbor
+exchange, then drive every node's subgrid through the strip-mined
+compiled plans -- and returns a complete accounting of where the time
+went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..compiler.plan import CompiledStencil
+from ..machine.machine import CM2
+from ..machine.params import MachineParams
+from .cm_array import CMArray
+from .executor import (
+    ExecutionSetupError,
+    check_arrays,
+    node_execute_exact,
+    node_execute_fast,
+)
+from .halo import CommStats, exchange_halo
+from .strips import StripSchedule
+
+
+@dataclass(frozen=True)
+class StencilRun:
+    """The outcome of one (possibly iterated) stencil call.
+
+    Cycle counts are per node per iteration; the CM-2 is synchronous
+    SIMD, so they are identical on every node and independent of machine
+    size.
+
+    Attributes:
+        compiled: the plan that ran.
+        machine: the machine it ran on.
+        result: the distributed result array.
+        iterations: how many times the computation was (or is modeled to
+            be) applied.
+        compute_cycles: node cycles per iteration inside the microcode
+            loops (strip mining included).
+        comm: halo-exchange cost per iteration.
+        half_strips: microcode invocations per iteration (drives the
+            front-end overhead).
+        exact: whether the cycle count came from the cycle-stepped
+            datapath (True) or the closed-form model (False).
+    """
+
+    compiled: CompiledStencil
+    machine: CM2
+    result: CMArray
+    iterations: int
+    compute_cycles: int
+    comm: CommStats
+    half_strips: int
+    exact: bool
+
+    @property
+    def params(self) -> MachineParams:
+        return self.compiled.params
+
+    @property
+    def cycles_per_iteration(self) -> int:
+        return self.compute_cycles + self.comm.cycles
+
+    @property
+    def machine_seconds_per_iteration(self) -> float:
+        return self.params.seconds(self.cycles_per_iteration)
+
+    @property
+    def host_seconds_per_iteration(self) -> float:
+        return self.params.host_overhead_s(self.half_strips)
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Elapsed wall-clock per iteration: machine time plus the
+        front-end time to issue the calls (the host and the sequencer do
+        not overlap in this SIMD regime)."""
+        return self.machine_seconds_per_iteration + self.host_seconds_per_iteration
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.iterations * self.seconds_per_iteration
+
+    @property
+    def useful_flops_per_node_per_iteration(self) -> int:
+        rows, cols = self.result.subgrid_shape
+        return rows * cols * self.compiled.pattern.useful_flops_per_point()
+
+    @property
+    def useful_flops(self) -> int:
+        return (
+            self.useful_flops_per_node_per_iteration
+            * self.machine.num_nodes
+            * self.iterations
+        )
+
+    @property
+    def mflops(self) -> float:
+        """Sustained useful Mflops over the whole run."""
+        return self.useful_flops / self.elapsed_seconds / 1e6
+
+    @property
+    def gflops(self) -> float:
+        return self.mflops / 1e3
+
+    def describe(self) -> str:
+        rows, cols = self.result.subgrid_shape
+        return (
+            f"{self.compiled.pattern.name or 'stencil'} on "
+            f"{self.machine.num_nodes} nodes, {rows}x{cols} subgrids, "
+            f"{self.iterations} iterations: {self.elapsed_seconds:.2f} s, "
+            f"{self.mflops:.1f} Mflops"
+        )
+
+
+def apply_stencil(
+    compiled: CompiledStencil,
+    source: CMArray,
+    coefficients: Optional[Dict[str, CMArray]] = None,
+    result: Union[CMArray, str, None] = None,
+    *,
+    iterations: int = 1,
+    exact: bool = False,
+) -> StencilRun:
+    """Apply a compiled stencil to a distributed array.
+
+    Args:
+        compiled: output of :func:`repro.compiler.compile_stencil` (or
+            the Fortran/defstencil drivers).
+        source: the shifted data array (``X`` in the paper).
+        coefficients: coefficient arrays by statement name (``C1``...).
+        result: the result array, its name, or None to create one named
+            after the statement's left-hand side.
+        iterations: how many applications to model.  Numerics are
+            idempotent (the source is not modified), so fast mode
+            computes them once and scales the time; exact mode re-runs
+            the datapath each iteration.
+        exact: run the cycle-stepped datapath instead of the vectorized
+            fast path.
+
+    Returns:
+        a :class:`StencilRun` with the result and full cost accounting.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be positive")
+    machine = source.machine
+    pattern = compiled.pattern
+    coefficients = coefficients or {}
+    if result is None:
+        result = pattern.result
+    if isinstance(result, str):
+        result = CMArray(result, machine, source.global_shape)
+    check_arrays(compiled, source, coefficients, result)
+
+    # The compiled plans stream coefficients by *statement* name; when a
+    # caller passes arrays stored under different names (e.g. through the
+    # subroutine-call interface), point the statement names at them --
+    # run-time base addresses, as the sequencer would take them.
+    for statement_name, array in coefficients.items():
+        if array.name != statement_name:
+            for node in machine.nodes():
+                node.memory.alias(statement_name, array.name)
+
+    schedule = StripSchedule(compiled, source.subgrid_shape)
+    params = compiled.params
+    comm = exchange_halo(source, pattern, params)
+    pad = comm.pad
+
+    if exact:
+        cycles = None
+        for _ in range(iterations):
+            for node in machine.nodes():
+                node_cycles = node_execute_exact(
+                    compiled,
+                    node,
+                    schedule,
+                    source_name=source.name,
+                    result_name=result.name,
+                    halo=pad,
+                )
+                if cycles is not None and node_cycles != cycles:
+                    raise AssertionError(
+                        "SIMD invariant violated: nodes disagree on cycles"
+                    )
+                cycles = node_cycles
+        compute_cycles = cycles
+    else:
+        for node in machine.nodes():
+            node_execute_fast(
+                pattern,
+                node,
+                source_name=source.name,
+                result_name=result.name,
+                halo=pad,
+            )
+        compute_cycles = schedule.compute_cycles(params)
+
+    return StencilRun(
+        compiled=compiled,
+        machine=machine,
+        result=result,
+        iterations=iterations,
+        compute_cycles=compute_cycles,
+        comm=comm,
+        half_strips=schedule.num_half_strips,
+        exact=exact,
+    )

@@ -1,0 +1,117 @@
+"""Callable wrappers: compiled stencils as ordinary functions.
+
+The paper's first version produced "an ordinary Lisp function named
+cross that takes Connection Machine arrays as arguments and performs
+the indicated computation"; the second version produced a compiled
+Fortran subroutine callable from the rest of the program.  These
+factories reproduce both calling conventions: the returned Python
+callable takes distributed arrays positionally, in the declared
+argument order, runs the compiled stencil, and returns the run's
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..compiler.driver import compile_stencil
+from ..compiler.plan import CompiledStencil
+from ..fortran.parser import parse_subroutine
+from ..fortran.recognizer import recognize_subroutine
+from ..lisp.defstencil import parse_defstencil, parse_defstencil_with_types
+from ..lisp.sexpr import Symbol, read
+from ..machine.params import MachineParams
+from .cm_array import CMArray
+from .stencil_op import StencilRun, apply_stencil
+
+
+class StencilFunction:
+    """A compiled stencil with a positional calling convention.
+
+    Attributes:
+        name: the subroutine/defstencil name.
+        parameters: the declared argument names, in order.
+        compiled: the underlying compiled stencil.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parameters: Sequence[str],
+        compiled: CompiledStencil,
+    ) -> None:
+        pattern = compiled.pattern
+        needed = {pattern.result, pattern.source}
+        needed.update(pattern.coefficient_names())
+        missing = needed - set(parameters)
+        if missing:
+            raise ValueError(
+                f"{name}: statement references {sorted(missing)} which are "
+                f"not among the arguments {list(parameters)}"
+            )
+        self.name = name
+        self.parameters = tuple(parameters)
+        self.compiled = compiled
+
+    def __call__(self, *arrays: CMArray) -> StencilRun:
+        """Execute the stencil: ``cross(r, x, c1, c2, ...)``.
+
+        Arguments bind positionally to the declared parameter names; the
+        arrays may carry any storage names.
+        """
+        if len(arrays) != len(self.parameters):
+            raise TypeError(
+                f"{self.name}() takes {len(self.parameters)} arrays "
+                f"({', '.join(self.parameters)}); got {len(arrays)}"
+            )
+        bound: Dict[str, CMArray] = dict(zip(self.parameters, arrays))
+        pattern = self.compiled.pattern
+        result = bound[pattern.result]
+        source = bound[pattern.source]
+        coefficients = {
+            coeff_name: bound[coeff_name]
+            for coeff_name in pattern.coefficient_names()
+        }
+        return apply_stencil(self.compiled, source, coefficients, result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<stencil function {self.name}({', '.join(self.parameters)})>"
+        )
+
+
+def make_subroutine(
+    source: str, params: Optional[MachineParams] = None
+) -> StencilFunction:
+    """Version-2 behaviour: compile an isolated Fortran stencil
+    subroutine into a callable."""
+    subroutine = parse_subroutine(source)
+    pattern = recognize_subroutine(subroutine)
+    compiled = compile_stencil(pattern, params)
+    return StencilFunction(
+        name=subroutine.name.lower(),
+        parameters=subroutine.params,
+        compiled=compiled,
+    )
+
+
+def make_stencil_function(
+    source: str, params: Optional[MachineParams] = None
+) -> StencilFunction:
+    """Version-1 behaviour: ``defstencil`` yields an ordinary function
+    that takes Connection Machine arrays as arguments."""
+    try:
+        pattern = parse_defstencil_with_types(source)
+    except Exception:
+        pattern = parse_defstencil(source)
+    form = read(source)
+    arg_forms = form[2]
+    parameters = [
+        symbol.name for symbol in arg_forms if isinstance(symbol, Symbol)
+    ]
+    compiled = compile_stencil(pattern, params)
+    return StencilFunction(
+        name=pattern.name or "stencil",
+        parameters=parameters,
+        compiled=compiled,
+    )

@@ -1,0 +1,47 @@
+"""Stencil intermediate representation: taps, patterns, multistencils."""
+
+from .offsets import (
+    BoundaryMode,
+    MixedBoundaryError,
+    Shift,
+    ShiftKind,
+    apply_one_shift,
+    apply_shift_chain,
+    compose_boundary_modes,
+    compose_offsets,
+    plane_offset,
+    shifted_dims,
+)
+from .pattern import (
+    BorderWidths,
+    Coefficient,
+    CoeffKind,
+    StencilPattern,
+    Tap,
+    pattern_from_offsets,
+)
+from .multistencil import ColumnProfile, Multistencil, multistencil_widths
+from . import gallery
+
+__all__ = [
+    "BorderWidths",
+    "BoundaryMode",
+    "Coefficient",
+    "CoeffKind",
+    "ColumnProfile",
+    "MixedBoundaryError",
+    "Multistencil",
+    "Shift",
+    "ShiftKind",
+    "StencilPattern",
+    "Tap",
+    "apply_one_shift",
+    "apply_shift_chain",
+    "compose_boundary_modes",
+    "compose_offsets",
+    "gallery",
+    "multistencil_widths",
+    "pattern_from_offsets",
+    "plane_offset",
+    "shifted_dims",
+]

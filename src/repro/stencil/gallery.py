@@ -1,0 +1,154 @@
+"""The stencil patterns the paper displays, plus parametric generators.
+
+Offsets follow the paper's first example: ``CSHIFT(X, DIM=1, SHIFT=-1)``
+is the North neighbor ``x[i-1, j]``, so an offset ``(dy, dx)`` reads
+``x[i+dy, j+dx]``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .pattern import Offset, StencilPattern, pattern_from_offsets
+
+
+def cross(radius: int, *, name: str = None) -> StencilPattern:
+    """A cross (plus-shaped) stencil of the given radius.
+
+    ``cross(1)`` is the paper's opening 5-point example; ``cross(2)`` is
+    its second example and the 9-point cross of the Gordon Bell seismic
+    kernel.  Tap order matches the paper's statements: North arm top-down,
+    then West arm, center, East arm, South arm.
+    """
+    offsets: List[Offset] = []
+    for dy in range(-radius, 0):
+        offsets.append((dy, 0))
+    for dx in range(-radius, 0):
+        offsets.append((0, dx))
+    offsets.append((0, 0))
+    for dx in range(1, radius + 1):
+        offsets.append((0, dx))
+    for dy in range(1, radius + 1):
+        offsets.append((dy, 0))
+    return pattern_from_offsets(
+        offsets, name=name or f"cross{len(offsets)}"
+    )
+
+
+def square(radius: int, *, name: str = None) -> StencilPattern:
+    """A full ``(2r+1) x (2r+1)`` square stencil.
+
+    ``square(1)`` is the paper's third example, expressed there with
+    composed CSHIFTs; tap order is row-major, matching that statement.
+    """
+    offsets = [
+        (dy, dx)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+    ]
+    return pattern_from_offsets(
+        offsets, name=name or f"square{len(offsets)}"
+    )
+
+
+def diamond(radius: int, *, name: str = None) -> StencilPattern:
+    """A diamond stencil: all offsets with ``|dy| + |dx| <= radius``.
+
+    ``diamond(2)`` is the paper's 13-point diamond, the example whose
+    width-8 multistencil needs 48 registers (too many) while the width-4
+    multistencil needs only 28.  Tap order is row-major.
+    """
+    offsets = [
+        (dy, dx)
+        for dy in range(-radius, radius + 1)
+        for dx in range(-radius, radius + 1)
+        if abs(dy) + abs(dx) <= radius
+    ]
+    return pattern_from_offsets(
+        offsets, name=name or f"diamond{len(offsets)}"
+    )
+
+
+def cross5() -> StencilPattern:
+    """The paper's opening example: the 5-point cross."""
+    return cross(1, name="cross5")
+
+
+def cross9() -> StencilPattern:
+    """The radius-2 cross: the paper's second example and the 9-point
+    cross of the Gordon Bell seismic kernel."""
+    return cross(2, name="cross9")
+
+
+def square9() -> StencilPattern:
+    """The full 3x3 square, the paper's composed-CSHIFT example."""
+    return square(1, name="square9")
+
+
+def diamond13() -> StencilPattern:
+    """The 13-point diamond of the register-allocation discussion."""
+    return diamond(2, name="diamond13")
+
+
+def asymmetric5() -> StencilPattern:
+    """The paper's deliberately lopsided 5-point example.
+
+    ``R = C1*X + C2*CSHIFT(X,2,+1) + C3*CSHIFT(CSHIFT(X,1,+1),2,-1)
+    + C4*CSHIFT(X,1,+1) + C5*CSHIFT(X,1,+2)`` -- showing that a stencil
+    need not be symmetrical or centered.  In the paper's positional
+    convention the last term is DIM=1, SHIFT=+2: two rows South.
+    """
+    offsets = [(0, 0), (0, 1), (1, -1), (1, 0), (2, 0)]
+    return pattern_from_offsets(offsets, name="asymmetric5")
+
+
+def border_demo() -> StencilPattern:
+    """A pattern with the section 5.1 border widths: N=2, S=0, W=3, E=1.
+
+    The paper shows this one only as a pictogram (the OCR garbles it); any
+    pattern with those extents exercises the same communication geometry,
+    so we use a small L-shape reaching 2 North, 3 West, 1 East, 0 South.
+    """
+    offsets = [(-2, 0), (-1, -1), (0, -3), (0, -2), (0, -1), (0, 0), (0, 1)]
+    return pattern_from_offsets(offsets, name="border_demo")
+
+
+def box(height: int, width: int, *, name: str = None) -> StencilPattern:
+    """A full rectangular stencil of ``height x width`` taps, centered as
+    symmetrically as the extents allow (extra reach goes South/East).
+
+    The paper's point that stencils "need not be symmetrical or
+    particularly centered" extends to whole families like these.
+    """
+    if height < 1 or width < 1:
+        raise ValueError("box extents must be positive")
+    north = (height - 1) // 2
+    west = (width - 1) // 2
+    offsets = [
+        (dy, dx)
+        for dy in range(-north, height - north)
+        for dx in range(-west, width - west)
+    ]
+    return pattern_from_offsets(
+        offsets, name=name or f"box{height}x{width}"
+    )
+
+
+def row(length: int, *, name: str = None) -> StencilPattern:
+    """A horizontal line stencil: 1-D convolution along dimension 2."""
+    return box(1, length, name=name or f"row{length}")
+
+
+def column(length: int, *, name: str = None) -> StencilPattern:
+    """A vertical line stencil: 1-D convolution along dimension 1."""
+    return box(length, 1, name=name or f"column{length}")
+
+
+def table1_patterns() -> Tuple[StencilPattern, ...]:
+    """The four stencil groups of the paper's results table.
+
+    The table's pictograms are garbled in the source text; DESIGN.md
+    records the attribution: the four groups are taken to be the four
+    patterns the paper develops in the text, in order of presentation.
+    """
+    return (cross5(), cross9(), square9(), diamond13())

@@ -1,0 +1,202 @@
+"""Multistencils: the union of ``w`` side-by-side copies of a stencil.
+
+Placing ``w`` copies of a stencil pattern with their centers side by side
+yields the *multistencil*: the total set of data array elements needed to
+compute ``w`` results at once (paper section 5.3).  A width-8 multistencil
+of the 5-point cross spans only 26 positions where a naive schedule would
+perform 40 loads -- the key memory-bandwidth saving.
+
+This module computes multistencil geometry: its positions, its per-column
+row profiles (which drive the ring-buffer register allocation), the tagged
+accumulator positions, and the leading edge loaded per line during an
+upward sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .pattern import Offset, StencilPattern
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """The occupied rows of one multistencil column.
+
+    Attributes:
+        x: the column's horizontal offset within the multistencil (relative
+            to the leftmost result position's center).
+        rows: the occupied row offsets, sorted ascending (North first).
+    """
+
+    x: int
+    rows: Tuple[int, ...]
+
+    @property
+    def height(self) -> int:
+        """Number of occupied rows: the column's natural ring-buffer size."""
+        return len(self.rows)
+
+    @property
+    def top(self) -> int:
+        """The northernmost (smallest) occupied row offset."""
+        return self.rows[0]
+
+    @property
+    def bottom(self) -> int:
+        """The southernmost (largest) occupied row offset."""
+        return self.rows[-1]
+
+
+class Multistencil:
+    """Geometry of ``width`` overlapped copies of a stencil pattern.
+
+    Position convention: copy ``r`` (0-based, left to right) of the stencil
+    is centered at horizontal offset ``r``; a tap at ``(dy, dx)`` of copy
+    ``r`` occupies multistencil position ``(dy, dx + r)``.
+    """
+
+    def __init__(self, pattern: StencilPattern, width: int) -> None:
+        if width < 1:
+            raise ValueError(f"multistencil width must be positive, got {width}")
+        self.pattern = pattern
+        self.width = width
+        columns: Dict[int, set] = {}
+        for r in range(width):
+            for tap in pattern.data_taps:
+                columns.setdefault(tap.dx + r, set()).add(tap.dy)
+        self._columns: Tuple[ColumnProfile, ...] = tuple(
+            ColumnProfile(x=x, rows=tuple(sorted(rows)))
+            for x, rows in sorted(columns.items())
+        )
+        self._positions = frozenset(
+            (row, col.x) for col in self._columns for row in col.rows
+        )
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[ColumnProfile, ...]:
+        """Column profiles, left to right (only occupied columns)."""
+        return self._columns
+
+    @property
+    def positions(self) -> frozenset:
+        """All occupied ``(row, column)`` positions."""
+        return self._positions
+
+    @property
+    def num_positions(self) -> int:
+        """Data elements needed to compute ``width`` results at once."""
+        return len(self._positions)
+
+    @property
+    def max_column_height(self) -> int:
+        return max(col.height for col in self._columns)
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """``(leftmost column offset, rightmost column offset)``."""
+        return self._columns[0].x, self._columns[-1].x
+
+    def naive_load_count(self) -> int:
+        """Loads a schedule without inter-result reuse would perform.
+
+        The naive computation reloads every stencil position for every
+        result: ``width * num_points`` (40 for the width-8 5-point cross).
+        """
+        return self.width * self.pattern.num_points
+
+    def load_savings(self) -> float:
+        """Fraction of loads eliminated versus the naive schedule."""
+        naive = self.naive_load_count()
+        return (naive - self.num_positions) / naive
+
+    # ------------------------------------------------------------------
+    # Tagging and accumulators (paper section 5.3)
+    # ------------------------------------------------------------------
+
+    def tag_offset(self) -> Offset:
+        """The tagged stencil position: leftmost element of the bottom row.
+
+        The accumulator for each stencil occurrence is the register holding
+        that occurrence's tagged element.  Because the tag is the leftmost
+        element of its row, no result to the right can need it once its own
+        occurrence begins accumulating; because the row is the bottommost,
+        its elements also retire first when the sweep moves North.
+        """
+        offsets = self.pattern.offsets
+        bottom = max(dy for dy, _ in offsets)
+        left = min(dx for dy, dx in offsets if dy == bottom)
+        return (bottom, left)
+
+    def accumulator_position(self, occurrence: int) -> Offset:
+        """Multistencil position whose register accumulates result ``occurrence``."""
+        if not 0 <= occurrence < self.width:
+            raise ValueError(
+                f"occurrence {occurrence} out of range for width {self.width}"
+            )
+        tag_row, tag_col = self.tag_offset()
+        return (tag_row, tag_col + occurrence)
+
+    def occurrence_positions(self, occurrence: int) -> Tuple[Offset, ...]:
+        """Multistencil positions read when computing result ``occurrence``,
+        in tap order (the accumulation order)."""
+        if not 0 <= occurrence < self.width:
+            raise ValueError(
+                f"occurrence {occurrence} out of range for width {self.width}"
+            )
+        return tuple(
+            (tap.dy, tap.dx + occurrence) for tap in self.pattern.data_taps
+        )
+
+    # ------------------------------------------------------------------
+    # Sweep structure (paper section 5.4)
+    # ------------------------------------------------------------------
+
+    def leading_edge(self) -> Tuple[Offset, ...]:
+        """Positions loaded per line while the sweep moves North.
+
+        One element per column: the column's topmost position.  When the
+        whole footprint moves up one line these are exactly the positions
+        not covered by the previous line's footprint.
+        """
+        return tuple((col.top, col.x) for col in self._columns)
+
+    def retiring_edge(self) -> Tuple[Offset, ...]:
+        """Positions whose registers become free after each line.
+
+        One element per column: the column's bottommost position, no longer
+        needed once the sweep moves North.  The accumulator positions
+        (bottom row of each occurrence) are a subset of these.
+        """
+        return tuple((col.bottom, col.x) for col in self._columns)
+
+    def describe(self) -> str:
+        heights = ",".join(str(col.height) for col in self._columns)
+        return (
+            f"multistencil(width={self.width}, positions={self.num_positions}, "
+            f"column heights=[{heights}])"
+        )
+
+    def pictogram(self, *, mark: str = "#", empty: str = ".") -> str:
+        """Render the multistencil footprint as a grid diagram."""
+        left, right = self.span
+        top = min(col.top for col in self._columns)
+        bottom = max(col.bottom for col in self._columns)
+        rows = []
+        for dy in range(top, bottom + 1):
+            cells = [
+                mark if (dy, dx) in self._positions else empty
+                for dx in range(left, right + 1)
+            ]
+            rows.append(" ".join(cells))
+        return "\n".join(rows)
+
+
+def multistencil_widths() -> Tuple[int, ...]:
+    """The widths the compiler attempts, widest first (paper section 5.3)."""
+    return (8, 4, 2, 1)

@@ -1,0 +1,200 @@
+"""Shift composition: CSHIFT/EOSHIFT chains reduced to grid offsets.
+
+The paper's term grammar allows a data reference ``s(x)`` to be an arbitrary
+nesting of the Fortran 90 array-shifting intrinsics::
+
+    s(x) ::= x
+           | CSHIFT (s(x), DIM=k, SHIFT=m)
+           | EOSHIFT(s(x), DIM=k, SHIFT=m)
+
+Fortran semantics: ``CSHIFT(A, DIM=k, SHIFT=m)`` produces an array whose
+element at index ``i`` (along dimension ``k``) is ``A`` at index ``i + m``,
+wrapping circularly; ``EOSHIFT`` is the same but shifts values off the end
+and fills the vacated positions with a boundary value (0.0 by default for
+reals).
+
+A chain of shifts therefore reduces to a single integer *offset* per
+dimension: the element of the original array read when producing position
+``(i, j)`` of the shifted result is ``x[i + d1, j + d2]`` where ``dk`` is
+the sum of the shift amounts applied along dimension ``k``.  The only
+subtlety is the boundary treatment, which this module tracks per dimension.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+class ShiftKind(enum.Enum):
+    """Which Fortran 90 shifting intrinsic a :class:`Shift` represents."""
+
+    CSHIFT = "CSHIFT"
+    EOSHIFT = "EOSHIFT"
+
+
+class BoundaryMode(enum.Enum):
+    """How out-of-subgrid reads along a dimension are satisfied.
+
+    ``CIRCULAR``  -- wraparound (torus); produced by CSHIFT chains.
+    ``FILL``      -- vacated positions take a fill value; produced by EOSHIFT.
+    """
+
+    CIRCULAR = "circular"
+    FILL = "fill"
+
+
+@dataclass(frozen=True)
+class Shift:
+    """One application of CSHIFT or EOSHIFT.
+
+    Attributes:
+        kind: which intrinsic.
+        dim: the Fortran ``DIM=`` argument, 1-based.
+        amount: the Fortran ``SHIFT=`` argument (may be negative).
+        boundary: the EOSHIFT ``BOUNDARY=`` fill value (ignored for CSHIFT).
+    """
+
+    kind: ShiftKind
+    dim: int
+    amount: int
+    boundary: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"shift dimension must be 1-based, got {self.dim}")
+
+    def describe(self) -> str:
+        """Render the shift in Fortran source syntax."""
+        return f"{self.kind.value}(_, DIM={self.dim}, SHIFT={self.amount:+d})"
+
+
+class MixedBoundaryError(ValueError):
+    """A shift chain mixes CSHIFT and EOSHIFT along the same dimension.
+
+    Such chains do not reduce to a single offset-plus-boundary-mode (an
+    EOSHIFT of a CSHIFT wraps some positions and zero-fills others), so the
+    convolution compiler declines them; the pure-numpy reference path in
+    :func:`apply_shift_chain` still evaluates them exactly.
+    """
+
+
+def compose_offsets(shifts: Sequence[Shift]) -> Dict[int, int]:
+    """Sum shift amounts per dimension.
+
+    Returns a mapping ``dim -> total offset`` containing only dimensions
+    with a non-zero net offset, plus any dimension that was shifted at all
+    (a net-zero EOSHIFT chain still destroys boundary data, so its
+    dimension must be kept visible to callers).
+    """
+    totals: Dict[int, int] = {}
+    for shift in shifts:
+        totals[shift.dim] = totals.get(shift.dim, 0) + shift.amount
+    return totals
+
+
+def compose_boundary_modes(shifts: Sequence[Shift]) -> Dict[int, BoundaryMode]:
+    """Determine the boundary mode per shifted dimension.
+
+    Raises:
+        MixedBoundaryError: if CSHIFT and EOSHIFT both appear along one
+            dimension (the compiled path cannot express that as one tap).
+    """
+    modes: Dict[int, BoundaryMode] = {}
+    for shift in shifts:
+        mode = (
+            BoundaryMode.CIRCULAR
+            if shift.kind is ShiftKind.CSHIFT
+            else BoundaryMode.FILL
+        )
+        previous = modes.get(shift.dim)
+        if previous is not None and previous is not mode:
+            raise MixedBoundaryError(
+                f"dimension {shift.dim} is shifted by both CSHIFT and "
+                f"EOSHIFT; the chain does not reduce to a stencil tap"
+            )
+        modes[shift.dim] = mode
+    return modes
+
+
+def apply_one_shift(array: np.ndarray, shift: Shift) -> np.ndarray:
+    """Exact Fortran semantics of a single CSHIFT/EOSHIFT on a numpy array."""
+    axis = shift.dim - 1
+    if axis >= array.ndim:
+        raise ValueError(
+            f"DIM={shift.dim} exceeds array rank {array.ndim}"
+        )
+    if shift.kind is ShiftKind.CSHIFT:
+        # CSHIFT(A, SHIFT=m)(i) = A(i + m): roll backwards by m.
+        return np.roll(array, -shift.amount, axis=axis)
+    return _eoshift(array, axis, shift.amount, shift.boundary)
+
+
+def _eoshift(
+    array: np.ndarray, axis: int, amount: int, boundary: float
+) -> np.ndarray:
+    """End-off shift: EOSHIFT(A, SHIFT=m)(i) = A(i+m) or the fill value."""
+    result = np.full_like(array, boundary)
+    n = array.shape[axis]
+    if abs(amount) >= n:
+        return result
+    src = [slice(None)] * array.ndim
+    dst = [slice(None)] * array.ndim
+    if amount >= 0:
+        src[axis] = slice(amount, n)
+        dst[axis] = slice(0, n - amount)
+    else:
+        src[axis] = slice(0, n + amount)
+        dst[axis] = slice(-amount, n)
+    result[tuple(dst)] = array[tuple(src)]
+    return result
+
+
+def apply_shift_chain(array: np.ndarray, shifts: Sequence[Shift]) -> np.ndarray:
+    """Apply a chain of shifts, innermost first.
+
+    ``shifts`` is ordered innermost-first: ``CSHIFT(CSHIFT(X, 1, -1), 2, +1)``
+    is represented as ``[Shift(CSHIFT, 1, -1), Shift(CSHIFT, 2, +1)]``.
+    This is the exact-semantics reference used by the correctness oracle;
+    it handles mixed CSHIFT/EOSHIFT chains that the compiler rejects.
+    """
+    result = array
+    for shift in shifts:
+        result = apply_one_shift(result, shift)
+    return result
+
+
+def plane_offset(
+    shifts: Sequence[Shift], plane_dims: Tuple[int, int]
+) -> Tuple[int, int]:
+    """Project a shift chain's composed offset onto a 2-D stencil plane.
+
+    Args:
+        shifts: the chain, innermost first.
+        plane_dims: the two (1-based) array dimensions forming the stencil
+            plane; the first is drawn vertically (rows), the second
+            horizontally (columns).
+
+    Returns:
+        ``(dy, dx)``: the offsets along ``plane_dims[0]`` and
+        ``plane_dims[1]``.
+
+    Raises:
+        ValueError: if the chain shifts a dimension outside the plane.
+    """
+    totals = compose_offsets(shifts)
+    for dim in totals:
+        if dim not in plane_dims:
+            raise ValueError(
+                f"shift along dimension {dim} lies outside the stencil "
+                f"plane {plane_dims}"
+            )
+    return totals.get(plane_dims[0], 0), totals.get(plane_dims[1], 0)
+
+
+def shifted_dims(shifts: Sequence[Shift]) -> Tuple[int, ...]:
+    """The sorted tuple of dimensions touched by a shift chain."""
+    return tuple(sorted({shift.dim for shift in shifts}))

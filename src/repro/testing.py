@@ -1,0 +1,89 @@
+"""Problem generators for tests, benchmarks, and downstream users.
+
+Building a stencil problem takes four coordinated pieces (a machine, a
+source array, one coefficient array per statement name, a compiled
+plan); these helpers assemble them with reproducible random data and
+hand back everything needed to run and to check the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .baseline.reference import reference_stencil
+from .compiler.driver import compile_stencil
+from .compiler.plan import CompiledStencil
+from .machine.machine import CM2
+from .machine.params import MachineParams
+from .runtime.cm_array import CMArray
+from .runtime.stencil_op import StencilRun, apply_stencil
+from .stencil.pattern import StencilPattern
+
+
+@dataclass
+class StencilProblem:
+    """A fully assembled stencil problem plus its oracle."""
+
+    pattern: StencilPattern
+    compiled: CompiledStencil
+    machine: CM2
+    source: CMArray
+    coefficients: Dict[str, CMArray]
+    host_source: np.ndarray
+    host_coefficients: Dict[str, np.ndarray]
+
+    def run(self, *, exact: bool = False, iterations: int = 1) -> StencilRun:
+        return apply_stencil(
+            self.compiled,
+            self.source,
+            self.coefficients,
+            iterations=iterations,
+            exact=exact,
+        )
+
+    def expected(self) -> np.ndarray:
+        """The pure-numpy reference result (bitwise oracle)."""
+        return reference_stencil(
+            self.pattern, self.host_source, self.host_coefficients
+        )
+
+    def check(self, run: StencilRun) -> bool:
+        """Whether a run's result matches the oracle bit for bit."""
+        return np.array_equal(run.result.to_numpy(), self.expected())
+
+
+def random_problem(
+    pattern: StencilPattern,
+    *,
+    num_nodes: int = 4,
+    global_shape: Tuple[int, int] = (16, 24),
+    seed: int = 0,
+    params: Optional[MachineParams] = None,
+) -> StencilProblem:
+    """Compile a pattern and populate a machine with random data for it."""
+    params = params or MachineParams(num_nodes=num_nodes)
+    machine = CM2(params)
+    rng = np.random.default_rng(seed)
+    host_source = rng.standard_normal(global_shape).astype(np.float32)
+    host_coefficients = {
+        name: rng.standard_normal(global_shape).astype(np.float32)
+        for name in pattern.coefficient_names()
+    }
+    compiled = compile_stencil(pattern, params)
+    source = CMArray.from_numpy(pattern.source, machine, host_source)
+    coefficients = {
+        name: CMArray.from_numpy(name, machine, data)
+        for name, data in host_coefficients.items()
+    }
+    return StencilProblem(
+        pattern=pattern,
+        compiled=compiled,
+        machine=machine,
+        source=source,
+        coefficients=coefficients,
+        host_source=host_source,
+        host_coefficients=host_coefficients,
+    )

@@ -1,0 +1,184 @@
+"""Tests for the reference oracle and the two comparison baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.cmfortran import count_operations, run_cmfortran
+from repro.baseline.handlib import (
+    UnsupportedPattern,
+    compile_library_routine,
+    handlib_params,
+)
+from repro.baseline.reference import (
+    evaluate_assignment,
+    reference_stencil,
+    shift_by_offset,
+)
+from repro.fortran.parser import parse_assignment
+from repro.fortran.recognizer import recognize_assignment
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+from repro.stencil.offsets import BoundaryMode
+
+
+class TestShiftByOffset:
+    def test_matches_roll_for_circular(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((6, 7)).astype(np.float32)
+        shifted = shift_by_offset(x, (1, -2), {}, 0.0)
+        np.testing.assert_array_equal(shifted, np.roll(x, (-1, 2), (0, 1)))
+
+    def test_fill_mode(self):
+        x = np.ones((4, 4), dtype=np.float32)
+        shifted = shift_by_offset(
+            x, (1, 0), {1: BoundaryMode.FILL}, fill_value=5.0
+        )
+        assert shifted[3, 0] == 5.0
+        assert shifted[0, 0] == 1.0
+
+
+class TestReferenceStencil:
+    def test_cross5_by_hand(self):
+        x = np.zeros((4, 4), dtype=np.float32)
+        x[1, 1] = 1.0
+        coeffs = {
+            f"C{i}": np.full((4, 4), float(i), dtype=np.float32)
+            for i in range(1, 6)
+        }
+        out = reference_stencil(cross5(), x, coeffs)
+        # Tap order: N, W, center, E, S with coefficients C1..C5.
+        assert out[2, 1] == 1.0  # C1 * x[i-1,j]: north neighbor of (2,1)
+        assert out[1, 2] == 2.0  # C2 * x[i,j-1]
+        assert out[1, 1] == 3.0  # C3 * x
+        assert out[1, 0] == 4.0  # C4 * x[i,j+1]
+        assert out[0, 1] == 5.0  # C5 * x[i+1,j]
+
+    def test_missing_coefficient_raises(self):
+        with pytest.raises(KeyError):
+            reference_stencil(cross5(), np.zeros((4, 4)), {})
+
+    def test_coefficient_shape_mismatch_raises(self):
+        coeffs = {f"C{i}": np.zeros((2, 2)) for i in range(1, 6)}
+        with pytest.raises(ValueError, match="shape"):
+            reference_stencil(cross5(), np.zeros((4, 4)), coeffs)
+
+    def test_recognizer_agrees_with_ast_interpretation(self):
+        """Recognize-then-evaluate must equal direct AST execution."""
+        source = (
+            "R = C1 * CSHIFT(X, 1, -1) + 2.5 * CSHIFT(X, 2, +1)"
+            " + X + C2"
+        )
+        statement = parse_assignment(source)
+        pattern = recognize_assignment(statement)
+        rng = np.random.default_rng(1)
+        env = {
+            "X": rng.standard_normal((8, 8)).astype(np.float32),
+            "C1": rng.standard_normal((8, 8)).astype(np.float32),
+            "C2": rng.standard_normal((8, 8)).astype(np.float32),
+        }
+        direct = evaluate_assignment(statement, env)
+        via_pattern = reference_stencil(
+            pattern, env["X"], {"C1": env["C1"], "C2": env["C2"]}
+        )
+        np.testing.assert_allclose(via_pattern, direct, rtol=1e-6)
+
+    def test_composed_cshift_agreement(self):
+        source = "R = C1 * CSHIFT(CSHIFT(X, 1, -1), 2, +1) + C2 * X"
+        statement = parse_assignment(source)
+        pattern = recognize_assignment(statement)
+        rng = np.random.default_rng(2)
+        env = {
+            "X": rng.standard_normal((6, 6)).astype(np.float32),
+            "C1": rng.standard_normal((6, 6)).astype(np.float32),
+            "C2": rng.standard_normal((6, 6)).astype(np.float32),
+        }
+        direct = evaluate_assignment(statement, env)
+        via_pattern = reference_stencil(
+            pattern, env["X"], {"C1": env["C1"], "C2": env["C2"]}
+        )
+        np.testing.assert_allclose(via_pattern, direct, rtol=1e-6)
+
+
+class TestCmFortranBaseline:
+    def test_operation_counting_cross5(self):
+        passes, shifts = count_operations(cross5())
+        assert passes == 9  # 5 multiplies + 4 adds
+        assert shifts == 4  # four shifted taps, one call each
+
+    def test_operation_counting_square9(self):
+        # Built from offsets: corners count as two axis shifts each.
+        passes, shifts = count_operations(square9())
+        assert passes == 17
+        assert shifts == 4 * 2 + 4 * 1
+
+    def test_baseline_full_machine_around_4_gflops(self):
+        """Section 3: stock slicewise CM Fortran sustains ~4 Gflops on
+        the full machine for stencil-like code."""
+        params = MachineParams(num_nodes=2048)
+        run = run_cmfortran(cross9(), (64, 128), params, iterations=100)
+        assert 2.0 < run.gflops < 6.0
+
+    def test_convolution_compiler_beats_baseline(self):
+        """The headline comparison: >2x over stock CM Fortran."""
+        from repro.compiler.plan import compile_pattern
+        from repro.runtime.strips import StripSchedule
+
+        params = MachineParams(num_nodes=2048)
+        baseline = run_cmfortran(cross9(), (128, 256), params)
+        compiled = compile_pattern(cross9(), params)
+        schedule = StripSchedule(compiled, (128, 256))
+        cycles = schedule.compute_cycles(params)
+        compiled_rate = (
+            128 * 256 * cross9().useful_flops_per_point()
+            / params.seconds(cycles)
+        )
+        baseline_rate = (
+            128 * 256 * cross9().useful_flops_per_point()
+            / params.seconds(baseline.cycles_per_iteration)
+        )
+        assert compiled_rate > 2.0 * baseline_rate
+
+    def test_numerics_attached_when_data_given(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((8, 8)).astype(np.float32)
+        coeffs = {
+            name: rng.standard_normal((8, 8)).astype(np.float32)
+            for name in cross5().coefficient_names()
+        }
+        run = run_cmfortran(cross5(), (8, 8), x=x, coefficients=coeffs)
+        np.testing.assert_array_equal(
+            run.result, reference_stencil(cross5(), x, coeffs)
+        )
+
+
+class TestHandLibrary:
+    def test_library_has_crosses_only(self):
+        compile_library_routine("cross5")
+        compile_library_routine("cross9")
+        with pytest.raises(UnsupportedPattern):
+            compile_library_routine("diamond13")
+
+    def test_library_uses_width_4(self):
+        compiled = compile_library_routine("cross5")
+        assert compiled.max_width == 4
+
+    def test_library_params_slower(self):
+        stock = MachineParams()
+        lib = handlib_params(stock)
+        assert lib.sequencer_line_overhead > stock.sequencer_line_overhead
+        assert not lib.host_overhead_recoded
+
+    def test_compiler_beats_library(self):
+        """1990's compiled cross5 outruns the 1989 hand routine."""
+        from repro.compiler.plan import compile_pattern
+        from repro.runtime.strips import StripSchedule
+
+        params = MachineParams()
+        new = compile_pattern(cross5(), params)
+        old = compile_library_routine("cross5", params)
+        shape = (128, 256)
+        new_cycles = StripSchedule(new, shape).compute_cycles(params)
+        old_cycles = StripSchedule(old, shape).compute_cycles(
+            handlib_params(params)
+        )
+        assert new_cycles < old_cycles

@@ -1,0 +1,89 @@
+"""Tests for the cycle-breakdown decomposition."""
+
+import pytest
+
+from repro.analysis.breakdown import breakdown_run
+from repro.analysis.sweeps import run_cell
+from repro.stencil.gallery import cross5, cross9, diamond13
+
+
+@pytest.fixture(scope="module")
+def cross5_run():
+    return run_cell(cross5(), (64, 64), num_nodes=4)
+
+
+class TestBreakdown:
+    def test_compute_buckets_sum_exactly(self, cross5_run):
+        breakdown = breakdown_run(cross5_run)
+        assert breakdown.compute_total == cross5_run.compute_cycles
+
+    def test_all_patterns_sum_exactly(self):
+        for pattern_fn in (cross9, diamond13):
+            run = run_cell(pattern_fn(), (32, 32), num_nodes=4)
+            breakdown = breakdown_run(run)
+            assert breakdown.compute_total == run.compute_cycles
+
+    def test_odd_width_subgrid_has_dummy_cycles(self):
+        """A 33-wide subgrid ends in a width-1 strip whose solo chain
+        wastes every other issue slot."""
+        run = run_cell(cross5(), (32, 33), num_nodes=4)
+        breakdown = breakdown_run(run)
+        assert breakdown.dummy_ma > 0
+        assert breakdown.compute_total == run.compute_cycles
+
+    def test_even_width_subgrid_has_no_dummies(self, cross5_run):
+        assert breakdown_run(cross5_run).dummy_ma == 0
+
+    def test_shares_sum_to_one(self, cross5_run):
+        shares = breakdown_run(cross5_run).shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_useful_ma_matches_issued_work(self, cross5_run):
+        """MA cycles = points x taps."""
+        breakdown = breakdown_run(cross5_run)
+        rows, cols = cross5_run.result.subgrid_shape
+        assert breakdown.useful_ma == rows * cols * 5
+
+    def test_loads_reflect_multistencil_reuse(self, cross5_run):
+        """Total load cycles sit well below the naive 5-per-point."""
+        breakdown = breakdown_run(cross5_run)
+        rows, cols = cross5_run.result.subgrid_shape
+        params = cross5_run.params
+        naive = rows * cols * 5 * params.memory_access_cycles
+        assert breakdown.loads < 0.4 * naive
+
+    def test_describe_lists_buckets(self, cross5_run):
+        text = breakdown_run(cross5_run).describe()
+        assert "useful multiply-adds" in text
+        assert "communication" in text
+
+
+class TestFusedBreakdown:
+    def test_fused_runs_decompose_exactly(self):
+        from repro.compiler.codegen import ExtraTerm
+        from repro.compiler.fusion import fuse
+        from repro.machine.machine import CM2
+        from repro.machine.params import MachineParams
+        from repro.runtime.cm_array import CMArray
+        from repro.runtime.stencil_op import apply_stencil
+        from repro.stencil.pattern import Coefficient
+
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        fused = fuse(
+            cross5(),
+            [ExtraTerm(source="Y", coeff=Coefficient.array("CY"))],
+            params,
+        )
+        CMArray("Y", machine, (16, 16))
+        x = CMArray("X", machine, (16, 16))
+        coeffs = {
+            name: CMArray(name, machine, (16, 16))
+            for name in fused.pattern.coefficient_names()
+        }
+        run = apply_stencil(fused, x, coeffs, "R")
+        breakdown = breakdown_run(run)
+        assert breakdown.compute_total == run.compute_cycles
+        # The fused term's multiply-adds and loads are in the buckets.
+        rows, cols = run.result.subgrid_shape
+        assert breakdown.useful_ma == rows * cols * 6  # 5 taps + 1 fused

@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCompileCommand:
+    def test_compile_fortran_file(self, tmp_path, capsys):
+        source = tmp_path / "cross.f90"
+        source.write_text(
+            "SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)\n"
+            "REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5\n"
+            "R = C1 * CSHIFT (X, 1, -1) &\n"
+            "  + C2 * CSHIFT (X, 2, -1) &\n"
+            "  + C3 * X &\n"
+            "  + C4 * CSHIFT (X, 2, +1) &\n"
+            "  + C5 * CSHIFT (X, 1, +1)\n"
+            "END\n"
+        )
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "width 8" in out
+        assert "@" in out  # the pictogram
+
+    def test_compile_defstencil_file(self, tmp_path, capsys):
+        source = tmp_path / "cross.lisp"
+        source.write_text(
+            "(defstencil cross (r x c)\n"
+            "  (single-float single-float)\n"
+            "  (:= r (* c (cshift x 1 -1))))\n"
+        )
+        assert main(["compile", str(source)]) == 0
+        out = capsys.readouterr().out
+        assert "cross" in out
+
+    def test_compile_statement_file(self, tmp_path, capsys):
+        source = tmp_path / "stmt.f90"
+        source.write_text("R = C1 * CSHIFT(X, 1, -1) + C2 * X\n")
+        assert main(["compile", str(source)]) == 0
+        assert "taps: 2" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    def test_bench_gallery_pattern(self, capsys):
+        assert (
+            main(["bench", "cross5", "--subgrid", "64x64", "--nodes", "4"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Mflops" in out and "Gflops" in out
+
+    def test_bench_unknown_pattern(self, capsys):
+        assert main(["bench", "nonexistent"]) == 1
+        assert "unknown pattern" in capsys.readouterr().err
+
+    def test_bad_subgrid_spec(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "cross5", "--subgrid", "garbage"])
+
+
+class TestFigure1Command:
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--shape", "64x64", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "A(1:32,1:32)" in out
+
+    def test_figure1_default_is_paper_configuration(self, capsys):
+        assert main(["figure1"]) == 0
+        assert "A(1:64,1:64)" in capsys.readouterr().out
+
+
+class TestGalleryCommand:
+    def test_gallery_lists_patterns(self, capsys):
+        assert main(["gallery"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cross5", "diamond13", "border_demo"):
+            assert name in out
+
+
+class TestValidateCommand:
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--nodes", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "all semantics agree" in out
+        assert "FAIL " not in out
+
+
+class TestReproduceCommand:
+    def test_reproduce_prints_comparison(self, capsys):
+        assert main(["reproduce"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 7 results table" in out
+        assert "GB copy loop" in out
+        assert "Ratio" in out
+
+
+class TestStrategyFlag:
+    def test_compile_with_optimal_strategy(self, tmp_path, capsys):
+        source = tmp_path / "s.f90"
+        source.write_text("R = C1 * CSHIFT(X, 1, -1) + C2 * X\n")
+        assert main(["compile", str(source), "--strategy", "optimal"]) == 0
+        assert "width 8" in capsys.readouterr().out
+
+    def test_bad_strategy_rejected(self, tmp_path):
+        source = tmp_path / "s.f90"
+        source.write_text("R = C1 * CSHIFT(X, 1, -1)\n")
+        with pytest.raises(SystemExit):
+            main(["compile", str(source), "--strategy", "psychic"])

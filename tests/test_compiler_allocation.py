@@ -1,0 +1,175 @@
+"""Tests for ring buffers and register allocation, including the paper's
+worked diamond13 example."""
+
+import pytest
+
+from repro.compiler.allocation import (
+    UNIT_REG,
+    ZERO_REG,
+    AllocationError,
+    allocate,
+)
+from repro.compiler.ringbuf import (
+    RingBuffer,
+    build_rings,
+    column_span,
+    lcm_of,
+    plan_ring_sizes,
+)
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+from repro.stencil.multistencil import ColumnProfile, Multistencil
+from repro.stencil.pattern import Coefficient, StencilPattern, Tap
+
+
+def col(x, rows):
+    return ColumnProfile(x=x, rows=tuple(rows))
+
+
+class TestRingBuffer:
+    def test_size_matches_registers(self):
+        with pytest.raises(ValueError):
+            RingBuffer(column=col(0, [0, 1]), size=3, registers=(2, 3))
+
+    def test_size_below_span_rejected(self):
+        with pytest.raises(ValueError, match="span"):
+            RingBuffer(column=col(0, [-1, 0, 1]), size=2, registers=(2, 3))
+
+    def test_slot_rotation(self):
+        ring = RingBuffer(column=col(0, [-1, 0, 1]), size=3, registers=(5, 6, 7))
+        # Line 0: rows -1, 0, 1 in slots 0, 1, 2.
+        assert [ring.register_for(r, 0) for r in (-1, 0, 1)] == [5, 6, 7]
+        # Line 1: everything rotates up one slot.
+        assert [ring.register_for(r, 1) for r in (-1, 0, 1)] == [7, 5, 6]
+        # Period 3.
+        assert [ring.register_for(r, 3) for r in (-1, 0, 1)] == [5, 6, 7]
+
+    def test_load_slot_is_vacated_slot(self):
+        """The new leading-edge element enters the slot the retiring
+        bottom element (the just-stored accumulator) vacated."""
+        ring = RingBuffer(column=col(0, [-1, 0, 1]), size=3, registers=(5, 6, 7))
+        for line in range(6):
+            bottom_before = ring.register_for(1, line)
+            top_next = ring.load_register(line + 1)
+            assert bottom_before == top_next
+
+    def test_row_outside_extent(self):
+        ring = RingBuffer(column=col(0, [0]), size=1, registers=(5,))
+        with pytest.raises(ValueError):
+            ring.slot_for(1, 0)
+
+    def test_gapped_column_uses_span(self):
+        assert column_span(col(0, [-1, 1])) == 3
+
+
+class TestRingPlanning:
+    def test_uniform_when_budget_allows(self):
+        columns = [col(-1, [0]), col(0, [-1, 0, 1]), col(1, [0, 1])]
+        sizes = plan_ring_sizes(columns, budget=31)
+        # height-1 column stays 1; others padded to the max (3).
+        assert sizes == [1, 3, 3]
+
+    def test_lcm_of_uniform_equals_max(self):
+        assert lcm_of([1, 3, 3, 3, 1]) == 3
+
+    def test_diamond13_width4_paper_example(self):
+        """Ring sizes 1,3,5,5,5,5,3,1 and LCM 15 (paper section 5.4)."""
+        ms = Multistencil(diamond13(), 4)
+        sizes = plan_ring_sizes(ms.columns, budget=31)
+        assert sizes == [1, 3, 5, 5, 5, 5, 3, 1]
+        assert sum(sizes) == 28
+        assert lcm_of(sizes) == 15
+
+    def test_diamond13_width8_infeasible(self):
+        """48 registers needed, 31 available (paper section 5.3)."""
+        ms = Multistencil(diamond13(), 8)
+        assert plan_ring_sizes(ms.columns, budget=31) is None
+
+    def test_compression_level_by_level(self):
+        # Columns with naturals [1, 2, 2, 4, 4]: uniform [1,4,4,4,4]=17;
+        # budget 15 compresses both 2-level columns at once: [1,2,2,4,4]=13.
+        columns = [
+            col(0, [0]),
+            col(1, [0, 1]),
+            col(2, [0, 1]),
+            col(3, [0, 1, 2, 3]),
+            col(4, [0, 1, 2, 3]),
+        ]
+        assert plan_ring_sizes(columns, budget=15) == [1, 2, 2, 4, 4]
+
+    def test_build_rings_assigns_disjoint_registers(self):
+        columns = [col(0, [0]), col(1, [-1, 0, 1])]
+        rings = build_rings(columns, [1, 3], first_register=2)
+        all_regs = [r for ring in rings for r in ring.registers]
+        assert all_regs == [2, 3, 4, 5]
+
+
+class TestAllocation:
+    def test_cross5_width8(self):
+        alloc = allocate(cross5(), 8)
+        assert alloc.data_registers == 26
+        assert alloc.unroll == 3
+        assert alloc.zero_reg == ZERO_REG
+        assert alloc.unit_reg is None
+        assert alloc.total_registers == 27
+
+    def test_diamond13_width8_raises(self):
+        with pytest.raises(AllocationError, match="48"):
+            allocate(diamond13(), 8)
+
+    def test_diamond13_width4_fits(self):
+        alloc = allocate(diamond13(), 4)
+        assert alloc.data_registers == 28
+        assert alloc.unroll == 15
+
+    def test_cross9_width8_raises(self):
+        """The radius-2 cross needs 44 data registers at width 8: the
+        eight interior columns span 5 rows each plus four singletons."""
+        with pytest.raises(AllocationError, match="44"):
+            allocate(cross9(), 8)
+
+    def test_square9_width8_fits(self):
+        alloc = allocate(square9(), 8)
+        assert alloc.data_registers == 30
+        assert alloc.unroll == 3
+
+    def test_unit_register_reduces_budget(self):
+        taps = list(square9().taps) + [
+            Tap(
+                offset=(0, 0),
+                coeff=Coefficient.array("C10"),
+                is_constant_term=True,
+            )
+        ]
+        pattern = StencilPattern(taps, name="square9_plus_const")
+        # square9 width 8 needs exactly 30 data registers; with the unit
+        # register reserved only 30 remain, so it still (barely) fits.
+        alloc = allocate(pattern, 8)
+        assert alloc.unit_reg == UNIT_REG
+        assert alloc.total_registers == 32
+
+    def test_registers_never_exceed_file(self):
+        for pattern in (cross5(), cross9(), square9(), diamond13()):
+            for width in (8, 4, 2, 1):
+                try:
+                    alloc = allocate(pattern, width)
+                except AllocationError:
+                    continue
+                assert alloc.total_registers <= 32
+                regs = [r for ring in alloc.rings for r in ring.registers]
+                assert len(regs) == len(set(regs))
+                assert ZERO_REG not in regs
+
+    def test_register_for_lookup(self):
+        alloc = allocate(cross5(), 8)
+        # The same (row, column) on consecutive lines gives different regs
+        # (rotation), but the same line and position is deterministic.
+        a = alloc.register_for(0, 3, line=0)
+        b = alloc.register_for(0, 3, line=1)
+        assert a != b
+        assert alloc.register_for(0, 3, line=0) == a
+
+    def test_ring_for_missing_column(self):
+        alloc = allocate(cross5(), 8)
+        with pytest.raises(KeyError):
+            alloc.ring_for_column(99)

@@ -1,0 +1,230 @@
+"""Tests for code generation: line patterns, drain gaps, width plans."""
+
+import pytest
+
+from repro.compiler.allocation import allocate
+from repro.compiler.codegen import (
+    build_line_pattern,
+    drain_gap,
+    multiply_add_block,
+)
+from repro.compiler.plan import (
+    StencilCompileError,
+    compile_pattern,
+)
+from repro.machine.isa import LoadOp, MAOp, NopOp, StoreOp
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5, cross9, diamond13, square9
+from repro.stencil.pattern import Coefficient, StencilPattern, Tap
+
+
+@pytest.fixture
+def params():
+    return MachineParams()
+
+
+class TestMultiplyAddBlock:
+    def test_block_length_even_width(self, params):
+        alloc = allocate(cross5(), 8)
+        ops, last = multiply_add_block(cross5(), alloc, phase=0)
+        assert len(ops) == 8 * 5  # width * taps, two threads filling pairs
+        assert all(isinstance(op, MAOp) for op in ops)
+
+    def test_block_length_odd_width(self, params):
+        alloc = allocate(cross5(), 1)
+        ops, last = multiply_add_block(cross5(), alloc, phase=0)
+        # Solo occurrence: k issues with k-1 interleave nops.
+        assert len(ops) == 2 * 5 - 1
+        nops = [op for op in ops if isinstance(op, NopOp)]
+        assert len(nops) == 4
+
+    def test_threads_alternate_within_pairs(self, params):
+        alloc = allocate(cross5(), 4)
+        ops, _ = multiply_add_block(cross5(), alloc, phase=0)
+        threads = [op.thread for op in ops if isinstance(op, MAOp)]
+        assert threads == [0, 1] * (len(threads) // 2)
+
+    def test_chains_open_and_close(self, params):
+        alloc = allocate(cross5(), 2)
+        ops, _ = multiply_add_block(cross5(), alloc, phase=0)
+        ma_ops = [op for op in ops if isinstance(op, MAOp)]
+        for occurrence in (0, 1):
+            chain = [op for op in ma_ops if op.result_col == occurrence]
+            assert chain[0].first and not chain[0].last
+            assert chain[-1].last and not chain[-1].first
+            assert all(
+                not op.first and not op.last for op in chain[1:-1]
+            )
+
+    def test_dest_is_tagged_register(self, params):
+        alloc = allocate(cross5(), 4)
+        ops, _ = multiply_add_block(cross5(), alloc, phase=0)
+        for op in ops:
+            if isinstance(op, MAOp):
+                row, colx = alloc.multistencil.accumulator_position(
+                    op.result_col
+                )
+                assert op.dest_reg == alloc.register_for(row, colx, 0)
+
+    def test_last_issue_offsets_are_sorted_by_occurrence_pairing(self, params):
+        alloc = allocate(cross5(), 8)
+        _, last = multiply_add_block(cross5(), alloc, phase=0)
+        assert set(last) == set(range(8))
+        # Left of a pair issues one cycle before the right.
+        for pair in range(4):
+            assert last[2 * pair + 1] == last[2 * pair] + 1
+
+
+class TestDrainGap:
+    def test_gap_at_least_reversal_penalty(self, params):
+        assert drain_gap(100, {0: 0}, params) == params.pipe_reversal_penalty
+
+    def test_gap_covers_writeback(self, params):
+        # Last issue at the end of a tiny block: the writeback (+4) is
+        # not covered by the store offset.
+        gap = drain_gap(2, {0: 1}, params)
+        assert gap == 1 + 4 - 2 - 0
+
+    def test_stores_never_precede_writeback(self, params):
+        for pattern in (cross5(), square9(), diamond13()):
+            for width in (8, 4, 2, 1):
+                try:
+                    alloc = allocate(pattern, width)
+                except Exception:
+                    continue
+                ops, last = multiply_add_block(pattern, alloc, phase=0)
+                gap = drain_gap(len(ops), last, params)
+                for occurrence, issue in last.items():
+                    store_cycle = (
+                        len(ops) + gap + occurrence * params.memory_access_cycles
+                    )
+                    assert store_cycle >= issue + params.writeback_latency
+
+
+class TestLinePattern:
+    def test_steady_line_structure(self, params):
+        alloc = allocate(cross5(), 8)
+        line = build_line_pattern(cross5(), alloc, params, 0, full_load=False)
+        kinds = [type(op).__name__ for op in line.ops]
+        # loads first, stores last.
+        assert kinds[0] == "LoadOp"
+        assert kinds[-1] == "NopOp"  # mem-transfer after the final store
+        assert line.num_loads == len(alloc.rings)
+        assert line.num_stores == 8
+
+    def test_prologue_loads_full_multistencil(self, params):
+        alloc = allocate(cross5(), 8)
+        line = build_line_pattern(cross5(), alloc, params, 0, full_load=True)
+        assert line.num_loads == 26
+
+    def test_one_op_per_cycle(self, params):
+        alloc = allocate(cross5(), 8)
+        line = build_line_pattern(cross5(), alloc, params, 0, full_load=False)
+        expected = (
+            line.num_loads * params.memory_access_cycles
+            + params.load_latency
+            + line.num_ma
+            + line.drain_gap
+            + line.num_stores * params.memory_access_cycles
+        )
+        assert line.cycles == expected
+
+    def test_steady_lines_same_length_every_phase(self, params):
+        alloc = allocate(diamond13(), 4)
+        lengths = {
+            build_line_pattern(
+                diamond13(), alloc, params, phase, full_load=False
+            ).cycles
+            for phase in range(alloc.unroll)
+        }
+        assert len(lengths) == 1
+
+    def test_phases_use_rotated_registers(self, params):
+        alloc = allocate(cross5(), 8)
+        line0 = build_line_pattern(cross5(), alloc, params, 0, full_load=False)
+        line1 = build_line_pattern(cross5(), alloc, params, 1, full_load=False)
+        loads0 = [op.reg for op in line0.ops if isinstance(op, LoadOp)]
+        loads1 = [op.reg for op in line1.ops if isinstance(op, LoadOp)]
+        assert loads0 != loads1
+
+    def test_load_targets_match_leading_edge(self, params):
+        alloc = allocate(diamond13(), 4)
+        line = build_line_pattern(diamond13(), alloc, params, 0, full_load=False)
+        loads = [(op.row, op.col) for op in line.ops if isinstance(op, LoadOp)]
+        assert loads == list(alloc.multistencil.leading_edge())
+
+
+class TestCompiledStencil:
+    def test_available_widths_cross5(self, params):
+        compiled = compile_pattern(cross5(), params)
+        assert compiled.widths == (8, 4, 2, 1)
+
+    def test_available_widths_diamond13(self, params):
+        compiled = compile_pattern(diamond13(), params)
+        assert compiled.widths == (4, 2, 1)
+        assert 8 in compiled.rejections
+
+    def test_strip_widths_paper_example(self, params):
+        """A subgrid axis of 21 becomes 8 + 8 + 4 + 1 (paper section 5.3)."""
+        compiled = compile_pattern(cross5(), params)
+        assert compiled.strip_widths(21) == [8, 8, 4, 1]
+
+    def test_strip_widths_without_width8(self, params):
+        """If width 8 is rejected, 21 becomes five 4s and a 1."""
+        compiled = compile_pattern(diamond13(), params)
+        assert compiled.strip_widths(21) == [4, 4, 4, 4, 4, 1]
+
+    def test_plan_for_remaining(self, params):
+        compiled = compile_pattern(cross5(), params)
+        assert compiled.plan_for(21).width == 8
+        assert compiled.plan_for(7).width == 4
+        assert compiled.plan_for(1).width == 1
+
+    def test_scratch_words_accounted(self, params):
+        compiled = compile_pattern(cross5(), params)
+        plan = compiled.plans[8]
+        assert plan.scratch_words == plan.prologue.cycles + sum(
+            line.cycles for line in plan.steady
+        )
+        assert plan.scratch_words <= params.scratch_memory_words
+
+    def test_scratch_memory_limit_rejects_width(self):
+        tiny = MachineParams(scratch_memory_words=100)
+        compiled = compile_pattern(cross5(), tiny)
+        assert 8 not in compiled.plans
+        assert "scratch" in compiled.rejections[8]
+
+    def test_impossible_pattern_raises(self, params):
+        # 40 taps in one row: even width 1 needs 40 registers.
+        offsets = [(0, dx) for dx in range(40)]
+        taps = [
+            Tap(offset=o, coeff=Coefficient.array(f"C{i}"))
+            for i, o in enumerate(offsets)
+        ]
+        with pytest.raises(StencilCompileError):
+            compile_pattern(StencilPattern(taps, name="wide40"), params)
+
+    def test_half_strip_cycles_formula(self, params):
+        compiled = compile_pattern(cross5(), params)
+        plan = compiled.plans[8]
+        lines = 10
+        expected = (
+            params.half_strip_dispatch_cycles
+            + plan.prologue_cycles
+            + (lines - 1) * plan.steady_line_cycles
+            + lines * params.sequencer_line_overhead
+        )
+        assert plan.half_strip_cycles(lines, params) == expected
+        assert plan.half_strip_cycles(0, params) == 0
+
+    def test_pattern_for_line(self, params):
+        compiled = compile_pattern(cross5(), params)
+        plan = compiled.plans[8]
+        assert plan.pattern_for_line(0).full_load
+        assert not plan.pattern_for_line(1).full_load
+        assert plan.pattern_for_line(1).phase == 1 % plan.unroll
+        assert plan.pattern_for_line(plan.unroll).phase == 0
+
+    def test_describe_mentions_rejections(self, params):
+        compiled = compile_pattern(diamond13(), params)
+        assert "rejected" in compiled.describe()

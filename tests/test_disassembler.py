@@ -1,0 +1,62 @@
+"""Tests for the microcode-listing disassembler."""
+
+import pytest
+
+from repro.compiler.codegen import disassemble_ops
+from repro.compiler.driver import compile_stencil
+from repro.machine.isa import LoadOp, NopOp
+from repro.stencil.gallery import cross5, diamond13
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return compile_stencil(cross5()).plans[8]
+
+
+class TestDisassembler:
+    def test_one_row_per_cycle(self, plan):
+        listing = plan.disassemble(phase=0)
+        body = listing.splitlines()[1:]  # drop the header
+        assert len(body) == plan.steady_line_cycles
+
+    def test_header_counts(self, plan):
+        header = plan.disassemble(phase=0).splitlines()[0]
+        assert "10 loads" in header
+        assert "40 multiply-adds" in header
+        assert "8 stores" in header
+
+    def test_prologue_listing(self, plan):
+        listing = plan.disassemble(prologue=True)
+        assert "prologue" in listing.splitlines()[0]
+        assert listing.count("LOAD") == 26
+
+    def test_phases_differ(self, plan):
+        assert plan.disassemble(phase=0) != plan.disassemble(phase=1)
+
+    def test_phase_wraps_by_unroll(self, plan):
+        assert plan.disassemble(phase=0) == plan.disassemble(
+            phase=plan.unroll
+        )
+
+    def test_chain_markers(self, plan):
+        listing = plan.disassemble(phase=0)
+        assert " F-" in listing  # chain opens
+        assert " -L" in listing  # chain closes
+
+    def test_store_rows_name_result_columns(self, plan):
+        listing = plan.disassemble(phase=0)
+        for column in range(8):
+            assert f"result[col {column}]" in listing
+
+    def test_ops_helper_directly(self):
+        text = disassemble_ops(
+            [LoadOp(reg=5, row=-1, col=2), NopOp("drain")]
+        )
+        assert "LOAD" in text and "r5" in text and "(drain)" in text
+
+    def test_unrolled_diamond_listing_is_finite(self):
+        compiled = compile_stencil(diamond13())
+        plan4 = compiled.plans[4]
+        for phase in range(plan4.unroll):
+            listing = plan4.disassemble(phase=phase)
+            assert len(listing.splitlines()) == plan4.steady_line_cycles + 1

@@ -1,0 +1,90 @@
+"""Tests for the high-level compilation drivers."""
+
+import pytest
+
+from repro.compiler.driver import (
+    compile_defstencil,
+    compile_fortran,
+    compile_stencil,
+)
+from repro.fortran.errors import NotAStencilError
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5
+
+PAPER_SUBROUTINE = """
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+PAPER_DEFSTENCIL = """
+(defstencil cross (r x c1 c2 c3 c4 c5)
+  (single-float single-float)
+  (:= r (+ (* c1 (cshift x 1 -1))
+           (* c2 (cshift x 2 -1))
+           (* c3 x)
+           (* c4 (cshift x 2 +1))
+           (* c5 (cshift x 1 +1)))))
+"""
+
+
+class TestDrivers:
+    def test_compile_stencil(self):
+        compiled = compile_stencil(cross5())
+        assert compiled.max_width == 8
+
+    def test_compile_fortran_subroutine(self):
+        compiled = compile_fortran(PAPER_SUBROUTINE)
+        assert compiled.pattern.name == "cross"
+        assert compiled.max_width == 8
+
+    def test_compile_fortran_bare_statement(self):
+        compiled = compile_fortran("R = C1 * CSHIFT(X, 1, -1) + C2 * X")
+        assert compiled.pattern.num_points == 2
+
+    def test_compile_defstencil_with_types(self):
+        compiled = compile_defstencil(PAPER_DEFSTENCIL)
+        assert compiled.pattern.name == "cross"
+
+    def test_compile_defstencil_without_types(self):
+        compiled = compile_defstencil(
+            "(defstencil s (r x c) (:= r (* c (cshift x 1 -1))))"
+        )
+        assert compiled.pattern.offsets == ((-1, 0),)
+
+    def test_all_three_front_ends_agree(self):
+        from_pattern = compile_stencil(cross5())
+        from_fortran = compile_fortran(PAPER_SUBROUTINE)
+        from_lisp = compile_defstencil(PAPER_DEFSTENCIL)
+        assert (
+            from_pattern.pattern.offsets
+            == from_fortran.pattern.offsets
+            == from_lisp.pattern.offsets
+        )
+        assert (
+            from_pattern.widths == from_fortran.widths == from_lisp.widths
+        )
+        for width in from_pattern.widths:
+            assert (
+                from_pattern.plans[width].steady_line_cycles
+                == from_fortran.plans[width].steady_line_cycles
+                == from_lisp.plans[width].steady_line_cycles
+            )
+
+    def test_params_thread_through(self):
+        params = MachineParams(scratch_memory_words=100)
+        compiled = compile_fortran(PAPER_SUBROUTINE, params)
+        assert 8 not in compiled.plans  # scratch limit bites
+
+    def test_width_menu_respected(self):
+        compiled = compile_stencil(cross5(), widths=(4, 2))
+        assert compiled.widths == (4, 2)
+
+    def test_fortran_non_stencil_raises(self):
+        with pytest.raises(NotAStencilError):
+            compile_fortran("R = C1 / CSHIFT(X, 1, -1)")

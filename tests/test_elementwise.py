@@ -1,0 +1,91 @@
+"""Tests for the elementwise passes (tenth term, time-step copies)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.elementwise import add_scaled, copy_array
+
+
+@pytest.fixture
+def machine():
+    return CM2(MachineParams(num_nodes=4))
+
+
+def distributed(machine, name, data):
+    return CMArray.from_numpy(name, machine, data.astype(np.float32))
+
+
+class TestAddScaled:
+    def test_semantics(self, machine):
+        rng = np.random.default_rng(0)
+        base = rng.standard_normal((8, 8))
+        coeff = rng.standard_normal((8, 8))
+        data = rng.standard_normal((8, 8))
+        b = distributed(machine, "B", base)
+        c = distributed(machine, "C", coeff)
+        d = distributed(machine, "D", data)
+        out = CMArray("OUT", machine, (8, 8))
+        add_scaled(out, b, c, d, machine.params)
+        expected = (
+            base.astype(np.float32)
+            + (coeff.astype(np.float32) * data.astype(np.float32)).astype(
+                np.float32
+            )
+        ).astype(np.float32)
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_aliased_output_and_operand(self, machine):
+        """out = base + c*out must read the old out values."""
+        base = np.full((8, 8), 1.0)
+        coeff = np.full((8, 8), 2.0)
+        b = distributed(machine, "B", base)
+        c = distributed(machine, "C", coeff)
+        out = distributed(machine, "OUT", np.full((8, 8), 3.0))
+        add_scaled(out, b, c, out, machine.params)
+        np.testing.assert_array_equal(
+            out.to_numpy(), np.full((8, 8), 7.0, dtype=np.float32)
+        )
+
+    def test_cost_accounting(self, machine):
+        params = machine.params
+        b = CMArray("B", machine, (8, 8))
+        c = CMArray("C", machine, (8, 8))
+        d = CMArray("D", machine, (8, 8))
+        out = CMArray("OUT", machine, (8, 8))
+        run = add_scaled(out, b, c, d, params)
+        points = 4 * 4  # per-node subgrid on the 2x2 grid
+        assert run.cycles == points * (3 * params.memory_access_cycles + 1)
+        assert run.useful_flops_per_node == 2 * points
+        assert run.seconds(params) > params.seconds(run.cycles)
+
+
+class TestCopy:
+    def test_semantics(self, machine):
+        rng = np.random.default_rng(1)
+        src_data = rng.standard_normal((8, 8))
+        src = distributed(machine, "SRC", src_data)
+        dst = CMArray("DST", machine, (8, 8))
+        copy_array(dst, src, machine.params)
+        np.testing.assert_array_equal(dst.to_numpy(), src.to_numpy())
+
+    def test_copy_contributes_no_flops(self, machine):
+        src = CMArray("SRC", machine, (8, 8))
+        dst = CMArray("DST", machine, (8, 8))
+        run = copy_array(dst, src, machine.params)
+        assert run.useful_flops_per_node == 0
+        assert run.cycles > 0
+
+    def test_copy_cheaper_than_add_scaled(self, machine):
+        params = machine.params
+        arrays = {
+            name: CMArray(name, machine, (8, 8))
+            for name in ("A", "B", "C", "D")
+        }
+        copy_run = copy_array(arrays["A"], arrays["B"], params)
+        term_run = add_scaled(
+            arrays["A"], arrays["B"], arrays["C"], arrays["D"], params
+        )
+        assert copy_run.cycles < term_run.cycles

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs and prints what it promises.
+
+Each example is a deliverable in its own right; these tests keep them
+from rotting as the library evolves.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: script -> substrings its output must contain
+EXPECTATIONS = {
+    "quickstart.py": [
+        "bit-for-bit: True",
+        "Mflops",
+        "extrapolated to a full 2,048-node CM-2",
+    ],
+    "compiler_tour.py": [
+        "width-8 multistencil: 26 positions",
+        "REJECTED",
+        "unroll x15",
+        "dynamic-part listing",
+        "warning: statement flagged",
+    ],
+    "heat_diffusion.py": [
+        "compiled widths: (8, 4, 2, 1)",
+        "total heat",
+        "Mflops",
+    ],
+    "laplacian3d.py": [
+        "fused depth taps",
+        "depth profile through the center",
+    ],
+    "results_table.py": [
+        "cross5",
+        "diamond13",
+        "Gordon Bell seismic kernel",
+        "fused 10-term",
+    ],
+    "seismic_model.py": [
+        "bit-identical across all three loops: True",
+        "unrolled / copy speedup",
+    ],
+    "seismic_survey.py": [
+        "shot record",
+        "first arrival",
+        "moveout",
+    ],
+    "ocean_gravity_waves.py": [
+        "4 fused stencil applications",
+        "mass drift",
+        "Mflops",
+    ],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    output = run_example(name)
+    for expected in EXPECTATIONS[name]:
+        assert expected in output, f"{name}: missing {expected!r}"

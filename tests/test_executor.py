@@ -1,0 +1,321 @@
+"""End-to-end execution tests: the heart of the correctness story.
+
+For a battery of patterns, subgrid shapes, and machine sizes:
+
+* the fast (vectorized) path must match the pure-numpy reference
+  bit for bit;
+* the exact (cycle-stepped WTL3164) path must match the fast path
+  bit for bit -- proving the register allocation, ring-buffer rotation,
+  pipelined writeback timing, and just-in-time accumulator reuse are all
+  correct;
+* the exact path's measured cycle count must equal the closed-form cost
+  model exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.reference import reference_stencil
+from repro.compiler.driver import compile_fortran, compile_stencil
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.executor import ExecutionSetupError
+from repro.runtime.stencil_op import apply_stencil
+from repro.stencil import gallery
+
+PATTERNS = [
+    gallery.cross5,
+    gallery.cross9,
+    gallery.square9,
+    gallery.diamond13,
+    gallery.asymmetric5,
+    gallery.border_demo,
+]
+
+
+def make_problem(pattern, machine, global_shape, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(global_shape).astype(np.float32)
+    coeffs = {
+        name: rng.standard_normal(global_shape).astype(np.float32)
+        for name in pattern.coefficient_names()
+    }
+    X = CMArray.from_numpy("X", machine, x)
+    C = {
+        name: CMArray.from_numpy(name, machine, data)
+        for name, data in coeffs.items()
+    }
+    return x, coeffs, X, C
+
+
+class TestFastPathCorrectness:
+    @pytest.mark.parametrize("pattern_fn", PATTERNS)
+    def test_matches_reference_bitwise(self, pattern_fn):
+        pattern = pattern_fn()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        x, coeffs, X, C = make_problem(pattern, machine, (16, 24))
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C)
+        expected = reference_stencil(pattern, x, coeffs)
+        np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+    def test_sixteen_nodes(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=16)
+        machine = CM2(params)
+        x, coeffs, X, C = make_problem(pattern, machine, (32, 32), seed=7)
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+    def test_single_node_machine(self):
+        pattern = gallery.square9()
+        params = MachineParams(num_nodes=1)
+        machine = CM2(params)
+        x, coeffs, X, C = make_problem(pattern, machine, (12, 12), seed=3)
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+    def test_rectangular_awkward_widths(self):
+        """A 21-wide subgrid exercises the 8+8+4+1 strip decomposition."""
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        x, coeffs, X, C = make_problem(pattern, machine, (14, 42), seed=9)
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+
+class TestExactPathCorrectness:
+    @pytest.mark.parametrize("pattern_fn", PATTERNS)
+    def test_exact_matches_fast_bitwise(self, pattern_fn):
+        pattern = pattern_fn()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 24), seed=1)
+        compiled = compile_stencil(pattern, params)
+        fast = apply_stencil(compiled, X, C, "RFAST").result.to_numpy()
+        exact = apply_stencil(
+            compiled, X, C, "REXACT", exact=True
+        ).result.to_numpy()
+        np.testing.assert_array_equal(exact, fast)
+
+    @pytest.mark.parametrize("pattern_fn", PATTERNS)
+    def test_cycle_model_is_exact(self, pattern_fn):
+        pattern = pattern_fn()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 24), seed=2)
+        compiled = compile_stencil(pattern, params)
+        fast = apply_stencil(compiled, X, C, "RFAST")
+        exact = apply_stencil(compiled, X, C, "REXACT", exact=True)
+        assert exact.compute_cycles == fast.compute_cycles
+
+    @pytest.mark.parametrize("cols", [1, 2, 3, 5, 8, 13, 21])
+    def test_cycle_model_odd_strip_mixes(self, cols):
+        """Cycle-model equality across every strip-width mix."""
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=1)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (6, cols), seed=4)
+        compiled = compile_stencil(pattern, params)
+        fast = apply_stencil(compiled, X, C, "RF")
+        exact = apply_stencil(compiled, X, C, "RE", exact=True)
+        assert exact.compute_cycles == fast.compute_cycles
+        np.testing.assert_array_equal(
+            exact.result.to_numpy(), fast.result.to_numpy()
+        )
+
+    @pytest.mark.parametrize("rows", [1, 2, 3, 7])
+    def test_tiny_heights(self, rows):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=1)
+        machine = CM2(params)
+        x, coeffs, X, C = make_problem(pattern, machine, (rows, 8), seed=5)
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C, exact=True)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+
+class TestStatementForms:
+    def test_scalar_coefficients_end_to_end(self):
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "R = 0.25 * CSHIFT(X, 1, -1) + 0.5 * X - 0.125 * CSHIFT(X, 2, +1)",
+            params,
+        )
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        X = CMArray.from_numpy("X", machine, x)
+        for exact in (False, True):
+            run = apply_stencil(
+                compiled, X, {}, f"R{exact}", exact=exact
+            )
+            expected = reference_stencil(compiled.pattern, x, {})
+            np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+    def test_bare_data_term_end_to_end(self):
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "R = CSHIFT(X, 1, -1) + C1 * X + CSHIFT(X, 1, +1)", params
+        )
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        c1 = rng.standard_normal((8, 16)).astype(np.float32)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {"C1": CMArray.from_numpy("C1", machine, c1)}
+        expected = reference_stencil(compiled.pattern, x, {"C1": c1})
+        for exact in (False, True):
+            run = apply_stencil(compiled, X, C, f"R{exact}", exact=exact)
+            np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+    def test_constant_term_end_to_end(self):
+        """The bare-c form exercises the reserved 1.0 register."""
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "R = C1 * CSHIFT(X, 1, -1) + C2", params
+        )
+        assert compiled.pattern.needs_unit_register()
+        rng = np.random.default_rng(10)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        c1 = rng.standard_normal((8, 16)).astype(np.float32)
+        c2 = rng.standard_normal((8, 16)).astype(np.float32)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            "C1": CMArray.from_numpy("C1", machine, c1),
+            "C2": CMArray.from_numpy("C2", machine, c2),
+        }
+        expected = reference_stencil(
+            compiled.pattern, x, {"C1": c1, "C2": c2}
+        )
+        for exact in (False, True):
+            run = apply_stencil(compiled, X, C, f"R{exact}", exact=exact)
+            np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+    def test_eoshift_end_to_end(self):
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "R = C1 * EOSHIFT(X, 1, -1) + C2 * EOSHIFT(X, 1, +1)", params
+        )
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        c1 = rng.standard_normal((8, 16)).astype(np.float32)
+        c2 = rng.standard_normal((8, 16)).astype(np.float32)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            "C1": CMArray.from_numpy("C1", machine, c1),
+            "C2": CMArray.from_numpy("C2", machine, c2),
+        }
+        expected = reference_stencil(
+            compiled.pattern, x, {"C1": c1, "C2": c2}
+        )
+        for exact in (False, True):
+            run = apply_stencil(compiled, X, C, f"R{exact}", exact=exact)
+            np.testing.assert_array_equal(run.result.to_numpy(), expected)
+
+
+class TestRunAccounting:
+    def test_iterations_scale_elapsed_time(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 16))
+        compiled = compile_stencil(pattern, params)
+        one = apply_stencil(compiled, X, C, "R1", iterations=1)
+        hundred = apply_stencil(compiled, X, C, "R2", iterations=100)
+        assert hundred.elapsed_seconds == pytest.approx(
+            100 * one.elapsed_seconds
+        )
+        assert hundred.mflops == pytest.approx(one.mflops)
+
+    def test_useful_flops_counted_per_paper(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 16))
+        compiled = compile_stencil(pattern, params)
+        run = apply_stencil(compiled, X, C)
+        assert run.useful_flops == 16 * 16 * 9
+
+    def test_missing_coefficient_rejected(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        X = CMArray("X", machine, (16, 16))
+        compiled = compile_stencil(pattern, params)
+        with pytest.raises(ExecutionSetupError, match="missing"):
+            apply_stencil(compiled, X, {})
+
+    def test_shape_mismatch_rejected(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 16))
+        bad = CMArray("RBAD", machine, (32, 32))
+        compiled = compile_stencil(pattern, params)
+        with pytest.raises(ExecutionSetupError, match="shape"):
+            apply_stencil(compiled, X, C, bad)
+
+    def test_zero_iterations_rejected(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 16))
+        compiled = compile_stencil(pattern, params)
+        with pytest.raises(ValueError):
+            apply_stencil(compiled, X, C, iterations=0)
+
+    def test_describe_mentions_rate(self):
+        pattern = gallery.cross5()
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        _, _, X, C = make_problem(pattern, machine, (16, 16))
+        compiled = compile_stencil(pattern, params)
+        text = apply_stencil(compiled, X, C).describe()
+        assert "Mflops" in text
+
+
+class TestNonzeroFill:
+    def test_eoshift_nonzero_boundary_end_to_end(self):
+        """The fill value threads from the source text through the halo
+        exchange into both execution modes."""
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "R = C1 * EOSHIFT(X, 1, -1, 2.5) + C2 * EOSHIFT(X, 1, +1, 2.5)",
+            params,
+        )
+        assert compiled.pattern.fill_value == 2.5
+        rng = np.random.default_rng(12)
+        x = rng.standard_normal((8, 16)).astype(np.float32)
+        c1 = rng.standard_normal((8, 16)).astype(np.float32)
+        c2 = rng.standard_normal((8, 16)).astype(np.float32)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            "C1": CMArray.from_numpy("C1", machine, c1),
+            "C2": CMArray.from_numpy("C2", machine, c2),
+        }
+        expected = reference_stencil(
+            compiled.pattern, x, {"C1": c1, "C2": c2}
+        )
+        # Sanity: the boundary really enters the result.
+        assert (expected[0] != (c1[0] * np.roll(x, 1, 0)[0])).any()
+        for exact in (False, True):
+            run = apply_stencil(compiled, X, C, f"RNZ{exact}", exact=exact)
+            np.testing.assert_array_equal(run.result.to_numpy(), expected)

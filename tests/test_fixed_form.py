@@ -1,0 +1,127 @@
+"""Tests for fixed-form (FORTRAN 77 card-image) source support.
+
+CM Fortran accepted both layouts; the paper prints its examples in free
+form, but 1991 production decks were card images -- column-1 comments,
+column-6 continuations, code in columns 7-72.
+"""
+
+import pytest
+
+from repro.fortran.lexer import fixed_to_free, looks_fixed_form
+from repro.fortran.parser import parse_subroutine
+from repro.fortran.recognizer import recognize_subroutine
+
+FIXED_CROSS = """\
+C     THE FIVE-POINT CROSS OF THE PAPER, AS A CARD DECK
+      SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+      REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+      R = C1 * CSHIFT (X, 1, -1)
+     &  + C2 * CSHIFT (X, 2, -1)
+     &  + C3 * X
+     &  + C4 * CSHIFT (X, 2, +1)
+     &  + C5 * CSHIFT (X, 1, +1)
+      END
+"""
+
+FREE_CROSS = """\
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+
+class TestDetection:
+    def test_card_deck_detected(self):
+        assert looks_fixed_form(FIXED_CROSS)
+
+    def test_free_form_not_detected(self):
+        assert not looks_fixed_form(FREE_CROSS)
+
+    def test_comment_card_alone_detected(self):
+        assert looks_fixed_form("C     JUST A COMMENT\n      END\n")
+
+    def test_statement_starting_with_c_name_is_free(self):
+        """'C1 = ...' must not be mistaken for a comment card."""
+        assert not looks_fixed_form("C1 = C2 * X\n")
+
+
+class TestConversion:
+    def test_comments_dropped(self):
+        free = fixed_to_free(FIXED_CROSS)
+        assert "CARD DECK" not in free
+
+    def test_continuations_joined(self):
+        free = fixed_to_free(FIXED_CROSS)
+        statement_lines = [l for l in free.splitlines() if "=" in l and "::" not in l]
+        assert len(statement_lines) == 1
+        assert statement_lines[0].count("CSHIFT") == 4
+
+    def test_numeric_labels_dropped(self):
+        free = fixed_to_free("   10 R = X\n")
+        assert free.strip() == "R = X"
+
+    def test_directive_cards_survive(self):
+        free = fixed_to_free(
+            "CMF$ STENCIL\n      R = C1 * CSHIFT(X, 1, -1)\n"
+        )
+        assert free.splitlines()[0] == "!CMF$ STENCIL"
+
+    def test_bang_directives_survive(self):
+        free = fixed_to_free(
+            "!REPRO$ STENCIL\n      R = C1 * CSHIFT(X, 1, -1)\n"
+        )
+        assert free.splitlines()[0] == "!REPRO$ STENCIL"
+
+    def test_columns_beyond_72_ignored(self):
+        line = "      R = X" + " " * 55 + "SEQUENCE0001"
+        assert len(line) > 72
+        free = fixed_to_free(line)
+        assert "SEQUENCE" not in free
+
+
+class TestEndToEnd:
+    def test_fixed_form_parses_and_recognizes(self):
+        sub = parse_subroutine(FIXED_CROSS)
+        pattern = recognize_subroutine(sub)
+        assert pattern.num_points == 5
+
+    def test_fixed_and_free_agree(self):
+        fixed = recognize_subroutine(parse_subroutine(FIXED_CROSS))
+        free = recognize_subroutine(parse_subroutine(FREE_CROSS))
+        assert fixed.offsets == free.offsets
+        assert fixed.coefficient_names() == free.coefficient_names()
+
+    def test_forced_fixed_form(self):
+        sub = parse_subroutine(FIXED_CROSS, fixed_form=True)
+        assert sub.name == "CROSS"
+
+    def test_forced_free_form_rejects_cards(self):
+        from repro.fortran.errors import FortranError
+
+        with pytest.raises(FortranError):
+            parse_subroutine(FIXED_CROSS, fixed_form=False)
+
+    def test_compile_fortran_accepts_fixed_form(self):
+        from repro.compiler.driver import compile_fortran
+
+        compiled = compile_fortran(FIXED_CROSS)
+        assert compiled.max_width == 8
+
+    def test_directive_scan_through_fixed_form(self):
+        from repro.compiler.integrated import compile_program
+
+        source = (
+            "      SUBROUTINE S (R, X, Y, C1)\n"
+            "      REAL, ARRAY(:, :) :: R, X, Y, C1\n"
+            "CMF$ STENCIL\n"
+            "      R = C1 * CSHIFT(X, 1, -1)\n"
+            "     &  + C1 * CSHIFT(Y, 1, +1)\n"
+            "      END\n"
+        )
+        result = compile_program(source)
+        assert len(result.diagnostics.warnings) == 1

@@ -1,0 +1,103 @@
+"""Tests for the slicewise/processorwise format model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.formats import (
+    BITS_PER_WORD,
+    PROCESSORS_PER_BANK,
+    MemoryBank,
+    float_to_words,
+    processorwise_fetch_cycles,
+    read_word_slicewise,
+    read_words_processorwise,
+    slicewise_fetch_cycles,
+    store_processorwise,
+    store_slicewise,
+    transpose_bank,
+    words_to_float,
+)
+
+
+@pytest.fixture
+def batch():
+    rng = np.random.default_rng(0)
+    return float_to_words(
+        rng.standard_normal(PROCESSORS_PER_BANK).astype(np.float32)
+    )
+
+
+class TestBitPlumbing:
+    def test_float_word_round_trip(self):
+        values = np.array([1.5, -2.25, 0.0, 1e-30], dtype=np.float32)
+        np.testing.assert_array_equal(
+            words_to_float(float_to_words(values)), values
+        )
+
+    def test_batch_size_enforced(self):
+        with pytest.raises(ValueError, match="exactly"):
+            store_slicewise(np.zeros(16, dtype=np.uint32))
+
+
+class TestLayouts:
+    def test_slicewise_row_is_one_word(self, batch):
+        bank = store_slicewise(batch)
+        for index in (0, 7, 31):
+            assert read_word_slicewise(bank, index) == batch[index]
+
+    def test_processorwise_column_is_one_word(self, batch):
+        bank = store_processorwise(batch)
+        # Bit b of word j sits at row b, processor j.
+        j, b = 5, 17
+        expected = bool((int(batch[j]) >> b) & 1)
+        assert bank.rows[b, j] == expected
+
+    def test_processorwise_readout_needs_all_rows(self, batch):
+        bank = store_processorwise(batch)
+        np.testing.assert_array_equal(read_words_processorwise(bank), batch)
+
+    def test_transposer_swaps_layouts(self, batch):
+        processorwise = store_processorwise(batch)
+        slicewise = store_slicewise(batch)
+        np.testing.assert_array_equal(
+            transpose_bank(processorwise).rows, slicewise.rows
+        )
+
+    def test_transposer_is_an_involution(self, batch):
+        bank = store_processorwise(batch)
+        twice = transpose_bank(transpose_bank(bank))
+        np.testing.assert_array_equal(twice.rows, bank.rows)
+
+    def test_single_memory_cycle_reads_one_slicewise_word(self, batch):
+        """The paper's point: a slice through memory is a whole word."""
+        bank = store_slicewise(batch)
+        row = bank.fetch_row(3)
+        assert row.shape == (PROCESSORS_PER_BANK,)
+        weights = np.uint64(1) << np.arange(BITS_PER_WORD, dtype=np.uint64)
+        assert (row.astype(np.uint64) * weights).sum() == batch[3]
+
+
+class TestFetchCosts:
+    def test_slicewise_costs_one_cycle_per_word(self):
+        assert slicewise_fetch_cycles(4) == 4
+        assert slicewise_fetch_cycles(1) == 1
+
+    def test_processorwise_costs_full_batches(self):
+        """Even 4 wanted words drag in a 32-cycle batch."""
+        assert processorwise_fetch_cycles(4) == 32
+        assert processorwise_fetch_cycles(32) == 32
+        assert processorwise_fetch_cycles(33) == 64
+
+    def test_slicewise_enables_batch_of_four(self):
+        """The flexibility the convolution compiler is built on: small
+        batches cost proportionally, not 32 cycles minimum."""
+        assert slicewise_fetch_cycles(4) < processorwise_fetch_cycles(4)
+
+    def test_equal_cost_only_at_full_batches(self):
+        assert slicewise_fetch_cycles(32) == processorwise_fetch_cycles(32)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            slicewise_fetch_cycles(-1)
+        with pytest.raises(ValueError):
+            processorwise_fetch_cycles(-1)

@@ -1,0 +1,121 @@
+"""Tests for the Fortran tokenizer."""
+
+import pytest
+
+from repro.fortran.errors import LexError
+from repro.fortran.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_identifiers_uppercased(self):
+        tokens = tokenize("cshift")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].text == "CSHIFT"
+
+    def test_operators(self):
+        assert kinds("+ - * / ( ) , =") == [
+            TokenKind.PLUS,
+            TokenKind.MINUS,
+            TokenKind.STAR,
+            TokenKind.SLASH,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.COMMA,
+            TokenKind.EQUALS,
+            TokenKind.NEWLINE,
+        ]
+
+    def test_double_colon(self):
+        assert kinds("::")[0] is TokenKind.DOUBLE_COLON
+
+    def test_single_colon(self):
+        assert kinds("( : , : )") == [
+            TokenKind.LPAREN,
+            TokenKind.COLON,
+            TokenKind.COMMA,
+            TokenKind.COLON,
+            TokenKind.RPAREN,
+            TokenKind.NEWLINE,
+        ]
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_real_literal(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is TokenKind.REAL
+
+    def test_exponent_literal(self):
+        tokens = tokenize("1e-3")
+        assert tokens[0].kind is TokenKind.REAL
+        assert tokens[0].text == "1e-3"
+
+    def test_double_precision_exponent(self):
+        tokens = tokenize("1d0")
+        assert tokens[0].kind is TokenKind.REAL
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestCommentsAndContinuations:
+    def test_bang_comment_stripped(self):
+        assert texts("x = 1 ! the answer")[:3] == ["X", "=", "1"]
+
+    def test_trailing_ampersand_continues(self):
+        source = "r = c1 * x &\n  + c2 * y"
+        token_texts = texts(source)
+        assert token_texts.count("\n") == 1  # one statement
+
+    def test_leading_ampersand_consumed(self):
+        source = "r = c1 &\n  & + c2"
+        assert "&" not in texts(source)
+
+    def test_unterminated_continuation(self):
+        with pytest.raises(LexError):
+            tokenize("r = c1 * x &")
+
+    def test_blank_lines_collapse(self):
+        source = "a = 1\n\n\nb = 2"
+        newline_count = sum(
+            1 for t in tokenize(source) if t.kind is TokenKind.NEWLINE
+        )
+        assert newline_count == 2
+
+
+class TestDirectives:
+    def test_repro_directive(self):
+        tokens = tokenize("!REPRO$ STENCIL\nr = x")
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+        assert tokens[0].text == "STENCIL"
+
+    def test_cmf_directive(self):
+        tokens = tokenize("!CMF$ stencil\nr = x")
+        assert tokens[0].kind is TokenKind.DIRECTIVE
+        assert tokens[0].text == "STENCIL"
+
+    def test_ordinary_comment_not_directive(self):
+        tokens = tokenize("! just a comment\nr = x")
+        assert tokens[0].kind is not TokenKind.DIRECTIVE
+
+
+class TestLocations:
+    def test_line_numbers(self):
+        tokens = tokenize("a = 1\nb = 2")
+        b_token = [t for t in tokens if t.text == "B"][0]
+        assert b_token.location.line == 2
+
+    def test_column_numbers(self):
+        tokens = tokenize("  a = 1")
+        assert tokens[0].location.column == 3

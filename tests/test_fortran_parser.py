@@ -1,0 +1,156 @@
+"""Tests for the Fortran parser over the paper's own source shapes."""
+
+import pytest
+
+from repro.fortran.ast_nodes import BinOp, Call, IntLit, Name, UnaryOp
+from repro.fortran.errors import ParseError
+from repro.fortran.parser import (
+    parse_assignment,
+    parse_program,
+    parse_subroutine,
+)
+
+PAPER_CROSS = """
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+
+class TestSubroutine:
+    def test_paper_cross_subroutine(self):
+        sub = parse_subroutine(PAPER_CROSS)
+        assert sub.name == "CROSS"
+        assert sub.params == ("R", "X", "C1", "C2", "C3", "C4", "C5")
+        assert len(sub.declarations) == 1
+        assert len(sub.statements) == 1
+
+    def test_declaration_rank(self):
+        sub = parse_subroutine(PAPER_CROSS)
+        assert sub.rank_of("R") == 2
+        assert sub.rank_of("C5") == 2
+        assert sub.rank_of("NOPE") is None
+
+    def test_dimension_attribute(self):
+        sub = parse_subroutine(
+            "SUBROUTINE S (A)\nREAL, DIMENSION(:, :, :) :: A\nA = A * 2\nEND"
+        )
+        assert sub.rank_of("A") == 3
+
+    def test_end_subroutine_with_name(self):
+        sub = parse_subroutine(
+            "SUBROUTINE S (A, B)\nA = B\nEND SUBROUTINE S"
+        )
+        assert sub.name == "S"
+
+    def test_missing_end(self):
+        with pytest.raises(ParseError):
+            parse_subroutine("SUBROUTINE S (A)\nA = 1")
+
+    def test_multiple_subroutines(self):
+        program = parse_program(
+            "SUBROUTINE A (X, Y)\nX = Y\nEND\nSUBROUTINE B (X, Y)\nX = Y\nEND"
+        )
+        assert [s.name for s in program.subroutines] == ["A", "B"]
+        assert program.find("b").name == "B"
+
+    def test_find_missing_raises(self):
+        program = parse_program("SUBROUTINE A (X, Y)\nX = Y\nEND")
+        with pytest.raises(KeyError):
+            program.find("missing")
+
+    def test_exactly_one_subroutine_enforced(self):
+        with pytest.raises(ParseError):
+            parse_subroutine(
+                "SUBROUTINE A (X, Y)\nX = Y\nEND\nSUBROUTINE B (X, Y)\nX = Y\nEND"
+            )
+
+    def test_intent_attribute_skipped(self):
+        sub = parse_subroutine(
+            "SUBROUTINE S (A)\nREAL, INTENT(IN), ARRAY(:, :) :: A\nA = A + 1\nEND"
+        )
+        assert sub.rank_of("A") == 2
+
+
+class TestExpressions:
+    def test_precedence_multiplication_binds_tighter(self):
+        stmt = parse_assignment("R = A + B * C")
+        assert isinstance(stmt.expr, BinOp)
+        assert stmt.expr.op == "+"
+        assert isinstance(stmt.expr.right, BinOp)
+        assert stmt.expr.right.op == "*"
+
+    def test_left_associativity(self):
+        stmt = parse_assignment("R = A - B - C")
+        # (A - B) - C
+        assert stmt.expr.op == "-"
+        assert isinstance(stmt.expr.left, BinOp)
+        assert stmt.expr.left.op == "-"
+
+    def test_unary_minus(self):
+        stmt = parse_assignment("R = -A")
+        assert isinstance(stmt.expr, UnaryOp)
+        assert stmt.expr.op == "-"
+
+    def test_parentheses(self):
+        stmt = parse_assignment("R = (A + B) * C")
+        assert stmt.expr.op == "*"
+        assert isinstance(stmt.expr.left, BinOp)
+
+    def test_call_positional_arguments(self):
+        stmt = parse_assignment("R = CSHIFT(X, 1, -1)")
+        call = stmt.expr
+        assert isinstance(call, Call)
+        assert call.func == "CSHIFT"
+        assert len(call.args) == 3
+        assert isinstance(call.args[0], Name)
+
+    def test_call_keyword_arguments(self):
+        stmt = parse_assignment("R = CSHIFT(X, DIM=1, SHIFT=-1)")
+        call = stmt.expr
+        assert dict(call.kwargs).keys() == {"DIM", "SHIFT"}
+
+    def test_positional_after_keyword_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assignment("R = CSHIFT(X, DIM=1, 2)")
+
+    def test_nested_calls(self):
+        stmt = parse_assignment("R = CSHIFT(CSHIFT(X, 1, -1), 2, +1)")
+        outer = stmt.expr
+        assert isinstance(outer.args[0], Call)
+
+    def test_continuation_statement(self):
+        stmt = parse_assignment("R = C1 * X &\n  + C2 * X")
+        assert stmt.expr.op == "+"
+
+    def test_directive_attaches_to_assignment(self):
+        stmt = parse_assignment("!REPRO$ STENCIL\nR = C1 * X")
+        assert stmt.directive == "STENCIL"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_assignment("R = A\nR = B")
+
+    def test_describe_round_trip(self):
+        stmt = parse_assignment("R = C1 * CSHIFT(X, 1, -1) + C2")
+        text = stmt.describe()
+        assert "CSHIFT" in text and "C1" in text
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(ParseError):
+            parse_assignment("R = ")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ParseError):
+            parse_assignment("R = (A + B")
+
+    def test_program_must_start_with_subroutine(self):
+        with pytest.raises(ParseError):
+            parse_program("R = A + B")

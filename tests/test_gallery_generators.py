@@ -1,0 +1,70 @@
+"""Tests for the parametric pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.reference import reference_stencil
+from repro.compiler.driver import compile_stencil
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.stencil_op import apply_stencil
+from repro.stencil.gallery import box, column, cross, diamond, row, square
+
+
+class TestGenerators:
+    def test_cross_sizes(self):
+        assert cross(1).num_points == 5
+        assert cross(2).num_points == 9
+        assert cross(3).num_points == 13
+
+    def test_square_sizes(self):
+        assert square(1).num_points == 9
+        assert square(2).num_points == 25
+
+    def test_diamond_sizes(self):
+        assert diamond(1).num_points == 5
+        assert diamond(2).num_points == 13
+        assert diamond(3).num_points == 25
+
+    def test_box_extents(self):
+        pattern = box(2, 3)
+        assert pattern.num_points == 6
+        widths = pattern.border_widths()
+        assert widths.north == 0 and widths.south == 1
+        assert widths.west == 1 and widths.east == 1
+
+    def test_box_validation(self):
+        with pytest.raises(ValueError):
+            box(0, 3)
+
+    def test_row_and_column(self):
+        assert row(5).border_widths().as_tuple() == (0, 0, 2, 2)
+        assert column(5).border_widths().as_tuple() == (2, 2, 0, 0)
+
+    def test_row_compiles_wide(self):
+        """1-D stencils have height-1 columns only: cheap rings, width 8."""
+        compiled = compile_stencil(row(5))
+        assert compiled.max_width == 8
+        assert compiled.plans[8].unroll == 1
+
+    def test_generated_patterns_run_end_to_end(self):
+        params = MachineParams(num_nodes=4)
+        for pattern in (box(2, 3), row(5), column(3)):
+            machine = CM2(params)
+            rng = np.random.default_rng(0)
+            x = rng.standard_normal((8, 16)).astype(np.float32)
+            coeffs = {
+                name: rng.standard_normal((8, 16)).astype(np.float32)
+                for name in pattern.coefficient_names()
+            }
+            compiled = compile_stencil(pattern, params)
+            X = CMArray.from_numpy("X", machine, x)
+            C = {
+                name: CMArray.from_numpy(name, machine, data)
+                for name, data in coeffs.items()
+            }
+            run = apply_stencil(compiled, X, C)
+            np.testing.assert_array_equal(
+                run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+            )

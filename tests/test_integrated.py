@@ -1,0 +1,90 @@
+"""Tests for the integrated (version 3) compiler."""
+
+import pytest
+
+from repro.compiler.integrated import compile_program
+from repro.machine.params import MachineParams
+
+MIXED_PROGRAM = """
+SUBROUTINE RELAX (R, X, C1, C2, C3, C4, C5, T)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5, T
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+T = C1 / X
+END
+
+SUBROUTINE SCALE (Y, X, A)
+REAL, ARRAY(:, :) :: Y, X, A
+Y = A * CSHIFT(X, 1, -1)
+END
+"""
+
+
+class TestCompileProgram:
+    def test_handles_stencils_and_leaves_the_rest(self):
+        result = compile_program(MIXED_PROGRAM)
+        assert len(result.statements) == 3
+        assert len(result.handled) == 2
+        assert len(result.fallback) == 1
+        assert result.fallback[0].statement.target == "T"
+
+    def test_no_isolated_subroutine_requirement(self):
+        """Multiple statements per subroutine, multiple subroutines."""
+        result = compile_program(MIXED_PROGRAM)
+        assert result.handled_in("RELAX")[0].compiled.max_width == 8
+        assert result.handled_in("SCALE")[0].compiled.pattern.offsets == (
+            (-1, 0),
+        )
+
+    def test_undirected_failures_are_silent(self):
+        result = compile_program(MIXED_PROGRAM)
+        assert not result.diagnostics.warnings
+
+    def test_directive_failure_warns(self):
+        source = (
+            "SUBROUTINE S (R, X, Y, C1)\n"
+            "REAL, ARRAY(:, :) :: R, X, Y, C1\n"
+            "!REPRO$ STENCIL\n"
+            "R = C1 * CSHIFT(X, 1, -1) + C1 * CSHIFT(Y, 1, +1)\n"
+            "END"
+        )
+        result = compile_program(source)
+        assert len(result.diagnostics.warnings) == 1
+        assert "same variable" in result.diagnostics.warnings[0].message
+
+    def test_directive_resource_failure_warns(self):
+        """Recognized but uncompilable: the 'for lack of registers'
+        feedback the paper promises."""
+        terms = " + ".join(
+            f"C{i} * CSHIFT(X, 2, {i - 20:+d})" for i in range(1, 40)
+        )
+        names = ", ".join(f"C{i}" for i in range(1, 40))
+        source = (
+            f"SUBROUTINE WIDE (R, X, {names})\n"
+            f"REAL, ARRAY(:, :) :: R, X, {names}\n"
+            "!REPRO$ STENCIL\n"
+            f"R = {terms}\n"
+            "END"
+        )
+        result = compile_program(source)
+        assert not result.handled
+        assert any(
+            "could not be compiled" in d.message
+            for d in result.diagnostics.warnings
+        )
+
+    def test_describe_lists_dispositions(self):
+        text = compile_program(MIXED_PROGRAM).describe()
+        assert "convolution module" in text
+        assert "stock compiler" in text
+
+    def test_params_thread_through(self):
+        tiny = MachineParams(scratch_memory_words=60)
+        result = compile_program(MIXED_PROGRAM, tiny)
+        # Every width of the cross needs more than 60 scratch words, so
+        # the stencil falls back entirely.
+        relax = [s for s in result.statements if s.subroutine == "RELAX"]
+        assert not relax[0].handled

@@ -1,0 +1,175 @@
+"""Cross-feature integration scenarios.
+
+Each test combines features that are individually covered elsewhere --
+boundary modes, machine sizes, strip mixes, fusion, wrappers, the exact
+datapath -- in the ways a real application would, and checks the result
+against the pure-numpy oracle bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.reference import reference_stencil
+from repro.compiler.codegen import ExtraTerm
+from repro.compiler.driver import compile_fortran, compile_stencil
+from repro.compiler.fusion import fuse
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.stencil_op import apply_stencil
+from repro.runtime.subroutine import make_subroutine
+from repro.stencil.gallery import asymmetric5, border_demo, cross9
+from repro.stencil.pattern import Coefficient
+
+
+class TestSixteenNodeExact:
+    """The paper's board size through the cycle-stepped datapath."""
+
+    def test_asymmetric_pattern_awkward_shape(self):
+        params = MachineParams(num_nodes=16)
+        machine = CM2(params)
+        pattern = asymmetric5()
+        rng = np.random.default_rng(0)
+        # 20x28 global on a 4x4 grid: 5x7 subgrids; strips 4+2+1.
+        x = rng.standard_normal((20, 28)).astype(np.float32)
+        coeffs = {
+            name: rng.standard_normal((20, 28)).astype(np.float32)
+            for name in pattern.coefficient_names()
+        }
+        compiled = compile_stencil(pattern, params)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            name: CMArray.from_numpy(name, machine, data)
+            for name, data in coeffs.items()
+        }
+        run = apply_stencil(compiled, X, C, exact=True)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+    def test_wide_borders_on_sixteen_nodes(self):
+        """border_demo pads 3 on all sides; subgrids must fit the halo."""
+        params = MachineParams(num_nodes=16)
+        machine = CM2(params)
+        pattern = border_demo()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        coeffs = {
+            name: rng.standard_normal((16, 16)).astype(np.float32)
+            for name in pattern.coefficient_names()
+        }
+        compiled = compile_stencil(pattern, params)
+        X = CMArray.from_numpy("X", machine, x)
+        C = {
+            name: CMArray.from_numpy(name, machine, data)
+            for name, data in coeffs.items()
+        }
+        run = apply_stencil(compiled, X, C, exact=True)
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_stencil(pattern, x, coeffs)
+        )
+
+
+class TestIteratedWorkflow:
+    def test_subroutine_wrapper_in_a_time_loop(self):
+        """A diffusion loop through the version-2 calling convention,
+        checked step by step against numpy."""
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        smooth = make_subroutine(
+            "SUBROUTINE SMOOTH (OUT, F, W1, W2, W3, W4, W5)\n"
+            "REAL, ARRAY(:, :) :: OUT, F, W1, W2, W3, W4, W5\n"
+            "OUT = W1 * CSHIFT(F, 1, -1) + W2 * CSHIFT(F, 2, -1)"
+            " + W3 * F + W4 * CSHIFT(F, 2, +1) + W5 * CSHIFT(F, 1, +1)\n"
+            "END",
+            params,
+        )
+        rng = np.random.default_rng(2)
+        field_host = rng.standard_normal((8, 8)).astype(np.float32)
+        weights_host = {
+            f"W{i}": np.full((8, 8), 0.2, dtype=np.float32)
+            for i in range(1, 6)
+        }
+        out = CMArray("OUTBUF", machine, (8, 8))
+        field = CMArray.from_numpy("FIELD", machine, field_host)
+        weights = [
+            CMArray.from_numpy(name, machine, data)
+            for name, data in weights_host.items()
+        ]
+        expected = field_host
+        for _ in range(4):
+            smooth(out, field, *weights)
+            pattern = smooth.compiled.pattern
+            renamed = {
+                f"W{i}": weights_host[f"W{i}"] for i in range(1, 6)
+            }
+            expected = reference_stencil(pattern, expected, renamed)
+            # Feed the result back as the next field.
+            field.set(out.to_numpy())
+        np.testing.assert_array_equal(out.to_numpy(), expected)
+
+    def test_fused_and_plain_interleaved(self):
+        """Alternate plain and fused applications over shared arrays."""
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        pattern = cross9()
+        plain = compile_stencil(pattern, params)
+        fused = fuse(
+            pattern,
+            [ExtraTerm(source="Y", coeff=Coefficient.array("CY"))],
+            params,
+        )
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        y = rng.standard_normal((16, 16)).astype(np.float32)
+        coeffs_host = {
+            name: rng.standard_normal((16, 16)).astype(np.float32)
+            for name in list(pattern.coefficient_names()) + ["CY"]
+        }
+        X = CMArray.from_numpy("X", machine, x)
+        CMArray.from_numpy("Y", machine, y)
+        C = {
+            name: CMArray.from_numpy(name, machine, data)
+            for name, data in coeffs_host.items()
+        }
+        base_coeffs = {
+            name: C[name] for name in pattern.coefficient_names()
+        }
+        plain_run = apply_stencil(plain, X, base_coeffs, "RPLAIN")
+        fused_run = apply_stencil(fused, X, C, "RFUSED")
+        base_expected = reference_stencil(
+            pattern, x, {n: coeffs_host[n] for n in pattern.coefficient_names()}
+        )
+        np.testing.assert_array_equal(
+            plain_run.result.to_numpy(), base_expected
+        )
+        fused_expected = (
+            base_expected
+            + (coeffs_host["CY"] * y).astype(np.float32)
+        ).astype(np.float32)
+        np.testing.assert_array_equal(
+            fused_run.result.to_numpy(), fused_expected
+        )
+        # The fused run costs more cycles (one more chained MA per point
+        # plus the extra loads) but fewer than a separate pass would add.
+        assert fused_run.compute_cycles > plain_run.compute_cycles
+
+    def test_result_feeding_back_as_source(self):
+        """Ping-pong two arrays through a compiled statement (the usual
+        relaxation structure) and match numpy at every step."""
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        compiled = compile_fortran(
+            "B = 0.25 * CSHIFT(A, 1, -1) + 0.5 * A + 0.25 * CSHIFT(A, 1, +1)",
+            params,
+        )
+        rng = np.random.default_rng(4)
+        host = rng.standard_normal((8, 12)).astype(np.float32)
+        a = CMArray.from_numpy("A", machine, host)
+        b = CMArray("B", machine, (8, 12))
+        expected = host
+        for step in range(3):
+            apply_stencil(compiled, a, {}, b)
+            expected = reference_stencil(compiled.pattern, expected, {})
+            np.testing.assert_array_equal(b.to_numpy(), expected)
+            a.set(b.to_numpy())

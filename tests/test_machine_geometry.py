@@ -1,0 +1,103 @@
+"""Tests for node-grid geometry and the hypercube embedding."""
+
+import pytest
+
+from repro.machine.geometry import (
+    NodeCoord,
+    all_coords,
+    gray_code,
+    grid_shape,
+    hamming_distance,
+    node_address,
+)
+
+
+class TestGridShape:
+    def test_sixteen_nodes_form_4x4(self):
+        """Paper: 'if there were only 16 nodes, they would be arranged
+        as a 4x4 grid'."""
+        assert grid_shape(16) == (4, 4)
+
+    def test_full_machine_2048_nodes(self):
+        rows, cols = grid_shape(2048)
+        assert rows * cols == 2048
+        assert cols == 2 * rows  # 32x64: nearly square, wider than tall
+
+    def test_single_node(self):
+        assert grid_shape(1) == (1, 1)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            grid_shape(12)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            grid_shape(0)
+
+
+class TestGrayCode:
+    def test_first_values(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_adjacent_codes_differ_in_one_bit(self):
+        for i in range(255):
+            assert hamming_distance(gray_code(i), gray_code(i + 1)) == 1
+
+    def test_gray_code_is_a_permutation(self):
+        codes = {gray_code(i) for i in range(256)}
+        assert codes == set(range(256))
+
+
+class TestEmbedding:
+    """Grid neighbors must be hypercube neighbors (paper section 4.1)."""
+
+    @pytest.mark.parametrize("num_nodes", [4, 16, 64, 2048])
+    def test_grid_neighbors_are_hypercube_neighbors(self, num_nodes):
+        shape = grid_shape(num_nodes)
+        rows, cols = shape
+        for coord in all_coords(shape):
+            address = node_address(coord.row, coord.col, shape)
+            # Non-wrapping neighbors: Gray code guarantees distance 1.
+            if coord.row + 1 < rows:
+                other = node_address(coord.row + 1, coord.col, shape)
+                assert hamming_distance(address, other) == 1
+            if coord.col + 1 < cols:
+                other = node_address(coord.row, coord.col + 1, shape)
+                assert hamming_distance(address, other) == 1
+
+    def test_addresses_unique(self):
+        shape = grid_shape(64)
+        addresses = {
+            node_address(c.row, c.col, shape) for c in all_coords(shape)
+        }
+        assert len(addresses) == 64
+
+    def test_addresses_dense(self):
+        shape = grid_shape(16)
+        addresses = {
+            node_address(c.row, c.col, shape) for c in all_coords(shape)
+        }
+        assert addresses == set(range(16))
+
+    def test_out_of_grid_rejected(self):
+        with pytest.raises(ValueError):
+            node_address(4, 0, (4, 4))
+
+
+class TestNodeCoord:
+    def test_neighbors_torus_wrap(self):
+        coord = NodeCoord(0, 0)
+        neighbors = coord.neighbors((4, 4))
+        assert neighbors["N"] == NodeCoord(3, 0)
+        assert neighbors["W"] == NodeCoord(0, 3)
+        assert neighbors["S"] == NodeCoord(1, 0)
+        assert neighbors["E"] == NodeCoord(0, 1)
+
+    def test_diagonal_neighbors(self):
+        coord = NodeCoord(0, 0)
+        diag = coord.diagonal_neighbors((4, 4))
+        assert diag["NW"] == NodeCoord(3, 3)
+        assert diag["SE"] == NodeCoord(1, 1)
+
+    def test_all_coords_count(self):
+        assert len(list(all_coords((4, 8)))) == 32

@@ -1,0 +1,93 @@
+"""Machine-size invariance: decomposition must not change the answer.
+
+The same global problem on 1, 4, and 16 nodes must produce bit-identical
+results (the decomposition, halo exchange, and strip mining differ, the
+arithmetic does not), and per-node cycle counts must be determined by
+the subgrid alone.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.driver import compile_stencil
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.stencil_op import apply_stencil
+from repro.stencil import gallery
+
+
+def run_on(num_nodes, pattern, x, coeffs):
+    params = MachineParams(num_nodes=num_nodes)
+    machine = CM2(params)
+    compiled = compile_stencil(pattern, params)
+    X = CMArray.from_numpy("X", machine, x)
+    C = {
+        name: CMArray.from_numpy(name, machine, data)
+        for name, data in coeffs.items()
+    }
+    return apply_stencil(compiled, X, C)
+
+
+@pytest.mark.parametrize(
+    "pattern_fn", [gallery.cross5, gallery.square9, gallery.diamond13]
+)
+def test_results_independent_of_machine_size(pattern_fn):
+    pattern = pattern_fn()
+    rng = np.random.default_rng(42)
+    shape = (32, 32)
+    x = rng.standard_normal(shape).astype(np.float32)
+    coeffs = {
+        name: rng.standard_normal(shape).astype(np.float32)
+        for name in pattern.coefficient_names()
+    }
+    results = [
+        run_on(nodes, pattern, x, coeffs).result.to_numpy()
+        for nodes in (1, 4, 16)
+    ]
+    np.testing.assert_array_equal(results[0], results[1])
+    np.testing.assert_array_equal(results[1], results[2])
+
+
+def test_cycles_depend_on_subgrid_not_machine_size():
+    """SIMD: per-node time is fixed by the subgrid shape; machines of
+    any size with the same subgrid take the same cycles -- the basis of
+    the paper's 16-to-2,048-node extrapolation."""
+    pattern = gallery.cross5()
+    cycles = []
+    for num_nodes in (1, 4, 16, 64):
+        params = MachineParams(num_nodes=num_nodes)
+        machine = CM2(params)
+        subgrid = (16, 16)
+        gshape = (
+            subgrid[0] * machine.grid_rows,
+            subgrid[1] * machine.grid_cols,
+        )
+        compiled = compile_stencil(pattern, params)
+        X = CMArray("X", machine, gshape)
+        C = {
+            name: CMArray(name, machine, gshape)
+            for name in pattern.coefficient_names()
+        }
+        run = apply_stencil(compiled, X, C)
+        cycles.append(run.compute_cycles)
+    assert len(set(cycles)) == 1
+
+
+def test_rate_scales_linearly_with_nodes():
+    """Same subgrid, more nodes: Mflops scale exactly linearly (all
+    per-iteration times are identical, work multiplies)."""
+    pattern = gallery.cross9()
+    rates = {}
+    for num_nodes in (16, 64):
+        params = MachineParams(num_nodes=num_nodes)
+        machine = CM2(params)
+        gshape = (64 * machine.grid_rows, 64 * machine.grid_cols)
+        compiled = compile_stencil(pattern, params)
+        X = CMArray("X", machine, gshape)
+        C = {
+            name: CMArray(name, machine, gshape)
+            for name in pattern.coefficient_names()
+        }
+        rates[num_nodes] = apply_stencil(compiled, X, C).mflops
+    assert rates[64] == pytest.approx(4 * rates[16])

@@ -1,0 +1,204 @@
+"""Tests for node memory and machine parameters."""
+
+import numpy as np
+import pytest
+
+from repro.machine.isa import ONES_BUFFER, MemRef, const_buffer_name
+from repro.machine.machine import CM2
+from repro.machine.memory import MemoryError_, NodeMemory
+from repro.machine.microcode import (
+    MICROCODE_MEMORY_WORDS,
+    full_strip_routine,
+    half_strip_routine,
+    routine_set,
+)
+from repro.machine.params import FULL_CM2, SIXTEEN_NODE, MachineParams
+
+
+class TestNodeMemory:
+    def test_allocate_zeroed(self):
+        mem = NodeMemory()
+        buf = mem.allocate("a", (2, 3))
+        assert buf.shape == (2, 3)
+        assert buf.dtype == np.float32
+        assert not buf.any()
+
+    def test_install_copies_as_float32(self):
+        mem = NodeMemory()
+        data = np.ones((2, 2), dtype=np.float64)
+        buf = mem.install("a", data)
+        assert buf.dtype == np.float32
+        data[0, 0] = 5.0
+        assert mem.buffer("a")[0, 0] == 1.0  # a copy, not a view
+
+    def test_install_rejects_non_2d(self):
+        mem = NodeMemory()
+        with pytest.raises(MemoryError_):
+            mem.install("a", np.ones(4))
+
+    def test_read_write(self):
+        mem = NodeMemory()
+        mem.allocate("a", (2, 2))
+        mem.write(MemRef("a", 1, 1), 3.5)
+        assert mem.read(MemRef("a", 1, 1)) == np.float32(3.5)
+
+    def test_access_counting(self):
+        mem = NodeMemory()
+        mem.allocate("a", (2, 2))
+        mem.write(MemRef("a", 0, 0), 1.0)
+        mem.read(MemRef("a", 0, 0))
+        mem.read(MemRef("a", 0, 1))
+        assert mem.counts.reads == 2
+        assert mem.counts.writes == 1
+        assert mem.counts.total == 3
+
+    def test_unknown_buffer(self):
+        mem = NodeMemory()
+        with pytest.raises(MemoryError_, match="no buffer"):
+            mem.read(MemRef("nope", 0, 0))
+
+    def test_out_of_bounds(self):
+        mem = NodeMemory()
+        mem.allocate("a", (2, 2))
+        with pytest.raises(MemoryError_, match="outside"):
+            mem.read(MemRef("a", 2, 0))
+        with pytest.raises(MemoryError_, match="outside"):
+            mem.read(MemRef("a", 0, -1))
+
+    def test_constant_pages(self):
+        mem = NodeMemory()
+        mem.ensure_constant_pages([0.5, -2.0])
+        assert mem.read(MemRef(ONES_BUFFER, 0, 0)) == np.float32(1.0)
+        assert mem.read(MemRef(const_buffer_name(0.5), 0, 0)) == np.float32(0.5)
+        assert mem.read(MemRef(const_buffer_name(-2.0), 0, 0)) == np.float32(-2.0)
+
+    def test_constant_pages_idempotent(self):
+        mem = NodeMemory()
+        mem.ensure_constant_pages([1.5])
+        mem.ensure_constant_pages([1.5])
+        names = [n for n in mem.buffer_names if "const" in n]
+        assert len(names) == 1
+
+    def test_total_words(self):
+        mem = NodeMemory()
+        mem.allocate("a", (4, 4))
+        mem.allocate("b", (2, 2))
+        assert mem.total_words() == 20
+
+    def test_free(self):
+        mem = NodeMemory()
+        mem.allocate("a", (2, 2))
+        mem.free("a")
+        assert not mem.has_buffer("a")
+
+
+class TestMachineParams:
+    def test_paper_clock_rate(self):
+        assert MachineParams().clock_hz == 7.0e6
+
+    def test_peak_mflops_per_node(self):
+        """2 flops/cycle at 7 MHz = 14 Mflops/node."""
+        assert MachineParams().peak_mflops_per_node == 14.0
+
+    def test_writeback_latency_is_four(self):
+        """Mult at k, add at k+2, writeback at k+4."""
+        assert MachineParams().writeback_latency == 4
+
+    def test_presets(self):
+        assert SIXTEEN_NODE.num_nodes == 16
+        assert FULL_CM2.num_nodes == 2048
+
+    def test_with_nodes(self):
+        params = SIXTEEN_NODE.with_nodes(2048)
+        assert params.num_nodes == 2048
+        assert params.clock_hz == SIXTEEN_NODE.clock_hz
+
+    def test_seconds(self):
+        assert MachineParams().seconds(7_000_000) == pytest.approx(1.0)
+
+    def test_host_overhead_recoding(self):
+        fast = MachineParams(host_overhead_recoded=True)
+        slow = MachineParams(host_overhead_recoded=False)
+        assert slow.host_overhead_s(10) > fast.host_overhead_s(10)
+
+    def test_host_overhead_scales_with_halfstrips(self):
+        params = MachineParams()
+        assert params.host_overhead_s(64) > params.host_overhead_s(16)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            MachineParams(num_nodes=0)
+
+
+class TestCM2:
+    def test_sixteen_node_machine(self):
+        machine = CM2(MachineParams(num_nodes=16))
+        assert machine.num_nodes == 16
+        assert machine.shape == (4, 4)
+
+    def test_node_lookup_wraps(self):
+        machine = CM2(MachineParams(num_nodes=16))
+        assert machine.node(4, 4) is machine.node(0, 0)
+
+    def test_full_machine_peak(self):
+        """2,048 nodes x 14 Mflops = 28.7 Gflops peak."""
+        machine = CM2(FULL_CM2)
+        assert machine.peak_gflops() == pytest.approx(28.672)
+
+    def test_nodes_have_unique_addresses(self):
+        machine = CM2(MachineParams(num_nodes=64))
+        addresses = {node.address for node in machine.nodes()}
+        assert len(addresses) == 64
+
+    def test_describe(self):
+        text = CM2(MachineParams(num_nodes=16)).describe()
+        assert "16 nodes" in text and "4x4" in text
+
+
+class TestMicrocode:
+    def test_half_strip_routine(self):
+        routine = half_strip_routine(8, MachineParams())
+        assert routine.half_strip
+        assert routine.width == 8
+
+    def test_full_strip_costs_more_dispatch(self):
+        params = MachineParams()
+        half = half_strip_routine(4, params)
+        full = full_strip_routine(4, params)
+        assert full.dispatch_cycles > half.dispatch_cycles
+        assert full.instruction_words > half.instruction_words
+
+    def test_routine_set_fits_microcode_memory(self):
+        routines = routine_set(MachineParams())
+        total = sum(r.instruction_words for r in routines.values())
+        assert total <= MICROCODE_MEMORY_WORDS
+        assert set(routines) == {8, 4, 2, 1}
+
+
+class TestNode:
+    def test_describe_names_coordinates(self):
+        machine = CM2(MachineParams(num_nodes=16))
+        node = machine.node(1, 2)
+        text = node.describe()
+        assert "node(1,2)" in text
+        assert "cube" in text
+
+    def test_make_fpu_reserves_registers(self):
+        machine = CM2(MachineParams(num_nodes=1))
+        node = machine.node(0, 0)
+        fpu = node.make_fpu(zero_reg=0, unit_reg=1)
+        assert fpu.regs[1] == np.float32(1.0)
+        assert fpu.valid[0] and fpu.valid[1]
+        assert not fpu.valid[2]
+
+    def test_alias_shares_storage(self):
+        mem = NodeMemory()
+        mem.allocate("a", (2, 2))
+        mem.alias("b", "a")
+        mem.write(MemRef("b", 0, 0), 4.0)
+        assert mem.read(MemRef("a", 0, 0)) == np.float32(4.0)
+
+    def test_alias_of_missing_target_raises(self):
+        mem = NodeMemory()
+        with pytest.raises(MemoryError_):
+            mem.alias("b", "missing")

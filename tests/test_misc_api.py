@@ -1,0 +1,131 @@
+"""Direct tests for smaller public API surfaces exercised only
+indirectly elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import breakdown_run
+from repro.compiler.driver import compile_fortran, compile_stencil
+from repro.fortran.errors import DiagnosticSink
+from repro.fortran.lexer import TokenKind, tokenize_fixed
+from repro.machine.geometry import is_power_of_two
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.halo import exchange_cost
+from repro.runtime.stencil_op import apply_stencil
+from repro.runtime.strips import StripSchedule
+from repro.stencil.gallery import cross5, square9, table1_patterns
+from repro.stencil.pattern import Coefficient, StencilPattern, Tap
+
+
+class TestGalleryTable1:
+    def test_table1_patterns_are_the_four_groups(self):
+        names = [p.name for p in table1_patterns()]
+        assert names == ["cross5", "cross9", "square9", "diamond13"]
+
+    def test_table1_patterns_all_compile(self):
+        for pattern in table1_patterns():
+            assert compile_stencil(pattern).max_width >= 4
+
+
+class TestScalarPages:
+    def test_scalar_coefficient_values_deduplicated(self):
+        compiled = compile_fortran(
+            "R = 0.5 * CSHIFT(X, 1, -1) + 0.5 * CSHIFT(X, 1, +1) + 0.25 * X"
+        )
+        assert sorted(compiled.scalar_coefficient_values()) == [0.25, 0.5]
+
+    def test_negative_zero_gets_its_own_page(self):
+        taps = [
+            Tap(offset=(0, 0), coeff=Coefficient.scalar(0.0)),
+            Tap(offset=(0, 1), coeff=Coefficient.scalar(-0.0)),
+        ]
+        compiled = compile_stencil(StencilPattern(taps, name="zeros"))
+        values = compiled.scalar_coefficient_values()
+        assert len(values) == 2
+        assert {repr(v) for v in values} == {"0.0", "-0.0"}
+
+    def test_array_coefficients_need_no_pages(self):
+        compiled = compile_stencil(cross5())
+        assert compiled.scalar_coefficient_values() == ()
+
+
+class TestRunAccessors:
+    def test_time_decomposition_consistent(self):
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        pattern = cross5()
+        compiled = compile_stencil(pattern, params)
+        X = CMArray("X", machine, (16, 16))
+        C = {n: CMArray(n, machine, (16, 16)) for n in pattern.coefficient_names()}
+        run = apply_stencil(compiled, X, C)
+        assert run.seconds_per_iteration == pytest.approx(
+            run.machine_seconds_per_iteration
+            + run.host_seconds_per_iteration
+        )
+        assert run.useful_flops_per_node_per_iteration == 8 * 8 * 9
+
+    def test_breakdown_grand_total_includes_everything(self):
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        pattern = cross5()
+        compiled = compile_stencil(pattern, params)
+        X = CMArray("X", machine, (16, 16))
+        C = {n: CMArray(n, machine, (16, 16)) for n in pattern.coefficient_names()}
+        run = apply_stencil(compiled, X, C)
+        breakdown = breakdown_run(run)
+        assert breakdown.grand_total > breakdown.compute_total
+        assert breakdown.grand_total == pytest.approx(
+            breakdown.compute_total
+            + breakdown.communication
+            + breakdown.host_cycles
+        )
+
+
+class TestSmallPieces:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2048)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_tokenize_fixed(self):
+        tokens = tokenize_fixed("C COMMENT CARD\n      R = X\n")
+        idents = [t.text for t in tokens if t.kind is TokenKind.IDENT]
+        assert idents == ["R", "X"]
+
+    def test_diagnostic_sink_notes(self):
+        sink = DiagnosticSink()
+        sink.note("just so you know")
+        sink.warn("something odd")
+        assert len(sink.diagnostics) == 2
+        assert len(sink.warnings) == 1
+        assert "note" in sink.describe()
+
+    def test_comm_stats_total_elements(self):
+        stats = exchange_cost(square9(), (64, 64), MachineParams())
+        assert stats.total_elements == stats.edge_elements + stats.corner_elements
+
+    def test_strip_schedule_jobs_iterator(self):
+        compiled = compile_stencil(cross5())
+        schedule = StripSchedule(compiled, (16, 16))
+        jobs = list(schedule.jobs())
+        assert len(jobs) == schedule.num_half_strips
+        for plan, job in jobs:
+            assert job.lines > 0
+            assert plan.width in compiled.widths
+
+    def test_constant_taps_accessor(self):
+        taps = [
+            Tap(offset=(0, 0), coeff=Coefficient.array("C1")),
+            Tap(
+                offset=(0, 0),
+                coeff=Coefficient.array("K"),
+                is_constant_term=True,
+            ),
+        ]
+        pattern = StencilPattern(taps)
+        assert len(pattern.constant_taps) == 1
+        assert len(pattern.data_taps) == 1
+        assert pattern.constant_taps[0].coeff.name == "K"

@@ -1,0 +1,265 @@
+"""Tests for rank-3 arrays and the outer-iteration stencil application."""
+
+import numpy as np
+import pytest
+
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.multidim import (
+    CMArray3D,
+    DepthTap,
+    apply_stencil_3d,
+    compile_3d,
+    depth_alias,
+)
+from repro.stencil.offsets import BoundaryMode
+from repro.stencil.pattern import (
+    Coefficient,
+    StencilPattern,
+    Tap,
+    pattern_from_offsets,
+)
+
+
+@pytest.fixture
+def machine():
+    return CM2(MachineParams(num_nodes=4))
+
+
+def laplacian_pattern(lam=0.1):
+    """In-plane 5-point part of the 7-point 3-D Laplacian."""
+    offsets = [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)]
+    taps = [
+        Tap(
+            offset=o,
+            coeff=Coefficient.scalar(lam if o != (0, 0) else 1 - 6 * lam),
+        )
+        for o in offsets
+    ]
+    return StencilPattern(taps, name="lap5")
+
+
+def depth_taps(lam=0.1):
+    return [
+        DepthTap(-1, Coefficient.scalar(lam)),
+        DepthTap(+1, Coefficient.scalar(lam)),
+    ]
+
+
+def reference_laplacian_3d(x, lam=0.1, depth_mode="wrap"):
+    lamf, cf = np.float32(lam), np.float32(1 - 6 * lam)
+    acc = np.zeros_like(x)
+    for (dy, dx), c in zip(
+        [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)], [lamf, lamf, cf, lamf, lamf]
+    ):
+        acc = acc + (c * np.roll(x, (-dy, -dx), (0, 1))).astype(np.float32)
+    if depth_mode == "wrap":
+        below = np.roll(x, 1, 2)
+        above = np.roll(x, -1, 2)
+    else:
+        zeros = np.zeros_like(x[:, :, :1])
+        below = np.concatenate([zeros, x[:, :, :-1]], axis=2)
+        above = np.concatenate([x[:, :, 1:], zeros], axis=2)
+    acc = acc + (lamf * below).astype(np.float32)
+    acc = acc + (lamf * above).astype(np.float32)
+    return acc
+
+
+class TestCMArray3D:
+    def test_round_trip(self, machine):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((8, 12, 4)).astype(np.float32)
+        array = CMArray3D.from_numpy("A", machine, data)
+        np.testing.assert_array_equal(array.to_numpy(), data)
+
+    def test_shape_validation(self, machine):
+        with pytest.raises(ValueError, match="rank-3"):
+            CMArray3D.from_numpy("A", machine, np.zeros((4, 4)))
+
+    def test_depth_validation(self, machine):
+        with pytest.raises(ValueError, match="depth"):
+            CMArray3D("A", machine, (8, 8, 0))
+
+    def test_slab_access(self, machine):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((8, 8, 3)).astype(np.float32)
+        array = CMArray3D.from_numpy("A", machine, data)
+        np.testing.assert_array_equal(array.slab(1).to_numpy(), data[:, :, 1])
+
+    def test_like(self, machine):
+        a = CMArray3D("A", machine, (8, 8, 3))
+        b = a.like("B")
+        assert b.global_shape == a.global_shape
+
+
+class TestDepthTap:
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError, match="in-plane"):
+            DepthTap(0, Coefficient.scalar(1.0))
+
+    def test_alias_names(self):
+        assert depth_alias(-1) != depth_alias(1)
+        assert depth_alias(-2) != depth_alias(-1)
+
+
+class TestCompile3D:
+    def test_no_depth_taps_is_plain_compilation(self, machine):
+        compiled = compile_3d(laplacian_pattern(), (), machine.params)
+        assert not hasattr(compiled.pattern, "extra_terms")
+
+    def test_depth_taps_fuse(self, machine):
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        assert len(compiled.pattern.extra_terms) == 2
+
+    def test_duplicate_depth_offsets_rejected(self, machine):
+        with pytest.raises(ValueError, match="duplicate"):
+            compile_3d(
+                laplacian_pattern(),
+                [
+                    DepthTap(1, Coefficient.scalar(1.0)),
+                    DepthTap(1, Coefficient.scalar(2.0)),
+                ],
+                machine.params,
+            )
+
+
+class TestApply3D:
+    def test_seven_point_laplacian_circular(self, machine):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 12, 5)).astype(np.float32)
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        X = CMArray3D.from_numpy("X", machine, x)
+        run = apply_stencil_3d(
+            compiled, X, {}, "R", depth_taps=depth_taps()
+        )
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_laplacian_3d(x, depth_mode="wrap")
+        )
+
+    def test_seven_point_laplacian_fill(self, machine):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((8, 12, 4)).astype(np.float32)
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        X = CMArray3D.from_numpy("X", machine, x)
+        run = apply_stencil_3d(
+            compiled,
+            X,
+            {},
+            "R",
+            depth_taps=depth_taps(),
+            depth_boundary=BoundaryMode.FILL,
+        )
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_laplacian_3d(x, depth_mode="fill")
+        )
+
+    def test_plain_2d_pattern_per_slab(self, machine):
+        """Without depth taps, each plane is an independent 2-D apply."""
+        from repro.baseline.reference import reference_stencil
+
+        pattern = pattern_from_offsets(
+            [(-1, 0), (0, 0), (1, 0)], name="column3"
+        )
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((8, 8, 3)).astype(np.float32)
+        coeffs = {
+            name: rng.standard_normal((8, 8, 3)).astype(np.float32)
+            for name in pattern.coefficient_names()
+        }
+        compiled = compile_3d(pattern, (), machine.params)
+        X = CMArray3D.from_numpy("X", machine, x)
+        C = {
+            name: CMArray3D.from_numpy(name, machine, data)
+            for name, data in coeffs.items()
+        }
+        run = apply_stencil_3d(compiled, X, C, "R")
+        got = run.result.to_numpy()
+        for k in range(3):
+            expected = reference_stencil(
+                pattern,
+                x[:, :, k],
+                {name: coeffs[name][:, :, k] for name in coeffs},
+            )
+            np.testing.assert_array_equal(got[:, :, k], expected)
+
+    def test_depth_single_slab_circular_self_reference(self, machine):
+        """Depth 1 with circular boundary: the slab is its own neighbor."""
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((8, 8, 1)).astype(np.float32)
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        X = CMArray3D.from_numpy("X", machine, x)
+        run = apply_stencil_3d(compiled, X, {}, "R", depth_taps=depth_taps())
+        np.testing.assert_array_equal(
+            run.result.to_numpy(), reference_laplacian_3d(x, depth_mode="wrap")
+        )
+
+    def test_cost_scales_with_depth(self, machine):
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        shallow = apply_stencil_3d(
+            compiled,
+            CMArray3D("A", machine, (8, 8, 2)),
+            {},
+            "R1",
+            depth_taps=depth_taps(),
+        )
+        deep = apply_stencil_3d(
+            compiled,
+            CMArray3D("B", machine, (8, 8, 6)),
+            {},
+            "R2",
+            depth_taps=depth_taps(),
+        )
+        assert deep.compute_cycles == 3 * shallow.compute_cycles
+        assert deep.useful_flops == 3 * shallow.useful_flops
+
+    def test_iterations_scale(self, machine):
+        compiled = compile_3d(laplacian_pattern(), (), machine.params)
+        once = apply_stencil_3d(
+            compiled, CMArray3D("A", machine, (8, 8, 2)), {}, "R1"
+        )
+        many = apply_stencil_3d(
+            compiled,
+            CMArray3D("B", machine, (8, 8, 2)),
+            {},
+            "R2",
+            iterations=10,
+        )
+        assert many.compute_cycles == 10 * once.compute_cycles
+        assert many.mflops == pytest.approx(once.mflops)
+
+
+class TestExactMode3D:
+    def test_exact_matches_fast_through_the_outer_loop(self, machine):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((8, 12, 3)).astype(np.float32)
+        compiled = compile_3d(
+            laplacian_pattern(), depth_taps(), machine.params
+        )
+        results = {}
+        for exact in (False, True):
+            m = CM2(MachineParams(num_nodes=4))
+            compiled_m = compile_3d(
+                laplacian_pattern(), depth_taps(), m.params
+            )
+            X = CMArray3D.from_numpy("X", m, x)
+            run = apply_stencil_3d(
+                compiled_m,
+                X,
+                {},
+                "R",
+                depth_taps=depth_taps(),
+                exact=exact,
+            )
+            results[exact] = (run.result.to_numpy(), run.compute_cycles)
+        np.testing.assert_array_equal(results[True][0], results[False][0])
+        assert results[True][1] == results[False][1]

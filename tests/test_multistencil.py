@@ -1,0 +1,179 @@
+"""Tests for multistencil geometry, the paper's worked examples included."""
+
+import pytest
+
+from repro.stencil.gallery import asymmetric5, cross5, cross9, diamond13, square9
+from repro.stencil.multistencil import Multistencil, multistencil_widths
+
+
+class TestPaperExamples:
+    def test_cross5_width8_spans_26_positions(self):
+        """Paper section 5.3: 26 elements suffice for eight results."""
+        ms = Multistencil(cross5(), 8)
+        assert ms.num_positions == 26
+
+    def test_cross5_width8_naive_needs_40_loads(self):
+        ms = Multistencil(cross5(), 8)
+        assert ms.naive_load_count() == 40
+        assert ms.load_savings() == pytest.approx((40 - 26) / 40)
+
+    def test_diamond13_width8_needs_48_positions(self):
+        """Paper section 5.3: 'A width-8 multistencil would require 48
+        registers.'"""
+        assert Multistencil(diamond13(), 8).num_positions == 48
+
+    def test_diamond13_width4_needs_28_positions(self):
+        """'...but the width-4 multistencil requires only 28 registers.'"""
+        assert Multistencil(diamond13(), 4).num_positions == 28
+
+    def test_diamond13_width4_column_heights(self):
+        """Paper section 5.4: first and last columns need 1 register,
+        second and seventh need 3, the middle four need 5."""
+        ms = Multistencil(diamond13(), 4)
+        heights = [col.height for col in ms.columns]
+        assert heights == [1, 3, 5, 5, 5, 5, 3, 1]
+
+    def test_cross5_width8_column_heights(self):
+        ms = Multistencil(cross5(), 8)
+        heights = [col.height for col in ms.columns]
+        assert heights == [1] + [3] * 8 + [1]
+
+
+class TestGeometry:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Multistencil(cross5(), 0)
+
+    def test_width1_equals_pattern_footprint(self):
+        ms = Multistencil(diamond13(), 1)
+        assert ms.num_positions == 13
+
+    def test_positions_are_union_of_shifted_copies(self):
+        ms = Multistencil(cross5(), 2)
+        expected = set()
+        for r in range(2):
+            for (dy, dx) in cross5().offsets:
+                expected.add((dy, dx + r))
+        assert set(ms.positions) == expected
+
+    def test_span_covers_pattern_extent(self):
+        ms = Multistencil(cross5(), 8)
+        assert ms.span == (-1, 8)
+
+    def test_max_column_height(self):
+        assert Multistencil(diamond13(), 4).max_column_height == 5
+        assert Multistencil(cross5(), 8).max_column_height == 3
+
+    def test_columns_sorted_left_to_right(self):
+        ms = Multistencil(square9(), 4)
+        xs = [col.x for col in ms.columns]
+        assert xs == sorted(xs)
+
+    def test_column_rows_sorted(self):
+        for col in Multistencil(diamond13(), 4).columns:
+            assert list(col.rows) == sorted(col.rows)
+
+
+class TestTagging:
+    def test_tag_is_bottom_left(self):
+        """The tagged position is the leftmost element of the bottom row."""
+        assert Multistencil(cross5(), 8).tag_offset() == (1, 0)
+        assert Multistencil(diamond13(), 4).tag_offset() == (2, 0)
+
+    def test_tag_asymmetric(self):
+        # asymmetric5 offsets: (0,0),(0,1),(1,-1),(1,0),(2,0); bottom row
+        # is dy=2, whose only (hence leftmost) element is dx=0.
+        assert Multistencil(asymmetric5(), 4).tag_offset() == (2, 0)
+
+    def test_accumulator_positions_march_right(self):
+        ms = Multistencil(cross5(), 4)
+        positions = [ms.accumulator_position(r) for r in range(4)]
+        assert positions == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_accumulator_position_bounds(self):
+        ms = Multistencil(cross5(), 4)
+        with pytest.raises(ValueError):
+            ms.accumulator_position(4)
+
+    def test_accumulators_never_needed_by_later_occurrences(self):
+        """The paper's key invariant: because the tag is the leftmost
+        element of its row, no occurrence to the right reads it."""
+        for pattern in (cross5(), cross9(), square9(), diamond13(), asymmetric5()):
+            for width in multistencil_widths():
+                ms = Multistencil(pattern, width)
+                for r in range(width):
+                    acc = ms.accumulator_position(r)
+                    for later in range(r + 1, width):
+                        assert acc not in ms.occurrence_positions(later), (
+                            f"{pattern.name} width {width}: accumulator of "
+                            f"occurrence {r} read by occurrence {later}"
+                        )
+
+
+class TestSweep:
+    def test_leading_edge_one_per_column(self):
+        ms = Multistencil(cross5(), 8)
+        edge = ms.leading_edge()
+        assert len(edge) == len(ms.columns)
+
+    def test_leading_edge_is_column_tops(self):
+        ms = Multistencil(diamond13(), 4)
+        edge = dict((x, row) for row, x in ms.leading_edge())
+        for col in ms.columns:
+            assert edge[col.x] == col.rows[0]
+
+    def test_retiring_edge_is_column_bottoms(self):
+        ms = Multistencil(diamond13(), 4)
+        retiring = dict((x, row) for row, x in ms.retiring_edge())
+        for col in ms.columns:
+            assert retiring[col.x] == col.rows[-1]
+
+    def test_leading_edge_is_exactly_new_footprint(self):
+        """Moving the footprint one line North, the new positions are
+        exactly the leading edge."""
+        for pattern in (cross5(), diamond13(), asymmetric5()):
+            ms = Multistencil(pattern, 4)
+            here = set(ms.positions)
+            above = {(dy - 1, dx) for (dy, dx) in here}
+            new_positions = above - here
+            assert new_positions == {
+                (row - 1, x) for row, x in ms.leading_edge()
+            }
+
+    def test_accumulators_subset_of_retiring_edge(self):
+        for pattern in (cross5(), cross9(), square9(), diamond13()):
+            ms = Multistencil(pattern, 8)
+            retiring = set(ms.retiring_edge())
+            for r in range(8):
+                assert ms.accumulator_position(r) in retiring
+
+
+class TestOccurrences:
+    def test_occurrence_positions_in_tap_order(self):
+        ms = Multistencil(cross5(), 2)
+        taps = cross5().data_taps
+        for r in range(2):
+            positions = ms.occurrence_positions(r)
+            assert positions == tuple(
+                (tap.dy, tap.dx + r) for tap in taps
+            )
+
+    def test_occurrence_positions_within_multistencil(self):
+        ms = Multistencil(diamond13(), 4)
+        for r in range(4):
+            for pos in ms.occurrence_positions(r):
+                assert pos in ms.positions
+
+    def test_widths_are_descending_powers(self):
+        assert multistencil_widths() == (8, 4, 2, 1)
+
+
+class TestRendering:
+    def test_pictogram_width(self):
+        ms = Multistencil(cross5(), 4)
+        lines = ms.pictogram().splitlines()
+        left, right = ms.span
+        assert all(len(line.split()) == right - left + 1 for line in lines)
+
+    def test_describe_mentions_width(self):
+        assert "width=8" in Multistencil(cross5(), 8).describe()

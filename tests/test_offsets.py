@@ -1,0 +1,149 @@
+"""Tests for shift composition and exact CSHIFT/EOSHIFT semantics."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.offsets import (
+    BoundaryMode,
+    MixedBoundaryError,
+    Shift,
+    ShiftKind,
+    apply_one_shift,
+    apply_shift_chain,
+    compose_boundary_modes,
+    compose_offsets,
+    plane_offset,
+    shifted_dims,
+)
+
+
+def cshift(dim, amount):
+    return Shift(ShiftKind.CSHIFT, dim, amount)
+
+
+def eoshift(dim, amount, boundary=0.0):
+    return Shift(ShiftKind.EOSHIFT, dim, amount, boundary)
+
+
+class TestShift:
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            Shift(ShiftKind.CSHIFT, 0, 1)
+
+    def test_describe_renders_fortran(self):
+        assert cshift(1, -1).describe() == "CSHIFT(_, DIM=1, SHIFT=-1)"
+
+
+class TestCompose:
+    def test_offsets_sum_per_dimension(self):
+        totals = compose_offsets([cshift(1, -1), cshift(2, +1), cshift(1, -1)])
+        assert totals == {1: -2, 2: 1}
+
+    def test_net_zero_dimension_is_kept(self):
+        totals = compose_offsets([cshift(1, -1), cshift(1, +1)])
+        assert totals == {1: 0}
+
+    def test_boundary_modes_uniform(self):
+        modes = compose_boundary_modes([cshift(1, -1), cshift(2, 1)])
+        assert modes == {1: BoundaryMode.CIRCULAR, 2: BoundaryMode.CIRCULAR}
+
+    def test_boundary_modes_eoshift(self):
+        modes = compose_boundary_modes([eoshift(1, 2)])
+        assert modes == {1: BoundaryMode.FILL}
+
+    def test_mixed_modes_same_dim_rejected(self):
+        with pytest.raises(MixedBoundaryError):
+            compose_boundary_modes([cshift(1, -1), eoshift(1, 1)])
+
+    def test_mixed_modes_different_dims_allowed(self):
+        modes = compose_boundary_modes([cshift(1, -1), eoshift(2, 1)])
+        assert modes[1] is BoundaryMode.CIRCULAR
+        assert modes[2] is BoundaryMode.FILL
+
+
+class TestCshiftSemantics:
+    """CSHIFT(A, SHIFT=m)(i) = A(i + m) with wraparound."""
+
+    def test_positive_shift_1d(self):
+        a = np.array([10.0, 20.0, 30.0, 40.0])
+        shifted = apply_one_shift(a, Shift(ShiftKind.CSHIFT, 1, 1))
+        assert list(shifted) == [20.0, 30.0, 40.0, 10.0]
+
+    def test_negative_shift_1d(self):
+        a = np.array([10.0, 20.0, 30.0, 40.0])
+        shifted = apply_one_shift(a, Shift(ShiftKind.CSHIFT, 1, -1))
+        assert list(shifted) == [40.0, 10.0, 20.0, 30.0]
+
+    def test_paper_neighbor_example(self):
+        """CSHIFT(X, DIM=1, SHIFT=-1) at (4,3) yields X(3,3) (1-based)."""
+        x = np.arange(64, dtype=float).reshape(8, 8)
+        north = apply_one_shift(x, cshift(1, -1))
+        # 0-based: result[3, 2] must be x[2, 2].
+        assert north[3, 2] == x[2, 2]
+        west = apply_one_shift(x, cshift(2, -1))
+        assert west[3, 2] == x[3, 1]
+        east = apply_one_shift(x, cshift(2, +1))
+        assert east[3, 2] == x[3, 3]
+        south = apply_one_shift(x, cshift(1, +1))
+        assert south[3, 2] == x[4, 2]
+
+    def test_wraparound(self):
+        x = np.arange(16, dtype=float).reshape(4, 4)
+        north = apply_one_shift(x, cshift(1, -1))
+        assert north[0, 0] == x[3, 0]
+
+    def test_dim_beyond_rank_rejected(self):
+        with pytest.raises(ValueError):
+            apply_one_shift(np.zeros((4, 4)), cshift(3, 1))
+
+
+class TestEoshiftSemantics:
+    def test_positive_shift_fills_end(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        shifted = apply_one_shift(a, eoshift(1, 1))
+        assert list(shifted) == [2.0, 3.0, 4.0, 0.0]
+
+    def test_negative_shift_fills_start(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        shifted = apply_one_shift(a, eoshift(1, -1, boundary=9.0))
+        assert list(shifted) == [9.0, 1.0, 2.0, 3.0]
+
+    def test_shift_exceeding_extent_fills_all(self):
+        a = np.array([1.0, 2.0])
+        shifted = apply_one_shift(a, eoshift(1, 5, boundary=7.0))
+        assert list(shifted) == [7.0, 7.0]
+
+    def test_2d_along_dim2(self):
+        x = np.arange(9, dtype=float).reshape(3, 3)
+        shifted = apply_one_shift(x, eoshift(2, 1))
+        assert shifted[0, 0] == x[0, 1]
+        assert shifted[0, 2] == 0.0
+
+
+class TestChains:
+    def test_chain_matches_sequential_application(self):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((6, 5))
+        chain = [cshift(1, +1), cshift(2, -1)]
+        via_chain = apply_shift_chain(x, chain)
+        manual = apply_one_shift(apply_one_shift(x, chain[0]), chain[1])
+        np.testing.assert_array_equal(via_chain, manual)
+
+    def test_composed_chain_equals_single_offset_shift(self):
+        """CSHIFT(CSHIFT(X,1,-1),1,-1) == CSHIFT(X,1,-2)."""
+        rng = np.random.default_rng(8)
+        x = rng.standard_normal((7, 7))
+        double = apply_shift_chain(x, [cshift(1, -1), cshift(1, -1)])
+        single = apply_shift_chain(x, [cshift(1, -2)])
+        np.testing.assert_array_equal(double, single)
+
+    def test_plane_offset_projection(self):
+        chain = [cshift(1, +1), cshift(2, -1)]
+        assert plane_offset(chain, (1, 2)) == (1, -1)
+
+    def test_plane_offset_rejects_out_of_plane(self):
+        with pytest.raises(ValueError):
+            plane_offset([cshift(3, 1)], (1, 2))
+
+    def test_shifted_dims(self):
+        assert shifted_dims([cshift(2, 1), cshift(1, -1)]) == (1, 2)

@@ -1,0 +1,206 @@
+"""Tests for the Fortran emitter and the stability/dispersion analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import (
+    gravity_wave_courant,
+    is_von_neumann_stable,
+    leapfrog_stability_limit,
+    leapfrog_theta,
+    max_amplification,
+    mode_mu_2d,
+    standing_wave_amplitude,
+    symbol,
+)
+from repro.fortran.parser import parse_assignment, parse_subroutine
+from repro.fortran.printer import emit_statement, emit_subroutine
+from repro.fortran.recognizer import recognize_assignment, recognize_subroutine
+from repro.stencil.gallery import cross5, diamond13, square9
+from repro.stencil.offsets import BoundaryMode
+from repro.stencil.pattern import (
+    Coefficient,
+    StencilPattern,
+    Tap,
+    pattern_from_offsets,
+)
+
+
+class TestEmitter:
+    def test_cross5_round_trips(self):
+        pattern = cross5()
+        source = emit_statement(pattern)
+        recovered = recognize_assignment(parse_assignment(source))
+        assert recovered.offsets == pattern.offsets
+        assert recovered.coefficient_names() == pattern.coefficient_names()
+
+    def test_subroutine_round_trips(self):
+        pattern = diamond13()
+        source = emit_subroutine(pattern)
+        recovered = recognize_subroutine(parse_subroutine(source))
+        assert set(recovered.offsets) == set(pattern.offsets)
+
+    def test_scalar_coefficients_round_trip(self):
+        taps = [
+            Tap(offset=(0, -1), coeff=Coefficient.scalar(0.25)),
+            Tap(offset=(0, 0), coeff=Coefficient.scalar(-0.5)),
+            Tap(offset=(1, 1), coeff=Coefficient.unit()),
+        ]
+        pattern = StencilPattern(taps)
+        recovered = recognize_assignment(
+            parse_assignment(emit_statement(pattern))
+        )
+        assert recovered.offsets == pattern.offsets
+        assert [t.coeff for t in recovered.taps] == [
+            t.coeff for t in pattern.taps
+        ]
+
+    def test_eoshift_with_fill_round_trips(self):
+        pattern = pattern_from_offsets(
+            [(-1, 0), (0, 0), (1, 0)],
+            boundary={1: BoundaryMode.FILL, 2: BoundaryMode.CIRCULAR},
+            fill_value=2.5,
+        )
+        recovered = recognize_assignment(
+            parse_assignment(emit_statement(pattern))
+        )
+        assert recovered.boundary[1] is BoundaryMode.FILL
+        assert recovered.fill_value == 2.5
+
+    def test_constant_term_round_trips(self):
+        taps = [
+            Tap(offset=(0, -1), coeff=Coefficient.array("C1")),
+            Tap(
+                offset=(0, 0),
+                coeff=Coefficient.array("K"),
+                is_constant_term=True,
+            ),
+        ]
+        pattern = StencilPattern(taps)
+        recovered = recognize_assignment(
+            parse_assignment(emit_statement(pattern))
+        )
+        assert recovered.taps[1].is_constant_term
+        assert recovered.taps[1].coeff.name == "K"
+
+    def test_continued_statement_format(self):
+        text = emit_statement(cross5(), width=60)
+        assert text.count("&") == 4
+        assert recognize_assignment(parse_assignment(text)).num_points == 5
+
+    @given(
+        offsets=st.lists(
+            st.tuples(st.integers(-2, 2), st.integers(-2, 2)),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, offsets):
+        if all(o == (0, 0) for o in offsets):
+            offsets = offsets + [(0, 1)]
+        pattern = pattern_from_offsets(offsets)
+        recovered = recognize_assignment(
+            parse_assignment(emit_statement(pattern))
+        )
+        assert set(recovered.offsets) == set(offsets)
+
+
+class TestVonNeumann:
+    def scalar_pattern(self, weights):
+        taps = [
+            Tap(offset=o, coeff=Coefficient.scalar(w))
+            for o, w in weights.items()
+        ]
+        return StencilPattern(taps)
+
+    def test_stable_diffusion(self):
+        lam = 0.2
+        pattern = self.scalar_pattern(
+            {(0, 0): 1 - 4 * lam, (0, 1): lam, (0, -1): lam,
+             (1, 0): lam, (-1, 0): lam}
+        )
+        assert is_von_neumann_stable(pattern)
+
+    def test_unstable_diffusion(self):
+        lam = 0.35  # beyond the 2-D explicit limit of 0.25
+        pattern = self.scalar_pattern(
+            {(0, 0): 1 - 4 * lam, (0, 1): lam, (0, -1): lam,
+             (1, 0): lam, (-1, 0): lam}
+        )
+        assert not is_von_neumann_stable(pattern)
+
+    def test_symbol_at_zero_is_weight_sum(self):
+        pattern = self.scalar_pattern({(0, 0): 0.5, (0, 1): 0.25, (1, 0): 0.25})
+        assert symbol(pattern, 0.0, 0.0) == pytest.approx(1.0)
+
+    def test_array_coefficients_rejected(self):
+        with pytest.raises(ValueError, match="scalar"):
+            symbol(cross5(), 0.0, 0.0)
+
+    def test_heat_kernel_is_stable(self):
+        from repro.apps.heat import heat_source
+        from repro.fortran.parser import parse_assignment
+        from repro.fortran.recognizer import recognize_assignment
+
+        pattern = recognize_assignment(parse_assignment(heat_source(0.5)))
+        assert is_von_neumann_stable(pattern)
+
+    def test_amplification_bounded_by_weight_abs_sum(self):
+        pattern = self.scalar_pattern({(0, 0): 0.3, (0, 1): -0.4})
+        assert max_amplification(pattern) <= 0.7 + 1e-9
+
+
+class TestLeapfrogDispersion:
+    def test_theta_zero_mode(self):
+        assert leapfrog_theta(0.25, 0.0) == 0.0
+
+    def test_theta_monotone_in_mu(self):
+        thetas = [leapfrog_theta(0.25, mu) for mu in (0.5, 1.0, 2.0, 4.0)]
+        assert thetas == sorted(thetas)
+
+    def test_unstable_mode_raises(self):
+        with pytest.raises(ValueError, match="unstable"):
+            leapfrog_theta(1.0, 8.0)
+
+    def test_stability_limit_2d(self):
+        assert leapfrog_stability_limit(2) == pytest.approx(1 / math.sqrt(2))
+
+    def test_amplitude_matches_wave_solver(self):
+        """The library formula agrees with the simulated WaveSolver."""
+        from repro.apps.wave import WaveSolver
+        from repro.machine.machine import CM2
+        from repro.machine.params import MachineParams
+
+        shape = (16, 16)
+        courant = 0.5
+        solver = WaveSolver(
+            CM2(MachineParams(num_nodes=4)), shape, courant=courant
+        )
+        solver.set_standing_wave(kx=1, ky=1)
+        steps = 12
+        solver.step(steps)
+        amplitude = standing_wave_amplitude(
+            steps, courant * courant, 1, 1, shape
+        )
+        rows, cols = shape
+        yy, xx = np.mgrid[0:rows, 0:cols]
+        mode = np.sin(2 * np.pi * yy / rows) * np.sin(2 * np.pi * xx / cols)
+        expected = amplitude * mode
+        np.testing.assert_allclose(
+            solver.wavefield(), expected, atol=5e-4
+        )
+
+    def test_gravity_wave_courant(self):
+        assert gravity_wave_courant(100.0, 1.0, 1000.0) == pytest.approx(
+            math.sqrt(981.0) / 1000.0
+        )
+
+    def test_mode_mu_range(self):
+        assert mode_mu_2d(0, 0, (16, 16)) == 0.0
+        assert mode_mu_2d(8, 8, (16, 16)) == pytest.approx(8.0)

@@ -1,0 +1,34 @@
+"""The README's quickstart code must actually run as printed."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def extract_python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+def test_readme_quickstart_runs():
+    blocks = extract_python_blocks(README.read_text())
+    assert blocks, "README lost its quickstart block"
+    # Shrink the problem so the doc check stays fast: same code, smaller
+    # machine and arrays.
+    source = blocks[0]
+    source = source.replace("num_nodes=16", "num_nodes=4")
+    source = source.replace("(1024, 1024)", "(64, 64)")
+    source = source.replace("iterations=100", "iterations=2")
+    namespace = {}
+    exec(compile(source, "README.md", "exec"), namespace)  # noqa: S102
+    assert "run" in namespace
+    assert namespace["run"].mflops > 0
+
+
+def test_readme_mentions_all_examples():
+    text = README.read_text()
+    examples = Path(__file__).resolve().parent.parent / "examples"
+    for script in examples.glob("*.py"):
+        assert script.name in text, f"README does not mention {script.name}"

@@ -1,0 +1,138 @@
+"""Tests for the hypercube router and the grid-exchange derivation."""
+
+import pytest
+
+from repro.machine.geometry import grid_shape, hamming_distance
+from repro.machine.params import MachineParams
+from repro.machine.router import (
+    Transfer,
+    binary_embedding,
+    corner_transfers,
+    exchange_route_cost,
+    four_neighbor_transfers,
+    gray_embedding,
+    route,
+    schedule_transfers,
+)
+
+
+class TestRouting:
+    def test_route_length_is_hamming_distance(self):
+        for source, destination in [(0, 0), (0, 1), (5, 10), (0b1011, 0b0100)]:
+            hops = route(source, destination)
+            assert len(hops) == hamming_distance(source, destination)
+
+    def test_route_is_connected(self):
+        hops = route(0b0000, 0b1011)
+        position = 0b0000
+        for start, end in hops:
+            assert start == position
+            assert hamming_distance(start, end) == 1
+            position = end
+        assert position == 0b1011
+
+    def test_dimension_order(self):
+        """E-cube routing corrects the lowest dimension first."""
+        hops = route(0b00, 0b11)
+        assert hops == [(0b00, 0b01), (0b01, 0b11)]
+
+    def test_self_route_is_empty(self):
+        assert route(7, 7) == []
+
+
+class TestScheduling:
+    def test_single_transfer(self):
+        cost = schedule_transfers([Transfer(0, 1, 64)])
+        assert cost.max_hops == 1
+        assert cost.busiest_wire_words == 64
+        assert cost.total_wire_words == 64
+
+    def test_disjoint_transfers_run_in_parallel(self):
+        cost = schedule_transfers(
+            [Transfer(0, 1, 64), Transfer(2, 3, 64)]
+        )
+        assert cost.busiest_wire_words == 64
+
+    def test_shared_wire_serializes(self):
+        cost = schedule_transfers(
+            [Transfer(0, 1, 64), Transfer(0, 1, 64)]
+        )
+        assert cost.busiest_wire_words == 128
+
+    def test_multi_hop_loads_every_wire(self):
+        cost = schedule_transfers([Transfer(0b00, 0b11, 10)])
+        assert cost.max_hops == 2
+        assert cost.total_wire_words == 20
+
+    def test_empty(self):
+        cost = schedule_transfers([])
+        assert cost.busiest_wire_words == 0
+
+
+class TestGridExchange:
+    def test_gray_embedding_exchanges_in_one_hop(self):
+        params = MachineParams(num_nodes=16)
+        cost = exchange_route_cost(params, (64, 64), pad=1)
+        assert cost.max_hops == 1
+
+    def test_busiest_wire_matches_closed_form(self):
+        """The routed derivation reproduces the halo cost model: the
+        busiest wire carries pad x (longer subgrid side) words."""
+        params = MachineParams(num_nodes=16)
+        for subgrid in ((64, 64), (64, 128), (128, 64)):
+            for pad in (1, 2, 3):
+                cost = exchange_route_cost(params, subgrid, pad)
+                assert cost.busiest_wire_words == pad * max(subgrid)
+
+    def test_routed_cycles_equal_halo_model(self):
+        from repro.runtime.halo import exchange_cost
+        from repro.stencil.gallery import cross5, cross9
+
+        params = MachineParams(num_nodes=16)
+        for pattern in (cross5(), cross9()):
+            pad = pattern.border_widths().max_width
+            routed = exchange_route_cost(params, (64, 128), pad)
+            modeled = exchange_cost(pattern, (64, 128), params)
+            assert routed.cycles(params) == modeled.cycles
+
+    def test_corner_step_is_two_hops(self):
+        """Diagonal neighbors differ in one row bit and one column bit."""
+        shape = grid_shape(16)
+        cost = schedule_transfers(corner_transfers(shape, pad=2))
+        assert cost.max_hops == 2
+
+    def test_binary_embedding_needs_multiple_hops(self):
+        """The ablation: without the Gray code, a grid step across a
+        power-of-two boundary flips several address bits."""
+        params = MachineParams(num_nodes=16)
+        shape = grid_shape(16)
+        transfers = four_neighbor_transfers(
+            shape, (64, 64), 1, embedding=binary_embedding
+        )
+        cost = schedule_transfers(transfers)
+        assert cost.max_hops > 1
+
+    def test_binary_embedding_slower_than_gray(self):
+        params = MachineParams(num_nodes=64)
+        gray = exchange_route_cost(
+            params, (64, 64), 1, embedding=gray_embedding
+        )
+        binary = exchange_route_cost(
+            params, (64, 64), 1, embedding=binary_embedding
+        )
+        assert binary.busiest_wire_words > gray.busiest_wire_words
+        assert binary.total_wire_words > gray.total_wire_words
+
+    def test_single_row_grid_self_transfers_skipped(self):
+        params = MachineParams(num_nodes=2)
+        shape = grid_shape(2)  # 1x2: N/S neighbors are the node itself
+        transfers = four_neighbor_transfers(shape, (8, 8), 1)
+        assert all(t.source != t.destination for t in transfers)
+
+    def test_corner_inclusion_adds_cost(self):
+        params = MachineParams(num_nodes=16)
+        without = exchange_route_cost(params, (64, 64), 2)
+        with_corners = exchange_route_cost(
+            params, (64, 64), 2, include_corners=True
+        )
+        assert with_corners.busiest_wire_words > without.busiest_wire_words

@@ -1,0 +1,231 @@
+"""Tests for the halo exchange: data movement and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.halo import (
+    exchange_cost,
+    exchange_halo,
+    halo_buffer_name,
+)
+from repro.stencil.gallery import border_demo, cross5, diamond13, square9
+from repro.stencil.offsets import BoundaryMode
+from repro.stencil.pattern import pattern_from_offsets
+
+
+@pytest.fixture
+def machine():
+    return CM2(MachineParams(num_nodes=16))
+
+
+def padded_of(machine, name, row, col):
+    return machine.node(row, col).memory.buffer(halo_buffer_name(name))
+
+
+class TestExchangeData:
+    def test_interior_matches_own_subgrid(self, machine):
+        rng = np.random.default_rng(2)
+        data = rng.standard_normal((64, 64)).astype(np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        exchange_halo(x, cross5(), machine.params)
+        padded = padded_of(machine, "X", 1, 1)
+        np.testing.assert_array_equal(padded[1:-1, 1:-1], x.subgrid(1, 1))
+
+    def test_halo_equals_global_window_circular(self, machine):
+        """Every node's padded buffer must equal the correspondingly
+        wrapped window of the global array."""
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal((64, 64)).astype(np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        pattern = diamond13()  # pad 2, needs corners
+        exchange_halo(x, pattern, machine.params)
+        pad = 2
+        wrapped = np.pad(data, pad, mode="wrap")
+        sr, sc = x.subgrid_shape
+        for node in machine.nodes():
+            r, c = node.coord.row, node.coord.col
+            window = wrapped[r * sr : (r + 1) * sr + 2 * pad,
+                             c * sc : (c + 1) * sc + 2 * pad]
+            padded = padded_of(machine, "X", r, c)
+            np.testing.assert_array_equal(padded, window)
+
+    def test_halo_equals_global_window_fill(self, machine):
+        """EOSHIFT (FILL) dimensions fill out-of-bounds halo with the
+        boundary value at global edges only."""
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((64, 64)).astype(np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        pattern = pattern_from_offsets(
+            [(-1, 0), (0, -1), (0, 0), (0, 1), (1, 0)],
+            boundary={1: BoundaryMode.FILL, 2: BoundaryMode.FILL},
+            fill_value=9.0,
+        )
+        exchange_halo(x, pattern, machine.params)
+        padded_global = np.pad(data, 1, mode="constant", constant_values=9.0)
+        sr, sc = x.subgrid_shape
+        for node in machine.nodes():
+            r, c = node.coord.row, node.coord.col
+            window = padded_global[r * sr : (r + 1) * sr + 2,
+                                   c * sc : (c + 1) * sc + 2]
+            padded = padded_of(machine, "X", r, c)
+            # Corners were skipped (cross pattern): compare edges + center.
+            np.testing.assert_array_equal(padded[1:-1, :], window[1:-1, :])
+            np.testing.assert_array_equal(padded[:, 1:-1], window[:, 1:-1])
+
+    def test_mixed_boundary_modes(self, machine):
+        """Circular rows, filled columns."""
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((64, 64)).astype(np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        pattern = pattern_from_offsets(
+            [(dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1)],
+            boundary={1: BoundaryMode.CIRCULAR, 2: BoundaryMode.FILL},
+            fill_value=0.0,
+        )
+        exchange_halo(x, pattern, machine.params)
+        padded_global = np.pad(data, 1, mode="wrap")
+        padded_global[:, 0] = 0.0
+        padded_global[:, -1] = 0.0
+        sr, sc = x.subgrid_shape
+        for node in machine.nodes():
+            r, c = node.coord.row, node.coord.col
+            window = padded_global[r * sr : (r + 1) * sr + 2,
+                                   c * sc : (c + 1) * sc + 2]
+            np.testing.assert_array_equal(
+                padded_of(machine, "X", r, c), window
+            )
+
+    def test_corner_skip_leaves_corners_unfilled(self, machine):
+        data = np.ones((64, 64), dtype=np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        stats = exchange_halo(x, cross5(), machine.params)
+        assert stats.corner_step_skipped
+        padded = padded_of(machine, "X", 0, 0)
+        assert padded[0, 0] == 0.0  # temp storage, never read
+
+    def test_corner_step_runs_for_diagonal_patterns(self, machine):
+        data = np.ones((64, 64), dtype=np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        stats = exchange_halo(x, square9(), machine.params)
+        assert not stats.corner_step_skipped
+        padded = padded_of(machine, "X", 0, 0)
+        assert padded[0, 0] == 1.0
+
+    def test_pad_wider_than_subgrid_rejected(self):
+        machine = CM2(MachineParams(num_nodes=16))
+        x = CMArray("X", machine, (4, 4))  # 1x1 subgrids
+        with pytest.raises(ValueError, match="halo width"):
+            exchange_halo(x, diamond13(), machine.params)
+
+    def test_asymmetric_pattern_pads_by_max(self, machine):
+        """Padding uses the largest of the four border widths on all
+        sides (paper section 5.1)."""
+        data = np.zeros((64, 64), dtype=np.float32)
+        x = CMArray.from_numpy("X", machine, data)
+        stats = exchange_halo(x, border_demo(), machine.params)
+        assert stats.pad == 3  # West border width dominates
+        padded = padded_of(machine, "X", 0, 0)
+        # 64x64 global over the 4x4 grid: 16x16 subgrids.
+        assert padded.shape == (16 + 6, 16 + 6)
+
+
+class TestCostModel:
+    def test_zero_pad_costs_nothing(self, machine):
+        pattern = pattern_from_offsets([(0, 0)])
+        stats = exchange_cost(pattern, (64, 64), machine.params)
+        assert stats.cycles == 0
+        assert stats.pad == 0
+
+    def test_cost_proportional_to_longer_side(self, machine):
+        """'the communications time will be proportional to the length
+        of the longer side' (paper section 5.1)."""
+        params = machine.params
+        square = exchange_cost(cross5(), (64, 64), params)
+        wide = exchange_cost(cross5(), (64, 128), params)
+        tall = exchange_cost(cross5(), (128, 64), params)
+        assert wide.cycles == tall.cycles
+        assert (wide.cycles - params.comm_startup_cycles) == 2 * (
+            square.cycles - params.comm_startup_cycles
+        )
+
+    def test_cost_scales_with_border_width(self, machine):
+        params = machine.params
+        narrow = exchange_cost(cross5(), (64, 64), params)  # pad 1
+        # diamond13 pads 2 but also pays the corner step; compare a
+        # corner-free radius-2 cross instead.
+        from repro.stencil.gallery import cross9
+
+        wide = exchange_cost(cross9(), (64, 64), params)  # pad 2
+        assert (wide.cycles - params.comm_startup_cycles) == 2 * (
+            narrow.cycles - params.comm_startup_cycles
+        )
+
+    def test_corner_step_costs_extra(self, machine):
+        params = machine.params
+        no_corners = exchange_cost(cross5(), (64, 64), params)
+        corners = exchange_cost(square9(), (64, 64), params)
+        assert corners.cycles > no_corners.cycles
+        assert corners.corner_elements == 4
+
+    def test_temp_words_accounting(self, machine):
+        stats = exchange_cost(diamond13(), (64, 64), machine.params)
+        assert stats.temp_words == 68 * 68
+
+    def test_comm_fraction_shrinks_with_problem_size(self, machine):
+        """Section 4.1: communication cost grows as the square root of
+        the flops, so its share vanishes for large problems."""
+        params = machine.params
+        small = exchange_cost(cross5(), (32, 32), params)
+        large = exchange_cost(cross5(), (256, 256), params)
+        small_share = small.cycles / (32 * 32)
+        large_share = large.cycles / (256 * 256)
+        assert large_share < small_share / 4
+
+
+class TestLegacyPrimitive:
+    """The section 4.1 comparison: the old one-direction-at-a-time grid
+    primitive vs the new simultaneous four-neighbor exchange."""
+
+    def test_old_primitive_is_slower(self, machine):
+        from repro.runtime.halo import legacy_exchange_cost
+
+        params = machine.params
+        for pattern in (cross5(), diamond13()):
+            new = exchange_cost(pattern, (64, 64), params)
+            old = legacy_exchange_cost(pattern, (64, 64), params)
+            assert old.cycles > new.cycles
+            assert old.pad == new.pad
+            assert old.edge_elements == new.edge_elements
+
+    def test_old_primitive_pays_per_direction_startups(self, machine):
+        from repro.runtime.halo import legacy_exchange_cost
+
+        params = machine.params
+        old = legacy_exchange_cost(cross5(), (64, 64), params)
+        # Four directions x pad 1: at least four startups.
+        assert old.cycles >= 4 * params.comm_startup_cycles
+
+    def test_old_primitive_zero_pad_free(self, machine):
+        from repro.runtime.halo import legacy_exchange_cost
+        from repro.stencil.pattern import pattern_from_offsets
+
+        pattern = pattern_from_offsets([(0, 0)])
+        assert legacy_exchange_cost(pattern, (64, 64), machine.params).cycles == 0
+
+    def test_wider_halos_widen_the_gap(self, machine):
+        from repro.runtime.halo import legacy_exchange_cost
+        from repro.stencil.gallery import cross9
+
+        params = machine.params
+        narrow_ratio = (
+            legacy_exchange_cost(cross5(), (64, 64), params).cycles
+            / exchange_cost(cross5(), (64, 64), params).cycles
+        )
+        wide_ratio = (
+            legacy_exchange_cost(cross9(), (64, 64), params).cycles
+            / exchange_cost(cross9(), (64, 64), params).cycles
+        )
+        assert wide_ratio > narrow_ratio

@@ -1,0 +1,155 @@
+"""Tests for the sequencer: address generation and half-strip driving."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.plan import compile_pattern
+from repro.machine.isa import (
+    ONES_BUFFER,
+    LoadOp,
+    MAOp,
+    MemRef,
+    NopOp,
+    StoreOp,
+    const_buffer_name,
+)
+from repro.machine.memory import NodeMemory
+from repro.machine.microcode import full_strip_routine
+from repro.machine.params import MachineParams
+from repro.machine.sequencer import HalfStripJob, Sequencer
+from repro.machine.fpu import Wtl3164
+from repro.stencil.gallery import cross5
+from repro.stencil.pattern import Coefficient
+
+
+@pytest.fixture
+def params():
+    return MachineParams(num_nodes=1)
+
+
+@pytest.fixture
+def memory():
+    mem = NodeMemory()
+    mem.install("X__halo__", np.zeros((10, 18), dtype=np.float32))
+    mem.allocate("R", (8, 16))
+    for name in ("C1", "C2", "C3", "C4", "C5"):
+        mem.install(name, np.zeros((8, 16), dtype=np.float32))
+    mem.ensure_constant_pages([0.5])
+    return mem
+
+
+@pytest.fixture
+def sequencer(params, memory):
+    return Sequencer(
+        params,
+        memory,
+        source_buffer="X__halo__",
+        result_buffer="R",
+        halo=1,
+    )
+
+
+class TestAddressGeneration:
+    def test_load_address_adds_halo_offset(self, sequencer):
+        op = LoadOp(reg=2, row=-1, col=3)
+        ref = sequencer.resolve(op, y=4, x0=8)
+        assert ref == MemRef("X__halo__", 1 + 4 - 1, 1 + 8 + 3)
+
+    def test_extra_source_load_is_unpadded(self, sequencer):
+        op = LoadOp(reg=2, row=0, col=3, buffer="Y")
+        ref = sequencer.resolve(op, y=4, x0=8)
+        assert ref == MemRef("Y", 4, 11)
+
+    def test_array_coefficient_address(self, sequencer):
+        op = MAOp(
+            coeff=Coefficient.array("C1"),
+            data_reg=2,
+            dest_reg=3,
+            thread=0,
+            first=True,
+            last=True,
+            result_col=5,
+        )
+        assert sequencer.resolve(op, y=2, x0=8) == MemRef("C1", 2, 13)
+
+    def test_scalar_coefficient_streams_constant_page(self, sequencer):
+        op = MAOp(
+            coeff=Coefficient.scalar(0.5),
+            data_reg=2,
+            dest_reg=3,
+            thread=0,
+            first=True,
+            last=True,
+            result_col=0,
+        )
+        assert sequencer.resolve(op, y=2, x0=0) == MemRef(
+            const_buffer_name(0.5), 0, 0
+        )
+
+    def test_unit_coefficient_streams_ones_page(self, sequencer):
+        op = MAOp(
+            coeff=Coefficient.unit(),
+            data_reg=2,
+            dest_reg=3,
+            thread=0,
+            first=True,
+            last=True,
+            result_col=0,
+        )
+        assert sequencer.resolve(op, y=2, x0=0) == MemRef(ONES_BUFFER, 0, 0)
+
+    def test_store_address_is_unpadded(self, sequencer):
+        op = StoreOp(reg=2, result_col=3)
+        assert sequencer.resolve(op, y=5, x0=8) == MemRef("R", 5, 11)
+
+    def test_nop_touches_no_memory(self, sequencer):
+        assert sequencer.resolve(NopOp("x"), y=0, x0=0) is None
+
+
+class TestHalfStripDriving:
+    def test_cycle_count_matches_plan_formula(self, params, memory, sequencer):
+        compiled = compile_pattern(cross5(), params)
+        plan = compiled.plans[8]
+        fpu = Wtl3164(params, memory)
+        job = HalfStripJob(x0=0, y_start=7, lines=8)
+        sequencer.run_half_strip(plan, job, fpu)
+        assert fpu.stats.cycles == plan.half_strip_cycles(8, params)
+
+    def test_routine_override_changes_dispatch(self, params, memory, sequencer):
+        compiled = compile_pattern(cross5(), params)
+        plan = compiled.plans[8]
+        routine = full_strip_routine(8, params)
+        fpu = Wtl3164(params, memory)
+        sequencer.run_half_strip(plan, HalfStripJob(0, 7, 8), fpu, routine)
+        expected = (
+            routine.dispatch_cycles
+            + plan.prologue_cycles
+            + 7 * plan.steady_line_cycles
+            + 8 * routine.line_overhead_cycles
+        )
+        assert fpu.stats.cycles == expected
+
+    def test_results_land_in_correct_rows(self, params, memory, sequencer):
+        """A half-strip sweeping North writes rows y_start down-to
+        y_start - lines + 1."""
+        rng = np.random.default_rng(0)
+        halo = np.zeros((10, 18), dtype=np.float32)
+        halo[1:9, 1:17] = rng.standard_normal((8, 16)).astype(np.float32)
+        memory.install("X__halo__", halo)
+        memory.install(
+            "C1", np.ones((8, 16), dtype=np.float32)
+        )
+        # Single-tap stencil: R = C1 * X.
+        from repro.stencil.pattern import StencilPattern, Tap
+
+        pattern = StencilPattern(
+            [Tap(offset=(0, 0), coeff=Coefficient.array("C1"))]
+        )
+        compiled = compile_pattern(pattern, params)
+        plan = compiled.plans[8]
+        fpu = Wtl3164(params, memory)
+        sequencer.run_half_strip(plan, HalfStripJob(x0=0, y_start=7, lines=4), fpu)
+        fpu.drain()
+        result = memory.buffer("R")
+        np.testing.assert_array_equal(result[4:8, 0:8], halo[5:9, 1:9])
+        assert not result[0:4, :].any()  # untouched rows stay zero

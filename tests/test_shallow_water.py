@@ -1,0 +1,125 @@
+"""Tests for the shallow-water model: coupled fused-stencil updates."""
+
+import numpy as np
+import pytest
+
+from repro.apps.shallow_water import GRAVITY, ShallowWaterModel
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+
+
+def machine4():
+    return CM2(MachineParams(num_nodes=4))
+
+
+def make_model(shape=(16, 32), **kwargs):
+    defaults = dict(depth=100.0, dt=1.0, dx=1000.0)
+    defaults.update(kwargs)
+    return ShallowWaterModel(machine4(), shape, **defaults)
+
+
+class TestSetup:
+    def test_unstable_configuration_rejected(self):
+        with pytest.raises(ValueError, match="Courant"):
+            make_model(dt=100.0)
+
+    def test_courant_number(self):
+        model = make_model()
+        assert model.courant == pytest.approx(
+            np.sqrt(GRAVITY * 100.0) / 1000.0
+        )
+
+    def test_initial_bump(self):
+        model = make_model()
+        model.set_gaussian_bump(amplitude=2.0)
+        fields = model.fields()
+        assert fields["h"].max() == pytest.approx(2.0, rel=1e-3)
+        assert not fields["u"].any()
+        assert not fields["v"].any()
+
+    def test_updates_compile_fused(self):
+        model = make_model()
+        for compiled in (
+            model._u_update,
+            model._v_update,
+            model._h_from_u,
+            model._h_from_v,
+        ):
+            assert len(compiled.pattern.extra_terms) == 1
+            assert compiled.max_width >= 4
+
+
+class TestDynamics:
+    def test_step_matches_reference_bitwise(self):
+        model = make_model()
+        model.set_gaussian_bump()
+        h0, u0, v0 = (
+            model.h.to_numpy(),
+            model.u.to_numpy(),
+            model.v.to_numpy(),
+        )
+        expected = model.reference_step(h0, u0, v0)
+        model.step(1)
+        fields = model.fields()
+        np.testing.assert_array_equal(fields["h"], expected[0])
+        np.testing.assert_array_equal(fields["u"], expected[1])
+        np.testing.assert_array_equal(fields["v"], expected[2])
+
+    def test_many_steps_match_reference(self):
+        model = make_model()
+        model.set_gaussian_bump()
+        h, u, v = model.h.to_numpy(), model.u.to_numpy(), model.v.to_numpy()
+        for _ in range(5):
+            h, u, v = model.reference_step(h, u, v)
+        model.step(5)
+        np.testing.assert_array_equal(model.fields()["h"], h)
+
+    def test_mass_conserved(self):
+        """Periodic centered differences conserve total height exactly
+        up to float32 summation noise."""
+        model = make_model((32, 32))
+        model.set_gaussian_bump()
+        before = model.total_mass()
+        model.step(25)
+        after = model.total_mass()
+        assert after == pytest.approx(before, abs=1e-2)
+
+    def test_energy_bounded(self):
+        model = make_model((32, 32))
+        model.set_gaussian_bump()
+        model.step(1)
+        start = model.energy()
+        model.step(40)
+        assert model.energy() < 2.0 * start + 1.0
+
+    def test_waves_radiate_outward(self):
+        # dt=15 s: gravity-wave Courant ~0.47, so the front moves about
+        # half a cell per step and clears the bump within 20 steps.
+        model = make_model((32, 64), dt=15.0)
+        model.set_gaussian_bump(sigma=3.0)
+        model.step(40)
+        h = model.fields()["h"]
+        # The crest has left the center...
+        assert abs(h[16, 32]) < 0.5 * abs(h).max()
+        # ...and the ring's peak sits well away from it.
+        peak = np.unravel_index(np.abs(h).argmax(), h.shape)
+        assert abs(peak[0] - 16) + abs(peak[1] - 32) > 5
+        # Velocities have developed.
+        assert abs(model.fields()["u"]).max() > 0
+
+    def test_symmetry_preserved(self):
+        """A centered bump stays symmetric under the symmetric scheme."""
+        model = make_model((32, 32))
+        model.set_gaussian_bump()
+        model.step(10)
+        h = model.fields()["h"].astype(np.float64)
+        np.testing.assert_allclose(h, np.flip(np.roll(h, -1, 0), 0), atol=1e-5)
+        np.testing.assert_allclose(h, np.flip(np.roll(h, -1, 1), 1), atol=1e-5)
+
+    def test_timing_accumulates(self):
+        model = make_model()
+        model.set_gaussian_bump()
+        model.step(3)
+        assert model.timing.steps == 3
+        assert model.timing.useful_flops > 0
+        assert model.timing.mflops > 0

@@ -1,0 +1,138 @@
+"""Tests for the callable stencil wrappers (paper versions 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.reference import reference_stencil
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.runtime.cm_array import CMArray
+from repro.runtime.subroutine import make_stencil_function, make_subroutine
+
+CROSS_SUBROUTINE = """
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+CROSS_DEFSTENCIL = """
+(defstencil cross (r x c1 c2 c3 c4 c5)
+  (single-float single-float)
+  (:= r (+ (* c1 (cshift x 1 -1))
+           (* c2 (cshift x 2 -1))
+           (* c3 x)
+           (* c4 (cshift x 2 +1))
+           (* c5 (cshift x 1 +1)))))
+"""
+
+
+@pytest.fixture
+def machine():
+    return CM2(MachineParams(num_nodes=4))
+
+
+def build_arrays(machine, seed=0, shape=(16, 16), names=None):
+    """Six arrays with arbitrary storage names, plus their host copies."""
+    rng = np.random.default_rng(seed)
+    names = names or ["OUT", "DATA", "A1", "A2", "A3", "A4", "A5"]
+    host = {}
+    arrays = []
+    for index, name in enumerate(names):
+        data = (
+            np.zeros(shape, dtype=np.float32)
+            if index == 0
+            else rng.standard_normal(shape).astype(np.float32)
+        )
+        host[name] = data
+        arrays.append(CMArray.from_numpy(name, machine, data))
+    return arrays, host
+
+
+class TestFortranSubroutineCall:
+    def test_call_computes_cross(self, machine):
+        cross = make_subroutine(
+            CROSS_SUBROUTINE, machine.params
+        )
+        arrays, host = build_arrays(machine)
+        run = cross(*arrays)
+        names = ["OUT", "DATA", "A1", "A2", "A3", "A4", "A5"]
+        expected = reference_stencil(
+            cross.compiled.pattern,
+            host["DATA"],
+            {
+                f"C{i}": host[f"A{i}"]
+                for i in range(1, 6)
+            },
+        )
+        np.testing.assert_array_equal(arrays[0].to_numpy(), expected)
+        assert run.mflops > 0
+
+    def test_parameter_order_respected(self, machine):
+        """Swapping two coefficient arguments changes the result."""
+        cross = make_subroutine(CROSS_SUBROUTINE, machine.params)
+        arrays, _ = build_arrays(machine, seed=3)
+        cross(*arrays)
+        straight = arrays[0].to_numpy().copy()
+        swapped_args = [arrays[0], arrays[1], arrays[3], arrays[2]] + arrays[4:]
+        cross(*swapped_args)
+        assert not np.array_equal(arrays[0].to_numpy(), straight)
+
+    def test_wrong_arity_rejected(self, machine):
+        cross = make_subroutine(CROSS_SUBROUTINE, machine.params)
+        arrays, _ = build_arrays(machine)
+        with pytest.raises(TypeError, match="takes 7 arrays"):
+            cross(*arrays[:3])
+
+    def test_statement_must_use_declared_arguments(self, machine):
+        source = (
+            "SUBROUTINE BAD (R, X)\n"
+            "REAL, ARRAY(:, :) :: R, X\n"
+            "R = C9 * CSHIFT(X, 1, -1)\n"
+            "END"
+        )
+        with pytest.raises(ValueError, match="C9"):
+            make_subroutine(source, machine.params)
+
+    def test_repeated_calls_are_independent(self, machine):
+        cross = make_subroutine(CROSS_SUBROUTINE, machine.params)
+        arrays, _ = build_arrays(machine, seed=5)
+        cross(*arrays)
+        first = arrays[0].to_numpy().copy()
+        cross(*arrays)
+        np.testing.assert_array_equal(arrays[0].to_numpy(), first)
+
+
+class TestLispFunctionCall:
+    def test_defstencil_yields_callable(self, machine):
+        """'The result is an ordinary Lisp function named cross that
+        takes Connection Machine arrays as arguments.'"""
+        cross = make_stencil_function(CROSS_DEFSTENCIL, machine.params)
+        assert cross.name == "cross"
+        arrays, host = build_arrays(machine, seed=7)
+        cross(*arrays)
+        expected = reference_stencil(
+            cross.compiled.pattern,
+            host["DATA"],
+            {f"C{i}": host[f"A{i}"] for i in range(1, 6)},
+        )
+        np.testing.assert_array_equal(arrays[0].to_numpy(), expected)
+
+    def test_both_front_ends_agree_through_calls(self, machine):
+        fortran_fn = make_subroutine(CROSS_SUBROUTINE, machine.params)
+        lisp_fn = make_stencil_function(CROSS_DEFSTENCIL, machine.params)
+        arrays_a, _ = build_arrays(machine, seed=9)
+        arrays_b, _ = build_arrays(
+            machine,
+            seed=9,
+            names=["OUT2", "DATA2", "B1", "B2", "B3", "B4", "B5"],
+        )
+        fortran_fn(*arrays_a)
+        lisp_fn(*arrays_b)
+        np.testing.assert_array_equal(
+            arrays_a[0].to_numpy(), arrays_b[0].to_numpy()
+        )

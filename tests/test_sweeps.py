@@ -1,0 +1,82 @@
+"""Tests for the sweep drivers and the fieldwise baseline variant."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    PAPER_SUBGRIDS,
+    paper_iterations,
+    run_cell,
+    table1_sweep,
+)
+from repro.analysis.tables import format_table
+from repro.baseline.cmfortran import (
+    FIELDWISE_COSTS,
+    CmFortranCosts,
+    run_cmfortran,
+)
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5, cross9
+
+
+class TestSweeps:
+    def test_paper_iterations_match_table(self):
+        """The paper runs 500 iterations at 64x64, 250 at 64/128x128,
+        100 at the large sizes."""
+        assert paper_iterations((64, 64)) == 500
+        assert paper_iterations((64, 128)) == 250
+        assert paper_iterations((128, 128)) == 250
+        assert paper_iterations((128, 256)) == 100
+        assert paper_iterations((256, 256)) == 100
+
+    def test_run_cell(self):
+        run = run_cell(cross5(), (64, 64), num_nodes=4)
+        assert run.iterations == 500
+        assert run.mflops > 0
+
+    def test_table1_sweep_shape(self):
+        reports = table1_sweep(
+            patterns=[cross5()], subgrids=[(32, 32), (64, 64)], num_nodes=4
+        )
+        assert len(reports) == 2
+        assert reports[0].stencil == "cross5"
+        text = format_table(reports)
+        assert "cross5" in text
+
+    def test_sweep_covers_paper_grid(self):
+        assert len(PAPER_SUBGRIDS) == 5
+
+
+class TestFieldwiseBaseline:
+    def test_fieldwise_slower_than_slicewise(self):
+        """Section 3's stacking: fieldwise < slicewise (~4 Gflops) <
+        convolution compiler (>10 Gflops)."""
+        params = MachineParams(num_nodes=2048)
+        slicewise = run_cmfortran(cross9(), (128, 256), params)
+        fieldwise = run_cmfortran(
+            cross9(), (128, 256), params, costs=FIELDWISE_COSTS
+        )
+        assert fieldwise.gflops < slicewise.gflops / 2
+
+    def test_fieldwise_order_of_magnitude(self):
+        """Roughly 1-2 Gflops full-machine: the pre-slicewise world."""
+        params = MachineParams(num_nodes=2048)
+        fieldwise = run_cmfortran(
+            cross9(), (128, 256), params, costs=FIELDWISE_COSTS
+        )
+        assert 0.5 < fieldwise.gflops < 2.5
+
+    def test_custom_costs_respected(self):
+        params = MachineParams(num_nodes=16)
+        cheap = run_cmfortran(
+            cross5(),
+            (64, 64),
+            params,
+            costs=CmFortranCosts(cycles_per_elementwise_point=1.0),
+        )
+        dear = run_cmfortran(
+            cross5(),
+            (64, 64),
+            params,
+            costs=CmFortranCosts(cycles_per_elementwise_point=10.0),
+        )
+        assert cheap.mflops > dear.mflops

@@ -1,0 +1,36 @@
+"""Tests for the public problem-generator helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.gallery import cross5, diamond13
+from repro.testing import StencilProblem, random_problem
+
+
+class TestRandomProblem:
+    def test_assembles_everything(self):
+        problem = random_problem(cross5())
+        assert problem.compiled.max_width == 8
+        assert set(problem.coefficients) == set(
+            cross5().coefficient_names()
+        )
+
+    def test_run_and_check(self):
+        problem = random_problem(cross5(), seed=5)
+        run = problem.run()
+        assert problem.check(run)
+
+    def test_exact_mode(self):
+        problem = random_problem(diamond13(), global_shape=(8, 12))
+        assert problem.check(problem.run(exact=True))
+
+    def test_seed_reproducibility(self):
+        a = random_problem(cross5(), seed=9)
+        b = random_problem(cross5(), seed=9)
+        np.testing.assert_array_equal(a.host_source, b.host_source)
+        c = random_problem(cross5(), seed=10)
+        assert not np.array_equal(a.host_source, c.host_source)
+
+    def test_source_named_after_statement(self):
+        problem = random_problem(cross5())
+        assert problem.source.name == "X"
