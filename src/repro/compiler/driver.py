@@ -1,8 +1,15 @@
-"""High-level compilation entry points for the three front ends."""
+"""High-level compilation entry points for the three front ends.
+
+Compiled plans are memoized: a stencil statement is compiled once per
+``(pattern, params, widths, strategy)`` and the same
+:class:`~repro.compiler.plan.CompiledStencil` (immutable after
+construction) is returned to every caller, so iterated runs, sweeps, and
+repeated subroutine calls skip recompilation entirely.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..fortran.parser import parse_assignment, parse_subroutine
 from ..fortran.recognizer import recognize_assignment, recognize_subroutine
@@ -12,6 +19,25 @@ from ..stencil.multistencil import multistencil_widths
 from ..stencil.pattern import StencilPattern
 from .plan import CompiledStencil, compile_pattern
 
+#: Memoized compilations, keyed on everything that determines the output.
+_PLAN_CACHE: Dict[tuple, CompiledStencil] = {}
+_PLAN_CACHE_LIMIT = 512
+_cache_hits = 0
+_cache_misses = 0
+
+
+def clear_compile_cache() -> None:
+    """Drop all memoized compilations (mainly for tests)."""
+    global _cache_hits, _cache_misses
+    _PLAN_CACHE.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def compile_cache_info() -> Tuple[int, int, int]:
+    """``(hits, misses, entries)`` of the compiled-plan cache."""
+    return _cache_hits, _cache_misses, len(_PLAN_CACHE)
+
 
 def compile_stencil(
     pattern: StencilPattern,
@@ -20,8 +46,26 @@ def compile_stencil(
     *,
     strategy: str = "paper",
 ) -> CompiledStencil:
-    """Compile a stencil pattern (any front end's output)."""
-    return compile_pattern(pattern, params, widths, strategy=strategy)
+    """Compile a stencil pattern (any front end's output), memoized."""
+    global _cache_hits, _cache_misses
+    params = params or MachineParams()
+    try:
+        # Pattern equality ignores the display name; key on it too so a
+        # cached plan never reports another statement's label.
+        key = (pattern, pattern.name, params, tuple(widths), strategy)
+        compiled = _PLAN_CACHE.get(key)
+    except TypeError:
+        # An unhashable pattern or parameter set compiles uncached.
+        return compile_pattern(pattern, params, widths, strategy=strategy)
+    if compiled is not None:
+        _cache_hits += 1
+        return compiled
+    _cache_misses += 1
+    compiled = compile_pattern(pattern, params, widths, strategy=strategy)
+    if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
+        _PLAN_CACHE.clear()
+    _PLAN_CACHE[key] = compiled
+    return compiled
 
 
 def compile_fortran(
@@ -39,7 +83,7 @@ def compile_fortran(
         pattern = recognize_subroutine(parse_subroutine(source))
     else:
         pattern = recognize_assignment(parse_assignment(source))
-    return compile_pattern(pattern, params, widths)
+    return compile_stencil(pattern, params, widths)
 
 
 def compile_defstencil(
@@ -56,4 +100,4 @@ def compile_defstencil(
         pattern = parse_defstencil_with_types(source)
     except Exception:
         pattern = parse_defstencil(source)
-    return compile_pattern(pattern, params, widths)
+    return compile_stencil(pattern, params, widths)

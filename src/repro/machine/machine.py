@@ -12,17 +12,28 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from .geometry import NodeCoord, all_coords, grid_shape, node_address
+from .memory import MachineStorage
 from .node import Node
 from .params import MachineParams
 
 
 class CM2:
-    """A machine instance: parameters plus the 2-D torus of nodes."""
+    """A machine instance: parameters plus the 2-D torus of nodes.
+
+    Distributed arrays are backed by one stacked ``(grid_rows,
+    grid_cols, rows, cols)`` float32 array per name (see
+    :class:`~repro.machine.memory.MachineStorage`); each node's memory
+    holds a view of its own ``[row, col]`` slice, so per-node and
+    whole-machine access observe the same data.
+    """
 
     def __init__(self, params: Optional[MachineParams] = None) -> None:
         self.params = params or MachineParams()
         self.shape: Tuple[int, int] = grid_shape(self.params.num_nodes)
+        self.storage = MachineStorage(self.shape)
         self._nodes: Dict[NodeCoord, Node] = {
             coord: Node(
                 coord=coord,
@@ -31,6 +42,12 @@ class CM2:
             )
             for coord in all_coords(self.shape)
         }
+        # Shared counter bumped whenever any node's buffer mapping
+        # changes; lets stacked() cache its every-node integrity check.
+        self._memory_epoch = [0]
+        self._stack_checks: Dict[str, Tuple[np.ndarray, int]] = {}
+        for node in self._nodes.values():
+            node.memory.track_epoch(self._memory_epoch)
 
     @property
     def num_nodes(self) -> int:
@@ -50,6 +67,60 @@ class CM2:
     def nodes(self) -> Iterator[Node]:
         for coord in all_coords(self.shape):
             yield self._nodes[coord]
+
+    # ------------------------------------------------------------------
+    # Stacked distributed buffers
+    # ------------------------------------------------------------------
+
+    def alloc_stacked(self, name: str, subgrid_shape: Tuple[int, int]) -> np.ndarray:
+        """Allocate a distributed buffer: one machine-wide stack, with
+        each node's memory holding a view of its own slice."""
+        stack = self.storage.allocate(name, subgrid_shape)
+        for node in self.nodes():
+            node.memory.install_view(name, stack[node.coord.row, node.coord.col])
+        return stack
+
+    def alias_stacked(self, name: str, target: str) -> None:
+        """Point ``name`` at ``target``'s storage on every node and, when
+        the target is stack-backed, in the machine storage as well."""
+        stack = self.storage.get(target)
+        if stack is not None:
+            self.storage.bind(name, stack)
+        else:
+            self.storage.free(name)
+        for node in self.nodes():
+            node.memory.alias(name, target)
+
+    def free_stacked(self, name: str) -> None:
+        self.storage.free(name)
+        for node in self.nodes():
+            node.memory.free(name)
+
+    def stacked(self, name: str) -> Optional[np.ndarray]:
+        """The intact machine-wide stack backing buffer ``name``.
+
+        Returns None when the name has no stack or any node's buffer has
+        been detached from it (e.g. replaced through
+        :meth:`~repro.machine.memory.NodeMemory.install`) -- callers
+        then fall back to the per-node path, which is always correct.
+        """
+        stack = self.storage.get(name)
+        if stack is None:
+            return None
+        cached = self._stack_checks.get(name)
+        if (
+            cached is not None
+            and cached[0] is stack
+            and cached[1] == self._memory_epoch[0]
+        ):
+            return stack
+        for node in self.nodes():
+            view = node.memory.view(name)
+            if view is None or view.base is not stack:
+                self._stack_checks.pop(name, None)
+                return None
+        self._stack_checks[name] = (stack, self._memory_epoch[0])
+        return stack
 
     def peak_gflops(self) -> float:
         """Peak chained multiply-add rate of the whole machine."""

@@ -40,6 +40,17 @@ class NodeMemory:
     def __init__(self) -> None:
         self._buffers: Dict[str, np.ndarray] = {}
         self.counts = AccessCounts()
+        self._epoch_ref = None
+
+    def track_epoch(self, epoch_ref) -> None:
+        """Register a shared one-element counter bumped whenever the
+        name-to-buffer mapping changes.  The machine uses it to cache the
+        (otherwise every-node) stacked-view integrity check."""
+        self._epoch_ref = epoch_ref
+
+    def _touch(self) -> None:
+        if self._epoch_ref is not None:
+            self._epoch_ref[0] += 1
 
     # ------------------------------------------------------------------
     # Allocation
@@ -49,6 +60,7 @@ class NodeMemory:
         """Allocate (or replace) a zero-filled buffer."""
         buffer = np.zeros(shape, dtype=np.float32)
         self._buffers[name] = buffer
+        self._touch()
         return buffer
 
     def install(self, name: str, data: np.ndarray) -> np.ndarray:
@@ -57,7 +69,30 @@ class NodeMemory:
             raise MemoryError_(f"buffer {name!r} must be 2-D, got {data.ndim}-D")
         buffer = np.array(data, dtype=np.float32)
         self._buffers[name] = buffer
+        self._touch()
         return buffer
+
+    def install_view(self, name: str, view: np.ndarray) -> np.ndarray:
+        """Install an array as a buffer *without copying*.
+
+        Used by the machine-wide stacked storage: each node's subgrid of
+        a distributed array is a view into one (grid_rows, grid_cols,
+        rows, cols) stack, so the batched executor can process every
+        node with single whole-machine array operations while the
+        per-node paths (exact mode, the sequencer) keep reading and
+        writing through node memory unchanged.
+        """
+        if view.ndim != 2:
+            raise MemoryError_(f"buffer {name!r} must be 2-D, got {view.ndim}-D")
+        if view.dtype != np.float32:
+            raise MemoryError_(f"buffer {name!r} must be float32, got {view.dtype}")
+        self._buffers[name] = view
+        self._touch()
+        return view
+
+    def view(self, name: str) -> Optional[np.ndarray]:
+        """The buffer registered under ``name``, or None (no counting)."""
+        return self._buffers.get(name)
 
     def ensure_constant_pages(self, values=()) -> None:
         """Allocate the 1.0 page and one page per scalar coefficient value.
@@ -83,9 +118,11 @@ class NodeMemory:
         sequencer's run-time base-address parameters.
         """
         self._buffers[name] = self.buffer(target)
+        self._touch()
 
     def free(self, name: str) -> None:
         self._buffers.pop(name, None)
+        self._touch()
 
     # ------------------------------------------------------------------
     # Access
@@ -127,3 +164,47 @@ class NodeMemory:
     def total_words(self) -> int:
         """Total words allocated (for temporary-storage accounting)."""
         return sum(buf.size for buf in self._buffers.values())
+
+
+class MachineStorage:
+    """Whole-machine stacked backing store for distributed buffers.
+
+    One entry per distributed array name: a ``(grid_rows, grid_cols,
+    rows, cols)`` float32 stack holding every node's subgrid
+    contiguously.  Node memories hold views into the stack (see
+    :meth:`NodeMemory.install_view`), so per-node access -- the
+    cycle-stepped sequencer, the exact executor, host gather/scatter --
+    is unchanged, while the batched fast executor and the batched halo
+    exchange operate on the stack as one array.
+
+    Aliases (:meth:`bind`) share the target's stack under a second name,
+    the machine-wide analogue of :meth:`NodeMemory.alias`.
+    """
+
+    def __init__(self, grid_shape: Tuple[int, int]) -> None:
+        self.grid_shape = grid_shape
+        self._stacks: Dict[str, np.ndarray] = {}
+
+    def allocate(self, name: str, subgrid_shape: Tuple[int, int]) -> np.ndarray:
+        """Allocate (or replace) a zero-filled stack for ``name``."""
+        rows, cols = subgrid_shape
+        stack = np.zeros(
+            (self.grid_shape[0], self.grid_shape[1], rows, cols),
+            dtype=np.float32,
+        )
+        self._stacks[name] = stack
+        return stack
+
+    def get(self, name: str) -> Optional[np.ndarray]:
+        return self._stacks.get(name)
+
+    def bind(self, name: str, stack: np.ndarray) -> None:
+        """Register an existing stack under (another) name."""
+        self._stacks[name] = stack
+
+    def free(self, name: str) -> None:
+        self._stacks.pop(name, None)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._stacks)

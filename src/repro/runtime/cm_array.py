@@ -1,9 +1,14 @@
 """Distributed Connection Machine arrays.
 
 A :class:`CMArray` is a named, 2-D, single-precision array block-divided
-over the machine's node grid; each node's subgrid lives in that node's
-:class:`~repro.machine.memory.NodeMemory` under the array's name, which
-is how the sequencer's address generation finds it.
+over the machine's node grid.  The whole array is backed by one stacked
+``(grid_rows, grid_cols, rows, cols)`` float32 machine buffer; each
+node's subgrid lives in that node's
+:class:`~repro.machine.memory.NodeMemory` as a *view* of the stack under
+the array's name, which is how the sequencer's address generation finds
+it.  Per-node access (exact mode, host scatter/gather) and batched
+whole-machine access (the fast executor, the batched halo exchange)
+therefore observe the same storage.
 """
 
 from __future__ import annotations
@@ -28,8 +33,9 @@ class CMArray:
         self.name = name
         self.machine = machine
         self.decomposition = Decomposition(global_shape, machine)
-        for node in machine.nodes():
-            node.memory.allocate(name, self.decomposition.subgrid_shape)
+        self._stacked = machine.alloc_stacked(
+            name, self.decomposition.subgrid_shape
+        )
 
     @property
     def global_shape(self) -> Tuple[int, int]:
@@ -38,6 +44,11 @@ class CMArray:
     @property
     def subgrid_shape(self) -> Tuple[int, int]:
         return self.decomposition.subgrid_shape
+
+    @property
+    def stacked(self) -> np.ndarray:
+        """The whole-machine ``(grid_rows, grid_cols, rows, cols)`` stack."""
+        return self._stacked
 
     # ------------------------------------------------------------------
     # Host <-> machine data movement
@@ -54,13 +65,20 @@ class CMArray:
 
     def set(self, array: np.ndarray) -> None:
         """Scatter host data into the node subgrids."""
-        subgrids = self.decomposition.scatter(np.asarray(array))
-        for node in self.machine.nodes():
-            node.memory.install(self.name, subgrids[node.coord])
+        array = np.asarray(array, dtype=np.float32)
+        if tuple(array.shape) != self.global_shape:
+            raise ValueError(
+                f"array shape {array.shape} does not match the "
+                f"decomposition's global shape {self.global_shape}"
+            )
+        grid_rows, grid_cols = self.machine.shape
+        rows, cols = self.subgrid_shape
+        self._stacked[...] = array.reshape(
+            grid_rows, rows, grid_cols, cols
+        ).swapaxes(1, 2)
 
     def fill(self, value: float) -> None:
-        for node in self.machine.nodes():
-            node.memory.buffer(self.name)[:] = np.float32(value)
+        self._stacked[...] = np.float32(value)
 
     def to_numpy(self) -> np.ndarray:
         """Gather the node subgrids into a host array."""

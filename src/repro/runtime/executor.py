@@ -58,13 +58,36 @@ def check_arrays(
                 f"{coefficients[name].global_shape} != source shape "
                 f"{source.global_shape}"
             )
-    for term in getattr(pattern, "extra_terms", ()):
+    extra_terms = getattr(pattern, "extra_terms", ())
+    if extra_terms:
         sample_node = next(iter(source.machine.nodes()))
-        if not sample_node.memory.has_buffer(term.source):
-            raise ExecutionSetupError(
-                f"missing fused extra-source array {term.source!r}; create "
-                "it as a CMArray on the same machine before applying"
-            )
+        subgrid_shape = source.subgrid_shape
+        for term in extra_terms:
+            buffer = sample_node.memory.view(term.source)
+            if buffer is None:
+                raise ExecutionSetupError(
+                    f"missing fused extra-source array {term.source!r}; create "
+                    "it as a CMArray on the same machine before applying"
+                )
+            if tuple(buffer.shape) != subgrid_shape:
+                raise ExecutionSetupError(
+                    f"fused extra-source {term.source!r} subgrid shape "
+                    f"{tuple(buffer.shape)} != source subgrid shape "
+                    f"{subgrid_shape}"
+                )
+            coeff = term.coeff
+            if coeff.kind is CoeffKind.ARRAY and coeff.name not in coefficients:
+                coeff_buffer = sample_node.memory.view(coeff.name)
+                if coeff_buffer is None:
+                    raise ExecutionSetupError(
+                        f"missing fused extra-term coefficient {coeff.name!r}"
+                    )
+                if tuple(coeff_buffer.shape) != subgrid_shape:
+                    raise ExecutionSetupError(
+                        f"fused extra-term coefficient {coeff.name!r} subgrid "
+                        f"shape {tuple(coeff_buffer.shape)} != source subgrid "
+                        f"shape {subgrid_shape}"
+                    )
 
 
 def node_execute_exact(
@@ -122,26 +145,119 @@ def node_execute_fast(
     result = node.memory.buffer(result_name)
     rows, cols = result.shape
     acc = np.zeros((rows, cols), dtype=np.float32)
-    for tap in pattern.taps:
-        coeff = _coefficient_subgrid(tap, node, rows, cols)
-        if tap.is_constant_term:
-            product = np.float32(1.0) * coeff
-        else:
-            window = padded[
-                halo + tap.dy : halo + tap.dy + rows,
-                halo + tap.dx : halo + tap.dx + cols,
-            ]
-            if tap.coeff.kind is CoeffKind.UNIT:
-                product = np.float32(1.0) * window
+    # The FPU saturates silently; overflow to inf is a data property,
+    # not an execution error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for tap in pattern.taps:
+            coeff = _coefficient_subgrid(tap, node, rows, cols)
+            if tap.is_constant_term:
+                product = np.float32(1.0) * coeff
             else:
-                product = coeff * window
-        acc = acc + product.astype(np.float32)
-    # Fused extra terms join the chain after the base taps, in order.
-    for term in getattr(pattern, "extra_terms", ()):
-        data = node.memory.buffer(term.source)
-        coeff = _term_coefficient_subgrid(term.coeff, node, rows, cols)
-        acc = acc + (coeff * data).astype(np.float32)
+                window = padded[
+                    halo + tap.dy : halo + tap.dy + rows,
+                    halo + tap.dx : halo + tap.dx + cols,
+                ]
+                if tap.coeff.kind is CoeffKind.UNIT:
+                    product = np.float32(1.0) * window
+                else:
+                    product = coeff * window
+            acc = acc + product.astype(np.float32)
+        # Fused extra terms join the chain after the base taps, in order.
+        for term in getattr(pattern, "extra_terms", ()):
+            data = node.memory.buffer(term.source)
+            coeff = _term_coefficient_subgrid(term.coeff, node, rows, cols)
+            acc = acc + (coeff * data).astype(np.float32)
     result[:] = acc
+
+
+def machine_execute_fast(
+    pattern: StencilPattern,
+    machine: CM2,
+    *,
+    source_name: str,
+    result_name: str,
+    halo: int,
+) -> bool:
+    """Compute every node's subgrid in one batched tap-accumulation loop.
+
+    The machine-wide analogue of :func:`node_execute_fast`: one slice of
+    the stacked padded source per tap, one chained multiply-add per tap,
+    accumulated in statement order with float32 rounding after every
+    multiply and every add.  Because float32 arithmetic is elementwise
+    deterministic, the result is bit-identical to the per-node loop (and
+    therefore to exact mode) -- only the interpreter overhead changes:
+    O(taps) array operations total instead of O(taps) per node.
+
+    Returns True when the batched path ran; False (having written
+    nothing) when any involved buffer is not backed by intact machine
+    storage, in which case the caller must run the per-node loop.
+    """
+    halo_name = halo_buffer_name(source_name)
+    extra_terms = getattr(pattern, "extra_terms", ())
+    names = {halo_name, result_name}
+    for tap in pattern.taps:
+        if tap.coeff.kind is CoeffKind.ARRAY:
+            names.add(tap.coeff.name)
+    for term in extra_terms:
+        names.add(term.source)
+        if term.coeff.kind is CoeffKind.ARRAY:
+            names.add(term.coeff.name)
+    stacks = {}
+    for name in names:
+        stack = machine.stacked(name)
+        if stack is None:
+            return False
+        stacks[name] = stack
+
+    padded = stacks[halo_name]
+    result = stacks[result_name]
+    rows, cols = result.shape[2:]
+    # One accumulator and one product buffer for the whole machine; the
+    # in-place ufunc calls perform the same float32 multiply and add as
+    # the per-node temporaries, so the rounding chain is unchanged --
+    # they just skip the intermediate allocations.
+    acc = np.zeros(result.shape, dtype=np.float32)
+    scratch = np.empty(result.shape, dtype=np.float32)
+    # The FPU saturates silently; overflow to inf is a data property,
+    # not an execution error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for tap in pattern.taps:
+            coeff = _stacked_coefficient(tap.coeff, stacks)
+            if tap.is_constant_term:
+                np.multiply(np.float32(1.0), coeff, out=scratch)
+            else:
+                window = padded[
+                    :,
+                    :,
+                    halo + tap.dy : halo + tap.dy + rows,
+                    halo + tap.dx : halo + tap.dx + cols,
+                ]
+                if tap.coeff.kind is CoeffKind.UNIT:
+                    np.multiply(np.float32(1.0), window, out=scratch)
+                else:
+                    np.multiply(coeff, window, out=scratch)
+            np.add(acc, scratch, out=acc)
+        # Fused extra terms join the chain after the base taps, in order.
+        for term in extra_terms:
+            coeff = _stacked_coefficient(term.coeff, stacks)
+            np.multiply(coeff, stacks[term.source], out=scratch)
+            np.add(acc, scratch, out=acc)
+    result[...] = acc
+    return True
+
+
+def _stacked_coefficient(coeff, stacks: Dict[str, np.ndarray]):
+    """The machine-wide coefficient operand: a stacked array or a scalar.
+
+    Scalar and unit coefficients multiply as float32 *scalars*; numpy's
+    scalar-times-array float32 arithmetic rounds identically to the
+    per-node full-page multiply, so the chain stays bit-exact.
+    """
+    if coeff.kind is CoeffKind.ARRAY:
+        return stacks[coeff.name]
+    if coeff.kind is CoeffKind.SCALAR:
+        return np.float32(coeff.value)
+    return np.float32(1.0)
 
 
 def _coefficient_subgrid(tap, node: Node, rows: int, cols: int) -> np.ndarray:

@@ -22,7 +22,7 @@ receive neighbor data).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -151,6 +151,9 @@ def exchange_halo(
     source: CMArray,
     pattern: StencilPattern,
     params: MachineParams,
+    *,
+    into: Optional[str] = None,
+    batched: bool = True,
 ) -> CommStats:
     """Build every node's padded source buffer by neighbor exchange.
 
@@ -158,6 +161,22 @@ def exchange_halo(
     and fills its interior from the node's own subgrid and its halo from
     the four edge neighbors plus, when the pattern reaches diagonally,
     the four corner neighbors.
+
+    Args:
+        source: the distributed array whose data is exchanged.
+        pattern: determines the pad width, boundary modes, and whether
+            the corner step runs.
+        params: the cost model's machine parameters.
+        into: name of the padded destination buffer; defaults to
+            ``halo_buffer_name(source.name)``.  Iterated runs pass the
+            previous iteration's *result* array as ``source`` with
+            ``into`` still naming the original source's halo buffer, so
+            the compiled plans keep reading the same buffer name.
+        batched: perform the exchange as whole-machine slice assignments
+            on the stacked storage (one operation per direction, exactly
+            like the four-neighbor primitive) instead of a per-node
+            Python loop.  Falls back to the per-node loop automatically
+            when the source is not stack-backed.
 
     Returns the per-node cost statistics.
     """
@@ -170,12 +189,125 @@ def exchange_halo(
             "the exchange primitive reaches only immediate neighbors"
         )
     stats = exchange_cost(pattern, source.subgrid_shape, params)
-    name = halo_buffer_name(source.name)
+    name = into if into is not None else halo_buffer_name(source.name)
+    if batched and _exchange_halo_batched(source, pattern, stats, name):
+        return stats
+    _exchange_halo_per_node(source, pattern, stats, name)
+    return stats
+
+
+def _exchange_halo_batched(
+    source: CMArray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    name: str,
+) -> bool:
+    """The whole-machine exchange: one slice assignment per direction.
+
+    The torus wrap is a roll along the node-grid axes of the stacked
+    storage; FILL dimensions then overwrite the halo rows/columns of the
+    global-edge nodes with the statement's boundary value.  Returns
+    False (having moved nothing) when the source or destination cannot
+    be stack-backed, in which case the caller runs the per-node loop.
+    """
+    machine = source.machine
+    rows, cols = source.subgrid_shape
+    pad = stats.pad
+    stack = machine.stacked(source.name)
+    if stack is None:
+        return False
+    padded = machine.stacked(name)
+    if padded is None or padded.shape[2:] != (rows + 2 * pad, cols + 2 * pad):
+        padded = machine.alloc_stacked(name, (rows + 2 * pad, cols + 2 * pad))
+
+    # Step 1: every node's interior is its own subgrid.
+    padded[:, :, pad : pad + rows, pad : pad + cols] = stack
+    if pad == 0:
+        return True
+
+    dim_row, dim_col = pattern.plane_dims
+    row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+    col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+    fill = np.float32(pattern.fill_value)
+    row_fills = row_wraps is BoundaryMode.FILL
+    col_fills = col_wraps is BoundaryMode.FILL
+
+    # Step 2: edges, exchanged with all four neighbors at once.  A roll
+    # of +1 along a grid axis delivers each node the data of the
+    # neighbor at the smaller index (its North/West neighbor), wrapping
+    # at the torus seam.
+    padded[:, :, :pad, pad : pad + cols] = np.roll(
+        stack[:, :, rows - pad :, :], 1, axis=0
+    )
+    padded[:, :, pad + rows :, pad : pad + cols] = np.roll(
+        stack[:, :, :pad, :], -1, axis=0
+    )
+    padded[:, :, pad : pad + rows, :pad] = np.roll(
+        stack[:, :, :, cols - pad :], 1, axis=1
+    )
+    padded[:, :, pad : pad + rows, pad + cols :] = np.roll(
+        stack[:, :, :, :pad], -1, axis=1
+    )
+    if row_fills:
+        padded[0, :, :pad, pad : pad + cols] = fill
+        padded[-1, :, pad + rows :, pad : pad + cols] = fill
+    if col_fills:
+        padded[:, 0, pad : pad + rows, :pad] = fill
+        padded[:, -1, pad : pad + rows, pad + cols :] = fill
+
+    # Step 3: corners, unless the pattern has no diagonal reach.  When
+    # skipped, the corner blocks are scrubbed to zero so a reused buffer
+    # matches a freshly allocated one (temp storage, never read).
+    if stats.corner_step_skipped:
+        padded[:, :, :pad, :pad] = 0.0
+        padded[:, :, :pad, pad + cols :] = 0.0
+        padded[:, :, pad + rows :, :pad] = 0.0
+        padded[:, :, pad + rows :, pad + cols :] = 0.0
+        return True
+    padded[:, :, :pad, :pad] = np.roll(
+        stack[:, :, rows - pad :, cols - pad :], (1, 1), axis=(0, 1)
+    )
+    padded[:, :, :pad, pad + cols :] = np.roll(
+        stack[:, :, rows - pad :, :pad], (1, -1), axis=(0, 1)
+    )
+    padded[:, :, pad + rows :, :pad] = np.roll(
+        stack[:, :, :pad, cols - pad :], (-1, 1), axis=(0, 1)
+    )
+    padded[:, :, pad + rows :, pad + cols :] = np.roll(
+        stack[:, :, :pad, :pad], (-1, -1), axis=(0, 1)
+    )
+    if row_fills:
+        padded[0, :, :pad, :pad] = fill
+        padded[0, :, :pad, pad + cols :] = fill
+        padded[-1, :, pad + rows :, :pad] = fill
+        padded[-1, :, pad + rows :, pad + cols :] = fill
+    if col_fills:
+        padded[:, 0, :pad, :pad] = fill
+        padded[:, 0, pad + rows :, :pad] = fill
+        padded[:, -1, :pad, pad + cols :] = fill
+        padded[:, -1, pad + rows :, pad + cols :] = fill
+    return True
+
+
+def _exchange_halo_per_node(
+    source: CMArray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    name: str,
+) -> None:
+    """The node-by-node exchange (the original implementation); the
+    reference the batched path is tested bit-identical against."""
+    machine = source.machine
+    rows, cols = source.subgrid_shape
+    pad = stats.pad
     dim_row, dim_col = pattern.plane_dims
     row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
     col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
     fill = np.float32(pattern.fill_value)
     grid_rows, grid_cols = machine.shape
+    # The per-node buffers about to be allocated detach from any stale
+    # machine-wide stack; drop it so nothing reads the dead copy.
+    machine.storage.free(name)
 
     for node in machine.nodes():
         padded = node.memory.allocate(name, (rows + 2 * pad, cols + 2 * pad))
@@ -229,4 +361,3 @@ def exchange_halo(
             if (at_south or at_east)
             else subgrid(r + 1, c + 1)[:pad, :pad]
         )
-    return stats

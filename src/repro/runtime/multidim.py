@@ -222,14 +222,12 @@ def apply_stencil_3d(
             machine, source, k, depth_taps, depth_boundary
         )
         # The compiled patterns stream coefficients by statement name
-        # ("C1", ...); point those names at plane k's slabs, as the real
-        # sequencer would take fresh base addresses.
-        slab_coeffs = {}
-        for name, arrays in coefficients.items():
-            slab = arrays.slab(k)
-            for node in machine.nodes():
-                node.memory.alias(name, slab.name)
-            slab_coeffs[name] = slab
+        # ("C1", ...); apply_stencil's scoped bindings point those names
+        # at plane k's slabs, as the real sequencer would take fresh
+        # base addresses.
+        slab_coeffs = {
+            name: arrays.slab(k) for name, arrays in coefficients.items()
+        }
         slab_run: StencilRun = apply_stencil(
             compiled,
             source.slab(k),
@@ -253,9 +251,9 @@ def apply_stencil_3d(
 
 
 def _ensure_zero_slab(machine: CM2, subgrid_shape: Tuple[int, int]) -> None:
-    for node in machine.nodes():
-        if not node.memory.has_buffer(ZERO_SLAB):
-            node.memory.allocate(ZERO_SLAB, subgrid_shape)
+    stack = machine.stacked(ZERO_SLAB)
+    if stack is None or stack.shape[2:] != subgrid_shape:
+        machine.alloc_stacked(ZERO_SLAB, subgrid_shape)
 
 
 def _point_depth_aliases(
@@ -274,5 +272,4 @@ def _point_depth_aliases(
             target = slab_name(source.name, target_k)
         else:
             target = ZERO_SLAB
-        for node in machine.nodes():
-            node.memory.alias(depth_alias(tap.dz), target)
+        machine.alias_stacked(depth_alias(tap.dz), target)

@@ -9,8 +9,11 @@ went.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
+
+import numpy as np
 
 from ..compiler.plan import CompiledStencil
 from ..machine.machine import CM2
@@ -19,10 +22,11 @@ from .cm_array import CMArray
 from .executor import (
     ExecutionSetupError,
     check_arrays,
+    machine_execute_fast,
     node_execute_exact,
     node_execute_fast,
 )
-from .halo import CommStats, exchange_halo
+from .halo import CommStats, exchange_halo, halo_buffer_name
 from .strips import StripSchedule
 
 
@@ -47,6 +51,8 @@ class StencilRun:
             front-end overhead).
         exact: whether the cycle count came from the cycle-stepped
             datapath (True) or the closed-form model (False).
+        batched: whether fast mode ran the batched whole-machine
+            executor (False in exact mode or after a per-node fallback).
     """
 
     compiled: CompiledStencil
@@ -57,6 +63,7 @@ class StencilRun:
     comm: CommStats
     half_strips: int
     exact: bool
+    batched: bool = False
 
     @property
     def params(self) -> MachineParams:
@@ -117,6 +124,62 @@ class StencilRun:
         )
 
 
+@contextmanager
+def _coefficient_bindings(machine: CM2, coefficients: Dict[str, CMArray]):
+    """Point statement coefficient names at the caller's arrays, scoped
+    to one call.
+
+    The compiled plans stream coefficients by *statement* name; when a
+    caller passes arrays stored under different names (e.g. through the
+    subroutine-call interface), the statement names are aliased to them
+    -- run-time base addresses, as the sequencer would take them.  The
+    previous bindings (if any) are restored on exit, so repeated calls
+    with different arrays never see each other's aliases and node memory
+    does not accumulate stale names.
+    """
+    saved = []
+    for statement_name, array in coefficients.items():
+        if array.name == statement_name:
+            continue
+        previous_stack = machine.storage.get(statement_name)
+        previous_views = [
+            node.memory.view(statement_name) for node in machine.nodes()
+        ]
+        machine.alias_stacked(statement_name, array.name)
+        saved.append((statement_name, previous_stack, previous_views))
+    try:
+        yield
+    finally:
+        for statement_name, previous_stack, previous_views in reversed(saved):
+            if previous_stack is None:
+                machine.storage.free(statement_name)
+            else:
+                machine.storage.bind(statement_name, previous_stack)
+            for node, view in zip(machine.nodes(), previous_views):
+                if view is None:
+                    node.memory.free(statement_name)
+                else:
+                    node.memory.install_view(statement_name, view)
+
+
+def _at_fixed_point(
+    machine: CM2, halo_name: str, result_name: str, pad: int
+) -> bool:
+    """True when the result bit-equals the interior of the padded input
+    it was computed from -- a fixed point.  Every subsequent iteration
+    would then reproduce the same bits (same input, same taps), so the
+    iteration loop can stop computing early without changing the answer.
+    NaNs compare unequal, so diverging runs are never cut short.
+    """
+    padded = machine.storage.get(halo_name)
+    result = machine.storage.get(result_name)
+    if padded is None or result is None:
+        return False
+    rows, cols = result.shape[2:]
+    interior = padded[:, :, pad : pad + rows, pad : pad + cols]
+    return np.array_equal(result, interior)
+
+
 def apply_stencil(
     compiled: CompiledStencil,
     source: CMArray,
@@ -125,6 +188,7 @@ def apply_stencil(
     *,
     iterations: int = 1,
     exact: bool = False,
+    batched: bool = True,
 ) -> StencilRun:
     """Apply a compiled stencil to a distributed array.
 
@@ -135,12 +199,18 @@ def apply_stencil(
         coefficients: coefficient arrays by statement name (``C1``...).
         result: the result array, its name, or None to create one named
             after the statement's left-hand side.
-        iterations: how many applications to model.  Numerics are
-            idempotent (the source is not modified), so fast mode
-            computes them once and scales the time; exact mode re-runs
-            the datapath each iteration.
+        iterations: how many times to apply the stencil.  The result of
+            iteration *k* is the source of iteration *k+1*: before every
+            iteration after the first, the halos are re-exchanged from
+            the previous result, exactly as ``iterations`` sequential
+            single calls would.  The source array itself is never
+            modified; after the run, ``result`` holds the final iterate.
         exact: run the cycle-stepped datapath instead of the vectorized
             fast path.
+        batched: let fast mode run the whole node grid as one stacked
+            array operation per tap (the batched executor); per-node
+            execution is used when False or when a buffer is not backed
+            by machine storage.  Numerics are bit-identical either way.
 
     Returns:
         a :class:`StencilRun` with the result and full cost accounting.
@@ -156,48 +226,63 @@ def apply_stencil(
         result = CMArray(result, machine, source.global_shape)
     check_arrays(compiled, source, coefficients, result)
 
-    # The compiled plans stream coefficients by *statement* name; when a
-    # caller passes arrays stored under different names (e.g. through the
-    # subroutine-call interface), point the statement names at them --
-    # run-time base addresses, as the sequencer would take them.
-    for statement_name, array in coefficients.items():
-        if array.name != statement_name:
-            for node in machine.nodes():
-                node.memory.alias(statement_name, array.name)
-
-    schedule = StripSchedule(compiled, source.subgrid_shape)
+    schedule = StripSchedule.cached(compiled, source.subgrid_shape)
     params = compiled.params
-    comm = exchange_halo(source, pattern, params)
-    pad = comm.pad
+    halo_name = halo_buffer_name(source.name)
+    ran_batched = False
 
-    if exact:
+    with _coefficient_bindings(machine, coefficients):
+        comm = exchange_halo(source, pattern, params, batched=batched)
+        pad = comm.pad
         cycles = None
-        for _ in range(iterations):
-            for node in machine.nodes():
-                node_cycles = node_execute_exact(
-                    compiled,
-                    node,
-                    schedule,
+        for iteration in range(iterations):
+            if iteration:
+                # Feed the previous iterate back: the result becomes the
+                # source by re-exchanging its halo into the same padded
+                # buffer the compiled plans read.
+                exchange_halo(
+                    result, pattern, params, into=halo_name, batched=batched
+                )
+            if exact:
+                for node in machine.nodes():
+                    node_cycles = node_execute_exact(
+                        compiled,
+                        node,
+                        schedule,
+                        source_name=source.name,
+                        result_name=result.name,
+                        halo=pad,
+                    )
+                    if cycles is not None and node_cycles != cycles:
+                        raise AssertionError(
+                            "SIMD invariant violated: nodes disagree on cycles"
+                        )
+                    cycles = node_cycles
+            else:
+                ran_batched = batched and machine_execute_fast(
+                    pattern,
+                    machine,
                     source_name=source.name,
                     result_name=result.name,
                     halo=pad,
                 )
-                if cycles is not None and node_cycles != cycles:
-                    raise AssertionError(
-                        "SIMD invariant violated: nodes disagree on cycles"
-                    )
-                cycles = node_cycles
-        compute_cycles = cycles
-    else:
-        for node in machine.nodes():
-            node_execute_fast(
-                pattern,
-                node,
-                source_name=source.name,
-                result_name=result.name,
-                halo=pad,
-            )
-        compute_cycles = schedule.compute_cycles(params)
+                if not ran_batched:
+                    for node in machine.nodes():
+                        node_execute_fast(
+                            pattern,
+                            node,
+                            source_name=source.name,
+                            result_name=result.name,
+                            halo=pad,
+                        )
+                elif iteration < iterations - 1 and _at_fixed_point(
+                    machine, halo_name, result.name, pad
+                ):
+                    # The iterate equals its own input, so every later
+                    # iteration reproduces it bit for bit; stop computing.
+                    # The cost accounting still charges all iterations.
+                    break
+    compute_cycles = cycles if exact else schedule.compute_cycles(params)
 
     return StencilRun(
         compiled=compiled,
@@ -208,4 +293,5 @@ def apply_stencil(
         comm=comm,
         half_strips=schedule.num_half_strips,
         exact=exact,
+        batched=ran_batched,
     )

@@ -12,7 +12,7 @@ condition (paper section 5.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 from ..compiler.plan import CompiledStencil, WidthPlan
 from ..machine.params import MachineParams
@@ -50,6 +50,32 @@ def split_rows(rows: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
 
 class StripSchedule:
     """The full strip decomposition of one subgrid shape."""
+
+    #: Memoized schedules keyed by (compiled-plan identity, subgrid
+    #: shape).  A schedule is immutable once built, and iterated or
+    #: repeated ``apply_stencil`` calls reuse the same compiled plan, so
+    #: rebuilding the decomposition every call is pure overhead.
+    _cache: Dict[Tuple[int, Tuple[int, int]], "StripSchedule"] = {}
+    _cache_keepalive: Dict[int, CompiledStencil] = {}
+    _cache_limit = 256
+
+    @classmethod
+    def cached(
+        cls, compiled: CompiledStencil, subgrid_shape: Tuple[int, int]
+    ) -> "StripSchedule":
+        """The memoized schedule for this plan and subgrid shape."""
+        key = (id(compiled), subgrid_shape)
+        schedule = cls._cache.get(key)
+        if schedule is None or schedule.compiled is not compiled:
+            if len(cls._cache) >= cls._cache_limit:
+                cls._cache.clear()
+                cls._cache_keepalive.clear()
+            schedule = cls(compiled, subgrid_shape)
+            cls._cache[key] = schedule
+            # Keep the plan alive so its id() cannot be recycled while
+            # the cache entry exists.
+            cls._cache_keepalive[id(compiled)] = compiled
+        return schedule
 
     def __init__(
         self, compiled: CompiledStencil, subgrid_shape: Tuple[int, int]

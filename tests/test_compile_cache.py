@@ -1,0 +1,94 @@
+"""The compiled-plan cache: one compilation per (pattern, params)."""
+
+import pytest
+
+from repro.compiler.driver import (
+    clear_compile_cache,
+    compile_cache_info,
+    compile_defstencil,
+    compile_fortran,
+    compile_stencil,
+)
+from repro.machine.params import MachineParams
+from repro.runtime.strips import StripSchedule
+from repro.stencil.gallery import cross, square
+
+CROSS_FORTRAN = """
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, 1, -1) &
+  + C2 * CSHIFT (X, 2, -1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, 2, +1) &
+  + C5 * CSHIFT (X, 1, +1)
+END
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+def test_same_pattern_and_params_return_the_same_plan():
+    params = MachineParams(num_nodes=16)
+    first = compile_stencil(cross(2), params)
+    second = compile_stencil(cross(2), params)
+    assert second is first
+    hits, misses, entries = compile_cache_info()
+    assert (hits, misses, entries) == (1, 1, 1)
+
+
+def test_different_params_compile_separately():
+    first = compile_stencil(cross(2), MachineParams(num_nodes=16))
+    second = compile_stencil(cross(2), MachineParams(num_nodes=64))
+    assert second is not first
+    hits, misses, entries = compile_cache_info()
+    assert (hits, misses, entries) == (0, 2, 2)
+
+
+def test_different_patterns_compile_separately():
+    params = MachineParams(num_nodes=16)
+    assert compile_stencil(cross(2), params) is not compile_stencil(
+        square(1), params
+    )
+
+
+def test_display_name_is_part_of_the_key():
+    """Pattern equality ignores the display name; the cache must not,
+    or a cached plan could report another statement's label."""
+    params = MachineParams(num_nodes=16)
+    a = compile_stencil(cross(2, name="seismic"), params)
+    b = compile_stencil(cross(2, name="relax"), params)
+    assert a is not b
+    assert a.pattern.name == "seismic"
+    assert b.pattern.name == "relax"
+
+
+def test_front_ends_share_the_cache():
+    params = MachineParams(num_nodes=16)
+    first = compile_fortran(CROSS_FORTRAN, params)
+    second = compile_fortran(CROSS_FORTRAN, params)
+    assert second is first
+    hits, _, _ = compile_cache_info()
+    assert hits == 1
+
+
+def test_clear_resets_counters():
+    params = MachineParams(num_nodes=16)
+    compile_stencil(cross(1), params)
+    compile_stencil(cross(1), params)
+    clear_compile_cache()
+    assert compile_cache_info() == (0, 0, 0)
+    compile_stencil(cross(1), params)
+    assert compile_cache_info() == (0, 1, 1)
+
+
+def test_strip_schedules_are_cached_per_plan_and_subgrid():
+    params = MachineParams(num_nodes=16)
+    compiled = compile_stencil(cross(2), params)
+    first = StripSchedule.cached(compiled, (64, 64))
+    assert StripSchedule.cached(compiled, (64, 64)) is first
+    assert StripSchedule.cached(compiled, (64, 128)) is not first
