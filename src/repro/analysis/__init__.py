@@ -1,7 +1,12 @@
 """Measurement, reporting, and extrapolation."""
 
 from .breakdown import CycleBreakdown, breakdown_run
-from .flops import FlopAccounting, account
+from .flops import (
+    FlopAccounting,
+    account,
+    account_blocked,
+    blocked_redundant_points,
+)
 from . import roofline
 from .stability import (
     gravity_wave_courant,
@@ -34,6 +39,8 @@ __all__ = [
     "table1_sweep",
     "RateReport",
     "account",
+    "account_blocked",
+    "blocked_redundant_points",
     "extrapolate_mflops",
     "format_comparison",
     "format_table",

@@ -11,33 +11,50 @@ the adds is not really useful (it merely adds a product to zero)."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 from ..stencil.pattern import StencilPattern
 
 
 @dataclass(frozen=True)
 class FlopAccounting:
-    """Work accounting for one stencil applied to one point set."""
+    """Work accounting for one stencil applied to one point set.
+
+    ``redundant_points`` covers temporal blocking: the halo ring's
+    locally recomputed neighbor points.  They are issued and executed
+    but never useful -- each one duplicates a point some neighbor also
+    computes -- so they dilute usefulness without adding useful flops.
+    """
 
     pattern_name: str
     points: int
     iterations: int
     useful_per_point: int
     issued_ma_per_point: int
+    redundant_points: int = 0
 
     @property
     def useful_flops(self) -> int:
         return self.useful_per_point * self.points * self.iterations
 
     @property
+    def redundant_flops(self) -> int:
+        """Flops spent recomputing neighbors' points in the shrinking
+        deep-halo ring (zero when unblocked)."""
+        return self.useful_per_point * self.redundant_points
+
+    @property
     def issued_flops(self) -> int:
         """Flops the hardware executes: 2 per multiply-add cycle."""
-        return 2 * self.issued_ma_per_point * self.points * self.iterations
+        return 2 * self.issued_ma_per_point * (
+            self.points * self.iterations + self.redundant_points
+        )
 
     @property
     def usefulness(self) -> float:
         """Fraction of issued flops that are useful: (2k-1)/2k for a
-        k-coefficient stencil."""
+        k-coefficient stencil, further diluted by any redundant
+        halo-ring points."""
         return self.useful_flops / self.issued_flops
 
 
@@ -51,4 +68,54 @@ def account(
         iterations=iterations,
         useful_per_point=pattern.useful_flops_per_point(),
         issued_ma_per_point=pattern.issued_multiply_adds_per_point(),
+    )
+
+
+def blocked_redundant_points(
+    subgrid_shape: Tuple[int, int],
+    pad: int,
+    iterations: int,
+    depth: int,
+    nodes: int = 1,
+) -> int:
+    """Extra points computed per temporally blocked run, machine-wide.
+
+    Sub-iteration ``t`` of a ``steps``-deep block writes the subgrid
+    plus a ``(steps - 1 - t) * pad``-deep ghost ring; every ghost point
+    duplicates a neighbor's interior point.  Depth 1 (or pad 0) is
+    exactly zero.
+    """
+    # Imported here: analysis sits above runtime, but flops stays
+    # import-light for the table/doc generators that only need account().
+    from ..runtime.blocking import block_steps, sub_iteration_shapes
+
+    rows, cols = subgrid_shape
+    extra = 0
+    for steps in block_steps(iterations, depth):
+        for shape in sub_iteration_shapes(subgrid_shape, pad, steps):
+            extra += shape[0] * shape[1] - rows * cols
+    return extra * nodes
+
+
+def account_blocked(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    depth: int,
+    nodes: int = 1,
+) -> FlopAccounting:
+    """Flop accounting for a temporally blocked iterated run: useful
+    work is unchanged, the halo ring's recomputation shows up as
+    ``redundant_points``."""
+    rows, cols = subgrid_shape
+    pad = pattern.border_widths().max_width
+    return FlopAccounting(
+        pattern_name=pattern.name or "stencil",
+        points=rows * cols * nodes,
+        iterations=iterations,
+        useful_per_point=pattern.useful_flops_per_point(),
+        issued_ma_per_point=pattern.issued_multiply_adds_per_point(),
+        redundant_points=blocked_redundant_points(
+            subgrid_shape, pad, iterations, depth, nodes
+        ),
     )

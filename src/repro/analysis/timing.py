@@ -35,14 +35,17 @@ class RateReport:
     elapsed_seconds: float
     measured_mflops: float
     extrapolated_gflops: float
+    block_depth: int = 1
+    exchanges: int = 0
 
     def row(self) -> str:
+        blocked = f" T={self.block_depth}" if self.block_depth > 1 else ""
         return (
             f"{self.stencil:<12} {self.subgrid_rows:>4}x{self.subgrid_cols:<5} "
             f"{self.nodes:>5} {self.iterations:>6} "
             f"{self.elapsed_seconds:>9.2f} s "
             f"{self.measured_mflops:>8.1f} Mflops "
-            f"{self.extrapolated_gflops:>7.2f} Gflops"
+            f"{self.extrapolated_gflops:>7.2f} Gflops{blocked}"
         )
 
 
@@ -69,6 +72,8 @@ def report(run: StencilRun, *, extrapolate_to: int = 2048) -> RateReport:
             measured, run.machine.num_nodes, extrapolate_to
         )
         / 1e3,
+        block_depth=run.block_depth,
+        exchanges=run.exchanges,
     )
 
 

@@ -25,11 +25,17 @@ _PLAN_CACHE_LIMIT = 512
 _cache_hits = 0
 _cache_misses = 0
 
+#: Memoized block-depth selections (temporal blocking), keyed like the
+#: plan cache plus the run geometry the choice depends on.
+_DEPTH_CACHE: Dict[tuple, int] = {}
+_DEPTH_CACHE_LIMIT = 2048
+
 
 def clear_compile_cache() -> None:
     """Drop all memoized compilations (mainly for tests)."""
     global _cache_hits, _cache_misses
     _PLAN_CACHE.clear()
+    _DEPTH_CACHE.clear()
     _cache_hits = 0
     _cache_misses = 0
 
@@ -66,6 +72,48 @@ def compile_stencil(
         _PLAN_CACHE.clear()
     _PLAN_CACHE[key] = compiled
     return compiled
+
+
+def select_block_depth(
+    compiled: CompiledStencil,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    *,
+    max_depth: Optional[int] = None,
+) -> int:
+    """Pick the temporal block depth for an iterated run, memoized.
+
+    Plan-level selection: the choice depends only on the compiled plan
+    (pattern and machine parameters), the subgrid geometry, and the
+    iteration count, so it is resolved once per combination and reused
+    by every call -- the same economics as plan memoization.  Delegates
+    to the deep-halo comm/compute model in
+    :mod:`repro.runtime.blocking`; returns 1 when blocking does not pay.
+    """
+    # Imported lazily: the runtime layer imports this module's siblings.
+    from ..runtime.blocking import best_block_depth
+
+    try:
+        key = (
+            compiled.pattern,
+            compiled.params,
+            tuple(subgrid_shape),
+            iterations,
+            max_depth,
+        )
+        depth = _DEPTH_CACHE.get(key)
+    except TypeError:
+        return best_block_depth(
+            compiled, subgrid_shape, iterations, max_depth
+        )
+    if depth is None:
+        depth = best_block_depth(
+            compiled, subgrid_shape, iterations, max_depth
+        )
+        if len(_DEPTH_CACHE) >= _DEPTH_CACHE_LIMIT:
+            _DEPTH_CACHE.clear()
+        _DEPTH_CACHE[key] = depth
+    return depth
 
 
 def compile_fortran(

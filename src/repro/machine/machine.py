@@ -122,6 +122,23 @@ class CM2:
         self._stack_checks[name] = (stack, self._memory_epoch[0])
         return stack
 
+    def scratch_stacked(
+        self, name: str, buffer_shape: Tuple[int, int]
+    ) -> np.ndarray:
+        """A reusable machine-wide scratch stack (no node views).
+
+        Used by the temporal-blocking executor for deep-padded iterate
+        and coefficient buffers; see
+        :meth:`~repro.machine.memory.MachineStorage.scratch`.
+        """
+        return self.storage.scratch(name, buffer_shape)
+
+    def pingpong_stacked(
+        self, name: str, buffer_shape: Tuple[int, int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The preallocated ping-pong scratch pair for ``name``."""
+        return self.storage.pingpong(name, buffer_shape)
+
     def peak_gflops(self) -> float:
         """Peak chained multiply-add rate of the whole machine."""
         return self.params.peak_mflops_per_node * self.num_nodes / 1e3

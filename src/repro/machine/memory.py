@@ -179,11 +179,21 @@ class MachineStorage:
 
     Aliases (:meth:`bind`) share the target's stack under a second name,
     the machine-wide analogue of :meth:`NodeMemory.alias`.
+
+    Scratch stacks (:meth:`scratch`, :meth:`pingpong`) are machine-wide
+    work buffers that no node memory views -- the temporal-blocking
+    executor's deep-padded iterates and coefficient halos.  They are
+    allocated once per (name, shape) and reused across calls;
+    :attr:`scratch_allocations` counts actual allocations so tests can
+    assert that warm steady-state runs allocate nothing.
     """
 
     def __init__(self, grid_shape: Tuple[int, int]) -> None:
         self.grid_shape = grid_shape
         self._stacks: Dict[str, np.ndarray] = {}
+        self._scratch: Dict[str, np.ndarray] = {}
+        #: Number of scratch stacks actually allocated (cache misses).
+        self.scratch_allocations = 0
 
     def allocate(self, name: str, subgrid_shape: Tuple[int, int]) -> np.ndarray:
         """Allocate (or replace) a zero-filled stack for ``name``."""
@@ -208,3 +218,36 @@ class MachineStorage:
     @property
     def names(self) -> Tuple[str, ...]:
         return tuple(self._stacks)
+
+    # ------------------------------------------------------------------
+    # Scratch stacks (temporal blocking)
+    # ------------------------------------------------------------------
+
+    def scratch(self, name: str, buffer_shape: Tuple[int, int]) -> np.ndarray:
+        """A reusable machine-wide scratch stack of per-node shape
+        ``buffer_shape``.
+
+        Unlike :meth:`allocate`, the returned stack is kept in a
+        separate namespace (it never shadows a distributed array) and is
+        reused verbatim when the shape matches the previous request, so
+        steady-state iterated runs perform no allocation.  Contents are
+        *not* cleared between calls; callers overwrite what they read.
+        """
+        rows, cols = buffer_shape
+        shape = (self.grid_shape[0], self.grid_shape[1], rows, cols)
+        stack = self._scratch.get(name)
+        if stack is None or stack.shape != shape:
+            stack = np.zeros(shape, dtype=np.float32)
+            self._scratch[name] = stack
+            self.scratch_allocations += 1
+        return stack
+
+    def pingpong(
+        self, name: str, buffer_shape: Tuple[int, int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The two preallocated ping-pong stacks backing ``name``'s
+        temporally blocked iterates (allocated once, reused)."""
+        return (
+            self.scratch(f"{name}__ping__", buffer_shape),
+            self.scratch(f"{name}__pong__", buffer_shape),
+        )

@@ -1,17 +1,27 @@
 """The run-time library: arrays, halo exchange, strip mining, execution."""
 
+from .blocking import (
+    BlockedCosts,
+    best_block_depth,
+    blockable,
+    blocked_costs,
+    depth_cap,
+)
 from .cm_array import CMArray
 from .decomposition import Block, Decomposition
 from .executor import (
     ExecutionSetupError,
     check_arrays,
+    machine_execute_blocked,
     node_execute_exact,
     node_execute_fast,
 )
 from .halo import (
     CommStats,
+    deep_exchange_cost,
     exchange_cost,
     exchange_halo,
+    exchange_halo_deep,
     halo_buffer_name,
     legacy_exchange_cost,
 )
@@ -28,6 +38,7 @@ from .subroutine import StencilFunction, make_stencil_function, make_subroutine
 
 __all__ = [
     "Block",
+    "BlockedCosts",
     "CMArray",
     "CMArray3D",
     "DepthTap",
@@ -44,11 +55,18 @@ __all__ = [
     "make_subroutine",
     "StripSchedule",
     "apply_stencil",
+    "best_block_depth",
+    "blockable",
+    "blocked_costs",
     "check_arrays",
+    "deep_exchange_cost",
+    "depth_cap",
     "exchange_cost",
     "exchange_halo",
+    "exchange_halo_deep",
     "halo_buffer_name",
     "legacy_exchange_cost",
+    "machine_execute_blocked",
     "node_execute_exact",
     "node_execute_fast",
     "split_rows",

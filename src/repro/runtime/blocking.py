@@ -1,0 +1,220 @@
+"""Temporal blocking: the deep-halo comm/compute cost model.
+
+The paper's run-time library amortizes communication *within* one
+stencil application: halo storage is allocated once and all four
+neighbors are exchanged simultaneously.  Temporal blocking extends the
+same idea *across* iterations of an iterated stencil: exchange a halo
+``T`` times deeper once per block of ``T`` iterations, then run the
+whole block locally, each sub-iteration consuming ``pad`` of the
+remaining ghost depth.  One deep exchange replaces ``T`` shallow ones;
+the price is redundant compute in the shrinking halo ring (each node
+recomputes its neighbors' edge points instead of receiving them) plus
+one deep halo exchange per coefficient array, whose border values the
+halo-ring computation needs.
+
+This module prices that trade without moving any data.  The executor
+(:func:`repro.runtime.executor.machine_execute_blocked`) and the
+plan-level depth selector
+(:func:`repro.compiler.driver.select_block_depth`) both consume it, so
+the accounting reported by :class:`~repro.runtime.stencil_op.StencilRun`
+and the depth actually chosen always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+from ..compiler.plan import CompiledStencil
+from ..stencil.pattern import CoeffKind, StencilPattern
+from .halo import CommStats, deep_exchange_cost
+from .strips import StripSchedule
+
+#: Depth ceiling for automatic selection: past this the halo ring's
+#: redundant compute dwarfs any further exchange amortization.
+MAX_AUTO_DEPTH = 8
+
+
+def array_coefficient_names(pattern: StencilPattern) -> Tuple[str, ...]:
+    """Names of the spatially varying coefficient arrays.
+
+    These must be deep-halo exchanged once per blocked call: computing a
+    neighbor's edge points locally needs the neighbor's coefficients.
+    """
+    return tuple(
+        dict.fromkeys(
+            tap.coeff.name
+            for tap in pattern.taps
+            if tap.coeff.kind is CoeffKind.ARRAY
+        )
+    )
+
+
+def blockable(pattern: StencilPattern) -> bool:
+    """Whether a pattern can be temporally blocked at all.
+
+    Patterns with no halo (``pad == 0``) have no exchange to amortize;
+    fused extra terms read additional subgrid-shaped source arrays whose
+    halos the deep exchange does not manage, so they fall back to the
+    per-iteration exchange.
+    """
+    if pattern.border_widths().max_width == 0:
+        return False
+    return not getattr(pattern, "extra_terms", ())
+
+
+def depth_cap(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+) -> int:
+    """The largest feasible block depth for this problem.
+
+    The deep exchange still reaches only immediate neighbors, so the
+    full halo depth ``T * pad`` cannot exceed the subgrid extent; depths
+    beyond the iteration count or :data:`MAX_AUTO_DEPTH` buy nothing.
+    """
+    if not blockable(pattern):
+        return 1
+    pad = pattern.border_widths().max_width
+    cap = min(subgrid_shape) // pad
+    return max(1, min(cap, iterations, MAX_AUTO_DEPTH))
+
+
+def block_steps(iterations: int, depth: int) -> Iterator[int]:
+    """The per-block sub-iteration counts: full blocks of ``depth``,
+    then the remainder."""
+    remaining = iterations
+    while remaining > 0:
+        steps = min(depth, remaining)
+        yield steps
+        remaining -= steps
+
+
+def sub_iteration_shapes(
+    subgrid_shape: Tuple[int, int], pad: int, steps: int
+) -> Iterator[Tuple[int, int]]:
+    """Output-region shapes of one block's sub-iterations, first to
+    last.  Sub-iteration ``t`` writes a region whose remaining ghost
+    depth is ``(steps - 1 - t) * pad``; the last lands exactly on the
+    subgrid."""
+    rows, cols = subgrid_shape
+    for t in range(steps):
+        ghost = (steps - 1 - t) * pad
+        yield (rows + 2 * ghost, cols + 2 * ghost)
+
+
+@dataclass(frozen=True)
+class BlockedCosts:
+    """The full modeled cost of one temporally blocked iterated run.
+
+    Attributes:
+        depth: the block depth ``T``.
+        num_exchanges: source deep exchanges, ``ceil(iterations / T)``.
+        coeff_exchanges: coefficient deep exchanges (once per array
+            coefficient, reused by every block).
+        block_comm: cost of one full-depth deep exchange.
+        total_comm_cycles: all exchange cycles, source and coefficient.
+        total_compute_cycles: node cycles over every sub-iteration's
+            (halo-enlarged) strip schedule.
+        total_half_strips: microcode invocations over the whole run.
+    """
+
+    depth: int
+    num_exchanges: int
+    coeff_exchanges: int
+    block_comm: CommStats
+    total_comm_cycles: int
+    total_compute_cycles: int
+    total_half_strips: int
+
+    def modeled_seconds(self, params, iterations: int) -> float:
+        """Modeled elapsed wall clock: machine cycles plus the front
+        end's overhead.  The host issues ONE run-time-library call per
+        block (the deep exchange and the whole local sub-iteration loop
+        ride on it), so the per-call fixed cost is charged per block --
+        that amortization is half the point of fusing.  Every
+        sub-iteration's half strips still pass through the
+        microcode-issue path and are charged in full."""
+        machine = params.seconds(
+            self.total_comm_cycles + self.total_compute_cycles
+        )
+        host = (
+            self.num_exchanges * params.host_fixed_s
+            + self.total_half_strips * params.host_halfstrip_s
+        )
+        return machine + host
+
+
+def blocked_costs(
+    compiled: CompiledStencil,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    depth: int,
+) -> BlockedCosts:
+    """Price an iterated run at block depth ``depth``.
+
+    ``depth == 1`` reproduces the unblocked accounting exactly: one
+    shallow exchange and one subgrid-shaped schedule per iteration, no
+    coefficient exchanges.
+    """
+    pattern = compiled.pattern
+    params = compiled.params
+    pad = pattern.border_widths().max_width
+    coeff_exchanges = (
+        len(array_coefficient_names(pattern)) if depth > 1 else 0
+    )
+    full_stats = deep_exchange_cost(pattern, subgrid_shape, params, depth)
+    comm_cycles = coeff_exchanges * full_stats.cycles
+    compute_cycles = 0
+    half_strips = 0
+    num_exchanges = 0
+    for steps in block_steps(iterations, depth):
+        num_exchanges += 1
+        comm_cycles += deep_exchange_cost(
+            pattern, subgrid_shape, params, steps
+        ).cycles
+        for shape in sub_iteration_shapes(subgrid_shape, pad, steps):
+            schedule = StripSchedule.cached(compiled, shape)
+            compute_cycles += schedule.compute_cycles(params)
+            half_strips += schedule.num_half_strips
+    return BlockedCosts(
+        depth=depth,
+        num_exchanges=num_exchanges,
+        coeff_exchanges=coeff_exchanges,
+        block_comm=full_stats,
+        total_comm_cycles=comm_cycles,
+        total_compute_cycles=compute_cycles,
+        total_half_strips=half_strips,
+    )
+
+
+def best_block_depth(
+    compiled: CompiledStencil,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    max_depth: Optional[int] = None,
+) -> int:
+    """The block depth with the lowest modeled elapsed time.
+
+    Sweeps every feasible depth through :func:`blocked_costs` and keeps
+    the cheapest; ties go to the shallower depth (less temporary
+    storage, less redundant work).  Returns 1 -- no blocking -- whenever
+    the deep exchanges saved never repay the halo ring's redundant
+    compute, which on this machine model is the common regime: grid
+    communication is cheap per element, so blocking wins only where the
+    per-exchange startup dominates (small subgrids, many iterations).
+    """
+    cap = depth_cap(compiled.pattern, subgrid_shape, iterations)
+    if max_depth is not None:
+        cap = min(cap, max_depth)
+    best = 1
+    best_seconds = None
+    for depth in range(1, cap + 1):
+        seconds = blocked_costs(
+            compiled, subgrid_shape, iterations, depth
+        ).modeled_seconds(compiled.params, iterations)
+        if best_seconds is None or seconds < best_seconds:
+            best = depth
+            best_seconds = seconds
+    return best

@@ -23,6 +23,7 @@ from ..compiler.plan import CompiledStencil
 from ..machine.machine import CM2
 from ..machine.node import Node
 from ..machine.sequencer import Sequencer
+from ..stencil.offsets import BoundaryMode
 from ..stencil.pattern import CoeffKind, StencilPattern
 from .cm_array import CMArray
 from .halo import halo_buffer_name
@@ -244,6 +245,109 @@ def machine_execute_fast(
             np.add(acc, scratch, out=acc)
     result[...] = acc
     return True
+
+
+def machine_execute_blocked(
+    pattern: StencilPattern,
+    *,
+    ping: np.ndarray,
+    pong: np.ndarray,
+    deep_coeffs: Dict[str, np.ndarray],
+    subgrid_shape,
+    pad: int,
+    steps: int,
+    scratch: np.ndarray,
+    check_fixed_point: bool = True,
+):
+    """Run one temporal block: ``steps`` locally fused sub-iterations.
+
+    ``ping`` holds the block input with a valid ``steps * pad``-deep
+    halo (filled by :func:`~repro.runtime.halo.exchange_halo_deep`);
+    ``pong`` is its ping-pong partner, and ``deep_coeffs`` the
+    deep-padded coefficient stacks.  Sub-iteration ``t`` applies the
+    stencil over the whole still-valid region -- the subgrid plus a
+    ``(steps - 1 - t) * pad``-deep ghost ring -- accumulating taps in
+    statement order with float32 rounding after every multiply and add,
+    exactly :func:`machine_execute_fast` over an enlarged subgrid.  The
+    ghost ring reproduces, bit for bit, what the neighbors compute in
+    their own interiors (same data via the deep exchange, same
+    coefficients via ``deep_coeffs``, same rounding chain), so consuming
+    it instead of re-exchanging changes no result bits.  FILL boundary
+    semantics are re-applied to the out-of-bounds bands after every
+    sub-iteration, exactly the state a fresh exchange would restore.
+
+    Returns ``(final, fixed)``: the buffer holding the last iterate
+    (its subgrid at ``[deep : deep + rows, deep : deep + cols]``) and
+    whether a machine-wide fixed point was detected after the first
+    sub-iteration (in which case ``final`` already equals every later
+    iterate and the caller may stop computing).
+    """
+    rows, cols = subgrid_shape
+    deep = steps * pad
+    dim_row, dim_col = pattern.plane_dims
+    row_fills = (
+        pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
+    )
+    col_fills = (
+        pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
+    )
+    fill = np.float32(pattern.fill_value)
+
+    src, dst = ping, pong
+    with np.errstate(over="ignore", invalid="ignore"):
+        for t in range(steps):
+            ghost = (steps - 1 - t) * pad
+            out_rows = rows + 2 * ghost
+            out_cols = cols + 2 * ghost
+            base = deep - ghost
+            # Accumulate straight into the destination region; the
+            # rounding chain is the per-tap multiply and add of
+            # machine_execute_fast, only the final buffer copy is gone.
+            acc = dst[:, :, base : base + out_rows, base : base + out_cols]
+            prod = scratch[:, :, :out_rows, :out_cols]
+            acc[...] = np.float32(0.0)
+            for tap in pattern.taps:
+                if tap.coeff.kind is CoeffKind.ARRAY:
+                    coeff = deep_coeffs[tap.coeff.name][
+                        :, :, base : base + out_rows, base : base + out_cols
+                    ]
+                elif tap.coeff.kind is CoeffKind.SCALAR:
+                    coeff = np.float32(tap.coeff.value)
+                else:
+                    coeff = np.float32(1.0)
+                if tap.is_constant_term:
+                    np.multiply(np.float32(1.0), coeff, out=prod)
+                else:
+                    window = src[
+                        :,
+                        :,
+                        base + tap.dy : base + tap.dy + out_rows,
+                        base + tap.dx : base + tap.dx + out_cols,
+                    ]
+                    if tap.coeff.kind is CoeffKind.UNIT:
+                        np.multiply(np.float32(1.0), window, out=prod)
+                    else:
+                        np.multiply(coeff, window, out=prod)
+                np.add(acc, prod, out=acc)
+            if row_fills:
+                dst[0, :, :deep, :] = fill
+                dst[-1, :, deep + rows :, :] = fill
+            if col_fills:
+                dst[:, 0, :, :deep] = fill
+                dst[:, -1, :, deep + cols :] = fill
+            if t == 0 and steps > 1 and check_fixed_point:
+                # The subgrids alone tile the global array, so
+                # machine-wide interior equality means a true fixed
+                # point: every later iterate reproduces this one.
+                if np.array_equal(
+                    dst[:, :, deep : deep + rows, deep : deep + cols],
+                    src[:, :, deep : deep + rows, deep : deep + cols],
+                ):
+                    return dst, True
+            src, dst = dst, src
+    return src, False
 
 
 def _stacked_coefficient(coeff, stacks: Dict[str, np.ndarray]):

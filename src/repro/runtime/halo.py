@@ -97,6 +97,109 @@ def exchange_cost(
     )
 
 
+def deep_exchange_cost(
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    depth: int,
+) -> CommStats:
+    """The cost of one deep-halo exchange for temporal block depth
+    ``depth``: a ``depth * pad``-wide halo moved in one four-neighbor
+    exchange, amortized over ``depth`` locally fused iterations.
+
+    The corner step cannot be skipped for ``depth >= 2`` even when the
+    pattern has no diagonal reach: iterating the stencil inside the halo
+    composes row and column shifts, so the fused footprint always grows
+    diagonally (a cross iterated twice is a diamond).
+    """
+    if depth < 1:
+        raise ValueError("block depth must be positive")
+    pad = pattern.border_widths().max_width
+    if pad == 0 or depth == 1:
+        return exchange_cost(pattern, subgrid_shape, params)
+    deep = depth * pad
+    rows, cols = subgrid_shape
+    cycles = (
+        params.comm_startup_cycles
+        + int(params.comm_cycles_per_element * deep * max(rows, cols))
+        + params.corner_exchange_startup_cycles
+        + int(params.comm_cycles_per_element * deep * deep)
+    )
+    return CommStats(
+        pad=deep,
+        cycles=cycles,
+        edge_elements=2 * deep * (rows + cols),
+        corner_elements=4 * deep * deep,
+        corner_step_skipped=False,
+        temp_words=(rows + 2 * deep) * (cols + 2 * deep),
+    )
+
+
+def exchange_halo_deep(
+    source_stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    depth: int,
+) -> CommStats:
+    """Fill a ``depth * pad``-deep padded stack by neighbor exchange.
+
+    The batched-only exchange behind temporal blocking: ``source_stack``
+    is a ``(grid_rows, grid_cols, rows, cols)`` stack and ``padded`` a
+    preallocated ``(grid_rows, grid_cols, rows + 2*deep, cols +
+    2*deep)`` destination (typically one of the ping-pong pair).  The
+    exchange runs in two passes -- north/south bands first, then
+    east/west bands over the *full padded height*, reading the
+    just-filled bands -- so the four corner blocks arrive composed, with
+    no separate diagonal step.  FILL dimensions then overwrite the
+    entire out-of-bounds band of the global-edge nodes, exactly the
+    state ``depth`` sequential exchanges would maintain.
+
+    Returns the deep-exchange cost statistics.
+    """
+    rows, cols = subgrid_shape
+    pad = pattern.border_widths().max_width
+    deep = depth * pad
+    if deep > min(rows, cols):
+        raise ValueError(
+            f"deep halo width {deep} exceeds the subgrid extent "
+            f"{subgrid_shape}; the exchange primitive reaches only "
+            "immediate neighbors"
+        )
+    stats = deep_exchange_cost(pattern, subgrid_shape, params, depth)
+
+    padded[:, :, deep : deep + rows, deep : deep + cols] = source_stack
+    if deep == 0:
+        return stats
+    # Pass 1: north/south bands (interior width).
+    padded[:, :, :deep, deep : deep + cols] = np.roll(
+        source_stack[:, :, rows - deep :, :], 1, axis=0
+    )
+    padded[:, :, deep + rows :, deep : deep + cols] = np.roll(
+        source_stack[:, :, :deep, :], -1, axis=0
+    )
+    # Pass 2: east/west bands over the full padded height.  The rolled
+    # columns include the neighbors' pass-1 bands, so the corner blocks
+    # arrive as the composed row+column shift -- no separate step.
+    padded[:, :, :, :deep] = np.roll(
+        padded[:, :, :, cols : cols + deep], 1, axis=1
+    )
+    padded[:, :, :, deep + cols :] = np.roll(
+        padded[:, :, :, deep : 2 * deep], -1, axis=1
+    )
+
+    dim_row, dim_col = pattern.plane_dims
+    fill = np.float32(pattern.fill_value)
+    if pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
+        padded[0, :, :deep, :] = fill
+        padded[-1, :, deep + rows :, :] = fill
+    if pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
+        padded[:, 0, :, :deep] = fill
+        padded[:, -1, :, deep + cols :] = fill
+    return stats
+
+
 def legacy_exchange_cost(
     pattern: StencilPattern,
     subgrid_shape: Tuple[int, int],

@@ -5,28 +5,51 @@ call: allocate temporary halo storage, perform the up-front neighbor
 exchange, then drive every node's subgrid through the strip-mined
 compiled plans -- and returns a complete accounting of where the time
 went.
+
+Iterated runs can additionally be *temporally blocked*: a halo ``T``
+times deeper is exchanged once per block of ``T`` iterations, and the
+whole block runs locally on a ping-pong buffer pair, each sub-iteration
+consuming one ``pad`` of the remaining ghost depth (see
+:mod:`repro.runtime.blocking`).  Blocking changes the exchange count --
+``ceil(iterations / T)`` deep exchanges instead of ``iterations``
+shallow ones -- but not a single result bit.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from ..compiler.driver import select_block_depth
 from ..compiler.plan import CompiledStencil
 from ..machine.machine import CM2
 from ..machine.params import MachineParams
+from .blocking import (
+    array_coefficient_names,
+    block_steps,
+    blockable,
+    blocked_costs,
+    depth_cap,
+)
 from .cm_array import CMArray
 from .executor import (
     ExecutionSetupError,
     check_arrays,
+    machine_execute_blocked,
     machine_execute_fast,
     node_execute_exact,
     node_execute_fast,
 )
-from .halo import CommStats, exchange_halo, halo_buffer_name
+from .halo import (
+    CommStats,
+    exchange_cost,
+    exchange_halo,
+    exchange_halo_deep,
+    halo_buffer_name,
+)
 from .strips import StripSchedule
 
 
@@ -45,14 +68,27 @@ class StencilRun:
         iterations: how many times the computation was (or is modeled to
             be) applied.
         compute_cycles: node cycles per iteration inside the microcode
-            loops (strip mining included).
-        comm: halo-exchange cost per iteration.
-        half_strips: microcode invocations per iteration (drives the
-            front-end overhead).
+            loops (strip mining included), for an unblocked
+            subgrid-shaped iteration.
+        comm: halo-exchange cost of one *shallow* (depth-1) exchange.
+        half_strips: microcode invocations per unblocked iteration
+            (drives the front-end overhead).
         exact: whether the cycle count came from the cycle-stepped
             datapath (True) or the closed-form model (False).
         batched: whether fast mode ran the batched whole-machine
             executor (False in exact mode or after a per-node fallback).
+        block_depth: temporal block depth ``T`` (1 = unblocked).
+        num_exchanges: source halo exchanges charged over the whole run
+            (``ceil(iterations / T)`` when blocked, ``iterations``
+            otherwise); None means the per-iteration default.
+        coeff_exchanges: coefficient deep exchanges (blocked runs only).
+        block_comm: cost of one full-depth deep exchange (blocked runs).
+        total_comm_cycles: aggregated exchange cycles over the whole
+            run; None means ``iterations * comm.cycles``.
+        total_compute_cycles: aggregated node compute cycles; None means
+            ``iterations * compute_cycles``.
+        total_half_strips: aggregated microcode invocations; None means
+            ``iterations * half_strips``.
     """
 
     compiled: CompiledStencil
@@ -64,10 +100,62 @@ class StencilRun:
     half_strips: int
     exact: bool
     batched: bool = False
+    block_depth: int = 1
+    num_exchanges: Optional[int] = None
+    coeff_exchanges: int = 0
+    block_comm: Optional[CommStats] = None
+    total_comm_cycles: Optional[int] = None
+    total_compute_cycles: Optional[int] = None
+    total_half_strips: Optional[int] = None
 
     @property
     def params(self) -> MachineParams:
         return self.compiled.params
+
+    @property
+    def exchanges(self) -> int:
+        """Halo exchanges charged over the whole run."""
+        if self.num_exchanges is not None:
+            return self.num_exchanges
+        return self.iterations
+
+    @property
+    def comm_cycles_total(self) -> int:
+        """All exchange cycles over the whole run (source and, when
+        blocked, coefficient deep exchanges)."""
+        if self.total_comm_cycles is not None:
+            return self.total_comm_cycles
+        return self.iterations * self.comm.cycles
+
+    @property
+    def compute_cycles_total(self) -> int:
+        if self.total_compute_cycles is not None:
+            return self.total_compute_cycles
+        return self.iterations * self.compute_cycles
+
+    @property
+    def half_strips_total(self) -> int:
+        if self.total_half_strips is not None:
+            return self.total_half_strips
+        return self.iterations * self.half_strips
+
+    @property
+    def host_calls(self) -> int:
+        """Run-time-library invocations the host issues: one per block
+        when temporally blocked (the deep exchange and the whole local
+        sub-iteration loop ride on a single call), one per iteration
+        otherwise."""
+        return self.exchanges if self.block_depth > 1 else self.iterations
+
+    @property
+    def host_seconds_total(self) -> float:
+        """Front-end time over the whole run: the per-call fixed cost
+        for every library invocation plus the per-half-strip issue
+        cost."""
+        return (
+            self.host_calls * self.params.host_fixed_s
+            + self.half_strips_total * self.params.host_halfstrip_s
+        )
 
     @property
     def cycles_per_iteration(self) -> int:
@@ -75,11 +163,16 @@ class StencilRun:
 
     @property
     def machine_seconds_per_iteration(self) -> float:
-        return self.params.seconds(self.cycles_per_iteration)
+        return (
+            self.params.seconds(
+                self.compute_cycles_total + self.comm_cycles_total
+            )
+            / self.iterations
+        )
 
     @property
     def host_seconds_per_iteration(self) -> float:
-        return self.params.host_overhead_s(self.half_strips)
+        return self.host_seconds_total / self.iterations
 
     @property
     def seconds_per_iteration(self) -> float:
@@ -90,7 +183,12 @@ class StencilRun:
 
     @property
     def elapsed_seconds(self) -> float:
-        return self.iterations * self.seconds_per_iteration
+        return (
+            self.params.seconds(
+                self.compute_cycles_total + self.comm_cycles_total
+            )
+            + self.host_seconds_total
+        )
 
     @property
     def useful_flops_per_node_per_iteration(self) -> int:
@@ -107,7 +205,10 @@ class StencilRun:
 
     @property
     def mflops(self) -> float:
-        """Sustained useful Mflops over the whole run."""
+        """Sustained useful Mflops over the whole run.  Blocked runs
+        divide the same useful flops by the blocked elapsed time: the
+        halo ring's redundant flops cost time but are never counted as
+        useful."""
         return self.useful_flops / self.elapsed_seconds / 1e6
 
     @property
@@ -116,11 +217,14 @@ class StencilRun:
 
     def describe(self) -> str:
         rows, cols = self.result.subgrid_shape
+        blocked = (
+            f", block depth {self.block_depth}" if self.block_depth > 1 else ""
+        )
         return (
             f"{self.compiled.pattern.name or 'stencil'} on "
             f"{self.machine.num_nodes} nodes, {rows}x{cols} subgrids, "
-            f"{self.iterations} iterations: {self.elapsed_seconds:.2f} s, "
-            f"{self.mflops:.1f} Mflops"
+            f"{self.iterations} iterations{blocked}: "
+            f"{self.elapsed_seconds:.2f} s, {self.mflops:.1f} Mflops"
         )
 
 
@@ -180,6 +284,170 @@ def _at_fixed_point(
     return np.array_equal(result, interior)
 
 
+def _at_fixed_point_per_node(
+    machine: CM2, halo_name: str, result_name: str, pad: int
+) -> bool:
+    """Per-node fallback of :func:`_at_fixed_point`, for runs whose
+    buffers are not (or no longer) stack-backed.  The node interiors
+    tile the global array, so every node agreeing is exactly the
+    machine-wide fixed point."""
+    for node in machine.nodes():
+        padded = node.memory.view(halo_name)
+        result = node.memory.view(result_name)
+        if padded is None or result is None:
+            return False
+        rows, cols = result.shape
+        if not np.array_equal(
+            result, padded[pad : pad + rows, pad : pad + cols]
+        ):
+            return False
+    return True
+
+
+def _resolve_block_depth(
+    compiled: CompiledStencil,
+    source: CMArray,
+    iterations: int,
+    exact: bool,
+    batched: bool,
+    block_depth: Union[int, str],
+) -> int:
+    """Validate the caller's ``block_depth`` and clamp it to what the
+    run can actually support.  Exact mode, per-node mode, single calls,
+    and unblockable patterns always resolve to 1."""
+    if block_depth == "auto":
+        requested = None
+    elif isinstance(block_depth, int) and not isinstance(block_depth, bool):
+        if block_depth < 1:
+            raise ValueError("block_depth must be positive")
+        requested = block_depth
+    else:
+        raise ValueError(
+            f"block_depth must be a positive int or 'auto', got {block_depth!r}"
+        )
+    if exact or not batched or iterations < 2:
+        return 1
+    if not blockable(compiled.pattern):
+        return 1
+    cap = depth_cap(compiled.pattern, source.subgrid_shape, iterations)
+    if requested is not None:
+        return min(requested, cap)
+    if cap < 2:
+        return 1
+    return select_block_depth(compiled, source.subgrid_shape, iterations)
+
+
+def _apply_blocked(
+    compiled: CompiledStencil,
+    source: CMArray,
+    result: CMArray,
+    schedule: StripSchedule,
+    depth: int,
+    iterations: int,
+) -> Optional[StencilRun]:
+    """Run an iterated call temporally blocked at ``depth``.
+
+    Returns None when any needed buffer is not stack-backed -- the
+    caller then falls through to the unblocked loop, which is always
+    correct.
+    """
+    machine = source.machine
+    pattern = compiled.pattern
+    params = compiled.params
+    rows, cols = source.subgrid_shape
+    pad = pattern.border_widths().max_width
+
+    source_stack = machine.stacked(source.name)
+    result_stack = machine.stacked(result.name)
+    if source_stack is None or result_stack is None:
+        return None
+    coeff_names = array_coefficient_names(pattern)
+    coeff_stacks = {}
+    for name in coeff_names:
+        stack = machine.stacked(name)
+        if stack is None:
+            return None
+        coeff_stacks[name] = stack
+
+    deep = depth * pad
+    padded_shape = (rows + 2 * deep, cols + 2 * deep)
+    halo_name = halo_buffer_name(source.name)
+    ping, pong = machine.pingpong_stacked(halo_name, padded_shape)
+    scratch = machine.scratch_stacked(f"{halo_name}__prod__", padded_shape)
+
+    # Coefficient deep halos: exchanged once, reused by every block.
+    # The halo ring's locally recomputed points need the neighbors'
+    # coefficient values to reproduce the neighbors' bits.
+    deep_coeffs = {}
+    for name in coeff_names:
+        buf = machine.scratch_stacked(f"{name}__deep__", padded_shape)
+        exchange_halo_deep(
+            coeff_stacks[name], buf, pattern, (rows, cols), params, depth
+        )
+        deep_coeffs[name] = buf
+
+    costs = blocked_costs(compiled, source.subgrid_shape, iterations, depth)
+
+    current = source_stack
+    for steps in block_steps(iterations, depth):
+        deep_b = steps * pad
+        if deep_b < deep:
+            # Tail block: center a shallower padded window inside the
+            # full-depth buffers so the interior stays aligned.
+            delta = deep - deep_b
+            window = (
+                slice(None),
+                slice(None),
+                slice(delta, delta + rows + 2 * deep_b),
+                slice(delta, delta + cols + 2 * deep_b),
+            )
+            ping_v, pong_v = ping[window], pong[window]
+            coeffs_v = {n: b[window] for n, b in deep_coeffs.items()}
+        else:
+            ping_v, pong_v, coeffs_v = ping, pong, deep_coeffs
+        exchange_halo_deep(
+            current, ping_v, pattern, (rows, cols), params, steps
+        )
+        final, fixed = machine_execute_blocked(
+            pattern,
+            ping=ping_v,
+            pong=pong_v,
+            deep_coeffs=coeffs_v,
+            subgrid_shape=(rows, cols),
+            pad=pad,
+            steps=steps,
+            scratch=scratch,
+        )
+        result_stack[...] = final[
+            :, :, deep_b : deep_b + rows, deep_b : deep_b + cols
+        ]
+        if fixed:
+            # Every remaining iterate reproduces this one bit for bit;
+            # stop computing.  The accounting (``costs``) still charges
+            # the whole run.
+            break
+        current = result_stack
+
+    return StencilRun(
+        compiled=compiled,
+        machine=machine,
+        result=result,
+        iterations=iterations,
+        compute_cycles=schedule.compute_cycles(params),
+        comm=exchange_cost(pattern, source.subgrid_shape, params),
+        half_strips=schedule.num_half_strips,
+        exact=False,
+        batched=True,
+        block_depth=depth,
+        num_exchanges=costs.num_exchanges,
+        coeff_exchanges=costs.coeff_exchanges,
+        block_comm=costs.block_comm,
+        total_comm_cycles=costs.total_comm_cycles,
+        total_compute_cycles=costs.total_compute_cycles,
+        total_half_strips=costs.total_half_strips,
+    )
+
+
 def apply_stencil(
     compiled: CompiledStencil,
     source: CMArray,
@@ -189,6 +457,7 @@ def apply_stencil(
     iterations: int = 1,
     exact: bool = False,
     batched: bool = True,
+    block_depth: Union[int, str] = 1,
 ) -> StencilRun:
     """Apply a compiled stencil to a distributed array.
 
@@ -211,6 +480,15 @@ def apply_stencil(
             array operation per tap (the batched executor); per-node
             execution is used when False or when a buffer is not backed
             by machine storage.  Numerics are bit-identical either way.
+        block_depth: temporal block depth ``T``.  ``1`` (the default)
+            exchanges once per iteration; an int > 1 exchanges a
+            ``T * pad``-deep halo once per block of ``T`` iterations and
+            runs each block locally on ping-pong buffers; ``"auto"``
+            picks the depth with the lowest modeled elapsed time (see
+            :func:`repro.compiler.driver.select_block_depth`).  Depths
+            are clamped to what the subgrid supports; blocking requires
+            the batched fast path and silently resolves to 1 otherwise.
+            Results are bit-identical at every depth.
 
     Returns:
         a :class:`StencilRun` with the result and full cost accounting.
@@ -229,20 +507,33 @@ def apply_stencil(
     schedule = StripSchedule.cached(compiled, source.subgrid_shape)
     params = compiled.params
     halo_name = halo_buffer_name(source.name)
+    depth = _resolve_block_depth(
+        compiled, source, iterations, exact, batched, block_depth
+    )
     ran_batched = False
 
     with _coefficient_bindings(machine, coefficients):
+        if depth > 1:
+            blocked = _apply_blocked(
+                compiled, source, result, schedule, depth, iterations
+            )
+            if blocked is not None:
+                return blocked
         comm = exchange_halo(source, pattern, params, batched=batched)
         pad = comm.pad
+        exchanges = 1
+        comm_cycles = comm.cycles
         cycles = None
         for iteration in range(iterations):
             if iteration:
                 # Feed the previous iterate back: the result becomes the
                 # source by re-exchanging its halo into the same padded
                 # buffer the compiled plans read.
-                exchange_halo(
+                repeat = exchange_halo(
                     result, pattern, params, into=halo_name, batched=batched
                 )
+                exchanges += 1
+                comm_cycles += repeat.cycles
             if exact:
                 for node in machine.nodes():
                     node_cycles = node_execute_exact(
@@ -275,12 +566,20 @@ def apply_stencil(
                             result_name=result.name,
                             halo=pad,
                         )
-                elif iteration < iterations - 1 and _at_fixed_point(
-                    machine, halo_name, result.name, pad
+                if iteration < iterations - 1 and (
+                    _at_fixed_point(machine, halo_name, result.name, pad)
+                    if ran_batched
+                    else _at_fixed_point_per_node(
+                        machine, halo_name, result.name, pad
+                    )
                 ):
                     # The iterate equals its own input, so every later
                     # iteration reproduces it bit for bit; stop computing.
-                    # The cost accounting still charges all iterations.
+                    # The cost accounting still charges all iterations,
+                    # exchanges included.
+                    skipped = iterations - 1 - iteration
+                    exchanges += skipped
+                    comm_cycles += skipped * comm.cycles
                     break
     compute_cycles = cycles if exact else schedule.compute_cycles(params)
 
@@ -294,4 +593,6 @@ def apply_stencil(
         half_strips=schedule.num_half_strips,
         exact=exact,
         batched=ran_batched,
+        num_exchanges=exchanges,
+        total_comm_cycles=comm_cycles,
     )
