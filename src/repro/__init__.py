@@ -35,6 +35,10 @@ from .compiler import (
 from .machine import CM2, FULL_CM2, SIXTEEN_NODE, MachineParams
 from .runtime import (
     CMArray,
+    FaultError,
+    FaultInjector,
+    FaultStats,
+    ResiliencePolicy,
     StencilRun,
     apply_stencil,
     make_stencil_function,
@@ -50,7 +54,11 @@ __all__ = [
     "CMArray",
     "CompiledStencil",
     "FULL_CM2",
+    "FaultError",
+    "FaultInjector",
+    "FaultStats",
     "MachineParams",
+    "ResiliencePolicy",
     "SIXTEEN_NODE",
     "StencilCompileError",
     "StencilPattern",

@@ -37,15 +37,33 @@ class RateReport:
     extrapolated_gflops: float
     block_depth: int = 1
     exchanges: int = 0
+    #: Chaos-run accounting (all zero/empty on ordinary runs).  The
+    #: measured rate above already includes the retry, checkpoint, and
+    #: replay cycles, so a degraded run reports honest (lower) Gflops.
+    faults_injected: int = 0
+    faults_detected: int = 0
+    retries: int = 0
+    rollbacks: int = 0
+    degradations: tuple = ()
 
     def row(self) -> str:
         blocked = f" T={self.block_depth}" if self.block_depth > 1 else ""
+        chaos = ""
+        if self.faults_injected or self.faults_detected or self.retries:
+            chaos = (
+                f" [chaos: {self.faults_injected} injected, "
+                f"{self.faults_detected} detected, {self.retries} retries, "
+                f"{self.rollbacks} rollbacks"
+            )
+            if self.degradations:
+                chaos += ", degraded " + ", ".join(self.degradations)
+            chaos += "]"
         return (
             f"{self.stencil:<12} {self.subgrid_rows:>4}x{self.subgrid_cols:<5} "
             f"{self.nodes:>5} {self.iterations:>6} "
             f"{self.elapsed_seconds:>9.2f} s "
             f"{self.measured_mflops:>8.1f} Mflops "
-            f"{self.extrapolated_gflops:>7.2f} Gflops{blocked}"
+            f"{self.extrapolated_gflops:>7.2f} Gflops{blocked}{chaos}"
         )
 
 
@@ -60,6 +78,7 @@ def report(run: StencilRun, *, extrapolate_to: int = 2048) -> RateReport:
     """Summarize a stencil run as a results-table row."""
     rows, cols = run.result.subgrid_shape
     measured = run.mflops
+    fault_stats = run.fault_stats
     return RateReport(
         stencil=run.compiled.pattern.name or "stencil",
         subgrid_rows=rows,
@@ -74,6 +93,11 @@ def report(run: StencilRun, *, extrapolate_to: int = 2048) -> RateReport:
         / 1e3,
         block_depth=run.block_depth,
         exchanges=run.exchanges,
+        faults_injected=fault_stats.total_injected,
+        faults_detected=fault_stats.total_detected,
+        retries=fault_stats.retries,
+        rollbacks=fault_stats.rollbacks,
+        degradations=fault_stats.degradations,
     )
 
 

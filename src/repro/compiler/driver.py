@@ -29,20 +29,34 @@ _cache_misses = 0
 #: plan cache plus the run geometry the choice depends on.
 _DEPTH_CACHE: Dict[tuple, int] = {}
 _DEPTH_CACHE_LIMIT = 2048
+_depth_cache_hits = 0
+_depth_cache_misses = 0
 
 
 def clear_compile_cache() -> None:
     """Drop all memoized compilations (mainly for tests)."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _depth_cache_hits, _depth_cache_misses
     _PLAN_CACHE.clear()
     _DEPTH_CACHE.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _depth_cache_hits = 0
+    _depth_cache_misses = 0
 
 
 def compile_cache_info() -> Tuple[int, int, int]:
     """``(hits, misses, entries)`` of the compiled-plan cache."""
     return _cache_hits, _cache_misses, len(_PLAN_CACHE)
+
+
+def depth_cache_info() -> Tuple[int, int, int]:
+    """``(hits, misses, entries)`` of the block-depth selection cache.
+
+    Chaos runs lean on this: a degraded retry of the same problem must
+    not re-price the depth sweep, so resilient-path regressions show up
+    here as unexpected misses.
+    """
+    return _depth_cache_hits, _depth_cache_misses, len(_DEPTH_CACHE)
 
 
 def compile_stencil(
@@ -93,6 +107,7 @@ def select_block_depth(
     # Imported lazily: the runtime layer imports this module's siblings.
     from ..runtime.blocking import best_block_depth
 
+    global _depth_cache_hits, _depth_cache_misses
     try:
         key = (
             compiled.pattern,
@@ -107,12 +122,15 @@ def select_block_depth(
             compiled, subgrid_shape, iterations, max_depth
         )
     if depth is None:
+        _depth_cache_misses += 1
         depth = best_block_depth(
             compiled, subgrid_shape, iterations, max_depth
         )
         if len(_DEPTH_CACHE) >= _DEPTH_CACHE_LIMIT:
             _DEPTH_CACHE.clear()
         _DEPTH_CACHE[key] = depth
+    else:
+        _depth_cache_hits += 1
     return depth
 
 

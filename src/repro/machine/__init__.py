@@ -22,7 +22,13 @@ from .isa import (
     const_buffer_name,
 )
 from .machine import CM2
-from .memory import MemoryError_, NodeMemory
+from .memory import (
+    MachineStorage,
+    MemoryError_,
+    NodeMemory,
+    StorageCheckpoint,
+    parity_word,
+)
 from .microcode import (
     MICROCODE_MEMORY_WORDS,
     MicrocodeRoutine,
@@ -56,8 +62,11 @@ __all__ = [
     "MAOp",
     "MemDirection",
     "MemRef",
+    "MachineStorage",
     "MemoryError_",
     "MicrocodeRoutine",
+    "StorageCheckpoint",
+    "parity_word",
     "MICROCODE_MEMORY_WORDS",
     "Node",
     "NodeCoord",

@@ -14,7 +14,13 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .geometry import NodeCoord, all_coords, grid_shape, node_address
+from .geometry import (
+    NodeCoord,
+    all_coords,
+    grid_shape,
+    is_power_of_two,
+    node_address,
+)
 from .memory import MachineStorage
 from .node import Node
 from .params import MachineParams
@@ -30,9 +36,28 @@ class CM2:
     whole-machine access observe the same data.
     """
 
-    def __init__(self, params: Optional[MachineParams] = None) -> None:
+    def __init__(
+        self,
+        params: Optional[MachineParams] = None,
+        shape: Optional[Tuple[int, int]] = None,
+    ) -> None:
         self.params = params or MachineParams()
-        self.shape: Tuple[int, int] = grid_shape(self.params.num_nodes)
+        if shape is None:
+            shape = grid_shape(self.params.num_nodes)
+        else:
+            rows, cols = shape
+            if rows * cols != self.params.num_nodes:
+                raise ValueError(
+                    f"node grid {shape} does not hold "
+                    f"{self.params.num_nodes} nodes"
+                )
+            if not (is_power_of_two(rows) and is_power_of_two(cols)):
+                raise ValueError(
+                    f"node grid extents must be powers of two for the "
+                    f"hypercube embedding, got {shape}"
+                )
+            shape = (rows, cols)
+        self.shape: Tuple[int, int] = shape
         self.storage = MachineStorage(self.shape)
         self._nodes: Dict[NodeCoord, Node] = {
             coord: Node(

@@ -22,6 +22,24 @@ class MemoryError_(Exception):
     """An out-of-bounds or unknown-buffer access (a compiler/runtime bug)."""
 
 
+def parity_word(array: np.ndarray) -> int:
+    """XOR of a float32 region's raw 32-bit words.
+
+    The software analogue of the CM-2 memory system's parity: one word
+    summarizing a buffer's exact bit content.  Any single bit flip (and
+    any odd-multiplicity corruption) changes the word; comparing sealed
+    and recomputed parity is how the resilient runtime detects scratch
+    corruption.  Works on non-contiguous views -- a same-itemsize dtype
+    view aliases the region without copying.
+    """
+    a = np.asarray(array)
+    if a.dtype != np.float32:
+        a = np.ascontiguousarray(a, dtype=np.float32)
+    if a.size == 0:
+        return 0
+    return int(np.bitwise_xor.reduce(a.view(np.uint32), axis=None))
+
+
 @dataclass
 class AccessCounts:
     """Word-transfer counters for one node's memory system."""
@@ -166,6 +184,23 @@ class NodeMemory:
         return sum(buf.size for buf in self._buffers.values())
 
 
+@dataclass(frozen=True)
+class StorageCheckpoint:
+    """A point-in-time deep copy of named machine-wide stacks.
+
+    Produced by :meth:`MachineStorage.checkpoint`; applied back with
+    :meth:`MachineStorage.restore`.  Restoring writes *into* the live
+    stacks in place, so every node-memory view of them stays valid.
+    """
+
+    stacks: Dict[str, np.ndarray]
+
+    @property
+    def words(self) -> int:
+        """Total words copied (for checkpoint cost accounting)."""
+        return sum(stack.size for stack in self.stacks.values())
+
+
 class MachineStorage:
     """Whole-machine stacked backing store for distributed buffers.
 
@@ -194,6 +229,8 @@ class MachineStorage:
         self._scratch: Dict[str, np.ndarray] = {}
         #: Number of scratch stacks actually allocated (cache misses).
         self.scratch_allocations = 0
+        #: Optional sealed parity words, by buffer name.
+        self._parity: Dict[str, int] = {}
 
     def allocate(self, name: str, subgrid_shape: Tuple[int, int]) -> np.ndarray:
         """Allocate (or replace) a zero-filled stack for ``name``."""
@@ -251,3 +288,64 @@ class MachineStorage:
             self.scratch(f"{name}__ping__", buffer_shape),
             self.scratch(f"{name}__pong__", buffer_shape),
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint/restore and parity (fault tolerance)
+    # ------------------------------------------------------------------
+
+    def lookup(self, name: str) -> Optional[np.ndarray]:
+        """A named stack from either namespace: distributed arrays
+        first, then scratch (ping-pong) stacks."""
+        stack = self._stacks.get(name)
+        if stack is not None:
+            return stack
+        return self._scratch.get(name)
+
+    def checkpoint(self, names) -> StorageCheckpoint:
+        """Snapshot the named stacks (distributed or scratch) so an
+        iterated run can roll back to this exact state after detected
+        corruption."""
+        copies: Dict[str, np.ndarray] = {}
+        for name in names:
+            stack = self.lookup(name)
+            if stack is None:
+                raise MemoryError_(
+                    f"cannot checkpoint unknown buffer {name!r}"
+                )
+            copies[name] = stack.copy()
+        return StorageCheckpoint(stacks=copies)
+
+    def restore(self, checkpoint: StorageCheckpoint) -> None:
+        """Write a checkpoint back into the live stacks, in place."""
+        for name, saved in checkpoint.stacks.items():
+            stack = self.lookup(name)
+            if stack is None or stack.shape != saved.shape:
+                raise MemoryError_(
+                    f"cannot restore {name!r}: live buffer missing or "
+                    "reshaped since the checkpoint"
+                )
+            stack[...] = saved
+
+    def seal_parity(self, name: str) -> int:
+        """Record (and return) the current parity word of a stack, to
+        be checked later with :meth:`check_parity`."""
+        stack = self.lookup(name)
+        if stack is None:
+            raise MemoryError_(f"cannot seal parity of unknown buffer {name!r}")
+        word = parity_word(stack)
+        self._parity[name] = word
+        return word
+
+    def check_parity(self, name: str) -> bool:
+        """Whether a sealed stack still matches its parity word.  True
+        for never-sealed names (nothing to contradict)."""
+        sealed = self._parity.get(name)
+        if sealed is None:
+            return True
+        stack = self.lookup(name)
+        if stack is None:
+            return False
+        return parity_word(stack) == sealed
+
+    def clear_parity(self, name: str) -> None:
+        self._parity.pop(name, None)

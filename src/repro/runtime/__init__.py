@@ -12,9 +12,25 @@ from .decomposition import Block, Decomposition
 from .executor import (
     ExecutionSetupError,
     check_arrays,
+    check_finite_arrays,
     machine_execute_blocked,
     node_execute_exact,
     node_execute_fast,
+)
+from .faults import (
+    ALL_FAULT_KINDS,
+    DegradationExhaustedError,
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultStats,
+    HaloChecksumError,
+    NonFiniteInputError,
+    ParityError,
+    PoisonedResultError,
+    ResiliencePolicy,
+    RetryExhaustedError,
 )
 from .halo import (
     CommStats,
@@ -37,9 +53,23 @@ from .strips import Strip, StripSchedule, split_rows
 from .subroutine import StencilFunction, make_stencil_function, make_subroutine
 
 __all__ = [
+    "ALL_FAULT_KINDS",
     "Block",
     "BlockedCosts",
     "CMArray",
+    "DegradationExhaustedError",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultStats",
+    "HaloChecksumError",
+    "NonFiniteInputError",
+    "ParityError",
+    "PoisonedResultError",
+    "ResiliencePolicy",
+    "RetryExhaustedError",
+    "check_finite_arrays",
     "CMArray3D",
     "DepthTap",
     "Stencil3DRun",

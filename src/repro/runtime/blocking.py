@@ -104,6 +104,27 @@ def sub_iteration_shapes(
         yield (rows + 2 * ghost, cols + 2 * ghost)
 
 
+def block_compute_cycles(
+    compiled: CompiledStencil,
+    subgrid_shape: Tuple[int, int],
+    steps: int,
+) -> Tuple[int, int]:
+    """Compute cost of one ``steps``-deep temporal block, as
+    ``(cycles, half_strips)`` summed over its sub-iterations'
+    (halo-enlarged) strip schedules.  The unit the resilient runtime
+    charges per block attempt, and the inner term of
+    :func:`blocked_costs`."""
+    pad = compiled.pattern.border_widths().max_width
+    params = compiled.params
+    cycles = 0
+    half_strips = 0
+    for shape in sub_iteration_shapes(subgrid_shape, pad, steps):
+        schedule = StripSchedule.cached(compiled, shape)
+        cycles += schedule.compute_cycles(params)
+        half_strips += schedule.num_half_strips
+    return cycles, half_strips
+
+
 @dataclass(frozen=True)
 class BlockedCosts:
     """The full modeled cost of one temporally blocked iterated run.
@@ -160,7 +181,6 @@ def blocked_costs(
     """
     pattern = compiled.pattern
     params = compiled.params
-    pad = pattern.border_widths().max_width
     coeff_exchanges = (
         len(array_coefficient_names(pattern)) if depth > 1 else 0
     )
@@ -174,10 +194,9 @@ def blocked_costs(
         comm_cycles += deep_exchange_cost(
             pattern, subgrid_shape, params, steps
         ).cycles
-        for shape in sub_iteration_shapes(subgrid_shape, pad, steps):
-            schedule = StripSchedule.cached(compiled, shape)
-            compute_cycles += schedule.compute_cycles(params)
-            half_strips += schedule.num_half_strips
+        cycles, strips = block_compute_cycles(compiled, subgrid_shape, steps)
+        compute_cycles += cycles
+        half_strips += strips
     return BlockedCosts(
         depth=depth,
         num_exchanges=num_exchanges,

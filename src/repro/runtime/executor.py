@@ -25,7 +25,9 @@ from ..machine.node import Node
 from ..machine.sequencer import Sequencer
 from ..stencil.offsets import BoundaryMode
 from ..stencil.pattern import CoeffKind, StencilPattern
+from ..machine.memory import parity_word
 from .cm_array import CMArray
+from .faults import FaultGuard, NonFiniteInputError
 from .halo import halo_buffer_name
 from .strips import StripSchedule
 
@@ -89,6 +91,44 @@ def check_arrays(
                         f"shape {tuple(coeff_buffer.shape)} != source subgrid "
                         f"shape {subgrid_shape}"
                     )
+
+
+def check_finite_arrays(
+    compiled: CompiledStencil,
+    source: CMArray,
+    coefficients: Dict[str, CMArray],
+) -> None:
+    """Reject NaN/Inf in the input arrays up front, naming the offender.
+
+    The opt-in ``apply_stencil(check_finite=True)`` validation: without
+    it, a single NaN in the source silently propagates through every
+    iteration (the FPU saturates, it does not trap).
+    """
+    machine = source.machine
+
+    def all_finite(name: str) -> bool:
+        stack = machine.stacked(name)
+        if stack is not None:
+            return bool(np.isfinite(stack).all())
+        return all(
+            bool(np.isfinite(node.memory.buffer(name)).all())
+            for node in machine.nodes()
+        )
+
+    names = [source.name]
+    names += list(coefficients)
+    for term in getattr(compiled.pattern, "extra_terms", ()):
+        if term.source not in names:
+            names.append(term.source)
+        coeff = term.coeff
+        if coeff.kind is CoeffKind.ARRAY and coeff.name not in names:
+            names.append(coeff.name)
+    for name in names:
+        if not all_finite(name):
+            raise NonFiniteInputError(
+                f"input array {name!r} contains NaN/Inf "
+                "(apply_stencil was called with check_finite=True)"
+            )
 
 
 def node_execute_exact(
@@ -178,6 +218,7 @@ def machine_execute_fast(
     source_name: str,
     result_name: str,
     halo: int,
+    guard: Optional[FaultGuard] = None,
 ) -> bool:
     """Compute every node's subgrid in one batched tap-accumulation loop.
 
@@ -244,6 +285,9 @@ def machine_execute_fast(
             np.multiply(coeff, stacks[term.source], out=scratch)
             np.add(acc, scratch, out=acc)
     result[...] = acc
+    if guard is not None:
+        guard.inject_poison(result)
+        guard.verify_finite(result, f"fast executor result {result_name!r}")
     return True
 
 
@@ -258,6 +302,7 @@ def machine_execute_blocked(
     steps: int,
     scratch: np.ndarray,
     check_fixed_point: bool = True,
+    guard: Optional[FaultGuard] = None,
 ):
     """Run one temporal block: ``steps`` locally fused sub-iterations.
 
@@ -281,6 +326,15 @@ def machine_execute_blocked(
     whether a machine-wide fixed point was detected after the first
     sub-iteration (in which case ``final`` already equals every later
     iterate and the caller may stop computing).
+
+    Under ``guard`` (chaos runs), each sub-iteration's valid output
+    region is parity-sealed after the FILL re-application and verified
+    before the next sub-iteration reads it -- the read window of
+    sub-iteration ``t + 1`` is exactly the sealed region of ``t`` -- and
+    the injector may flip bits in the ping-pong stacks between
+    sub-iterations.  The final region is parity- and finiteness-checked
+    before the block returns, so corruption injected after the last
+    seal cannot escape.
     """
     rows, cols = subgrid_shape
     deep = steps * pad
@@ -296,12 +350,22 @@ def machine_execute_blocked(
     fill = np.float32(pattern.fill_value)
 
     src, dst = ping, pong
+    sealed: Optional[int] = None
+    sealed_view: Optional[np.ndarray] = None
     with np.errstate(over="ignore", invalid="ignore"):
         for t in range(steps):
             ghost = (steps - 1 - t) * pad
             out_rows = rows + 2 * ghost
             out_cols = cols + 2 * ghost
             base = deep - ghost
+            if guard is not None and sealed is not None:
+                # sealed_view (the previous sub-iteration's valid output
+                # region) is exactly the window this sub-iteration reads.
+                guard.verify_parity(
+                    sealed_view,
+                    sealed,
+                    f"block sub-iteration {t} input",
+                )
             # Accumulate straight into the destination region; the
             # rounding chain is the per-tap multiply and add of
             # machine_execute_fast, only the final buffer copy is gone.
@@ -337,6 +401,11 @@ def machine_execute_blocked(
             if col_fills:
                 dst[:, 0, :, :deep] = fill
                 dst[:, -1, :, deep + cols :] = fill
+            if guard is not None:
+                sealed_view = dst[
+                    :, :, base : base + out_rows, base : base + out_cols
+                ]
+                sealed = parity_word(sealed_view)
             if t == 0 and steps > 1 and check_fixed_point:
                 # The subgrids alone tile the global array, so
                 # machine-wide interior equality means a true fixed
@@ -345,8 +414,24 @@ def machine_execute_blocked(
                     dst[:, :, deep : deep + rows, deep : deep + cols],
                     src[:, :, deep : deep + rows, deep : deep + cols],
                 ):
+                    if guard is not None:
+                        guard.verify_finite(
+                            dst[:, :, deep : deep + rows, deep : deep + cols],
+                            "temporal block fixed-point output",
+                        )
                     return dst, True
+            if guard is not None:
+                guard.inject_scratch([("ping stack", ping), ("pong stack", pong)])
             src, dst = dst, src
+    if guard is not None:
+        # The last seal covers exactly the final subgrid region; verify
+        # it so a flip injected after the last sub-iteration (or a NaN
+        # produced inside the block) cannot escape the block.
+        guard.verify_parity(sealed_view, sealed, "temporal block output")
+        guard.verify_finite(
+            src[:, :, deep : deep + rows, deep : deep + cols],
+            "temporal block output",
+        )
     return src, False
 
 

@@ -1,0 +1,470 @@
+"""Fault injection, detection, and recovery for the run-time data path.
+
+The CM-2's memory and NEWS network were engineered around ECC and
+parity because at 64K processors over hours-long runs, silent
+corruption is a certainty, not a risk.  The simulated runtime models
+the same reality: a seeded :class:`FaultInjector` can corrupt or drop
+halo messages, flip bits in the temporal-blocking ping-pong stacks
+between sub-iterations, and poison a node's tile in the fast executor
+-- and a detection + recovery layer threaded through
+:mod:`repro.runtime.halo`, :mod:`repro.runtime.executor`, and
+:mod:`repro.runtime.stencil_op` guarantees that every injected fault is
+either recovered *bit-identically* or surfaced as a typed
+:class:`FaultError`.  Silent wrong numbers are the one outcome the
+design rules out.
+
+Detection:
+
+* per-message checksums on both halo paths (shallow and deep): after
+  every exchange the received bands are checksummed against what the
+  senders hold;
+* a parity word sealed over each sub-iteration's valid region in the
+  blocked executor, verified before the next sub-iteration reads it;
+* NaN/Inf guards on the fast executor's result and on each temporal
+  block's output.
+
+Recovery (in escalation order):
+
+1. bounded retry with capped exponential backoff for failed exchanges
+   and executor passes -- every attempt is charged real communication
+   or compute cycles;
+2. rollback to a periodic checkpoint
+   (:meth:`repro.machine.memory.MachineStorage.checkpoint` /
+   ``restore``) and replay of the iterations since;
+3. a graceful-degradation ladder: blocked fast path -> unblocked fast
+   path -> exact per-node executor.  All three rungs are bit-identical
+   in float32, so stepping down changes cost, never results.
+
+All fault, retry, checkpoint, and degradation events are accounted in a
+:class:`FaultStats` carried on the resulting
+:class:`~repro.runtime.stencil_op.StencilRun`, and the
+:class:`FaultGuard` doubles as the chaos run's cycle accountant, so a
+degraded run reports honest (lower) gigaflops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..machine.memory import parity_word
+
+
+class FaultError(Exception):
+    """Base of every typed fault surfaced by the resilient runtime."""
+
+
+class HaloChecksumError(FaultError):
+    """A halo message's checksum did not match what the sender holds."""
+
+
+class ParityError(FaultError):
+    """A sealed scratch/ping-pong region failed its parity check."""
+
+
+class PoisonedResultError(FaultError):
+    """An executor pass produced non-finite values under guard."""
+
+
+class RetryExhaustedError(FaultError):
+    """An exchange kept failing verification past the retry budget."""
+
+
+class DegradationExhaustedError(FaultError):
+    """Every rung of the degradation ladder failed (defensive; the
+    exact rung's datapath is modeled as ECC-protected and does not
+    fault, so reaching this indicates persistent exchange failure)."""
+
+
+class NonFiniteInputError(FaultError, ValueError):
+    """An input array handed to ``apply_stencil(check_finite=True)``
+    contains NaN or Inf."""
+
+
+class FaultKind(str, Enum):
+    """The injectable fault classes."""
+
+    #: Flip one bit of one element of a received halo message.
+    HALO_CORRUPT = "halo_corrupt"
+    #: Drop a halo message: the destination band shows stale zeros.
+    HALO_DROP = "halo_drop"
+    #: Flip one bit somewhere in a ping-pong scratch stack between two
+    #: temporal-block sub-iterations.
+    SCRATCH_BITFLIP = "scratch_bitflip"
+    #: Overwrite one node's tile of the fast executor's result with NaN.
+    NODE_POISON = "node_poison"
+
+
+ALL_FAULT_KINDS: Tuple[str, ...] = tuple(kind.value for kind in FaultKind)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected or detected fault occurrence."""
+
+    kind: str
+    site: str
+    injected: bool
+    detail: str = ""
+
+
+@dataclass
+class FaultStats:
+    """Complete chaos-run accounting, carried on ``StencilRun``.
+
+    All-zero (see :meth:`all_zero`) whenever injection and guarding are
+    disabled -- the default run path never touches this object.
+    """
+
+    injected: Dict[str, int] = field(default_factory=dict)
+    detected: Dict[str, int] = field(default_factory=dict)
+    #: Exchange attempts beyond each first try.
+    retries: int = 0
+    #: Cycles of every retried exchange attempt plus backoff stalls.
+    retry_cycles: int = 0
+    #: Elements moved by retried exchange attempts.
+    retry_elements: int = 0
+    #: Executor passes re-run after a detected fault.
+    recomputes: int = 0
+    checkpoints: int = 0
+    checkpoint_cycles: int = 0
+    rollbacks: int = 0
+    #: Iterations (or block sub-iterations) computed more than once.
+    replayed_iterations: int = 0
+    #: Ladder steps taken, e.g. ``("blocked->fast", "fast->exact")``.
+    degradations: Tuple[str, ...] = ()
+    events: List[FaultEvent] = field(default_factory=list)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def total_detected(self) -> int:
+        return sum(self.detected.values())
+
+    def all_zero(self) -> bool:
+        """True when nothing fault-related happened at all."""
+        return (
+            not self.injected
+            and not self.detected
+            and not self.events
+            and not self.degradations
+            and self.retries == 0
+            and self.retry_cycles == 0
+            and self.retry_elements == 0
+            and self.recomputes == 0
+            and self.checkpoints == 0
+            and self.checkpoint_cycles == 0
+            and self.rollbacks == 0
+            and self.replayed_iterations == 0
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.total_injected} injected",
+            f"{self.total_detected} detected",
+            f"{self.retries} retries",
+            f"{self.rollbacks} rollbacks",
+        ]
+        if self.degradations:
+            parts.append("degraded " + ", ".join(self.degradations))
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs of the detection + recovery layer.
+
+    Attributes:
+        max_retries: exchange re-attempts (and executor recomputes)
+            after the first try before escalating.
+        backoff_base_cycles: stall charged before the first retry;
+            doubles per retry.
+        backoff_cap_cycles: ceiling of the per-retry backoff stall.
+        checkpoint_interval: snapshot the live iterate every this many
+            iterations (0 disables periodic checkpoints; rollback then
+            replays from the start, where the untouched source array is
+            the implicit checkpoint).
+        max_replays: rollback-and-replay attempts (per run in the
+            iterated loop, per block in the blocked path) before the
+            ladder steps down a rung.
+        check_finite_results: guard executor outputs against NaN/Inf.
+            Note that legitimately overflowing data also trips this
+            guard; recovery then degrades to the exact rung, whose
+            output is trusted verbatim -- results stay bit-identical,
+            only the chaos run's cost grows.
+        checkpoint_cycles_per_word: modeled cost of snapshotting one
+            word per node (local memory copy bandwidth).
+    """
+
+    max_retries: int = 3
+    backoff_base_cycles: int = 64
+    backoff_cap_cycles: int = 4096
+    checkpoint_interval: int = 4
+    max_replays: int = 2
+    check_finite_results: bool = True
+    checkpoint_cycles_per_word: float = 1.0
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Capped exponential backoff before retry ``attempt`` (1-based)."""
+        return min(
+            self.backoff_base_cycles << max(attempt - 1, 0),
+            self.backoff_cap_cycles,
+        )
+
+
+class FaultInjector:
+    """A deterministic, seeded source of run-time data-path faults.
+
+    ``rates`` maps fault kinds (:class:`FaultKind` or their string
+    values) to per-opportunity probabilities.  Every draw comes from one
+    ``numpy`` generator seeded with ``seed``, and the runtime consults
+    the injector at a fixed sequence of sites, so a chaos run is exactly
+    reproducible: same seed, same faults, same recovery path.
+    ``max_faults`` bounds the total injections (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Dict[object, float]] = None,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.rates: Dict[FaultKind, float] = {}
+        for kind, rate in (rates or {}).items():
+            self.rates[FaultKind(kind)] = float(rate)
+        self.max_faults = max_faults
+        self._rng = np.random.default_rng(self.seed)
+        self.injected: Dict[str, int] = {}
+        self.events: List[FaultEvent] = []
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _fires(self, kind: FaultKind) -> bool:
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return False
+        if self.max_faults is not None and self.total_injected >= self.max_faults:
+            return False
+        return bool(self._rng.random() < rate)
+
+    def _record(self, kind: FaultKind, site: str, detail: str) -> FaultEvent:
+        event = FaultEvent(
+            kind=kind.value, site=site, injected=True, detail=detail
+        )
+        self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
+        self.events.append(event)
+        return event
+
+    def _flip_bit(self, region: np.ndarray) -> str:
+        """Flip one random bit of one element, in place."""
+        index = np.unravel_index(
+            int(self._rng.integers(region.size)), region.shape
+        )
+        bit = int(self._rng.integers(32))
+        # A same-itemsize view aliases the region's memory even when it
+        # is a non-contiguous slice of a larger stack.
+        words = region.view(np.uint32)
+        words[index] ^= np.uint32(1 << bit)
+        return f"bit {bit} at {tuple(int(i) for i in index)}"
+
+    # ------------------------------------------------------------------
+    # Injection sites
+    # ------------------------------------------------------------------
+
+    def inject_halo(
+        self, regions: Sequence[Tuple[str, np.ndarray]]
+    ) -> List[FaultEvent]:
+        """Corrupt and/or drop at most one halo message each.
+
+        ``regions`` are the just-received message bands of one exchange,
+        as ``(label, writable view)`` pairs.
+        """
+        events: List[FaultEvent] = []
+        if self._fires(FaultKind.HALO_CORRUPT) and regions:
+            label, region = regions[int(self._rng.integers(len(regions)))]
+            if region.size:
+                detail = self._flip_bit(region)
+                events.append(
+                    self._record(FaultKind.HALO_CORRUPT, label, detail)
+                )
+        if self._fires(FaultKind.HALO_DROP) and regions:
+            label, region = regions[int(self._rng.integers(len(regions)))]
+            if region.size:
+                region[...] = 0.0
+                events.append(
+                    self._record(
+                        FaultKind.HALO_DROP, label, "message never arrived"
+                    )
+                )
+        return events
+
+    def inject_scratch(
+        self, buffers: Sequence[Tuple[str, np.ndarray]]
+    ) -> List[FaultEvent]:
+        """Maybe flip one bit in one ping-pong/scratch stack."""
+        events: List[FaultEvent] = []
+        if self._fires(FaultKind.SCRATCH_BITFLIP) and buffers:
+            label, buffer = buffers[int(self._rng.integers(len(buffers)))]
+            if buffer.size:
+                detail = self._flip_bit(buffer)
+                events.append(
+                    self._record(FaultKind.SCRATCH_BITFLIP, label, detail)
+                )
+        return events
+
+    def inject_poison(self, result_stack: np.ndarray) -> List[FaultEvent]:
+        """Maybe poison (NaN) one node's tile of a result stack."""
+        events: List[FaultEvent] = []
+        if self._fires(FaultKind.NODE_POISON):
+            grid_rows, grid_cols = result_stack.shape[:2]
+            row = int(self._rng.integers(grid_rows))
+            col = int(self._rng.integers(grid_cols))
+            result_stack[row, col] = np.float32(np.nan)
+            events.append(
+                self._record(
+                    FaultKind.NODE_POISON,
+                    f"node({row},{col})",
+                    "tile overwritten with NaN",
+                )
+            )
+        return events
+
+
+class FaultGuard:
+    """One chaos run's policy, injector, detection state, and tallies.
+
+    The guard is threaded through the halo exchange, the executors, and
+    the iteration drivers.  It plays two roles: the *detection* hooks
+    (injection passthroughs, checksum/parity bookkeeping) and the
+    *accountant* -- under guard, every exchange attempt, executor pass,
+    backoff stall, checkpoint copy, and replay is charged here, and the
+    final :class:`~repro.runtime.stencil_op.StencilRun` totals are read
+    from these tallies instead of the closed-form fault-free formulas.
+    With no faults fired, the tallies reproduce the formulas exactly.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.policy = policy or ResiliencePolicy()
+        self.injector = injector
+        self.stats = FaultStats()
+        #: Which exchange counter the next charge lands on.
+        self.role = "source"
+        self.exchanges = 0
+        self.coeff_exchanges = 0
+        self.comm_cycles = 0
+        self.compute_cycles = 0
+        self.half_strips = 0
+
+    # ------------------------------------------------------------------
+    # Injection passthroughs (no-ops without an injector)
+    # ------------------------------------------------------------------
+
+    def inject_halo(self, regions: Sequence[Tuple[str, np.ndarray]]) -> None:
+        if self.injector is not None:
+            self._absorb(self.injector.inject_halo(regions))
+
+    def inject_scratch(
+        self, buffers: Sequence[Tuple[str, np.ndarray]]
+    ) -> None:
+        if self.injector is not None:
+            self._absorb(self.injector.inject_scratch(buffers))
+
+    def inject_poison(self, result_stack: np.ndarray) -> None:
+        if self.injector is not None:
+            self._absorb(self.injector.inject_poison(result_stack))
+
+    def _absorb(self, events: List[FaultEvent]) -> None:
+        for event in events:
+            self.stats.injected[event.kind] = (
+                self.stats.injected.get(event.kind, 0) + 1
+            )
+            self.stats.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Detection bookkeeping
+    # ------------------------------------------------------------------
+
+    def note_detected(self, channel: str, site: str, detail: str = "") -> None:
+        self.stats.detected[channel] = self.stats.detected.get(channel, 0) + 1
+        self.stats.events.append(
+            FaultEvent(kind=channel, site=site, injected=False, detail=detail)
+        )
+
+    def note_rollback(self, replayed_iterations: int) -> None:
+        self.stats.rollbacks += 1
+        self.stats.replayed_iterations += int(replayed_iterations)
+
+    def note_recompute(self) -> None:
+        self.stats.recomputes += 1
+
+    def note_degradation(self, step: str) -> None:
+        self.stats.degradations = self.stats.degradations + (step,)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def charge_exchange(self, stats, *, retry: bool) -> None:
+        """Charge one exchange attempt (``stats`` is its CommStats)."""
+        self.comm_cycles += stats.cycles
+        if retry:
+            self.stats.retries += 1
+            self.stats.retry_cycles += stats.cycles
+            self.stats.retry_elements += stats.total_elements
+        elif self.role == "coeff":
+            self.coeff_exchanges += 1
+        else:
+            self.exchanges += 1
+
+    def charge_backoff(self, attempt: int) -> None:
+        cycles = self.policy.backoff_cycles(attempt)
+        self.comm_cycles += cycles
+        self.stats.retry_cycles += cycles
+
+    def charge_compute(self, cycles: int, half_strips: int) -> None:
+        self.compute_cycles += int(cycles)
+        self.half_strips += int(half_strips)
+
+    def charge_skipped_exchanges(self, count: int, cycles_each: int) -> None:
+        """Fixed-point short-circuit: the accounting still charges the
+        remaining iterations' exchanges, exactly like the unguarded
+        path."""
+        self.exchanges += count
+        self.comm_cycles += count * cycles_each
+
+    def charge_checkpoint(self, words_per_node: int) -> None:
+        cycles = int(
+            words_per_node * self.policy.checkpoint_cycles_per_word
+        )
+        self.stats.checkpoints += 1
+        self.stats.checkpoint_cycles += cycles
+        self.compute_cycles += cycles
+
+    # ------------------------------------------------------------------
+    # Shared checks
+    # ------------------------------------------------------------------
+
+    def verify_parity(self, region: np.ndarray, sealed: int, site: str) -> None:
+        """Raise :class:`ParityError` when ``region`` no longer matches
+        its sealed parity word."""
+        if parity_word(region) != sealed:
+            self.note_detected("parity", site)
+            raise ParityError(f"parity mismatch in {site}")
+
+    def verify_finite(self, region: np.ndarray, site: str) -> None:
+        """Raise :class:`PoisonedResultError` on NaN/Inf under guard."""
+        if self.policy.check_finite_results and not np.isfinite(region).all():
+            self.note_detected("non_finite", site)
+            raise PoisonedResultError(f"non-finite values in {site}")

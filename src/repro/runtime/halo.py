@@ -22,15 +22,17 @@ receive neighbor data).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..machine.machine import CM2
+from ..machine.memory import parity_word
 from ..machine.params import MachineParams
 from ..stencil.offsets import BoundaryMode
 from ..stencil.pattern import StencilPattern
 from .cm_array import CMArray
+from .faults import FaultGuard, RetryExhaustedError
 
 
 def halo_buffer_name(array_name: str) -> str:
@@ -142,6 +144,8 @@ def exchange_halo_deep(
     subgrid_shape: Tuple[int, int],
     params: MachineParams,
     depth: int,
+    *,
+    guard: Optional[FaultGuard] = None,
 ) -> CommStats:
     """Fill a ``depth * pad``-deep padded stack by neighbor exchange.
 
@@ -156,6 +160,11 @@ def exchange_halo_deep(
     entire out-of-bounds band of the global-edge nodes, exactly the
     state ``depth`` sequential exchanges would maintain.
 
+    Under ``guard`` (chaos runs), the injector may corrupt or drop
+    received bands, every message is checksummed against the senders'
+    data, and failed exchanges are retried with capped backoff -- every
+    attempt charged to the guard's tallies.
+
     Returns the deep-exchange cost statistics.
     """
     rows, cols = subgrid_shape
@@ -168,10 +177,44 @@ def exchange_halo_deep(
             "immediate neighbors"
         )
     stats = deep_exchange_cost(pattern, subgrid_shape, params, depth)
+    if guard is None:
+        _fill_padded_deep(source_stack, padded, pattern, subgrid_shape, deep)
+        return stats
 
+    attempt = 0
+    while True:
+        attempt += 1
+        _fill_padded_deep(source_stack, padded, pattern, subgrid_shape, deep)
+        guard.charge_exchange(stats, retry=attempt > 1)
+        guard.inject_halo(_deep_regions(padded, deep, subgrid_shape))
+        bad = _verify_deep(source_stack, padded, pattern, subgrid_shape, deep)
+        if not bad:
+            return stats
+        guard.note_detected(
+            "halo_checksum",
+            f"deep exchange (depth {depth})",
+            ", ".join(bad),
+        )
+        if attempt > guard.policy.max_retries:
+            raise RetryExhaustedError(
+                f"deep halo exchange failed checksum verification on "
+                f"{attempt} attempts (bad messages: {', '.join(bad)})"
+            )
+        guard.charge_backoff(attempt)
+
+
+def _fill_padded_deep(
+    source_stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    deep: int,
+) -> None:
+    """The deep exchange's pure data movement (no costing, no guard)."""
+    rows, cols = subgrid_shape
     padded[:, :, deep : deep + rows, deep : deep + cols] = source_stack
     if deep == 0:
-        return stats
+        return
     # Pass 1: north/south bands (interior width).
     padded[:, :, :deep, deep : deep + cols] = np.roll(
         source_stack[:, :, rows - deep :, :], 1, axis=0
@@ -197,7 +240,45 @@ def exchange_halo_deep(
     if pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
         padded[:, 0, :, :deep] = fill
         padded[:, -1, :, deep + cols :] = fill
-    return stats
+
+
+def _deep_regions(
+    padded: np.ndarray, deep: int, subgrid_shape: Tuple[int, int]
+) -> List[Tuple[str, np.ndarray]]:
+    """The deep exchange's received message bands, as (label, view)."""
+    rows, cols = subgrid_shape
+    if deep == 0:
+        return []
+    return [
+        ("north band", padded[:, :, :deep, deep : deep + cols]),
+        ("south band", padded[:, :, deep + rows :, deep : deep + cols]),
+        ("west band", padded[:, :, :, :deep]),
+        ("east band", padded[:, :, :, deep + cols :]),
+    ]
+
+
+def _verify_deep(
+    source_stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    deep: int,
+) -> List[str]:
+    """Checksum each received band against the senders' data.
+
+    Recomputes the exchange into a scratch destination (the model of
+    the sender-side checksum) and compares the parity word of every
+    message band.  Returns the labels of mismatched bands.
+    """
+    expected = np.zeros_like(padded)
+    _fill_padded_deep(source_stack, expected, pattern, subgrid_shape, deep)
+    got = _deep_regions(padded, deep, subgrid_shape)
+    want = _deep_regions(expected, deep, subgrid_shape)
+    return [
+        label
+        for (label, region), (_, reference) in zip(got, want)
+        if parity_word(region) != parity_word(reference)
+    ]
 
 
 def legacy_exchange_cost(
@@ -257,6 +338,7 @@ def exchange_halo(
     *,
     into: Optional[str] = None,
     batched: bool = True,
+    guard: Optional[FaultGuard] = None,
 ) -> CommStats:
     """Build every node's padded source buffer by neighbor exchange.
 
@@ -280,10 +362,14 @@ def exchange_halo(
             like the four-neighbor primitive) instead of a per-node
             Python loop.  Falls back to the per-node loop automatically
             when the source is not stack-backed.
+        guard: resilience guard for chaos runs.  When given, the
+            injector may corrupt or drop received messages, every
+            message is checksummed against the sender's data, and
+            failed exchanges are retried with capped backoff -- every
+            attempt charged to the guard's tallies.
 
     Returns the per-node cost statistics.
     """
-    machine = source.machine
     rows, cols = source.subgrid_shape
     pad = pattern.border_widths().max_width
     if pad > min(rows, cols):
@@ -293,10 +379,166 @@ def exchange_halo(
         )
     stats = exchange_cost(pattern, source.subgrid_shape, params)
     name = into if into is not None else halo_buffer_name(source.name)
+    if guard is not None:
+        return _exchange_halo_guarded(
+            source, pattern, stats, name, batched, guard
+        )
     if batched and _exchange_halo_batched(source, pattern, stats, name):
         return stats
     _exchange_halo_per_node(source, pattern, stats, name)
     return stats
+
+
+def _exchange_halo_guarded(
+    source: CMArray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    name: str,
+    batched: bool,
+    guard: FaultGuard,
+) -> CommStats:
+    """The checksummed, retried shallow exchange (chaos runs only)."""
+    machine = source.machine
+    subgrid_shape = source.subgrid_shape
+    attempt = 0
+    while True:
+        attempt += 1
+        used_batched = batched and _exchange_halo_batched(
+            source, pattern, stats, name
+        )
+        if not used_batched:
+            _exchange_halo_per_node(source, pattern, stats, name)
+        guard.charge_exchange(stats, retry=attempt > 1)
+        if used_batched:
+            padded = machine.stacked(name)
+            guard.inject_halo(_shallow_regions(padded, stats, subgrid_shape))
+            bad = _verify_shallow_batched(
+                machine.stacked(source.name),
+                padded,
+                pattern,
+                stats,
+                subgrid_shape,
+            )
+        else:
+            guard.inject_halo(
+                _per_node_regions(machine, stats, subgrid_shape, name)
+            )
+            bad = _verify_shallow_per_node(
+                machine, source.name, pattern, stats, subgrid_shape, name
+            )
+        if not bad:
+            return stats
+        guard.note_detected(
+            "halo_checksum", f"exchange into {name!r}", ", ".join(bad)
+        )
+        if attempt > guard.policy.max_retries:
+            raise RetryExhaustedError(
+                f"halo exchange into {name!r} failed checksum verification "
+                f"on {attempt} attempts (bad messages: {', '.join(bad)})"
+            )
+        guard.charge_backoff(attempt)
+
+
+def _shallow_regions(
+    padded: np.ndarray, stats: CommStats, subgrid_shape: Tuple[int, int]
+) -> List[Tuple[str, np.ndarray]]:
+    """The batched exchange's received messages, as (label, view).
+
+    Only actual messages are listed: the interior is the node's own
+    data and scrubbed corners are never read, so neither can carry a
+    transmission fault.
+    """
+    rows, cols = subgrid_shape
+    pad = stats.pad
+    if pad == 0:
+        return []
+    regions = [
+        ("north edge", padded[:, :, :pad, pad : pad + cols]),
+        ("south edge", padded[:, :, pad + rows :, pad : pad + cols]),
+        ("west edge", padded[:, :, pad : pad + rows, :pad]),
+        ("east edge", padded[:, :, pad : pad + rows, pad + cols :]),
+    ]
+    if not stats.corner_step_skipped:
+        regions += [
+            ("NW corner", padded[:, :, :pad, :pad]),
+            ("NE corner", padded[:, :, :pad, pad + cols :]),
+            ("SW corner", padded[:, :, pad + rows :, :pad]),
+            ("SE corner", padded[:, :, pad + rows :, pad + cols :]),
+        ]
+    return regions
+
+
+def _verify_shallow_batched(
+    stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+) -> List[str]:
+    """Checksum each received message against the senders' data."""
+    expected = np.zeros_like(padded)
+    _fill_padded_shallow(stack, expected, pattern, stats, subgrid_shape)
+    got = _shallow_regions(padded, stats, subgrid_shape)
+    want = _shallow_regions(expected, stats, subgrid_shape)
+    return [
+        label
+        for (label, region), (_, reference) in zip(got, want)
+        if parity_word(region) != parity_word(reference)
+    ]
+
+
+def _per_node_regions(
+    machine: CM2,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+    name: str,
+) -> List[Tuple[str, np.ndarray]]:
+    """Every node's received messages on the per-node fallback path."""
+    rows, cols = subgrid_shape
+    pad = stats.pad
+    if pad == 0:
+        return []
+    regions: List[Tuple[str, np.ndarray]] = []
+    for node in machine.nodes():
+        padded = node.memory.buffer(name)
+        at = f"({node.coord.row},{node.coord.col})"
+        regions += [
+            (f"north edge@{at}", padded[:pad, pad : pad + cols]),
+            (f"south edge@{at}", padded[pad + rows :, pad : pad + cols]),
+            (f"west edge@{at}", padded[pad : pad + rows, :pad]),
+            (f"east edge@{at}", padded[pad : pad + rows, pad + cols :]),
+        ]
+        if not stats.corner_step_skipped:
+            regions += [
+                (f"NW corner@{at}", padded[:pad, :pad]),
+                (f"NE corner@{at}", padded[:pad, pad + cols :]),
+                (f"SW corner@{at}", padded[pad + rows :, :pad]),
+                (f"SE corner@{at}", padded[pad + rows :, pad + cols :]),
+            ]
+    return regions
+
+
+def _verify_shallow_per_node(
+    machine: CM2,
+    source_name: str,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+    name: str,
+) -> List[str]:
+    """Checksum every node's whole padded buffer against a recompute."""
+    rows, cols = subgrid_shape
+    pad = stats.pad
+    bad: List[str] = []
+    expected = np.zeros((rows + 2 * pad, cols + 2 * pad), dtype=np.float32)
+    for node in machine.nodes():
+        expected[...] = 0.0
+        _fill_node_padded(
+            machine, node, source_name, pattern, stats, subgrid_shape, expected
+        )
+        if parity_word(node.memory.buffer(name)) != parity_word(expected):
+            bad.append(f"node({node.coord.row},{node.coord.col})")
+    return bad
 
 
 def _exchange_halo_batched(
@@ -322,11 +564,24 @@ def _exchange_halo_batched(
     padded = machine.stacked(name)
     if padded is None or padded.shape[2:] != (rows + 2 * pad, cols + 2 * pad):
         padded = machine.alloc_stacked(name, (rows + 2 * pad, cols + 2 * pad))
+    _fill_padded_shallow(stack, padded, pattern, stats, (rows, cols))
+    return True
 
+
+def _fill_padded_shallow(
+    stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+) -> None:
+    """The batched exchange's pure data movement (no allocation)."""
+    rows, cols = subgrid_shape
+    pad = stats.pad
     # Step 1: every node's interior is its own subgrid.
     padded[:, :, pad : pad + rows, pad : pad + cols] = stack
     if pad == 0:
-        return True
+        return
 
     dim_row, dim_col = pattern.plane_dims
     row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
@@ -366,7 +621,7 @@ def _exchange_halo_batched(
         padded[:, :, :pad, pad + cols :] = 0.0
         padded[:, :, pad + rows :, :pad] = 0.0
         padded[:, :, pad + rows :, pad + cols :] = 0.0
-        return True
+        return
     padded[:, :, :pad, :pad] = np.roll(
         stack[:, :, rows - pad :, cols - pad :], (1, 1), axis=(0, 1)
     )
@@ -389,7 +644,6 @@ def _exchange_halo_batched(
         padded[:, 0, pad + rows :, :pad] = fill
         padded[:, -1, :pad, pad + cols :] = fill
         padded[:, -1, pad + rows :, pad + cols :] = fill
-    return True
 
 
 def _exchange_halo_per_node(
@@ -403,64 +657,81 @@ def _exchange_halo_per_node(
     machine = source.machine
     rows, cols = source.subgrid_shape
     pad = stats.pad
-    dim_row, dim_col = pattern.plane_dims
-    row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
-    col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
-    fill = np.float32(pattern.fill_value)
-    grid_rows, grid_cols = machine.shape
     # The per-node buffers about to be allocated detach from any stale
     # machine-wide stack; drop it so nothing reads the dead copy.
     machine.storage.free(name)
 
     for node in machine.nodes():
         padded = node.memory.allocate(name, (rows + 2 * pad, cols + 2 * pad))
-        own = node.memory.buffer(source.name)
-        padded[pad : pad + rows, pad : pad + cols] = own
-        if pad == 0:
-            continue
-        r, c = node.coord.row, node.coord.col
-        at_north = r == 0 and row_wraps is BoundaryMode.FILL
-        at_south = r == grid_rows - 1 and row_wraps is BoundaryMode.FILL
-        at_west = c == 0 and col_wraps is BoundaryMode.FILL
-        at_east = c == grid_cols - 1 and col_wraps is BoundaryMode.FILL
-
-        def subgrid(row: int, col: int) -> np.ndarray:
-            return machine.node(row, col).memory.buffer(source.name)
-
-        # Step 2: edges, exchanged with all four neighbors at once.
-        padded[:pad, pad : pad + cols] = (
-            fill if at_north else subgrid(r - 1, c)[rows - pad :, :]
-        )
-        padded[pad + rows :, pad : pad + cols] = (
-            fill if at_south else subgrid(r + 1, c)[:pad, :]
-        )
-        padded[pad : pad + rows, :pad] = (
-            fill if at_west else subgrid(r, c - 1)[:, cols - pad :]
-        )
-        padded[pad : pad + rows, pad + cols :] = (
-            fill if at_east else subgrid(r, c + 1)[:, :pad]
+        _fill_node_padded(
+            machine, node, source.name, pattern, stats, (rows, cols), padded
         )
 
-        # Step 3: corners, unless the pattern has no diagonal reach.
-        if stats.corner_step_skipped:
-            continue
-        padded[:pad, :pad] = (
-            fill
-            if (at_north or at_west)
-            else subgrid(r - 1, c - 1)[rows - pad :, cols - pad :]
-        )
-        padded[:pad, pad + cols :] = (
-            fill
-            if (at_north or at_east)
-            else subgrid(r - 1, c + 1)[rows - pad :, :pad]
-        )
-        padded[pad + rows :, :pad] = (
-            fill
-            if (at_south or at_west)
-            else subgrid(r + 1, c - 1)[:pad, cols - pad :]
-        )
-        padded[pad + rows :, pad + cols :] = (
-            fill
-            if (at_south or at_east)
-            else subgrid(r + 1, c + 1)[:pad, :pad]
-        )
+
+def _fill_node_padded(
+    machine: CM2,
+    node,
+    source_name: str,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+    padded: np.ndarray,
+) -> None:
+    """Fill one node's padded buffer (the per-node pure data movement)."""
+    rows, cols = subgrid_shape
+    pad = stats.pad
+    dim_row, dim_col = pattern.plane_dims
+    row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+    col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+    fill = np.float32(pattern.fill_value)
+    grid_rows, grid_cols = machine.shape
+
+    padded[pad : pad + rows, pad : pad + cols] = node.memory.buffer(source_name)
+    if pad == 0:
+        return
+    r, c = node.coord.row, node.coord.col
+    at_north = r == 0 and row_wraps is BoundaryMode.FILL
+    at_south = r == grid_rows - 1 and row_wraps is BoundaryMode.FILL
+    at_west = c == 0 and col_wraps is BoundaryMode.FILL
+    at_east = c == grid_cols - 1 and col_wraps is BoundaryMode.FILL
+
+    def subgrid(row: int, col: int) -> np.ndarray:
+        return machine.node(row, col).memory.buffer(source_name)
+
+    # Step 2: edges, exchanged with all four neighbors at once.
+    padded[:pad, pad : pad + cols] = (
+        fill if at_north else subgrid(r - 1, c)[rows - pad :, :]
+    )
+    padded[pad + rows :, pad : pad + cols] = (
+        fill if at_south else subgrid(r + 1, c)[:pad, :]
+    )
+    padded[pad : pad + rows, :pad] = (
+        fill if at_west else subgrid(r, c - 1)[:, cols - pad :]
+    )
+    padded[pad : pad + rows, pad + cols :] = (
+        fill if at_east else subgrid(r, c + 1)[:, :pad]
+    )
+
+    # Step 3: corners, unless the pattern has no diagonal reach.
+    if stats.corner_step_skipped:
+        return
+    padded[:pad, :pad] = (
+        fill
+        if (at_north or at_west)
+        else subgrid(r - 1, c - 1)[rows - pad :, cols - pad :]
+    )
+    padded[:pad, pad + cols :] = (
+        fill
+        if (at_north or at_east)
+        else subgrid(r - 1, c + 1)[rows - pad :, :pad]
+    )
+    padded[pad + rows :, :pad] = (
+        fill
+        if (at_south or at_west)
+        else subgrid(r + 1, c - 1)[:pad, cols - pad :]
+    )
+    padded[pad + rows :, pad + cols :] = (
+        fill
+        if (at_south or at_east)
+        else subgrid(r + 1, c + 1)[:pad, :pad]
+    )

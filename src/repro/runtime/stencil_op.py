@@ -29,6 +29,7 @@ from ..machine.machine import CM2
 from ..machine.params import MachineParams
 from .blocking import (
     array_coefficient_names,
+    block_compute_cycles,
     block_steps,
     blockable,
     blocked_costs,
@@ -38,13 +39,23 @@ from .cm_array import CMArray
 from .executor import (
     ExecutionSetupError,
     check_arrays,
+    check_finite_arrays,
     machine_execute_blocked,
     machine_execute_fast,
     node_execute_exact,
     node_execute_fast,
 )
+from .faults import (
+    DegradationExhaustedError,
+    FaultError,
+    FaultGuard,
+    FaultInjector,
+    FaultStats,
+    ResiliencePolicy,
+)
 from .halo import (
     CommStats,
+    deep_exchange_cost,
     exchange_cost,
     exchange_halo,
     exchange_halo_deep,
@@ -89,6 +100,8 @@ class StencilRun:
             ``iterations * compute_cycles``.
         total_half_strips: aggregated microcode invocations; None means
             ``iterations * half_strips``.
+        faults: chaos-run fault/retry/checkpoint accounting; None (the
+            default) on ordinary runs -- see :attr:`fault_stats`.
     """
 
     compiled: CompiledStencil
@@ -107,10 +120,16 @@ class StencilRun:
     total_comm_cycles: Optional[int] = None
     total_compute_cycles: Optional[int] = None
     total_half_strips: Optional[int] = None
+    faults: Optional[FaultStats] = None
 
     @property
     def params(self) -> MachineParams:
         return self.compiled.params
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """Fault accounting, all-zero for ordinary (unguarded) runs."""
+        return self.faults if self.faults is not None else FaultStats()
 
     @property
     def exchanges(self) -> int:
@@ -319,7 +338,10 @@ def _resolve_block_depth(
         requested = None
     elif isinstance(block_depth, int) and not isinstance(block_depth, bool):
         if block_depth < 1:
-            raise ValueError("block_depth must be positive")
+            raise ValueError(
+                f"block_depth must be a positive int or 'auto', "
+                f"got {block_depth}"
+            )
         requested = block_depth
     else:
         raise ValueError(
@@ -344,12 +366,21 @@ def _apply_blocked(
     schedule: StripSchedule,
     depth: int,
     iterations: int,
+    guard: Optional[FaultGuard] = None,
 ) -> Optional[StencilRun]:
     """Run an iterated call temporally blocked at ``depth``.
 
     Returns None when any needed buffer is not stack-backed -- the
     caller then falls through to the unblocked loop, which is always
     correct.
+
+    Under ``guard``, every deep exchange is checksummed and retried, the
+    blocked executor runs parity-sealed, and a block whose corruption
+    survives the exchange retries is rolled back and replayed (bounded
+    by ``policy.max_replays``) -- the block input lives in ``current``,
+    which no failed attempt modifies, so a replay is a fresh exchange
+    plus a fresh block.  Every attempt is charged to the guard's
+    tallies, and the returned run is built from those tallies.
     """
     machine = source.machine
     pattern = compiled.pattern
@@ -379,17 +410,30 @@ def _apply_blocked(
     # The halo ring's locally recomputed points need the neighbors'
     # coefficient values to reproduce the neighbors' bits.
     deep_coeffs = {}
-    for name in coeff_names:
-        buf = machine.scratch_stacked(f"{name}__deep__", padded_shape)
-        exchange_halo_deep(
-            coeff_stacks[name], buf, pattern, (rows, cols), params, depth
-        )
-        deep_coeffs[name] = buf
+    if guard is not None:
+        guard.role = "coeff"
+    try:
+        for name in coeff_names:
+            buf = machine.scratch_stacked(f"{name}__deep__", padded_shape)
+            exchange_halo_deep(
+                coeff_stacks[name],
+                buf,
+                pattern,
+                (rows, cols),
+                params,
+                depth,
+                guard=guard,
+            )
+            deep_coeffs[name] = buf
+    finally:
+        if guard is not None:
+            guard.role = "source"
 
     costs = blocked_costs(compiled, source.subgrid_shape, iterations, depth)
 
+    blocks = list(block_steps(iterations, depth))
     current = source_stack
-    for steps in block_steps(iterations, depth):
+    for index, steps in enumerate(blocks):
         deep_b = steps * pad
         if deep_b < deep:
             # Tail block: center a shallower padded window inside the
@@ -405,29 +449,84 @@ def _apply_blocked(
             coeffs_v = {n: b[window] for n, b in deep_coeffs.items()}
         else:
             ping_v, pong_v, coeffs_v = ping, pong, deep_coeffs
-        exchange_halo_deep(
-            current, ping_v, pattern, (rows, cols), params, steps
+        block_cycles, block_strips = (
+            block_compute_cycles(compiled, (rows, cols), steps)
+            if guard is not None
+            else (0, 0)
         )
-        final, fixed = machine_execute_blocked(
-            pattern,
-            ping=ping_v,
-            pong=pong_v,
-            deep_coeffs=coeffs_v,
-            subgrid_shape=(rows, cols),
-            pad=pad,
-            steps=steps,
-            scratch=scratch,
-        )
+        replays = 0
+        while True:
+            exchange_halo_deep(
+                current, ping_v, pattern, (rows, cols), params, steps,
+                guard=guard,
+            )
+            try:
+                final, fixed = machine_execute_blocked(
+                    pattern,
+                    ping=ping_v,
+                    pong=pong_v,
+                    deep_coeffs=coeffs_v,
+                    subgrid_shape=(rows, cols),
+                    pad=pad,
+                    steps=steps,
+                    scratch=scratch,
+                    guard=guard,
+                )
+            except FaultError:
+                # guard is not None here: only the guarded executor
+                # raises.  The failed attempt still cost its compute;
+                # the block input (``current``) is untouched, so a
+                # replay is a fresh exchange plus a fresh block.
+                guard.charge_compute(block_cycles, block_strips)
+                if replays >= guard.policy.max_replays:
+                    raise
+                replays += 1
+                guard.note_rollback(steps)
+                continue
+            if guard is not None:
+                guard.charge_compute(block_cycles, block_strips)
+            break
         result_stack[...] = final[
             :, :, deep_b : deep_b + rows, deep_b : deep_b + cols
         ]
         if fixed:
             # Every remaining iterate reproduces this one bit for bit;
-            # stop computing.  The accounting (``costs``) still charges
-            # the whole run.
+            # stop computing.  The accounting still charges the whole
+            # run (``costs`` unguarded, explicit charges under guard).
+            if guard is not None:
+                for later_steps in blocks[index + 1 :]:
+                    guard.charge_skipped_exchanges(
+                        1,
+                        deep_exchange_cost(
+                            pattern, (rows, cols), params, later_steps
+                        ).cycles,
+                    )
+                    guard.charge_compute(
+                        *block_compute_cycles(compiled, (rows, cols), later_steps)
+                    )
             break
         current = result_stack
 
+    if guard is not None:
+        return StencilRun(
+            compiled=compiled,
+            machine=machine,
+            result=result,
+            iterations=iterations,
+            compute_cycles=schedule.compute_cycles(params),
+            comm=exchange_cost(pattern, source.subgrid_shape, params),
+            half_strips=schedule.num_half_strips,
+            exact=False,
+            batched=True,
+            block_depth=depth,
+            num_exchanges=guard.exchanges,
+            coeff_exchanges=guard.coeff_exchanges,
+            block_comm=costs.block_comm,
+            total_comm_cycles=guard.comm_cycles,
+            total_compute_cycles=guard.compute_cycles,
+            total_half_strips=guard.half_strips,
+            faults=guard.stats,
+        )
     return StencilRun(
         compiled=compiled,
         machine=machine,
@@ -448,6 +547,256 @@ def _apply_blocked(
     )
 
 
+def _apply_resilient(
+    compiled: CompiledStencil,
+    source: CMArray,
+    result: CMArray,
+    schedule: StripSchedule,
+    iterations: int,
+    exact: bool,
+    batched: bool,
+    depth: int,
+    guard: FaultGuard,
+) -> StencilRun:
+    """The guarded run: walk the graceful-degradation ladder.
+
+    Rungs, fastest first: blocked fast path -> unblocked fast path ->
+    exact per-node executor.  All three are bit-identical in float32, so
+    stepping down after repeated unrecoverable faults changes the run's
+    cost, never its results.  The exact rung's datapath is modeled as
+    ECC-protected (no executor faults are injected there); the source
+    array is never modified, so each rung restarts from pristine input.
+    Guard tallies accumulate across rungs -- a degraded run's totals
+    include the cycles its failed rungs burned.
+    """
+    rungs = ["exact"] if exact else (
+        ["blocked", "fast", "exact"] if depth > 1 else ["fast", "exact"]
+    )
+    for index, rung in enumerate(rungs):
+        try:
+            if rung == "blocked":
+                run = _apply_blocked(
+                    compiled, source, result, schedule, depth, iterations,
+                    guard=guard,
+                )
+                if run is not None:
+                    return run
+                # Not stack-backed: the unblocked rung is the real
+                # starting point, not a degradation.
+                continue
+            return _iterate_resilient(
+                compiled, source, result, schedule, iterations,
+                exact=rung == "exact", batched=batched, guard=guard,
+            )
+        except FaultError:
+            if index == len(rungs) - 1:
+                raise
+            guard.note_degradation(f"{rung}->{rungs[index + 1]}")
+    raise DegradationExhaustedError(
+        "no execution rung completed"
+    )  # pragma: no cover - the exact rung returns or raises
+
+
+def _iterate_resilient(
+    compiled: CompiledStencil,
+    source: CMArray,
+    result: CMArray,
+    schedule: StripSchedule,
+    iterations: int,
+    *,
+    exact: bool,
+    batched: bool,
+    guard: FaultGuard,
+) -> StencilRun:
+    """One rung's iterated loop with retry, checkpoint, and rollback.
+
+    Semantically the unblocked loop of :func:`apply_stencil`, with the
+    detection + recovery protocol threaded through: every exchange is
+    checksummed and retried by :func:`~repro.runtime.halo.exchange_halo`
+    itself; a detected executor fault is recomputed up to
+    ``policy.max_retries`` times, then the run rolls back to the last
+    periodic checkpoint (or to iteration 0, replaying from the untouched
+    source) and replays, bounded by ``policy.max_replays``.  Every
+    attempt -- exchanges, recomputes, checkpoints, replays -- is charged
+    to the guard, and the returned run is built from its tallies.
+    """
+    machine = source.machine
+    pattern = compiled.pattern
+    params = compiled.params
+    policy = guard.policy
+    halo_name = halo_buffer_name(source.name)
+    comm = exchange_cost(pattern, source.subgrid_shape, params)
+    pad = comm.pad
+    rows, cols = result.subgrid_shape
+    pass_half_strips = schedule.num_half_strips
+
+    checkpoint = None
+    checkpoint_iteration = 0
+    replays = 0
+    exact_cycles: Optional[int] = None
+    ran_batched = False
+    k = 0
+    while k < iterations:
+        exchange_halo(
+            source if k == 0 else result,
+            pattern,
+            params,
+            into=halo_name,
+            batched=batched,
+            guard=guard,
+        )
+        attempt = 0
+        rolled_back = False
+        while True:
+            attempt += 1
+            try:
+                exact_cycles, ran_batched = _execute_pass_resilient(
+                    compiled, machine, schedule, source.name, result.name,
+                    pad, exact=exact, batched=batched,
+                    expected_cycles=exact_cycles, guard=guard,
+                )
+            except FaultError:
+                guard.charge_compute(
+                    exact_cycles
+                    if exact and exact_cycles is not None
+                    else schedule.compute_cycles(params),
+                    pass_half_strips,
+                )
+                if attempt > policy.max_retries:
+                    # Recomputing alone did not clear it: roll back to
+                    # the last checkpoint (or the untouched source) and
+                    # replay the iterations since.
+                    if replays >= policy.max_replays:
+                        raise
+                    replays += 1
+                    if checkpoint is not None:
+                        machine.storage.restore(checkpoint)
+                        resume = checkpoint_iteration
+                    else:
+                        resume = 0
+                    guard.note_rollback(k - resume + 1)
+                    k = resume
+                    rolled_back = True
+                    break
+                guard.note_recompute()
+                continue
+            guard.charge_compute(
+                exact_cycles if exact else schedule.compute_cycles(params),
+                pass_half_strips,
+            )
+            break
+        if rolled_back:
+            continue
+        k += 1
+        if k < iterations and (
+            _at_fixed_point(machine, halo_name, result.name, pad)
+            if ran_batched
+            else _at_fixed_point_per_node(machine, halo_name, result.name, pad)
+        ):
+            # The iterate equals its own input; every later iteration
+            # reproduces it bit for bit.  Charge the skipped iterations'
+            # exchanges and compute, exactly like the unguarded path.
+            skipped = iterations - k
+            guard.charge_skipped_exchanges(skipped, comm.cycles)
+            guard.charge_compute(
+                skipped
+                * (exact_cycles if exact else schedule.compute_cycles(params)),
+                skipped * pass_half_strips,
+            )
+            break
+        if (
+            policy.checkpoint_interval > 0
+            and k < iterations
+            and k % policy.checkpoint_interval == 0
+            and machine.stacked(result.name) is not None
+        ):
+            checkpoint = machine.storage.checkpoint([result.name])
+            checkpoint_iteration = k
+            guard.charge_checkpoint(rows * cols)
+
+    return StencilRun(
+        compiled=compiled,
+        machine=machine,
+        result=result,
+        iterations=iterations,
+        compute_cycles=(
+            exact_cycles if exact else schedule.compute_cycles(params)
+        ),
+        comm=comm,
+        half_strips=pass_half_strips,
+        exact=exact,
+        batched=ran_batched,
+        num_exchanges=guard.exchanges,
+        total_comm_cycles=guard.comm_cycles,
+        total_compute_cycles=guard.compute_cycles,
+        total_half_strips=guard.half_strips,
+        faults=guard.stats,
+    )
+
+
+def _execute_pass_resilient(
+    compiled: CompiledStencil,
+    machine: CM2,
+    schedule: StripSchedule,
+    source_name: str,
+    result_name: str,
+    pad: int,
+    *,
+    exact: bool,
+    batched: bool,
+    expected_cycles: Optional[int],
+    guard: FaultGuard,
+) -> Tuple[Optional[int], bool]:
+    """One executor pass under guard; ``(exact_cycles, ran_batched)``.
+
+    The exact rung's cycle-stepped datapath is modeled as ECC-protected:
+    no faults are injected there and its output is trusted verbatim --
+    the floor of the degradation ladder.
+    """
+    pattern = compiled.pattern
+    if exact:
+        cycles = expected_cycles
+        for node in machine.nodes():
+            node_cycles = node_execute_exact(
+                compiled,
+                node,
+                schedule,
+                source_name=source_name,
+                result_name=result_name,
+                halo=pad,
+            )
+            if cycles is not None and node_cycles != cycles:
+                raise AssertionError(
+                    "SIMD invariant violated: nodes disagree on cycles"
+                )
+            cycles = node_cycles
+        return cycles, False
+    ran_batched = batched and machine_execute_fast(
+        pattern,
+        machine,
+        source_name=source_name,
+        result_name=result_name,
+        halo=pad,
+        guard=guard,
+    )
+    if not ran_batched:
+        for node in machine.nodes():
+            node_execute_fast(
+                pattern,
+                node,
+                source_name=source_name,
+                result_name=result_name,
+                halo=pad,
+            )
+        for node in machine.nodes():
+            guard.verify_finite(
+                node.memory.buffer(result_name),
+                f"fast executor result {result_name!r} on "
+                f"node({node.coord.row},{node.coord.col})",
+            )
+    return expected_cycles, ran_batched
+
+
 def apply_stencil(
     compiled: CompiledStencil,
     source: CMArray,
@@ -458,6 +807,9 @@ def apply_stencil(
     exact: bool = False,
     batched: bool = True,
     block_depth: Union[int, str] = 1,
+    check_finite: bool = False,
+    faults: Optional[FaultInjector] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> StencilRun:
     """Apply a compiled stencil to a distributed array.
 
@@ -489,6 +841,23 @@ def apply_stencil(
             are clamped to what the subgrid supports; blocking requires
             the batched fast path and silently resolves to 1 otherwise.
             Results are bit-identical at every depth.
+        check_finite: validate up front that the source, coefficient,
+            and fused extra-term arrays contain no NaN/Inf, raising
+            :class:`~repro.runtime.faults.NonFiniteInputError` naming
+            the offending array instead of silently propagating them
+            through ``iterations`` applications.
+        faults: a seeded
+            :class:`~repro.runtime.faults.FaultInjector` for chaos
+            runs.  Supplying one (or ``resilience``) switches the run
+            onto the guarded path: checksummed, retried exchanges, a
+            parity-sealed blocked executor, periodic checkpoints with
+            rollback-and-replay, and the graceful-degradation ladder
+            (blocked -> fast -> exact, all bit-identical).  The run's
+            :class:`~repro.runtime.faults.FaultStats` rides on the
+            returned :attr:`StencilRun.faults`.
+        resilience: detection/recovery knobs for the guarded path (a
+            :class:`~repro.runtime.faults.ResiliencePolicy`); defaults
+            apply when only ``faults`` is given.
 
     Returns:
         a :class:`StencilRun` with the result and full cost accounting.
@@ -503,6 +872,8 @@ def apply_stencil(
     if isinstance(result, str):
         result = CMArray(result, machine, source.global_shape)
     check_arrays(compiled, source, coefficients, result)
+    if check_finite:
+        check_finite_arrays(compiled, source, coefficients)
 
     schedule = StripSchedule.cached(compiled, source.subgrid_shape)
     params = compiled.params
@@ -511,6 +882,14 @@ def apply_stencil(
         compiled, source, iterations, exact, batched, block_depth
     )
     ran_batched = False
+
+    if faults is not None or resilience is not None:
+        guard = FaultGuard(policy=resilience, injector=faults)
+        with _coefficient_bindings(machine, coefficients):
+            return _apply_resilient(
+                compiled, source, result, schedule, iterations,
+                exact, batched, depth, guard,
+            )
 
     with _coefficient_bindings(machine, coefficients):
         if depth > 1:

@@ -202,3 +202,120 @@ class TestNode:
         mem = NodeMemory()
         with pytest.raises(MemoryError_):
             mem.alias("b", "missing")
+
+
+class TestParityWord:
+    def test_single_bit_flip_changes_word(self):
+        from repro.machine.memory import parity_word
+
+        rng = np.random.default_rng(0)
+        buf = rng.standard_normal((4, 6)).astype(np.float32)
+        sealed = parity_word(buf)
+        buf.view(np.uint32)[2, 3] ^= np.uint32(1 << 17)
+        assert parity_word(buf) != sealed
+        buf.view(np.uint32)[2, 3] ^= np.uint32(1 << 17)
+        assert parity_word(buf) == sealed
+
+    def test_empty_region_is_zero(self):
+        from repro.machine.memory import parity_word
+
+        assert parity_word(np.zeros((0, 3), dtype=np.float32)) == 0
+
+    def test_non_contiguous_view_matches_copy(self):
+        from repro.machine.memory import parity_word
+
+        rng = np.random.default_rng(1)
+        stack = rng.standard_normal((2, 2, 8, 8)).astype(np.float32)
+        view = stack[:, :, 2:6, 3:7]
+        assert not view.flags.c_contiguous
+        assert parity_word(view) == parity_word(view.copy())
+
+
+class TestCheckpointRestore:
+    @staticmethod
+    def _storage():
+        from repro.machine.memory import MachineStorage
+
+        storage = MachineStorage((2, 2))
+        stack = storage.allocate("R", (3, 5))
+        stack[...] = np.arange(stack.size, dtype=np.float32).reshape(
+            stack.shape
+        )
+        return storage, stack
+
+    def test_restore_rewrites_in_place(self):
+        storage, stack = self._storage()
+        snapshot = storage.checkpoint(["R"])
+        original = stack.copy()
+        stack[...] = -1.0
+        storage.restore(snapshot)
+        np.testing.assert_array_equal(stack, original)
+        # In place: node-memory views into the stack stay valid.
+        assert storage.lookup("R") is stack
+
+    def test_checkpoint_is_a_deep_copy(self):
+        storage, stack = self._storage()
+        snapshot = storage.checkpoint(["R"])
+        stack[0, 0, 0, 0] = 99.0
+        assert snapshot.stacks["R"][0, 0, 0, 0] != np.float32(99.0)
+        assert snapshot.words == stack.size
+
+    def test_checkpoint_covers_scratch_stacks(self):
+        storage, _ = self._storage()
+        ping, _pong = storage.pingpong("R", (7, 9))
+        ping[...] = 4.0
+        snapshot = storage.checkpoint(["R__ping__"])
+        ping[...] = 0.0
+        storage.restore(snapshot)
+        assert (ping == 4.0).all()
+
+    def test_unknown_name_raises(self):
+        storage, _ = self._storage()
+        with pytest.raises(MemoryError_, match="unknown buffer"):
+            storage.checkpoint(["NOPE"])
+
+    def test_restore_after_free_raises(self):
+        storage, _ = self._storage()
+        snapshot = storage.checkpoint(["R"])
+        storage.free("R")
+        with pytest.raises(MemoryError_, match="missing or"):
+            storage.restore(snapshot)
+
+    def test_restore_after_reshape_raises(self):
+        storage, _ = self._storage()
+        snapshot = storage.checkpoint(["R"])
+        storage.allocate("R", (4, 4))
+        with pytest.raises(MemoryError_, match="reshaped"):
+            storage.restore(snapshot)
+
+
+class TestStorageParitySeal:
+    def test_seal_check_clear(self):
+        from repro.machine.memory import MachineStorage
+
+        storage = MachineStorage((1, 2))
+        stack = storage.allocate("X", (2, 2))
+        stack[...] = 1.0
+        assert storage.check_parity("X")  # never sealed: vacuously true
+        storage.seal_parity("X")
+        assert storage.check_parity("X")
+        stack.view(np.uint32)[0, 0, 1, 1] ^= np.uint32(1)
+        assert not storage.check_parity("X")
+        storage.clear_parity("X")
+        assert storage.check_parity("X")
+
+    def test_seal_unknown_buffer_raises(self):
+        from repro.machine.memory import MachineStorage
+
+        storage = MachineStorage((1, 1))
+        with pytest.raises(MemoryError_):
+            storage.seal_parity("X")
+
+    def test_check_parity_false_when_buffer_freed(self):
+        from repro.machine.memory import MachineStorage
+
+        storage = MachineStorage((1, 1))
+        storage.allocate("X", (2, 2))
+        storage.seal_parity("X")
+        storage.free("X")
+        assert not storage.check_parity("X")

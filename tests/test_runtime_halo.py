@@ -229,3 +229,98 @@ class TestLegacyPrimitive:
             / exchange_cost(cross9(), (64, 64), params).cycles
         )
         assert wide_ratio > narrow_ratio
+
+
+class TestDegenerateGrids:
+    """1xN and Nx1 node grids: every neighbor direction along the
+    degenerate axis is the node itself (torus) or the global boundary
+    (FILL), which stresses the roll/overwrite order of both halo paths."""
+
+    MODES = {
+        "torus": {1: BoundaryMode.CIRCULAR, 2: BoundaryMode.CIRCULAR},
+        "fill": {1: BoundaryMode.FILL, 2: BoundaryMode.FILL},
+    }
+
+    def _pattern(self, mode):
+        # Corner taps (pad 1 square) exercise the diagonal messages.
+        return pattern_from_offsets(
+            [(dr, dc) for dr in (-1, 0, 1) for dc in (-1, 0, 1)],
+            name=f"square_{mode}",
+            boundary=self.MODES[mode],
+            fill_value=2.5,
+        )
+
+    @staticmethod
+    def _scatter(shape, seed=7):
+        machine = CM2(MachineParams(num_nodes=4), shape=shape)
+        data = (
+            np.random.default_rng(seed)
+            .standard_normal((16, 24))
+            .astype(np.float32)
+        )
+        return machine, CMArray.from_numpy("X", machine, data), data
+
+    @pytest.mark.parametrize("shape", [(1, 4), (4, 1)])
+    @pytest.mark.parametrize("mode", ["torus", "fill"])
+    def test_batched_equals_per_node(self, shape, mode):
+        pattern = self._pattern(mode)
+        m1, x1, _ = self._scatter(shape)
+        m2, x2, _ = self._scatter(shape)
+        exchange_halo(x1, pattern, m1.params, batched=True)
+        exchange_halo(x2, pattern, m2.params, batched=False)
+        for node in m1.nodes():
+            r, c = node.coord.row, node.coord.col
+            np.testing.assert_array_equal(
+                padded_of(m1, "X", r, c), padded_of(m2, "X", r, c)
+            )
+
+    @pytest.mark.parametrize("shape", [(1, 4), (4, 1)])
+    def test_halo_matches_global_wrap(self, shape):
+        pattern = self._pattern("torus")
+        machine, x, data = self._scatter(shape)
+        exchange_halo(x, pattern, machine.params)
+        wrapped = np.pad(data, 1, mode="wrap")
+        sr, sc = x.subgrid_shape
+        for node in machine.nodes():
+            r, c = node.coord.row, node.coord.col
+            window = wrapped[r * sr : (r + 1) * sr + 2,
+                             c * sc : (c + 1) * sc + 2]
+            np.testing.assert_array_equal(
+                padded_of(machine, "X", r, c), window
+            )
+
+    @pytest.mark.parametrize("shape", [(1, 4), (4, 1)])
+    @pytest.mark.parametrize("mode", ["torus", "fill"])
+    def test_blocked_equals_unblocked(self, shape, mode):
+        """exchange_halo_deep bit-identity on degenerate grids, checked
+        end to end through the blocked executor."""
+        from repro.compiler.driver import compile_stencil
+        from repro.runtime.stencil_op import apply_stencil
+
+        pattern = self._pattern(mode)
+
+        def run(block_depth):
+            machine, x, _ = self._scatter(shape)
+            compiled = compile_stencil(pattern, machine.params)
+            rng = np.random.default_rng(11)
+            coeffs = {
+                name: CMArray.from_numpy(
+                    name, machine,
+                    rng.standard_normal((16, 24)).astype(np.float32),
+                )
+                for name in pattern.coefficient_names()
+            }
+            return apply_stencil(
+                compiled, x, coeffs, "R",
+                iterations=5, block_depth=block_depth,
+            ).result.to_numpy()
+
+        np.testing.assert_array_equal(run(1), run(2))
+
+    def test_shape_must_hold_all_nodes(self):
+        with pytest.raises(ValueError, match="does not hold"):
+            CM2(MachineParams(num_nodes=4), shape=(1, 2))
+
+    def test_shape_extents_must_be_powers_of_two(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            CM2(MachineParams(num_nodes=12), shape=(3, 4))
