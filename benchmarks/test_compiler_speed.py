@@ -67,6 +67,46 @@ def test_fast_executor_throughput(benchmark):
     np.testing.assert_array_equal(run.result.to_numpy(), expected)
 
 
+def test_rs_verify_overhead_bounded():
+    """Static verification must stay cheap enough to leave on in CI.
+
+    Compiling diamond13 (the heaviest gallery compilation) with
+    ``RS_VERIFY=1`` may cost at most 2x the unverified compile.
+    Measured min-of-N on fresh caches so memoization does not hide the
+    verifier behind a cache hit.
+    """
+    import os
+    import time
+
+    from repro.compiler.driver import clear_compile_cache
+
+    def min_time(repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            clear_compile_cache()
+            start = time.perf_counter()
+            compile_stencil(diamond13())
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    had = os.environ.pop("RS_VERIFY", None)
+    try:
+        plain = min_time()
+        os.environ["RS_VERIFY"] = "1"
+        verified = min_time()
+    finally:
+        if had is None:
+            os.environ.pop("RS_VERIFY", None)
+        else:
+            os.environ["RS_VERIFY"] = had
+        clear_compile_cache()
+
+    assert verified < 2.0 * plain, (
+        f"RS_VERIFY compile took {verified:.4f}s vs {plain:.4f}s plain "
+        f"({verified / plain:.2f}x; budget is 2x)"
+    )
+
+
 def test_exact_datapath_throughput(benchmark):
     """Cycle-stepped simulation speed on a small single-node problem."""
     params = MachineParams(num_nodes=1)

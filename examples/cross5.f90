@@ -1,0 +1,13 @@
+! Five-point cross stencil (the paper's running example), written in
+! the unambiguous keyword form the linter recommends: DIM names the
+! axis and SHIFT the offset, so there is no (DIM, SHIFT) vs
+! (SHIFT, DIM) argument-order trap.  `python -m repro lint` reports
+! this file clean.
+SUBROUTINE CROSS (R, X, C1, C2, C3, C4, C5)
+REAL, ARRAY(:, :) :: R, X, C1, C2, C3, C4, C5
+R = C1 * CSHIFT (X, DIM=1, SHIFT=-1) &
+  + C2 * CSHIFT (X, DIM=2, SHIFT=-1) &
+  + C3 * X &
+  + C4 * CSHIFT (X, DIM=2, SHIFT=+1) &
+  + C5 * CSHIFT (X, DIM=1, SHIFT=+1)
+END

@@ -18,6 +18,16 @@ Commands:
 
 ``gallery``
     List the built-in patterns with their pictograms.
+
+``lint <file>...``
+    Run the static front-end linter: caret-underlined diagnostics with
+    ``RS###`` codes and fix-its (``--max-halo`` tunes the RS101 halo
+    ceiling).  Exit status 1 if any diagnostic is an error.
+
+``verify``
+    Sweep the stencil gallery through the static plan verifier
+    (dataflow + ring lifetimes) across every width and ring-sizing
+    strategy.  Exit status 1 on any diagnostic.
 """
 
 from __future__ import annotations
@@ -256,6 +266,53 @@ def cmd_gallery(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from .fortran.errors import has_errors, render_diagnostics
+    from .verify.lint import DEFAULT_MAX_HALO, lint_path
+
+    max_halo = args.max_halo if args.max_halo is not None else DEFAULT_MAX_HALO
+    worst = 0
+    for name in args.files:
+        path = Path(name)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            print(f"{name}: cannot read: {exc}", file=sys.stderr)
+            worst = 1
+            continue
+        diagnostics = lint_path(path, max_halo=max_halo)
+        if diagnostics:
+            print(render_diagnostics(diagnostics, source))
+            if has_errors(diagnostics):
+                worst = 1
+        else:
+            print(f"{name}: clean")
+    return worst
+
+
+def cmd_verify(args) -> int:
+    from .fortran.errors import has_errors
+    from .machine.params import MachineParams
+    from .verify import verify_gallery
+
+    strategies = (
+        ("paper", "optimal") if args.strategy == "both" else (args.strategy,)
+    )
+    params = MachineParams(num_nodes=args.nodes)
+    results = verify_gallery(params, strategies=strategies)
+    failures = 0
+    for (pattern_name, strategy), diagnostics in sorted(results.items()):
+        status = "ok" if not diagnostics else "FAILED"
+        print(f"{pattern_name:<12} {strategy:<8} {status}")
+        for diag in diagnostics:
+            print(f"    {diag.describe()}")
+        if has_errors(diagnostics):
+            failures += 1
+    total = len(results)
+    print(f"\n{total - failures}/{total} pattern/strategy combos verified")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -301,6 +358,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_validate.add_argument("--nodes", type=int, default=4)
     p_validate.add_argument("--seed", type=int, default=0)
     p_validate.set_defaults(func=cmd_validate)
+
+    p_lint = sub.add_parser(
+        "lint", help="lint stencil Fortran with source-span diagnostics"
+    )
+    p_lint.add_argument("files", nargs="+")
+    p_lint.add_argument(
+        "--max-halo",
+        type=int,
+        default=None,
+        help="halo-reach ceiling for RS101 (default 16)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_verify = sub.add_parser(
+        "verify", help="statically verify every gallery plan"
+    )
+    p_verify.add_argument(
+        "--strategy",
+        choices=("paper", "optimal", "both"),
+        default="both",
+        help="ring-sizing strategies to sweep",
+    )
+    p_verify.add_argument("--nodes", type=int, default=16)
+    p_verify.set_defaults(func=cmd_verify)
     return parser
 
 

@@ -9,6 +9,7 @@ repeated subroutine calls skip recompilation entirely.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..fortran.parser import parse_assignment, parse_subroutine
@@ -59,6 +60,23 @@ def depth_cache_info() -> Tuple[int, int, int]:
     return _depth_cache_hits, _depth_cache_misses, len(_DEPTH_CACHE)
 
 
+def _maybe_verify(compiled: CompiledStencil) -> CompiledStencil:
+    """Statically verify a fresh compilation when ``RS_VERIFY=1``.
+
+    Off by default (verification costs a symbolic walk of every op in
+    every width plan); the CI ``verify`` job and paranoid users turn it
+    on to prove each plan before it is cached or executed.  Raises
+    :class:`repro.verify.VerificationError` on any error-severity
+    diagnostic.
+    """
+    if os.environ.get("RS_VERIFY") == "1":
+        # Imported lazily: the verify package pulls in the front end.
+        from ..verify import assert_verified
+
+        assert_verified(compiled)
+    return compiled
+
+
 def compile_stencil(
     pattern: StencilPattern,
     params: Optional[MachineParams] = None,
@@ -76,12 +94,16 @@ def compile_stencil(
         compiled = _PLAN_CACHE.get(key)
     except TypeError:
         # An unhashable pattern or parameter set compiles uncached.
-        return compile_pattern(pattern, params, widths, strategy=strategy)
+        return _maybe_verify(
+            compile_pattern(pattern, params, widths, strategy=strategy)
+        )
     if compiled is not None:
         _cache_hits += 1
         return compiled
     _cache_misses += 1
-    compiled = compile_pattern(pattern, params, widths, strategy=strategy)
+    compiled = _maybe_verify(
+        compile_pattern(pattern, params, widths, strategy=strategy)
+    )
     if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
         _PLAN_CACHE.clear()
     _PLAN_CACHE[key] = compiled

@@ -9,14 +9,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from .errors import SourceLocation
+from .errors import SourceLocation, Span
 
 
 @dataclass(frozen=True)
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes.
+
+    ``span`` covers the node's full source extent (None when the node
+    was built programmatically); ``location`` is its anchor point.
+    """
 
     location: SourceLocation
+    span: Optional[Span] = None
 
     def describe(self) -> str:
         raise NotImplementedError
@@ -88,6 +93,7 @@ class Call(Expr):
 @dataclass(frozen=True)
 class Statement:
     location: SourceLocation
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)

@@ -5,12 +5,20 @@ carries a stencil directive but cannot be compiled by the convolution
 module (for lack of registers, say), the compiler warns instead of
 silently falling back.  These classes carry the location and reason for
 that feedback.
+
+Diagnostics carry an optional ``RS###`` error code (the catalogue lives
+in ``docs/INTERNALS.md`` section 10) and an optional :class:`Span`, so
+the linter and the exception paths render through one caret formatter:
+
+    <statement>:1:10: error[RS301]: division is not part of the ...
+      R = X / C1
+              ^~
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -25,22 +33,80 @@ class SourceLocation:
         return f"{self.filename}:{self.line}:{self.column}"
 
 
-class FortranError(Exception):
-    """Base class for all front-end errors."""
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region ``[start, end)`` (end column exclusive).
 
-    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+    Both ends carry full locations so multi-line spans (continuation
+    statements) are representable; the caret renderer underlines the
+    portion on the start line.
+    """
+
+    start: SourceLocation
+    end: SourceLocation
+
+    def describe(self) -> str:
+        return self.start.describe()
+
+
+def span_union(a: Optional[Span], b: Optional[Span]) -> Optional[Span]:
+    """The smallest span covering both operands (None-tolerant)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    start = min(a.start, b.start, key=lambda loc: (loc.line, loc.column))
+    end = max(a.end, b.end, key=lambda loc: (loc.line, loc.column))
+    return Span(start=start, end=end)
+
+
+class FortranError(Exception):
+    """Base class for all front-end errors.
+
+    Every error carries a :class:`SourceLocation` (derived from the span
+    when only a span is given) and an ``RS###`` code, so the whole
+    front end renders through the linter's diagnostic formatter.
+    """
+
+    #: Default diagnostic code for this error class.
+    CODE: Optional[str] = None
+
+    def __init__(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        *,
+        span: Optional[Span] = None,
+        code: Optional[str] = None,
+    ):
+        if location is None and span is not None:
+            location = span.start
+        if span is None and location is not None:
+            span = Span(start=location, end=location)
         self.location = location
+        self.span = span
         self.message = message
+        self.code = code if code is not None else type(self).CODE
         prefix = f"{location.describe()}: " if location else ""
         super().__init__(prefix + message)
+
+    def to_diagnostic(self) -> "Diagnostic":
+        """Render this error as a linter diagnostic."""
+        return Diagnostic(
+            "error", self.message, self.location, code=self.code, span=self.span
+        )
 
 
 class LexError(FortranError):
     """The tokenizer met a character sequence it cannot tokenize."""
 
+    CODE = "RS001"
+
 
 class ParseError(FortranError):
     """The parser met a token sequence outside the supported subset."""
+
+    CODE = "RS002"
 
 
 class NotAStencilError(FortranError):
@@ -51,18 +117,81 @@ class NotAStencilError(FortranError):
     variable, or violates a resource constraint.
     """
 
+    CODE = "RS301"
+
+
+#: Severity ranking used by gates that fail on "diagnostic >= error".
+SEVERITY_ORDER = {"note": 0, "warning": 1, "error": 2}
+
 
 @dataclass
 class Diagnostic:
     """One piece of feedback about a candidate stencil statement."""
 
-    severity: str  # "warning" | "note"
+    severity: str  # "error" | "warning" | "note"
     message: str
     location: Optional[SourceLocation] = None
+    code: Optional[str] = None  # RS### catalogue entry
+    span: Optional[Span] = None  # underlined region (defaults to location)
+    fixit: Optional[str] = None  # suggested replacement, if any
 
     def describe(self) -> str:
         where = f"{self.location.describe()}: " if self.location else ""
-        return f"{where}{self.severity}: {self.message}"
+        tag = f"{self.severity}[{self.code}]" if self.code else self.severity
+        return f"{where}{tag}: {self.message}"
+
+
+def has_errors(diagnostics: Sequence[Diagnostic]) -> bool:
+    """Whether any diagnostic meets the error severity gate."""
+    return any(
+        SEVERITY_ORDER.get(d.severity, 2) >= SEVERITY_ORDER["error"]
+        for d in diagnostics
+    )
+
+
+def render_diagnostic(
+    diagnostic: Diagnostic, source_lines: Optional[Sequence[str]] = None
+) -> str:
+    """Render one diagnostic, caret-underlined when the source is given.
+
+    The caret line marks the start column with ``^`` and extends with
+    ``~`` across the span's portion of the start line -- the classic
+    compiler-diagnostic shape.  A trailing ``fix-it:`` line carries the
+    suggested rewrite when one exists.
+    """
+    lines = [diagnostic.describe()]
+    location = diagnostic.location
+    if (
+        source_lines is not None
+        and location is not None
+        and 1 <= location.line <= len(source_lines)
+    ):
+        text = source_lines[location.line - 1]
+        column = max(1, location.column)
+        width = 1
+        span = diagnostic.span
+        if span is not None and span.start.line == location.line:
+            column = max(1, span.start.column)
+            if span.end.line == span.start.line:
+                width = max(1, span.end.column - span.start.column)
+            else:
+                width = max(1, len(text) - span.start.column + 1)
+        width = min(width, max(1, len(text) - column + 1))
+        lines.append("  " + text)
+        lines.append("  " + " " * (column - 1) + "^" + "~" * (width - 1))
+    if diagnostic.fixit:
+        lines.append(f"  fix-it: {diagnostic.fixit}")
+    return "\n".join(lines)
+
+
+def render_diagnostics(
+    diagnostics: Sequence[Diagnostic], source: Optional[str] = None
+) -> str:
+    """Render a diagnostic list through the shared caret formatter."""
+    source_lines = source.splitlines() if source is not None else None
+    return "\n".join(
+        render_diagnostic(d, source_lines) for d in diagnostics
+    )
 
 
 @dataclass
@@ -71,15 +200,51 @@ class DiagnosticSink:
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
 
-    def warn(self, message: str, location: Optional[SourceLocation] = None) -> None:
-        self.diagnostics.append(Diagnostic("warning", message, location))
+    def error(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        *,
+        code: Optional[str] = None,
+        span: Optional[Span] = None,
+        fixit: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic("error", message, location, code=code, span=span, fixit=fixit)
+        )
 
-    def note(self, message: str, location: Optional[SourceLocation] = None) -> None:
-        self.diagnostics.append(Diagnostic("note", message, location))
+    def warn(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        *,
+        code: Optional[str] = None,
+        span: Optional[Span] = None,
+        fixit: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic("warning", message, location, code=code, span=span, fixit=fixit)
+        )
+
+    def note(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        *,
+        code: Optional[str] = None,
+        span: Optional[Span] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic("note", message, location, code=code, span=span)
+        )
 
     @property
     def warnings(self) -> List[Diagnostic]:
         return [d for d in self.diagnostics if d.severity == "warning"]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
 
     def describe(self) -> str:
         return "\n".join(d.describe() for d in self.diagnostics)

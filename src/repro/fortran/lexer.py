@@ -17,7 +17,7 @@ import enum
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
-from .errors import LexError, SourceLocation
+from .errors import LexError, SourceLocation, Span
 
 
 class TokenKind(enum.Enum):
@@ -44,6 +44,20 @@ class Token:
     kind: TokenKind
     text: str
     location: SourceLocation
+
+    @property
+    def end_location(self) -> SourceLocation:
+        """One past the token's last character (tokens never span lines)."""
+        return SourceLocation(
+            self.location.line,
+            self.location.column + max(1, len(self.text)),
+            self.location.filename,
+        )
+
+    @property
+    def span(self) -> Span:
+        """The source region this token occupies."""
+        return Span(start=self.location, end=self.end_location)
 
     def describe(self) -> str:
         return f"{self.kind.value}({self.text!r})"

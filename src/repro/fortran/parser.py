@@ -40,7 +40,7 @@ from .ast_nodes import (
     Subroutine,
     UnaryOp,
 )
-from .errors import ParseError, SourceLocation
+from .errors import ParseError, SourceLocation, Span, span_union
 from .lexer import Token, TokenKind, fixed_to_free, looks_fixed_form, tokenize
 
 _TYPE_KEYWORDS = {"REAL", "INTEGER", "DOUBLE", "COMPLEX", "LOGICAL"}
@@ -70,7 +70,9 @@ class Parser:
         if token.kind is not kind:
             wanted = what or kind.value
             raise ParseError(
-                f"expected {wanted}, found {token.describe()}", token.location
+                f"expected {wanted}, found {token.describe()}",
+                token.location,
+                span=token.span,
             )
         return self.advance()
 
@@ -78,7 +80,9 @@ class Parser:
         token = self.peek()
         if token.kind is not TokenKind.IDENT or token.text != keyword:
             raise ParseError(
-                f"expected {keyword}, found {token.describe()}", token.location
+                f"expected {keyword}, found {token.describe()}",
+                token.location,
+                span=token.span,
             )
         return self.advance()
 
@@ -216,6 +220,7 @@ class Parser:
         expr = self.parse_expr()
         return Assignment(
             location=target_token.location,
+            span=span_union(target_token.span, expr.span),
             target=target_token.text,
             expr=expr,
             directive=directive,
@@ -230,7 +235,13 @@ class Parser:
         while self.peek().kind in (TokenKind.PLUS, TokenKind.MINUS):
             op = self.advance()
             right = self.parse_term()
-            left = BinOp(location=op.location, op=op.text, left=left, right=right)
+            left = BinOp(
+                location=op.location,
+                span=span_union(left.span, right.span),
+                op=op.text,
+                left=left,
+                right=right,
+            )
         return left
 
     def parse_term(self) -> Expr:
@@ -238,7 +249,13 @@ class Parser:
         while self.peek().kind in (TokenKind.STAR, TokenKind.SLASH):
             op = self.advance()
             right = self.parse_factor()
-            left = BinOp(location=op.location, op=op.text, left=left, right=right)
+            left = BinOp(
+                location=op.location,
+                span=span_union(left.span, right.span),
+                op=op.text,
+                left=left,
+                right=right,
+            )
         return left
 
     def parse_factor(self) -> Expr:
@@ -246,18 +263,27 @@ class Parser:
         if token.kind in (TokenKind.PLUS, TokenKind.MINUS):
             self.advance()
             operand = self.parse_factor()
-            return UnaryOp(location=token.location, op=token.text, operand=operand)
+            return UnaryOp(
+                location=token.location,
+                span=span_union(token.span, operand.span),
+                op=token.text,
+                operand=operand,
+            )
         return self.parse_primary()
 
     def parse_primary(self) -> Expr:
         token = self.peek()
         if token.kind is TokenKind.INT:
             self.advance()
-            return IntLit(location=token.location, value=int(token.text))
+            return IntLit(
+                location=token.location, span=token.span, value=int(token.text)
+            )
         if token.kind is TokenKind.REAL:
             self.advance()
             text = token.text.upper().replace("D", "E")
-            return RealLit(location=token.location, value=float(text))
+            return RealLit(
+                location=token.location, span=token.span, value=float(text)
+            )
         if token.kind is TokenKind.LPAREN:
             self.advance()
             inner = self.parse_expr()
@@ -267,9 +293,11 @@ class Parser:
             self.advance()
             if self.peek().kind is TokenKind.LPAREN:
                 return self._parse_call(token)
-            return Name(location=token.location, ident=token.text)
+            return Name(location=token.location, span=token.span, ident=token.text)
         raise ParseError(
-            f"expected an expression, found {token.describe()}", token.location
+            f"expected an expression, found {token.describe()}",
+            token.location,
+            span=token.span,
         )
 
     def _parse_call(self, name_token: Token) -> Call:
@@ -290,15 +318,17 @@ class Parser:
                         raise ParseError(
                             "positional argument after keyword argument",
                             self.peek().location,
+                            span=self.peek().span,
                         )
                     args.append(self.parse_expr())
                 if self.peek().kind is TokenKind.COMMA:
                     self.advance()
                     continue
                 break
-        self.expect(TokenKind.RPAREN)
+        rparen = self.expect(TokenKind.RPAREN)
         return Call(
             location=name_token.location,
+            span=Span(start=name_token.location, end=rparen.end_location),
             func=name_token.text,
             args=tuple(args),
             kwargs=tuple(kwargs),
@@ -332,8 +362,16 @@ def parse_subroutine(
     """Parse a source file expected to contain exactly one subroutine."""
     program = parse_program(source, filename, fixed_form=fixed_form)
     if len(program.subroutines) != 1:
+        # Anchor the error at the second subroutine when there are too
+        # many, at the top of the file when there are none, so the
+        # diagnostic always carries a real (line, col).
+        if len(program.subroutines) > 1:
+            location = program.subroutines[1].location
+        else:
+            location = SourceLocation(1, 1, filename)
         raise ParseError(
-            f"expected exactly one subroutine, found {len(program.subroutines)}"
+            f"expected exactly one subroutine, found {len(program.subroutines)}",
+            location,
         )
     return program.subroutines[0]
 

@@ -38,7 +38,7 @@ from .ast_nodes import (
     Subroutine,
     UnaryOp,
 )
-from .errors import DiagnosticSink, NotAStencilError, SourceLocation
+from .errors import DiagnosticSink, NotAStencilError, SourceLocation, Span
 
 _SHIFT_FUNCS = {"CSHIFT": ShiftKind.CSHIFT, "EOSHIFT": ShiftKind.EOSHIFT}
 
@@ -67,6 +67,7 @@ def _flatten_product(expr: Expr) -> List[Expr]:
         raise NotAStencilError(
             "division is not part of the sum-of-products stencil form",
             expr.location,
+            span=expr.span,
         )
     return [expr]
 
@@ -81,6 +82,7 @@ class _ShiftChain:
     root: str
     shifts: Tuple[Shift, ...]  # innermost first
     location: SourceLocation
+    span: Optional[Span] = None
 
 
 def _const_int(expr: Expr, what: str) -> int:
@@ -96,6 +98,7 @@ def _const_int(expr: Expr, what: str) -> int:
         f"{what} must be a compile-time integer constant, "
         f"found {expr.describe()}",
         expr.location,
+        span=expr.span,
     )
 
 
@@ -110,6 +113,7 @@ def _const_real(expr: Expr, what: str) -> float:
     raise NotAStencilError(
         f"{what} must be a compile-time constant, found {expr.describe()}",
         expr.location,
+        span=expr.span,
     )
 
 
@@ -118,7 +122,7 @@ def _unwrap_shift_call(call: Call) -> Tuple[Expr, Shift]:
     kind = _SHIFT_FUNCS[call.func]
     if not call.args:
         raise NotAStencilError(
-            f"{call.func} needs an array argument", call.location
+            f"{call.func} needs an array argument", call.location, span=call.span
         )
     inner = call.args[0]
     positional = list(call.args[1:])
@@ -134,7 +138,9 @@ def _unwrap_shift_call(call: Call) -> Tuple[Expr, Shift]:
     if len(positional) >= 3:
         if kind is not ShiftKind.EOSHIFT:
             raise NotAStencilError(
-                f"too many positional arguments to {call.func}", call.location
+                f"too many positional arguments to {call.func}",
+                call.location,
+                span=call.span,
             )
         boundary = _const_real(positional[2], "EOSHIFT BOUNDARY")
     for key, value in kwargs.items():
@@ -146,11 +152,15 @@ def _unwrap_shift_call(call: Call) -> Tuple[Expr, Shift]:
             boundary = _const_real(value, "EOSHIFT BOUNDARY")
         else:
             raise NotAStencilError(
-                f"unknown keyword {key}= in {call.func}", call.location
+                f"unknown keyword {key}= in {call.func}",
+                call.location,
+                span=call.span,
             )
     if dim is None or amount is None:
         raise NotAStencilError(
-            f"{call.func} requires both DIM and SHIFT", call.location
+            f"{call.func} requires both DIM and SHIFT",
+            call.location,
+            span=call.span,
         )
     return inner, Shift(kind=kind, dim=dim, amount=amount, boundary=boundary)
 
@@ -159,6 +169,7 @@ def _try_shift_chain(expr: Expr) -> Optional[_ShiftChain]:
     """If ``expr`` is a CSHIFT/EOSHIFT chain over a name, decompose it."""
     shifts: List[Shift] = []
     location = expr.location
+    span = expr.span
     while isinstance(expr, Call) and expr.func in _SHIFT_FUNCS:
         expr, shift = _unwrap_shift_call(expr)
         shifts.append(shift)  # outermost collected first...
@@ -169,9 +180,12 @@ def _try_shift_chain(expr: Expr) -> Optional[_ShiftChain]:
             "the shifted expression must bottom out in a plain array name, "
             f"found {expr.describe()}",
             expr.location,
+            span=expr.span,
         )
     shifts.reverse()  # ...store innermost first
-    return _ShiftChain(root=expr.ident, shifts=tuple(shifts), location=location)
+    return _ShiftChain(
+        root=expr.ident, shifts=tuple(shifts), location=location, span=span
+    )
 
 
 @dataclass
@@ -185,6 +199,7 @@ class _Term:
     has_scalar: bool
     bare_name: Optional[str]  # an unshifted Name factor (source or coeff)
     location: SourceLocation
+    span: Optional[Span] = None
 
 
 def _classify_term(sign: int, expr: Expr) -> _Term:
@@ -208,12 +223,14 @@ def _classify_term(sign: int, expr: Expr) -> _Term:
                 raise NotAStencilError(
                     f"call to {inner.func} is not a shifting intrinsic",
                     inner.location,
+                    span=inner.span,
                 )
         if maybe_chain is not None:
             if chain is not None:
                 raise NotAStencilError(
                     "a term may contain at most one shifted data reference",
                     inner.location,
+                    span=inner.span,
                 )
             chain = maybe_chain
         elif isinstance(inner, Name):
@@ -225,12 +242,14 @@ def _classify_term(sign: int, expr: Expr) -> _Term:
             raise NotAStencilError(
                 f"factor {inner.describe()} is outside the stencil form",
                 inner.location,
+                span=inner.span,
             )
     if len(names) > (1 if chain is not None else 2):
         raise NotAStencilError(
             "a term may multiply at most one coefficient by one data "
             "reference (sum-of-products form)",
             expr.location,
+            span=expr.span,
         )
     coeff_name: Optional[str] = None
     bare_name: Optional[str] = None
@@ -248,6 +267,7 @@ def _classify_term(sign: int, expr: Expr) -> _Term:
                 has_scalar=has_scalar,
                 bare_name=names[1].ident,
                 location=expr.location,
+                span=expr.span,
             )
         if len(names) == 1:
             bare_name = names[0].ident
@@ -259,6 +279,7 @@ def _classify_term(sign: int, expr: Expr) -> _Term:
         has_scalar=has_scalar,
         bare_name=bare_name,
         location=expr.location,
+        span=expr.span,
     )
 
 
@@ -344,6 +365,7 @@ def recognize_assignment(
             "shifted source (the computation reads neighbors after the "
             "assignment would have overwritten them)",
             assignment.location,
+            span=assignment.span,
         )
 
     all_shifts = [
@@ -364,7 +386,9 @@ def recognize_assignment(
             try:
                 modes = compose_boundary_modes(term.chain.shifts)
             except MixedBoundaryError as exc:
-                raise NotAStencilError(str(exc), term.location) from exc
+                raise NotAStencilError(
+                    str(exc), term.location, span=term.span, code="RS102"
+                ) from exc
             for dim, mode in modes.items():
                 previous = boundary.get(dim)
                 if previous is not None and previous is not mode:
@@ -373,6 +397,8 @@ def recognize_assignment(
                         f"dimension {dim} (CSHIFT vs EOSHIFT); the compiled "
                         "halo exchange needs one mode per dimension",
                         term.location,
+                        span=term.span,
+                        code="RS102",
                     )
                 boundary[dim] = mode
             for shift in term.chain.shifts:
@@ -382,6 +408,7 @@ def recognize_assignment(
                             "EOSHIFT terms disagree on the boundary fill "
                             f"value ({fill_value} vs {shift.boundary})",
                             term.location,
+                            span=term.span,
                         )
                     fill_value = shift.boundary
             _check_eoshift_monotone(term)
@@ -419,6 +446,7 @@ def _check_eoshift_monotone(term: _Term) -> None:
                 "directions; the blanked region exceeds the net offset and "
                 "cannot be expressed as a stencil tap",
                 term.location,
+                span=term.span,
             )
         signs[shift.dim] = sign
 
@@ -433,6 +461,7 @@ def _build_tap(term: _Term, source: str, plane: Tuple[int, int]) -> Tap:
                 "subtraction of an array-coefficient term is outside the "
                 "sum-of-products form; negate the coefficient array instead",
                 term.location,
+                span=term.span,
             )
         scalar = -(scalar if scalar is not None else 1.0)
 
@@ -462,6 +491,7 @@ def _build_tap(term: _Term, source: str, plane: Tuple[int, int]) -> Tap:
     raise NotAStencilError(
         "term fits no stencil form (c * s(x), s(x) * c, s(x), or c)",
         term.location,
+        span=term.span,
     )
 
 

@@ -27,6 +27,7 @@ from ..compiler.driver import select_block_depth
 from ..compiler.plan import CompiledStencil
 from ..machine.machine import CM2
 from ..machine.params import MachineParams
+from ..verify.aliasing import ensure_no_aliasing
 from .blocking import (
     array_coefficient_names,
     block_compute_cycles,
@@ -872,6 +873,7 @@ def apply_stencil(
     if isinstance(result, str):
         result = CMArray(result, machine, source.global_shape)
     check_arrays(compiled, source, coefficients, result)
+    ensure_no_aliasing(compiled, source, coefficients, result)
     if check_finite:
         check_finite_arrays(compiled, source, coefficients)
 

@@ -1,0 +1,49 @@
+"""Shared diagnostic plumbing for the static verification layer.
+
+Plan-level analyzers (dataflow, lifetimes, aliasing) and the source-level
+linter all speak :class:`~repro.fortran.errors.Diagnostic`: the linter
+attaches source spans, the plan analyzers attach none (a compiled plan
+has no source position) but always carry an ``RS###`` code from the
+catalogue in ``docs/INTERNALS.md`` section 10.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..fortran.errors import (  # noqa: F401  (re-exported)
+    Diagnostic,
+    SEVERITY_ORDER,
+    has_errors,
+    render_diagnostic,
+    render_diagnostics,
+)
+
+
+def plan_error(code: str, message: str) -> Diagnostic:
+    """An error diagnostic about a compiled plan (no source location)."""
+    return Diagnostic("error", message, code=code)
+
+
+def plan_warning(code: str, message: str) -> Diagnostic:
+    """A warning diagnostic about a compiled plan."""
+    return Diagnostic("warning", message, code=code)
+
+
+def with_context(
+    diagnostics: Sequence[Diagnostic], context: Optional[str]
+) -> List[Diagnostic]:
+    """Prefix each diagnostic's message with a plan/stencil context label."""
+    if not context:
+        return list(diagnostics)
+    return [
+        Diagnostic(
+            severity=d.severity,
+            message=f"{context}: {d.message}",
+            location=d.location,
+            code=d.code,
+            span=d.span,
+            fixit=d.fixit,
+        )
+        for d in diagnostics
+    ]

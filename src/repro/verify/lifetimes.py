@@ -1,0 +1,146 @@
+"""Ring-buffer lifetime analysis (static, allocation-level).
+
+The paper's register-allocation argument -- each column's ring rotates,
+the retiring element always vacates exactly the slot the leading edge
+needs, and the whole pattern repeats with period LCM(sizes) -- is an
+invariant of the *allocation*, checkable without touching a single op:
+
+* ``RS501`` two elements are live in one slot at once (an allocation
+  "race": the ring is too small for the column's row span, so a load
+  would overwrite data a later line still reads);
+* ``RS502`` (reported by :func:`repro.verify.dataflow.check_register_usage`,
+  which needs the op streams) a ring register is allocated but dead;
+* ``RS503`` a ring is sized below its column's span outright;
+* ``RS504`` a physical register is double-booked across rings, collides
+  with a reserved register, or falls outside the register file;
+* ``RS505`` the unroll factor is not a common multiple of the ring
+  sizes, so the rotated access patterns do not tile the steady state.
+
+Live ranges come straight from the slot discipline: the element loaded
+into a column on line ``n`` (the leading edge, row ``top``) sits at row
+``top + k`` on line ``n + k`` and dies after line ``n + span - 1``; its
+slot is reused ``size`` lines after it was filled.  Overlap is possible
+exactly when ``size < span``, but the analysis derives that from the
+simulated occupancy rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.allocation import RegisterAllocation
+from ..compiler.ringbuf import RingBuffer, column_span
+from ..machine.params import MachineParams
+from .diagnostics import Diagnostic, plan_error
+
+
+def ring_live_intervals(
+    ring: RingBuffer, lines: int
+) -> List[Tuple[int, int, int]]:
+    """``(birth_line, death_line, slot)`` per element entering ``ring``.
+
+    Line 0 is the prologue's full load (every row of the span, gap rows
+    included, exactly as the code generator emits it); lines ``1 ..
+    lines`` each load one leading-edge element.
+    """
+    top, bottom = ring.column.top, ring.column.bottom
+    span = column_span(ring.column)
+    intervals: List[Tuple[int, int, int]] = []
+    for row in range(top, bottom + 1):
+        intervals.append((0, bottom - row, ring.slot_for(row, 0)))
+    for line in range(1, lines + 1):
+        intervals.append((line, line + span - 1, ring.load_slot(line)))
+    return intervals
+
+
+def _check_ring(
+    ring: RingBuffer, unroll: int, label: str
+) -> List[Diagnostic]:
+    diagnostics: List[Diagnostic] = []
+    span = column_span(ring.column)
+    if ring.size < span:
+        diagnostics.append(
+            plan_error(
+                "RS503",
+                f"{label}: ring size {ring.size} below the column span "
+                f"{span} (rows {ring.column.top}..{ring.column.bottom})",
+            )
+        )
+    if len(ring.registers) != ring.size:
+        diagnostics.append(
+            plan_error(
+                "RS504",
+                f"{label}: ring of size {ring.size} holds "
+                f"{len(ring.registers)} registers",
+            )
+        )
+    if unroll % ring.size != 0:
+        diagnostics.append(
+            plan_error(
+                "RS505",
+                f"{label}: unroll factor {unroll} is not a multiple of the "
+                f"ring size {ring.size}; the rotated access patterns do "
+                "not tile the steady state",
+            )
+        )
+
+    # Slot occupancy over a full period (plus a span's worth of extra
+    # lines so wrap-around reuse is exercised at least once per slot).
+    lines = max(unroll, ring.size) + span + 1
+    occupant: Dict[int, int] = {}
+    for birth, death, slot in ring_live_intervals(ring, lines):
+        previous = occupant.get(slot)
+        if previous is not None and previous >= birth:
+            diagnostics.append(
+                plan_error(
+                    "RS501",
+                    f"{label}: slot {slot} is reloaded on line {birth} while "
+                    f"its previous element is live through line {previous} "
+                    "-- overlapping lifetimes",
+                )
+            )
+            break  # one witness per ring is enough
+        occupant[slot] = death
+    return diagnostics
+
+
+def analyze_lifetimes(
+    allocation: RegisterAllocation,
+    params: Optional[MachineParams] = None,
+    *,
+    label: str = "",
+) -> List[Diagnostic]:
+    """Statically verify one width's register allocation."""
+    params = params or MachineParams()
+    prefix = label or f"width {allocation.multistencil.width}"
+    diagnostics: List[Diagnostic] = []
+
+    reserved = {allocation.zero_reg}
+    if allocation.unit_reg is not None:
+        reserved.add(allocation.unit_reg)
+    seen: Dict[int, str] = {
+        reg: "reserved" for reg in reserved
+    }
+    for ring in allocation.rings:
+        ring_label = f"{prefix}, column {ring.column.x}"
+        for reg in ring.registers:
+            if not 0 <= reg < params.registers:
+                diagnostics.append(
+                    plan_error(
+                        "RS504",
+                        f"{ring_label}: register r{reg} outside the "
+                        f"{params.registers}-register file",
+                    )
+                )
+            elif reg in seen:
+                diagnostics.append(
+                    plan_error(
+                        "RS504",
+                        f"{ring_label}: register r{reg} double-booked "
+                        f"(already assigned to {seen[reg]})",
+                    )
+                )
+            else:
+                seen[reg] = f"column {ring.column.x}"
+        diagnostics.extend(_check_ring(ring, allocation.unroll, ring_label))
+    return diagnostics

@@ -1,0 +1,194 @@
+"""``repro lint``: source-level diagnostics for stencil Fortran.
+
+Runs the real front end (lexer, parser, recognizer) over a source file
+and renders everything it learns as caret-underlined diagnostics with
+``RS###`` codes and fix-its, in the spirit of the feedback loop the
+paper's section 6 plans for its stencil directive:
+
+* ``RS001``/``RS002`` lex/parse errors (spans from the token stream);
+* ``RS101`` the stencil's halo exceeds what the run-time exchange is
+  configured to provide (``--max-halo``);
+* ``RS102`` mixed CSHIFT/EOSHIFT boundary treatment on one axis;
+* ``RS201`` (warning) positional ``CSHIFT(X, k, m)``: the paper reads
+  positional extras as ``(DIM, SHIFT)`` -- the *reverse* of standard
+  Fortran 90's ``CSHIFT(ARRAY, SHIFT, DIM)`` -- so the linter suggests
+  the unambiguous keyword form as a fix-it;
+* ``RS301`` a statement (or sub-expression) outside the sum-of-products
+  stencil form, with the offending region underlined.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..fortran.ast_nodes import (
+    Assignment,
+    BinOp,
+    Call,
+    Expr,
+    IntLit,
+    Subroutine,
+    UnaryOp,
+)
+from ..fortran.errors import Diagnostic, FortranError, NotAStencilError
+from ..fortran.parser import parse_assignment, parse_program
+from ..fortran.recognizer import recognize_assignment
+from .diagnostics import has_errors  # noqa: F401  (re-exported for callers)
+
+#: Default ceiling on a stencil's halo reach (``RS101``).  The run-time
+#: exchange pads by the stencil's own maximum border width, so any halo
+#: is *expressible*; but a reach this deep means more halo traffic than
+#: interior compute on era-appropriate subgrids, so it is almost always
+#: a sign of a mistyped shift amount.  Override with ``--max-halo``.
+DEFAULT_MAX_HALO = 16
+
+_SHIFT_FUNCS = ("CSHIFT", "EOSHIFT")
+
+
+def _walk_calls(expr: Optional[Expr]) -> Iterator[Call]:
+    """Yield every Call in ``expr``, innermost first."""
+    if expr is None:
+        return
+    if isinstance(expr, Call):
+        for arg in expr.args:
+            yield from _walk_calls(arg)
+        for _, value in expr.kwargs:
+            yield from _walk_calls(value)
+        yield expr
+    elif isinstance(expr, BinOp):
+        yield from _walk_calls(expr.left)
+        yield from _walk_calls(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from _walk_calls(expr.operand)
+
+
+def _literal_int(expr: Expr) -> Optional[int]:
+    """A compile-time integer (with unary signs), or None."""
+    sign = 1
+    while isinstance(expr, UnaryOp) and expr.op in ("+", "-"):
+        if expr.op == "-":
+            sign = -sign
+        expr = expr.operand
+    if isinstance(expr, IntLit):
+        return sign * expr.value
+    return None
+
+
+def _positional_shift_fixit(call: Call) -> Optional[str]:
+    """The keyword spelling of a positional CSHIFT/EOSHIFT call."""
+    if len(call.args) < 3:
+        return None
+    dim = _literal_int(call.args[1])
+    shift = _literal_int(call.args[2])
+    if dim is None or shift is None:
+        return None
+    fixed = f"{call.func}({call.args[0].describe()}, DIM={dim}, SHIFT={shift:+d}"
+    if len(call.args) >= 4:
+        fixed += f", BOUNDARY={call.args[3].describe()}"
+    return fixed + ")"
+
+
+def _lint_statement(
+    statement: Assignment,
+    diagnostics: List[Diagnostic],
+    *,
+    name: Optional[str],
+    ranks,
+    max_halo: int,
+) -> None:
+    # RS201: positional shift arguments follow the paper's (DIM, SHIFT)
+    # convention -- the reverse of standard Fortran 90.  Warn wherever a
+    # reader could be misled, i.e. whenever both extras are positional.
+    for call in _walk_calls(statement.expr):
+        if call.func in _SHIFT_FUNCS and len(call.args) >= 3:
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    f"positional {call.func} arguments are read as "
+                    "(ARRAY, DIM, SHIFT) -- the paper's convention, "
+                    "reversed from standard Fortran 90; spell out the "
+                    "keywords to remove the ambiguity",
+                    call.location,
+                    code="RS201",
+                    span=call.span,
+                    fixit=_positional_shift_fixit(call),
+                )
+            )
+
+    # RS102/RS301: run the real recognizer; its exceptions carry spans
+    # and codes (RS102 for mixed boundary treatment, RS301 otherwise).
+    try:
+        pattern = recognize_assignment(statement, name=name, ranks=ranks)
+    except NotAStencilError as exc:
+        diagnostics.append(exc.to_diagnostic())
+        return
+
+    # RS101: the recognized stencil's reach versus the halo ceiling.
+    borders = pattern.border_widths()
+    if borders.max_width > max_halo:
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                f"stencil reaches {borders.max_width} cells from its "
+                f"center (N={borders.north} S={borders.south} "
+                f"W={borders.west} E={borders.east}); the halo exchange "
+                f"is capped at {max_halo} (raise with --max-halo if "
+                "intended)",
+                statement.location,
+                code="RS101",
+                span=statement.span,
+            )
+        )
+
+
+def _lint_subroutine(
+    sub: Subroutine, diagnostics: List[Diagnostic], *, max_halo: int
+) -> None:
+    ranks = {
+        array: decl.rank for decl in sub.declarations for array in decl.names
+    }
+    for index, statement in enumerate(sub.statements):
+        _lint_statement(
+            statement,
+            diagnostics,
+            name=f"{sub.name.lower()}_{index}",
+            ranks=ranks,
+            max_halo=max_halo,
+        )
+
+
+def lint_source(
+    source: str,
+    filename: str = "<fortran>",
+    *,
+    max_halo: int = DEFAULT_MAX_HALO,
+) -> List[Diagnostic]:
+    """Lint Fortran source text; returns the diagnostics, worst first
+    within source order.
+
+    The source may be a file of subroutines or a bare assignment
+    statement (same auto-detection as the compile driver).
+    """
+    diagnostics: List[Diagnostic] = []
+    try:
+        if "SUBROUTINE" in source.upper():
+            program = parse_program(source, filename)
+            for sub in program.subroutines:
+                _lint_subroutine(sub, diagnostics, max_halo=max_halo)
+        else:
+            statement = parse_assignment(source, filename)
+            _lint_statement(
+                statement, diagnostics, name=None, ranks=None,
+                max_halo=max_halo,
+            )
+    except FortranError as exc:
+        # Lex/parse errors end the analysis: there is no tree to walk.
+        diagnostics.append(exc.to_diagnostic())
+    return diagnostics
+
+
+def lint_path(path, *, max_halo: int = DEFAULT_MAX_HALO) -> List[Diagnostic]:
+    """Lint a Fortran source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, str(path), max_halo=max_halo)

@@ -1,0 +1,165 @@
+"""The front-end linter: RS### codes, spans, carets, and fix-its."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.fortran.errors import (
+    Diagnostic,
+    has_errors,
+    render_diagnostic,
+    render_diagnostics,
+)
+from repro.verify.lint import lint_source
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestStatementLint:
+    def test_clean_keyword_statement(self):
+        source = "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + C2 * X"
+        assert lint_source(source) == []
+
+    def test_rs201_positional_shift_warns_with_fixit(self):
+        source = "R = C1 * CSHIFT(X, 1, -1) + C2 * X"
+        diagnostics = lint_source(source)
+        assert codes(diagnostics) == ["RS201"]
+        diag = diagnostics[0]
+        assert diag.severity == "warning"
+        assert not has_errors(diagnostics)
+        assert diag.fixit == "CSHIFT(X, DIM=1, SHIFT=-1)"
+        # The span covers the whole call.
+        fragment = source[diag.span.start.column - 1 : diag.span.end.column - 1]
+        assert fragment.startswith("CSHIFT")
+        assert fragment.endswith(")")
+
+    def test_rs301_non_stencil_with_subexpression_span(self):
+        source = "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + X / C2"
+        diagnostics = lint_source(source)
+        assert "RS301" in codes(diagnostics)
+        diag = next(d for d in diagnostics if d.code == "RS301")
+        assert diag.severity == "error"
+        fragment = source[diag.span.start.column - 1 : diag.span.end.column - 1]
+        assert "/" in fragment
+
+    def test_rs102_mixed_shift_kinds_on_one_axis(self):
+        source = (
+            "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) "
+            "+ C2 * EOSHIFT(X, DIM=1, SHIFT=+1)"
+        )
+        diagnostics = lint_source(source)
+        assert "RS102" in codes(diagnostics)
+
+    def test_rs101_halo_ceiling(self):
+        source = "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + C2 * X"
+        diagnostics = lint_source(source, max_halo=0)
+        assert "RS101" in codes(diagnostics)
+        assert has_errors(diagnostics)
+
+    def test_rs001_lex_error(self):
+        diagnostics = lint_source("R = X ? C1")
+        assert codes(diagnostics) == ["RS001"]
+        assert diagnostics[0].location is not None
+
+    def test_rs002_parse_error(self):
+        diagnostics = lint_source("R = (X + C1")
+        assert codes(diagnostics) == ["RS002"]
+
+
+class TestCaretRendering:
+    def test_caret_underlines_the_span(self):
+        source = "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + X / C2"
+        diagnostics = lint_source(source)
+        diag = next(d for d in diagnostics if d.code == "RS301")
+        rendered = render_diagnostic(diag, source.splitlines()).splitlines()
+        assert rendered[1] == "  " + source
+        caret_line = rendered[2]
+        caret_col = caret_line.index("^") - 2  # strip the 2-space indent
+        width = 1 + caret_line.count("~")
+        assert source[caret_col : caret_col + width] == "X / C2"
+
+    def test_fixit_line_rendered(self):
+        source = "R = C1 * CSHIFT(X, 1, -1) + C2 * X"
+        rendered = render_diagnostics(lint_source(source), source)
+        assert "fix-it: CSHIFT(X, DIM=1, SHIFT=-1)" in rendered
+
+    def test_describe_carries_code_and_location(self):
+        source = "R = X / C1"
+        (diag,) = [
+            d for d in lint_source(source) if d.code == "RS301"
+        ]
+        text = diag.describe()
+        assert "error[RS301]" in text
+        assert ":1:" in text
+
+
+class TestSubroutineLint:
+    def test_example_cross5_is_clean(self):
+        diagnostics = lint_source(
+            (EXAMPLES / "cross5.f90").read_text(), "cross5.f90"
+        )
+        assert diagnostics == []
+
+    def test_example_seismic9_warns_only(self):
+        diagnostics = lint_source(
+            (EXAMPLES / "seismic9.f90").read_text(), "seismic9.f90"
+        )
+        assert diagnostics, "expected RS201 warnings"
+        assert set(codes(diagnostics)) == {"RS201"}
+        assert not has_errors(diagnostics)
+
+    def test_multiple_subroutines_lint_independently(self):
+        source = (
+            "SUBROUTINE GOOD (R, X, C1)\n"
+            "REAL, ARRAY(:, :) :: R, X, C1\n"
+            "R = C1 * CSHIFT(X, DIM=1, SHIFT=-1)\n"
+            "END\n"
+            "SUBROUTINE BAD (R, X, C1)\n"
+            "REAL, ARRAY(:, :) :: R, X, C1\n"
+            "R = X / C1\n"
+            "END\n"
+        )
+        diagnostics = lint_source(source, "two.f90")
+        assert codes(diagnostics) == ["RS301"]
+        # The diagnostic points into the second subroutine's statement.
+        assert diagnostics[0].location.line == 7
+
+
+class TestCli:
+    def test_lint_clean_example_exits_zero(self, capsys):
+        assert main(["lint", str(EXAMPLES / "cross5.f90")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_warning_example_exits_zero(self, capsys):
+        assert main(["lint", str(EXAMPLES / "seismic9.f90")]) == 0
+        out = capsys.readouterr().out
+        assert "warning[RS201]" in out
+        assert "fix-it:" in out
+
+    def test_lint_error_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.f90"
+        bad.write_text("R = X / C1\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "error[RS301]" in capsys.readouterr().out
+
+    def test_lint_halo_ceiling_flag(self, tmp_path, capsys):
+        deep = tmp_path / "deep.f90"
+        deep.write_text("R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + C2 * X\n")
+        assert main(["lint", str(deep)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--max-halo", "0", str(deep)]) == 1
+        assert "RS101" in capsys.readouterr().out
+
+    def test_lint_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "absent.f90")]) == 1
+
+    def test_verify_subcommand_sweeps_gallery(self, capsys):
+        assert main(["verify", "--strategy", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "cross5" in out
+        assert "6/6 pattern/strategy combos verified" in out

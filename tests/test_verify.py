@@ -1,0 +1,475 @@
+"""The static verification layer, tested by mutation.
+
+Two halves:
+
+* **Acceptance** -- every gallery pattern, every feasible width, both
+  ring-sizing strategies must verify with zero diagnostics (the
+  verifier's model of the microcode must match the generator exactly).
+* **Mutation self-test** -- seed a specific corruption into a known-good
+  plan and check the verifier reports it with the *right* ``RS###``
+  code.  A verifier that misses its own seeded faults proves nothing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.codegen import LinePattern
+from repro.compiler.driver import (
+    clear_compile_cache,
+    compile_stencil,
+)
+from repro.compiler.plan import CompiledStencil, compile_pattern
+from repro.compiler.ringbuf import RingBuffer, column_span
+from repro.machine.isa import LoadOp, MAOp, NopOp, StoreOp
+from repro.machine.params import MachineParams
+from repro.stencil.gallery import cross5, cross9, diamond13
+from repro.verify import (
+    VerificationError,
+    analyze_lifetimes,
+    assert_verified,
+    check_register_usage,
+    verify_compiled,
+    verify_gallery,
+    verify_plan,
+)
+
+PARAMS = MachineParams()
+
+
+def codes(diagnostics):
+    return {d.code for d in diagnostics}
+
+
+@pytest.fixture(scope="module")
+def compiled_cross5():
+    return compile_pattern(cross5(), PARAMS)
+
+
+@pytest.fixture(scope="module")
+def plan8(compiled_cross5):
+    return compiled_cross5.plans[8]
+
+
+def replace_line(plan, which, line):
+    """A copy of ``plan`` with one line pattern replaced."""
+    if which == "prologue":
+        return dataclasses.replace(plan, prologue=line)
+    steady = list(plan.steady)
+    steady[which] = line
+    return dataclasses.replace(plan, steady=tuple(steady))
+
+
+def with_ops(line: LinePattern, ops) -> LinePattern:
+    return dataclasses.replace(line, ops=tuple(ops))
+
+
+# ----------------------------------------------------------------------
+# Acceptance: the gallery verifies clean
+# ----------------------------------------------------------------------
+
+
+class TestGalleryVerifies:
+    def test_every_pattern_width_strategy_clean(self):
+        results = verify_gallery(PARAMS)
+        assert len(results) == 12  # 6 patterns x 2 strategies
+        for key, diagnostics in results.items():
+            assert diagnostics == [], (key, [d.describe() for d in diagnostics])
+
+    def test_fused_plan_verifies(self):
+        from repro.compiler.fusion import ExtraTerm, fuse
+        from repro.stencil.pattern import Coefficient
+
+        fused = fuse(
+            cross9(),
+            [ExtraTerm(source="PREV", coeff=Coefficient.array("CT"))],
+            PARAMS,
+        )
+        assert verify_compiled(fused) == []
+
+    def test_all_widths_covered(self, compiled_cross5):
+        assert set(compiled_cross5.plans) == {8, 4, 2, 1}
+        for width, plan in compiled_cross5.plans.items():
+            assert verify_plan(plan, PARAMS) == [], f"width {width}"
+
+
+# ----------------------------------------------------------------------
+# Mutation self-test: dataflow
+# ----------------------------------------------------------------------
+
+
+def first_real_ma(line):
+    index, op = next(
+        (i, op)
+        for i, op in enumerate(line.ops)
+        if isinstance(op, MAOp) and not op.is_dummy
+    )
+    return index, op
+
+
+class TestDataflowMutations:
+    def test_swapped_loads_caught(self, plan8):
+        """Two prologue loads exchanged: operands feed the wrong taps."""
+        pro = plan8.prologue
+        _, ma = first_real_ma(pro)
+        ops = list(pro.ops)
+        li = next(
+            i
+            for i, op in enumerate(ops)
+            if isinstance(op, LoadOp) and op.reg == ma.data_reg
+        )
+        lj = next(
+            i
+            for i, op in enumerate(ops)
+            if isinstance(op, LoadOp)
+            and (op.row, op.col) != (ops[li].row, ops[li].col)
+        )
+        # Swap the *target registers*, not the op positions: each element
+        # now lands in the other's register, so the chains read the wrong
+        # taps (swapping positions alone would be semantically harmless).
+        ops[li], ops[lj] = (
+            dataclasses.replace(ops[li], reg=ops[lj].reg),
+            dataclasses.replace(ops[lj], reg=ops[li].reg),
+        )
+        mutated = replace_line(plan8, "prologue", with_ops(pro, ops))
+        assert "RS406" in codes(verify_plan(mutated, PARAMS))
+
+    def test_dropped_load_caught(self, plan8):
+        """A prologue load removed: its consumer reads an undefined reg."""
+        pro = plan8.prologue
+        _, ma = first_real_ma(pro)
+        ops = list(pro.ops)
+        li = next(
+            i
+            for i, op in enumerate(ops)
+            if isinstance(op, LoadOp) and op.reg == ma.data_reg
+        )
+        ops[li] = NopOp("dropped-by-test")
+        mutated = replace_line(plan8, "prologue", with_ops(pro, ops))
+        assert "RS401" in codes(verify_plan(mutated, PARAMS))
+
+    def test_late_load_read_before_ready(self, plan8):
+        """The load feeding the first multiply-add delayed into the fill
+        slot right before the MA block: its value is not ready yet."""
+        line = plan8.steady[0]
+        mi, ma = first_real_ma(line)
+        ops = list(line.ops)
+        li = next(
+            i
+            for i, op in enumerate(ops)
+            if isinstance(op, LoadOp) and op.reg == ma.data_reg
+        )
+        assert li < mi - 1, "expected the load to precede the fill nops"
+        assert isinstance(ops[mi - 1], NopOp)
+        ops[li], ops[mi - 1] = ops[mi - 1], ops[li]
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS401" in codes(verify_plan(mutated, PARAMS))
+
+    def test_load_into_reserved_register_caught(self, plan8):
+        """A load aimed at the zero register clobbers the constant."""
+        line = plan8.steady[0]
+        ops = list(line.ops)
+        li = next(i for i, op in enumerate(ops) if isinstance(op, LoadOp))
+        ops[li] = dataclasses.replace(
+            ops[li], reg=plan8.allocation.zero_reg
+        )
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS402" in codes(verify_plan(mutated, PARAMS))
+
+    def test_dropped_store_caught(self, plan8):
+        """A store removed: one result column is never written back."""
+        line = plan8.steady[0]
+        ops = list(line.ops)
+        si = next(i for i, op in enumerate(ops) if isinstance(op, StoreOp))
+        ops[si] = NopOp("dropped-by-test")
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS404" in codes(verify_plan(mutated, PARAMS))
+
+    def test_store_from_wrong_register_caught(self, plan8):
+        """A store reading the zero register writes 0.0, not the sum."""
+        line = plan8.steady[0]
+        ops = list(line.ops)
+        si = next(i for i, op in enumerate(ops) if isinstance(op, StoreOp))
+        ops[si] = StoreOp(
+            reg=plan8.allocation.zero_reg, result_col=ops[si].result_col
+        )
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS404" in codes(verify_plan(mutated, PARAMS))
+
+    def test_missing_drain_cycle_caught(self, plan8):
+        """One drain nop removed: the store arrives before the pipe has
+        reversed / the writeback has landed."""
+        line = plan8.steady[0]
+        ops = list(line.ops)
+        si = next(i for i, op in enumerate(ops) if isinstance(op, StoreOp))
+        assert isinstance(ops[si - 1], NopOp)
+        del ops[si - 1]
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS403" in codes(verify_plan(mutated, PARAMS))
+
+    def test_drain_gap_metadata_divergence_caught(self, plan8):
+        """Metadata claiming one extra drain cycle than the ops show."""
+        line = plan8.steady[0]
+        mutated = replace_line(
+            plan8, 0, dataclasses.replace(line, drain_gap=line.drain_gap + 1)
+        )
+        assert "RS405" in codes(verify_plan(mutated, PARAMS))
+
+    def test_swapped_coefficients_caught(self, plan8):
+        """Two multiply-adds with exchanged coefficients."""
+        line = plan8.steady[0]
+        ops = list(line.ops)
+        mas = [
+            i
+            for i, op in enumerate(ops)
+            if isinstance(op, MAOp) and not op.is_dummy
+        ]
+        mi = mas[0]
+        mj = next(i for i in mas[1:] if ops[i].coeff != ops[mi].coeff)
+        ops[mi], ops[mj] = (
+            dataclasses.replace(ops[mi], coeff=ops[mj].coeff),
+            dataclasses.replace(ops[mj], coeff=ops[mi].coeff),
+        )
+        mutated = replace_line(plan8, 0, with_ops(line, ops))
+        assert "RS406" in codes(verify_plan(mutated, PARAMS))
+
+
+# ----------------------------------------------------------------------
+# Mutation self-test: lifetimes and register bookkeeping
+# ----------------------------------------------------------------------
+
+
+def forge_ring(column, size, registers):
+    """Build a RingBuffer bypassing its constructor validation, exactly
+    as a buggy allocator would."""
+    ring = object.__new__(RingBuffer)
+    object.__setattr__(ring, "column", column)
+    object.__setattr__(ring, "size", size)
+    object.__setattr__(ring, "registers", tuple(registers))
+    return ring
+
+
+def swap_ring(allocation, old, new):
+    rings = tuple(new if r is old else r for r in allocation.rings)
+    return dataclasses.replace(allocation, rings=rings)
+
+
+class TestLifetimeMutations:
+    def test_shrunken_ring_caught(self, plan8):
+        """A ring one register short of its column span: the leading
+        edge overwrites data a later line still reads."""
+        alloc = plan8.allocation
+        ring = next(r for r in alloc.rings if column_span(r.column) >= 2)
+        shrunk = forge_ring(ring.column, ring.size - 1, ring.registers[:-1])
+        found = codes(analyze_lifetimes(swap_ring(alloc, ring, shrunk)))
+        assert "RS503" in found
+        assert "RS501" in found
+
+    def test_double_booked_register_caught(self, plan8):
+        """One physical register assigned to two rings at once."""
+        alloc = plan8.allocation
+        a, b = alloc.rings[0], alloc.rings[1]
+        stolen = forge_ring(
+            b.column, b.size, (a.registers[0],) + b.registers[1:]
+        )
+        assert "RS504" in codes(analyze_lifetimes(swap_ring(alloc, b, stolen)))
+
+    def test_register_outside_file_caught(self, plan8):
+        alloc = plan8.allocation
+        ring = alloc.rings[0]
+        rogue = forge_ring(
+            ring.column,
+            ring.size,
+            (PARAMS.registers + 5,) + ring.registers[1:],
+        )
+        assert "RS504" in codes(analyze_lifetimes(swap_ring(alloc, ring, rogue)))
+
+    def test_phantom_register_caught(self, plan8):
+        """A register allocated to a ring but never touched by any op:
+        the op streams are self-consistent, so only the usage check
+        (RS502) and the unroll tiling check (RS505) can see it."""
+        alloc = plan8.allocation
+        used = {alloc.zero_reg}
+        if alloc.unit_reg is not None:
+            used.add(alloc.unit_reg)
+        for ring in alloc.rings:
+            used.update(ring.registers)
+        free = next(
+            r for r in range(PARAMS.registers - 1, -1, -1) if r not in used
+        )
+        ring = alloc.rings[0]
+        grown = forge_ring(
+            ring.column, ring.size + 1, ring.registers + (free,)
+        )
+        bad_alloc = swap_ring(alloc, ring, grown)
+        bad_plan = dataclasses.replace(plan8, allocation=bad_alloc)
+        assert "RS502" in codes(check_register_usage(bad_plan))
+        if alloc.unroll % grown.size != 0:
+            assert "RS505" in codes(analyze_lifetimes(bad_alloc))
+
+    def test_mangled_plan_reports_rs405_not_crash(self, plan8):
+        """A plan too broken to walk yields a diagnostic, not a
+        traceback (the CI gate must always get a diagnosis)."""
+        mutated = dataclasses.replace(plan8, steady=())
+        diagnostics = verify_plan(mutated, PARAMS)
+        assert diagnostics, "expected at least one diagnostic"
+        assert codes(diagnostics) <= {"RS405"}
+
+
+# ----------------------------------------------------------------------
+# The RS_VERIFY compile-time gate
+# ----------------------------------------------------------------------
+
+
+class TestDriverGate:
+    def test_clean_compile_passes_under_rs_verify(self, monkeypatch):
+        monkeypatch.setenv("RS_VERIFY", "1")
+        clear_compile_cache()
+        try:
+            compiled = compile_stencil(cross5(), PARAMS)
+            assert compiled.plans
+        finally:
+            clear_compile_cache()
+
+    def test_corrupt_compile_raises_under_rs_verify(self, monkeypatch):
+        base = compile_pattern(diamond13(), PARAMS)
+        width, plan = next(iter(base.plans.items()))
+        line = plan.steady[0]
+        ops = list(line.ops)
+        si = next(i for i, op in enumerate(ops) if isinstance(op, StoreOp))
+        ops[si] = NopOp("dropped-by-test")
+        bad_plan = dataclasses.replace(
+            plan,
+            steady=(dataclasses.replace(line, ops=tuple(ops)),)
+            + plan.steady[1:],
+        )
+        corrupt = CompiledStencil(
+            base.pattern, base.params, {width: bad_plan}, {}
+        )
+
+        import repro.compiler.driver as driver
+
+        monkeypatch.setenv("RS_VERIFY", "1")
+        monkeypatch.setattr(
+            driver, "compile_pattern", lambda *a, **k: corrupt
+        )
+        clear_compile_cache()
+        try:
+            with pytest.raises(VerificationError) as excinfo:
+                compile_stencil(diamond13(), PARAMS)
+            assert "RS404" in str(excinfo.value)
+        finally:
+            clear_compile_cache()
+
+    def test_gate_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("RS_VERIFY", raising=False)
+        clear_compile_cache()
+        try:
+            assert compile_stencil(cross5(), PARAMS).plans
+        finally:
+            clear_compile_cache()
+
+    def test_assert_verified_raises_with_catalogue_codes(self, plan8):
+        mutated = dataclasses.replace(plan8, steady=())
+        compiled = CompiledStencil(
+            cross5(), PARAMS, {plan8.width: mutated}, {}
+        )
+        with pytest.raises(VerificationError) as excinfo:
+            assert_verified(compiled)
+        assert "RS405" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Aliasing at the apply_stencil boundary
+# ----------------------------------------------------------------------
+
+
+class TestAliasing:
+    def _codes(self, **kwargs):
+        from repro.verify import check_aliasing
+
+        defaults = dict(result_name="R", source_name="X")
+        defaults.update(kwargs)
+        return codes(check_aliasing(cross5(), **defaults))
+
+    def test_clean_call_passes(self):
+        assert self._codes() == set()
+
+    def test_destination_is_source_object(self):
+        assert "RS601" in self._codes(same_object=True)
+
+    def test_destination_named_as_source(self):
+        assert "RS601" in self._codes(result_name="X", source_name="X")
+
+    def test_destination_named_as_statement_coefficient(self):
+        assert "RS602" in self._codes(result_name="C1")
+
+    def test_destination_aliases_passed_coefficient(self):
+        assert "RS602" in self._codes(
+            coefficient_arrays={"C1": "R"}
+        )
+
+    def test_fused_extra_term_source_aliased(self):
+        from repro.compiler.fusion import ExtraTerm, fuse
+        from repro.stencil.pattern import Coefficient
+        from repro.verify import check_aliasing
+
+        fused = fuse(
+            cross9(),
+            [ExtraTerm(source="PREV", coeff=Coefficient.array("CT"))],
+            PARAMS,
+        )
+        diagnostics = check_aliasing(
+            fused.pattern, result_name="PREV", source_name="X"
+        )
+        (diag,) = [d for d in diagnostics if d.code == "RS603"]
+        # In-place carried-field updates are well-defined: warn, do not
+        # reject (the ocean example relies on this idiom).
+        assert diag.severity == "warning"
+
+    def test_fused_extra_term_coefficient_aliased(self):
+        from repro.compiler.fusion import ExtraTerm, fuse
+        from repro.stencil.pattern import Coefficient
+        from repro.verify import check_aliasing
+
+        fused = fuse(
+            cross9(),
+            [ExtraTerm(source="PREV", coeff=Coefficient.array("CT"))],
+            PARAMS,
+        )
+        found = codes(
+            check_aliasing(
+                fused.pattern, result_name="CT", source_name="X"
+            )
+        )
+        assert "RS602" in found
+
+    def test_apply_stencil_rejects_aliased_destination(self):
+        import numpy as np
+
+        from repro.machine.machine import CM2
+        from repro.runtime.cm_array import CMArray
+        from repro.runtime.stencil_op import apply_stencil
+        from repro.verify import AliasingError
+
+        params = MachineParams(num_nodes=4)
+        machine = CM2(params)
+        pattern = cross5()
+        compiled = compile_pattern(pattern, params)
+        data = np.zeros((8, 12), dtype=np.float32)
+        X = CMArray.from_numpy("X", machine, data)
+        C = {
+            name: CMArray.from_numpy(name, machine, data)
+            for name in pattern.coefficient_names()
+        }
+        with pytest.raises(AliasingError) as excinfo:
+            apply_stencil(compiled, X, C, X)
+        assert excinfo.value.diagnostics[0].code == "RS601"
+
+        with pytest.raises(AliasingError) as excinfo:
+            apply_stencil(compiled, X, C, "C1")
+        assert excinfo.value.diagnostics[0].code == "RS602"
+
+        # The clean spelling still runs.
+        run = apply_stencil(compiled, X, C, "R")
+        assert run.result.name == "R"
