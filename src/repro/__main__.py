@@ -28,6 +28,15 @@ Commands:
     Sweep the stencil gallery through the static plan verifier
     (dataflow + ring lifetimes) across every width and ring-sizing
     strategy.  Exit status 1 on any diagnostic.
+
+``chaos``
+    Run a seeded hard-fault campaign across the gallery: every stencil
+    x boundary x execution mode, on a machine with spare nodes, under
+    injected node deaths, link failures, and slow nodes.  Prints the
+    survival report; ``--json FILE`` additionally dumps the full
+    machine-readable report (per-trial FaultStats and event streams).
+    Exit status 1 unless every trial survived bit-identically and all
+    recovery costs reconciled.
 """
 
 from __future__ import annotations
@@ -313,6 +322,48 @@ def cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
+def _parse_seeds(text: str):
+    """Seed lists: ``1,2,3`` or ranges ``1-5`` (inclusive), mixed."""
+    seeds = []
+    try:
+        for part in text.split(","):
+            part = part.strip()
+            if "-" in part:
+                lo, hi = part.split("-", 1)
+                seeds.extend(range(int(lo), int(hi) + 1))
+            else:
+                seeds.append(int(part))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected seeds like '1,2,3' or '1-5', got {text!r}"
+        )
+    if not seeds:
+        raise argparse.ArgumentTypeError("no seeds given")
+    return tuple(seeds)
+
+
+def cmd_chaos(args) -> int:
+    import json
+
+    from .analysis.chaos import run_campaign
+
+    report = run_campaign(
+        seeds=args.seeds,
+        nodes=args.nodes,
+        iterations=args.iterations,
+        spares=args.spares,
+    )
+    print(report.describe())
+    if args.json:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            Path(args.json).write_text(payload + "\n", encoding="utf-8")
+            print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -382,6 +433,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_verify.add_argument("--nodes", type=int, default=16)
     p_verify.set_defaults(func=cmd_verify)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run a seeded hard-fault survival campaign"
+    )
+    p_chaos.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=(1, 2, 3, 4, 5),
+        help="seeds to sweep: '1,2,3' or '1-5' (default 1-5)",
+    )
+    p_chaos.add_argument("--nodes", type=int, default=4)
+    p_chaos.add_argument("--iterations", type=int, default=6)
+    p_chaos.add_argument(
+        "--spares", type=int, default=4, help="spare nodes per machine"
+    )
+    p_chaos.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable report ('-' for stdout)",
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -1,6 +1,7 @@
 """Measurement, reporting, and extrapolation."""
 
 from .breakdown import CycleBreakdown, breakdown_run
+from .chaos import ChaosReport, ChaosTrial, run_campaign, run_trial
 from .flops import (
     FlopAccounting,
     account,
@@ -37,6 +38,10 @@ __all__ = [
     "symbol",
     "roofline",
     "table1_sweep",
+    "ChaosReport",
+    "ChaosTrial",
+    "run_campaign",
+    "run_trial",
     "RateReport",
     "account",
     "account_blocked",

@@ -1,0 +1,361 @@
+"""Seeded hard-fault survival campaigns: the ``repro chaos`` engine.
+
+A *campaign* sweeps the stencil gallery across boundary modes and
+execution modes, running every combination under a seeded
+:class:`~repro.runtime.faults.FaultInjector` on a machine configured
+with spare nodes, and scores each trial against three properties:
+
+``survived``
+    The run completed and its result is bit-identical (float32) to the
+    fault-free reference -- hard faults included, because a dead node is
+    remapped onto a spare and its state migrated back.  A run that ends
+    in a *typed* ``FaultError`` did not survive but also did not lie;
+    only a silent mismatch is a property violation, and
+    :func:`run_campaign` treats one as fatal.
+
+``reconciled``
+    The run's charged totals decompose exactly as
+    ``fault-free closed form + recovery buckets``
+    (:meth:`~repro.runtime.faults.FaultStats.recovery_comm_cycles` /
+    :meth:`~repro.runtime.faults.FaultStats.recovery_compute_cycles`).
+    Skipped (None) when the run degraded to a different execution rung
+    mid-flight, because the closed form of the original rung no longer
+    describes the canonical work performed.
+
+``typed_error``
+    When the run raised, the error was a typed ``FaultError`` subclass
+    (never a bare crash, never silent corruption).
+
+The report serializes to JSON (``repro chaos --json``), events and
+stats streams included, and round-trips through
+:meth:`ChaosReport.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.driver import compile_stencil
+from ..machine.machine import CM2
+from ..machine.params import MachineParams
+from ..runtime.cm_array import CMArray
+from ..runtime.faults import (
+    FaultError,
+    FaultInjector,
+    FaultStats,
+    HardFaultSpec,
+    ResiliencePolicy,
+)
+from ..runtime.stencil_op import apply_stencil
+from ..stencil import gallery
+from ..stencil.offsets import BoundaryMode
+from ..stencil.pattern import pattern_from_offsets
+
+#: Execution modes a campaign sweeps: (name, apply_stencil kwargs).
+EXECUTION_MODES: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("blocked", {"block_depth": 3}),
+    ("fast", {}),
+    ("exact", {"exact": True}),
+)
+
+#: Gallery patterns a default campaign covers.
+DEFAULT_PATTERNS: Tuple[str, ...] = (
+    "cross5",
+    "cross9",
+    "square9",
+    "diamond13",
+    "asymmetric5",
+)
+
+#: Default per-exchange hard-fault rates: low enough that a seeded run
+#: sees zero or a few hardware deaths, high enough that a five-seed
+#: campaign exercises every kind.  A pinch of transient corruption keeps
+#: the retry path honest alongside the remap path.
+DEFAULT_RATES: Dict[str, float] = {
+    "node_dead": 0.03,
+    "link_down": 0.03,
+    "node_slow": 0.03,
+    "halo_corrupt": 0.05,
+}
+
+
+def boundary_variant(pattern, mode: str, fill_value: float = 1.5):
+    """The gallery pattern rebuilt under a boundary mode (same taps)."""
+    modes = {
+        "torus": {1: BoundaryMode.CIRCULAR, 2: BoundaryMode.CIRCULAR},
+        "fill": {1: BoundaryMode.FILL, 2: BoundaryMode.FILL},
+    }[mode]
+    return pattern_from_offsets(
+        [tap.offset for tap in pattern.taps],
+        name=f"{pattern.name}_{mode}",
+        boundary=modes,
+        fill_value=fill_value,
+    )
+
+
+@dataclass
+class ChaosTrial:
+    """One campaign cell: a (stencil, boundary, mode, seed) run."""
+
+    stencil: str
+    boundary: str
+    mode: str
+    seed: int
+    survived: bool
+    outcome: str  # "identical", "typed_error:<Name>", or "MISMATCH"
+    reconciled: Optional[bool]
+    injected: int
+    detected: int
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    @property
+    def silent_corruption(self) -> bool:
+        return self.outcome == "MISMATCH"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stencil": self.stencil,
+            "boundary": self.boundary,
+            "mode": self.mode,
+            "seed": self.seed,
+            "survived": self.survived,
+            "outcome": self.outcome,
+            "reconciled": self.reconciled,
+            "injected": self.injected,
+            "detected": self.detected,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosTrial":
+        return cls(
+            stencil=str(data["stencil"]),
+            boundary=str(data["boundary"]),
+            mode=str(data["mode"]),
+            seed=int(data["seed"]),
+            survived=bool(data["survived"]),
+            outcome=str(data["outcome"]),
+            reconciled=(
+                None
+                if data.get("reconciled") is None
+                else bool(data["reconciled"])
+            ),
+            injected=int(data["injected"]),
+            detected=int(data["detected"]),
+            stats=FaultStats.from_dict(dict(data["stats"])),
+        )
+
+
+@dataclass
+class ChaosReport:
+    """A whole campaign's trials plus the headline properties."""
+
+    trials: List[ChaosTrial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def num_survived(self) -> int:
+        return sum(1 for t in self.trials if t.survived)
+
+    @property
+    def survival_rate(self) -> float:
+        return self.num_survived / self.num_trials if self.trials else 1.0
+
+    @property
+    def silent_corruptions(self) -> int:
+        return sum(1 for t in self.trials if t.silent_corruption)
+
+    @property
+    def unreconciled(self) -> int:
+        return sum(1 for t in self.trials if t.reconciled is False)
+
+    @property
+    def total_remaps(self) -> int:
+        return sum(t.stats.remaps + t.stats.live_migrations for t in self.trials)
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance predicate: every trial survived bit-identically,
+        every non-degraded trial reconciled, nothing silently corrupted."""
+        return (
+            self.num_survived == self.num_trials
+            and self.silent_corruptions == 0
+            and self.unreconciled == 0
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"chaos campaign: {self.num_survived}/{self.num_trials} trials "
+            f"survived bit-identically "
+            f"({100.0 * self.survival_rate:.1f}%), "
+            f"{self.silent_corruptions} silent corruptions, "
+            f"{self.unreconciled} accounting mismatches, "
+            f"{self.total_remaps} node remaps/migrations"
+        ]
+        for trial in self.trials:
+            if not trial.survived or trial.reconciled is False:
+                lines.append(
+                    f"  {trial.stencil}/{trial.boundary}/{trial.mode} "
+                    f"seed {trial.seed}: {trial.outcome}"
+                    + ("" if trial.reconciled is not False else ", UNRECONCILED")
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_trials": self.num_trials,
+            "num_survived": self.num_survived,
+            "survival_rate": self.survival_rate,
+            "silent_corruptions": self.silent_corruptions,
+            "unreconciled": self.unreconciled,
+            "total_remaps": self.total_remaps,
+            "ok": self.ok,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosReport":
+        return cls(
+            trials=[ChaosTrial.from_dict(dict(t)) for t in data["trials"]]
+        )
+
+
+def _build_problem(pattern, *, nodes: int, shape, spares: int, seed: int):
+    """A deterministic problem instance: same seed, same bits."""
+    params = MachineParams(num_nodes=nodes)
+    machine = CM2(params, spares=spares)
+    compiled = compile_stencil(pattern, params)
+    rng = np.random.default_rng(seed)
+    x = CMArray.from_numpy(
+        "X", machine, rng.standard_normal(shape).astype(np.float32)
+    )
+    coeffs = {
+        name: CMArray.from_numpy(
+            name, machine, rng.standard_normal(shape).astype(np.float32)
+        )
+        for name in pattern.coefficient_names()
+    }
+    return machine, compiled, x, coeffs
+
+
+def run_trial(
+    stencil: str,
+    boundary: str,
+    mode: str,
+    mode_kwargs: Dict[str, object],
+    seed: int,
+    *,
+    nodes: int = 4,
+    shape: Tuple[int, int] = (16, 24),
+    iterations: int = 6,
+    spares: int = 4,
+    rates: Optional[Dict[str, float]] = None,
+    schedule: Sequence[HardFaultSpec] = (),
+    policy: Optional[ResiliencePolicy] = None,
+) -> ChaosTrial:
+    """One campaign cell: chaos run vs fault-free reference.
+
+    The reference runs unguarded on its own pristine machine (its totals
+    are the closed form the chaos run must reconcile against); the chaos
+    run gets ``spares`` spare nodes and a remap budget to match.
+    """
+    pattern = boundary_variant(getattr(gallery, stencil)(), boundary)
+    _, ref_compiled, ref_x, ref_coeffs = _build_problem(
+        pattern, nodes=nodes, shape=shape, spares=0, seed=seed
+    )
+    reference = apply_stencil(
+        ref_compiled, ref_x, ref_coeffs, "R_REF",
+        iterations=iterations, **mode_kwargs,
+    )
+    expected = reference.result.to_numpy()
+
+    _, compiled, x, coeffs = _build_problem(
+        pattern, nodes=nodes, shape=shape, spares=spares, seed=seed
+    )
+    injector = FaultInjector(
+        seed=seed,
+        rates=dict(DEFAULT_RATES if rates is None else rates),
+        schedule=schedule,
+    )
+    if policy is None:
+        policy = ResiliencePolicy(max_remaps=max(1, spares))
+    try:
+        run = apply_stencil(
+            compiled, x, coeffs, "R_CHAOS", iterations=iterations,
+            faults=injector, resilience=policy, **mode_kwargs,
+        )
+    except FaultError as error:
+        stats = FaultStats()
+        return ChaosTrial(
+            stencil=stencil,
+            boundary=boundary,
+            mode=mode,
+            seed=seed,
+            survived=False,
+            outcome=f"typed_error:{type(error).__name__}",
+            reconciled=None,
+            injected=injector.total_injected,
+            detected=0,
+            stats=stats,
+        )
+    stats = run.fault_stats
+    identical = bool(np.array_equal(run.result.to_numpy(), expected))
+    degraded_rung = any("->" in step for step in stats.degradations)
+    if degraded_rung:
+        reconciled: Optional[bool] = None
+    else:
+        reconciled = (
+            run.comm_cycles_total
+            == reference.comm_cycles_total + stats.recovery_comm_cycles()
+        ) and (
+            run.compute_cycles_total
+            == reference.compute_cycles_total
+            + stats.recovery_compute_cycles()
+        )
+    return ChaosTrial(
+        stencil=stencil,
+        boundary=boundary,
+        mode=mode,
+        seed=seed,
+        survived=identical,
+        outcome="identical" if identical else "MISMATCH",
+        reconciled=reconciled,
+        injected=stats.total_injected,
+        detected=stats.total_detected,
+        stats=stats,
+    )
+
+
+def run_campaign(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    patterns: Sequence[str] = DEFAULT_PATTERNS,
+    boundaries: Sequence[str] = ("torus", "fill"),
+    modes: Sequence[Tuple[str, Dict[str, object]]] = EXECUTION_MODES,
+    nodes: int = 4,
+    shape: Tuple[int, int] = (16, 24),
+    iterations: int = 6,
+    spares: int = 4,
+    rates: Optional[Dict[str, float]] = None,
+) -> ChaosReport:
+    """Sweep ``patterns x boundaries x modes x seeds``."""
+    report = ChaosReport()
+    for seed in seeds:
+        for stencil in patterns:
+            for boundary in boundaries:
+                for mode, mode_kwargs in modes:
+                    report.trials.append(
+                        run_trial(
+                            stencil, boundary, mode, dict(mode_kwargs),
+                            seed, nodes=nodes, shape=shape,
+                            iterations=iterations, spares=spares,
+                            rates=rates,
+                        )
+                    )
+    return report

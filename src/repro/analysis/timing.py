@@ -45,6 +45,12 @@ class RateReport:
     retries: int = 0
     rollbacks: int = 0
     degradations: tuple = ()
+    #: Hard-fault recovery accounting (all zero on ordinary runs).
+    probes: int = 0
+    timeouts: int = 0
+    reroutes: int = 0
+    remaps: int = 0
+    live_migrations: int = 0
 
     def row(self) -> str:
         blocked = f" T={self.block_depth}" if self.block_depth > 1 else ""
@@ -55,6 +61,19 @@ class RateReport:
                 f"{self.faults_detected} detected, {self.retries} retries, "
                 f"{self.rollbacks} rollbacks"
             )
+            hard = []
+            if self.timeouts:
+                hard.append(f"{self.timeouts} timeouts")
+            if self.probes:
+                hard.append(f"{self.probes} probes")
+            if self.reroutes:
+                hard.append(f"{self.reroutes} reroutes")
+            if self.remaps:
+                hard.append(f"{self.remaps} remaps")
+            if self.live_migrations:
+                hard.append(f"{self.live_migrations} live migrations")
+            if hard:
+                chaos += ", " + ", ".join(hard)
             if self.degradations:
                 chaos += ", degraded " + ", ".join(self.degradations)
             chaos += "]"
@@ -98,6 +117,11 @@ def report(run: StencilRun, *, extrapolate_to: int = 2048) -> RateReport:
         retries=fault_stats.retries,
         rollbacks=fault_stats.rollbacks,
         degradations=fault_stats.degradations,
+        probes=fault_stats.probes,
+        timeouts=fault_stats.timeouts,
+        reroutes=fault_stats.reroutes,
+        remaps=fault_stats.remaps,
+        live_migrations=fault_stats.live_migrations,
     )
 
 

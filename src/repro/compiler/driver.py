@@ -110,12 +110,36 @@ def compile_stencil(
     return compiled
 
 
+def _health_signature(machine) -> Optional[tuple]:
+    """A hashable fingerprint of the machine state that changes the
+    depth economics: its rerouted links (orientation included -- detour
+    cost depends on which way the band runs).  None for a healthy
+    machine, so all healthy machines of any shape share cache entries
+    exactly as before hard faults existed."""
+    if machine is None:
+        return None
+    health = getattr(machine, "health", None)
+    if health is None or not health.rerouted_links:
+        return None
+    return (
+        machine.shape,
+        tuple(
+            sorted(
+                (tuple(sorted(key)), health.dead_links[key].orientation)
+                for key in health.rerouted_links
+                if key in health.dead_links
+            )
+        ),
+    )
+
+
 def select_block_depth(
     compiled: CompiledStencil,
     subgrid_shape: Tuple[int, int],
     iterations: int,
     *,
     max_depth: Optional[int] = None,
+    machine=None,
 ) -> int:
     """Pick the temporal block depth for an iterated run, memoized.
 
@@ -125,6 +149,11 @@ def select_block_depth(
     by every call -- the same economics as plan memoization.  Delegates
     to the deep-halo comm/compute model in
     :mod:`repro.runtime.blocking`; returns 1 when blocking does not pay.
+
+    Remap-aware: when the (optional) ``machine`` carries rerouted links,
+    their detour surcharge enters the cost model and the cache key
+    carries the health fingerprint -- a selection priced on healthy
+    wires is never replayed onto a degraded machine, and vice versa.
     """
     # Imported lazily: the runtime layer imports this module's siblings.
     from ..runtime.blocking import best_block_depth
@@ -137,16 +166,17 @@ def select_block_depth(
             tuple(subgrid_shape),
             iterations,
             max_depth,
+            _health_signature(machine),
         )
         depth = _DEPTH_CACHE.get(key)
     except TypeError:
         return best_block_depth(
-            compiled, subgrid_shape, iterations, max_depth
+            compiled, subgrid_shape, iterations, max_depth, machine=machine
         )
     if depth is None:
         _depth_cache_misses += 1
         depth = best_block_depth(
-            compiled, subgrid_shape, iterations, max_depth
+            compiled, subgrid_shape, iterations, max_depth, machine=machine
         )
         if len(_DEPTH_CACHE) >= _DEPTH_CACHE_LIMIT:
             _DEPTH_CACHE.clear()

@@ -6,12 +6,20 @@ grid in the hypercube "in such a way that grid neighbors are hypercube
 neighbors, thereby making effective use of the network" (paper section
 4.1) -- the classic binary-reflected Gray code embedding, reproduced
 here and checked by tests.
+
+The machine's boards were *deconfigurable*: a failed chip could be mapped
+out and a spare mapped in without changing the program's view of the
+grid.  :class:`CoordinateMap` models that indirection -- every logical
+grid position resolves through it to a physical node id, and a confirmed
+dead node is remapped onto a spare from a configured spare row/column
+while the logical grid (and therefore every compiled plan, decomposition,
+and exchange schedule) stays fixed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 def is_power_of_two(n: int) -> bool:
@@ -93,3 +101,111 @@ def all_coords(shape: Tuple[int, int]) -> Iterator[NodeCoord]:
     for row in range(rows):
         for col in range(cols):
             yield NodeCoord(row, col)
+
+
+def spare_count(shape: Tuple[int, int], spares) -> int:
+    """Resolve a ``CM2(spares=...)`` specification to a node count.
+
+    ``"row"`` configures one spare row (``grid_cols`` nodes), ``"col"``
+    one spare column (``grid_rows`` nodes); an int is taken verbatim.
+    """
+    rows, cols = shape
+    if isinstance(spares, bool):
+        raise ValueError(
+            "spares must be a non-negative int, 'row', or 'col', got "
+            f"{spares!r}"
+        )
+    if spares in (None, 0):
+        return 0
+    if spares == "row":
+        return cols
+    if spares in ("col", "column"):
+        return rows
+    if isinstance(spares, int) and not isinstance(spares, bool):
+        if spares < 0:
+            raise ValueError(f"spare count must be non-negative, got {spares}")
+        return spares
+    raise ValueError(
+        f"spares must be a non-negative int, 'row', or 'col', got {spares!r}"
+    )
+
+
+class SpareExhaustedError(RuntimeError):
+    """A remap was requested but no spare physical node remains."""
+
+
+class CoordinateMap:
+    """The logical grid -> physical node indirection.
+
+    Physical nodes ``0 .. rows*cols - 1`` initially back the logical grid
+    in row-major order; physical ids ``rows*cols ..`` are the spare pool
+    (one extra hypercube dimension's worth of addresses).  Remapping a
+    logical coordinate retires its physical node and binds the next
+    spare; the logical grid never changes shape, so decompositions,
+    compiled plans, and exchange schedules are untouched -- only the
+    resolution of "which hardware executes node (r, c)" moves.
+    """
+
+    def __init__(self, shape: Tuple[int, int], num_spares: int = 0) -> None:
+        rows, cols = shape
+        self.shape = (rows, cols)
+        self.num_spares = int(num_spares)
+        self._map: Dict[Tuple[int, int], int] = {
+            (r, c): r * cols + c for r in range(rows) for c in range(cols)
+        }
+        first_spare = rows * cols
+        self._spare_pool: List[int] = list(
+            range(first_spare, first_spare + self.num_spares)
+        )
+        #: Retired physical ids and the logical coordinate each last held.
+        self.retired: Dict[int, Tuple[int, int]] = {}
+
+    def physical(self, row: int, col: int) -> int:
+        """The physical node id currently backing logical ``(row, col)``."""
+        try:
+            return self._map[(row, col)]
+        except KeyError:
+            raise ValueError(
+                f"({row}, {col}) outside logical grid {self.shape}"
+            ) from None
+
+    def logical(self, physical_id: int) -> Optional[Tuple[int, int]]:
+        """The logical coordinate a physical node currently backs, or
+        None for spares and retired nodes."""
+        for coord, phys in self._map.items():
+            if phys == physical_id:
+                return coord
+        return None
+
+    @property
+    def spares_remaining(self) -> int:
+        return len(self._spare_pool)
+
+    @property
+    def in_service(self) -> Tuple[int, ...]:
+        """Physical ids currently backing logical coordinates."""
+        return tuple(self._map.values())
+
+    def remap(self, row: int, col: int) -> int:
+        """Retire ``(row, col)``'s physical node and bind the next spare.
+
+        Returns the new physical id.  Raises
+        :class:`SpareExhaustedError` when the spare pool is empty.
+        """
+        old = self.physical(row, col)
+        if not self._spare_pool:
+            raise SpareExhaustedError(
+                f"no spare left to replace physical node {old} "
+                f"at logical ({row}, {col})"
+            )
+        new = self._spare_pool.pop(0)
+        self._map[(row, col)] = new
+        self.retired[old] = (row, col)
+        return new
+
+    def describe(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"{rows}x{cols} logical grid, {self.spares_remaining}/"
+            f"{self.num_spares} spares free, {len(self.retired)} retired"
+        )

@@ -1,0 +1,146 @@
+"""Persistent hardware health state: dead nodes, dead links, slow nodes.
+
+The CM-2's production reality included ECC memory, deconfigurable
+boards, and spare chips: a machine of 64K processors keeps computing
+when hardware dies, not only when a message flips a bit.  This module is
+the simulator's ledger of *persistent* faults -- unlike the transient
+faults of :mod:`repro.runtime.faults`, a condition recorded here stays
+true until the hardware is repaired (a dead node is remapped onto a
+spare, a dead link is routed around).
+
+Health state is keyed by **physical** identity: node conditions by
+physical node id (see
+:class:`~repro.machine.geometry.CoordinateMap`), link conditions by the
+unordered pair of physical endpoints.  Remapping a logical coordinate
+onto a spare therefore heals, as a side effect, every link whose bad
+endpoint was the retired node -- the spare brings fresh wires.
+
+Detection and recovery live in the runtime
+(:class:`~repro.runtime.faults.HealthMonitor`); this module only records
+what is true of the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+
+@dataclass(frozen=True)
+class LinkState:
+    """One grid link's identity: physical endpoints plus orientation.
+
+    ``orientation`` is ``"h"`` for an East/West (column-axis) link and
+    ``"v"`` for a North/South (row-axis) link -- the detour cost of a
+    reroute depends on which way the band it carried runs.
+    """
+
+    endpoints: FrozenSet[int]
+    orientation: str
+
+    def describe(self) -> str:
+        a, b = sorted(self.endpoints)
+        axis = "E-W" if self.orientation == "h" else "N-S"
+        return f"link {a}<->{b} ({axis})"
+
+
+def link_key(phys_a: int, phys_b: int) -> FrozenSet[int]:
+    return frozenset((phys_a, phys_b))
+
+
+class MachineHealth:
+    """The machine's current hardware condition.
+
+    ``epoch`` increments on every recorded change, so caches keyed on
+    machine topology (e.g. the block-depth selection memo) can observe
+    "the hardware is not what it was when you last priced this".
+    """
+
+    def __init__(self) -> None:
+        self.dead_nodes: set = set()
+        self.slow_nodes: set = set()
+        self.dead_links: Dict[FrozenSet[int], LinkState] = {}
+        #: Dead links the runtime has confirmed and routed around:
+        #: traffic arrives intact but pays the detour.
+        self.rerouted_links: set = set()
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # Recording (the injector and repair paths write here)
+    # ------------------------------------------------------------------
+
+    def _bump(self) -> None:
+        self.epoch += 1
+
+    def mark_node_dead(self, physical_id: int) -> None:
+        self.dead_nodes.add(physical_id)
+        self.slow_nodes.discard(physical_id)
+        self._bump()
+
+    def mark_node_slow(self, physical_id: int) -> None:
+        if physical_id not in self.dead_nodes:
+            self.slow_nodes.add(physical_id)
+            self._bump()
+
+    def mark_link_dead(self, phys_a: int, phys_b: int, orientation: str) -> None:
+        key = link_key(phys_a, phys_b)
+        if key not in self.dead_links:
+            self.dead_links[key] = LinkState(
+                endpoints=key, orientation=orientation
+            )
+            self._bump()
+
+    def mark_link_rerouted(self, phys_a: int, phys_b: int) -> None:
+        key = link_key(phys_a, phys_b)
+        if key in self.dead_links and key not in self.rerouted_links:
+            self.rerouted_links.add(key)
+            self._bump()
+
+    def retire_node(self, physical_id: int) -> None:
+        """A remap replaced this physical node: its conditions (and its
+        links' conditions -- the spare brings fresh wires) stop
+        mattering for the logical grid."""
+        self.dead_nodes.discard(physical_id)
+        self.slow_nodes.discard(physical_id)
+        for key in [k for k in self.dead_links if physical_id in k]:
+            del self.dead_links[key]
+            self.rerouted_links.discard(key)
+        self._bump()
+
+    # ------------------------------------------------------------------
+    # Queries (the exchange and the monitor read here)
+    # ------------------------------------------------------------------
+
+    def node_dead(self, physical_id: int) -> bool:
+        return physical_id in self.dead_nodes
+
+    def node_slow(self, physical_id: int) -> bool:
+        return physical_id in self.slow_nodes
+
+    def link_dead(self, phys_a: int, phys_b: int) -> bool:
+        return link_key(phys_a, phys_b) in self.dead_links
+
+    def link_delivers(self, phys_a: int, phys_b: int) -> bool:
+        """Whether traffic between these endpoints arrives intact:
+        either the link is healthy or it has been routed around."""
+        key = link_key(phys_a, phys_b)
+        return key not in self.dead_links or key in self.rerouted_links
+
+    @property
+    def any_condition(self) -> bool:
+        return bool(self.dead_nodes or self.slow_nodes or self.dead_links)
+
+    def describe(self) -> str:
+        if not self.any_condition:
+            return "all hardware healthy"
+        parts = []
+        if self.dead_nodes:
+            parts.append(f"{len(self.dead_nodes)} dead node(s)")
+        if self.slow_nodes:
+            parts.append(f"{len(self.slow_nodes)} slow node(s)")
+        if self.dead_links:
+            rerouted = len(self.rerouted_links)
+            parts.append(
+                f"{len(self.dead_links)} dead link(s) ({rerouted} rerouted)"
+            )
+        return ", ".join(parts)

@@ -15,12 +15,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from .geometry import (
+    CoordinateMap,
     NodeCoord,
     all_coords,
     grid_shape,
     is_power_of_two,
     node_address,
+    spare_count,
 )
+from .health import MachineHealth
 from .memory import MachineStorage
 from .node import Node
 from .params import MachineParams
@@ -40,6 +43,7 @@ class CM2:
         self,
         params: Optional[MachineParams] = None,
         shape: Optional[Tuple[int, int]] = None,
+        spares=0,
     ) -> None:
         self.params = params or MachineParams()
         if shape is None:
@@ -67,11 +71,30 @@ class CM2:
             )
             for coord in all_coords(self.shape)
         }
+        # Deconfigurable-hardware state: the logical->physical map (with
+        # its configured spare pool), the spare Node objects themselves
+        # (addresses in the next hypercube dimension, as a physically
+        # spare board would be), and the health ledger.
+        self.coord_map = CoordinateMap(
+            self.shape, spare_count(self.shape, spares)
+        )
+        first_spare = self.num_nodes
+        self._spare_nodes: Dict[int, Node] = {
+            first_spare + i: Node(
+                coord=NodeCoord(-1, first_spare + i),
+                address=first_spare + i,
+                params=self.params,
+            )
+            for i in range(self.coord_map.num_spares)
+        }
+        self.health = MachineHealth()
         # Shared counter bumped whenever any node's buffer mapping
         # changes; lets stacked() cache its every-node integrity check.
         self._memory_epoch = [0]
         self._stack_checks: Dict[str, Tuple[np.ndarray, int]] = {}
         for node in self._nodes.values():
+            node.memory.track_epoch(self._memory_epoch)
+        for node in self._spare_nodes.values():
             node.memory.track_epoch(self._memory_epoch)
 
     @property
@@ -92,6 +115,89 @@ class CM2:
     def nodes(self) -> Iterator[Node]:
         for coord in all_coords(self.shape):
             yield self._nodes[coord]
+
+    # ------------------------------------------------------------------
+    # Deconfigurable hardware: spares and remapping
+    # ------------------------------------------------------------------
+
+    def physical_id(self, row: int, col: int) -> int:
+        """The physical node id behind logical ``(row, col)``."""
+        return self.coord_map.physical(
+            row % self.grid_rows, col % self.grid_cols
+        )
+
+    @property
+    def spares_remaining(self) -> int:
+        return self.coord_map.spares_remaining
+
+    @property
+    def has_spares(self) -> bool:
+        return self.coord_map.num_spares > 0
+
+    def lost_coords(self) -> Tuple[NodeCoord, ...]:
+        """Logical coordinates currently backed by a dead physical node
+        (i.e. in need of a remap before any exchange can complete)."""
+        return tuple(
+            coord
+            for coord in all_coords(self.shape)
+            if self.health.node_dead(
+                self.coord_map.physical(coord.row, coord.col)
+            )
+        )
+
+    def slow_coords(self) -> Tuple[NodeCoord, ...]:
+        """Logical coordinates backed by a degraded (slow) physical node."""
+        return tuple(
+            coord
+            for coord in all_coords(self.shape)
+            if self.health.node_slow(
+                self.coord_map.physical(coord.row, coord.col)
+            )
+        )
+
+    def remap_node(self, row: int, col: int) -> Node:
+        """Migrate logical ``(row, col)`` onto the next spare node.
+
+        Rewrites the logical->physical coordinate map, deploys the spare
+        ``Node`` at the logical coordinate, and re-installs that
+        coordinate's slice of every distributed stack as views in the
+        spare's memory -- the state-migration step; the data itself is
+        whatever the stacks currently hold (the caller restores the lost
+        tile from a checkpoint before or after remapping).  The retired
+        physical node's health conditions stop applying to the logical
+        grid (its links are retired with it).
+
+        Raises :class:`~repro.machine.geometry.SpareExhaustedError` when
+        the spare pool is empty.
+        """
+        coord = NodeCoord(row % self.grid_rows, col % self.grid_cols)
+        old_phys = self.coord_map.physical(coord.row, coord.col)
+        new_phys = self.coord_map.remap(coord.row, coord.col)
+        spare = self._spare_nodes.pop(new_phys)
+        spare.coord = coord
+        self._nodes[coord] = spare
+        self.health.retire_node(old_phys)
+        for name in self.storage.names:
+            stack = self.storage.get(name)
+            if stack is not None and stack.shape[:2] == self.shape:
+                spare.memory.install_view(name, stack[coord.row, coord.col])
+        return spare
+
+    def migration_words(self) -> int:
+        """Words one node's migration moves: its tile of every
+        distributed stack (the state a spare must receive)."""
+        total = 0
+        seen = set()
+        for name in self.storage.names:
+            stack = self.storage.get(name)
+            if (
+                stack is not None
+                and stack.shape[:2] == self.shape
+                and id(stack) not in seen
+            ):
+                seen.add(id(stack))
+                total += int(stack.shape[2] * stack.shape[3])
+        return total
 
     # ------------------------------------------------------------------
     # Stacked distributed buffers
@@ -170,8 +276,13 @@ class CM2:
 
     def describe(self) -> str:
         rows, cols = self.shape
+        spares = (
+            f", {self.spares_remaining}/{self.coord_map.num_spares} spares"
+            if self.has_spares
+            else ""
+        )
         return (
-            f"CM-2: {self.num_nodes} nodes as a {rows}x{cols} grid, "
+            f"CM-2: {self.num_nodes} nodes as a {rows}x{cols} grid{spares}, "
             f"{self.params.clock_hz / 1e6:g} MHz, "
             f"peak {self.peak_gflops():.2f} Gflops"
         )

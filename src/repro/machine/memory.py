@@ -256,6 +256,23 @@ class MachineStorage:
     def names(self) -> Tuple[str, ...]:
         return tuple(self._stacks)
 
+    def tile_stacks(self):
+        """Every distinct node-tiled stack, from both namespaces:
+        ``(name, stack)`` pairs whose leading dims are the node grid.
+        Aliased names yield the underlying stack once (the view a dead
+        node loses is the storage, not the name)."""
+        seen = set()
+        for name, stack in list(self._stacks.items()) + list(
+            self._scratch.items()
+        ):
+            if (
+                stack.ndim == 4
+                and stack.shape[:2] == self.grid_shape
+                and id(stack) not in seen
+            ):
+                seen.add(id(stack))
+                yield name, stack
+
     # ------------------------------------------------------------------
     # Scratch stacks (temporal blocking)
     # ------------------------------------------------------------------

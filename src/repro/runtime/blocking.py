@@ -208,11 +208,47 @@ def blocked_costs(
     )
 
 
+def reroute_penalty_cycles(
+    machine, subgrid_shape: Tuple[int, int], params, depth: int, pad: int
+) -> int:
+    """Detour surcharge one full-depth deep exchange pays on ``machine``
+    for its currently rerouted links.
+
+    Mirrors the runtime's actual charge
+    (:meth:`repro.runtime.faults.HealthMonitor.charge_detours` with
+    full-height E/W bands, as blocked deep exchanges use): per rerouted
+    link, one extra hop's startup plus the per-element cost of the band
+    that link carried.  Zero on a healthy machine (or with no machine at
+    all), so the fault-free depth choice is untouched.
+    """
+    if machine is None:
+        return 0
+    health = getattr(machine, "health", None)
+    if health is None or not health.rerouted_links:
+        return 0
+    rows, cols = subgrid_shape
+    deep = depth * pad
+    penalty = 0
+    for key in health.rerouted_links:
+        state = health.dead_links.get(key)
+        if state is None:
+            continue
+        if state.orientation == "v":
+            elements = 2 * deep * cols
+        else:
+            elements = 2 * deep * (rows + 2 * deep)
+        penalty += params.comm_startup_cycles + int(
+            params.comm_cycles_per_element * elements
+        )
+    return penalty
+
+
 def best_block_depth(
     compiled: CompiledStencil,
     subgrid_shape: Tuple[int, int],
     iterations: int,
     max_depth: Optional[int] = None,
+    machine=None,
 ) -> int:
     """The block depth with the lowest modeled elapsed time.
 
@@ -223,16 +259,27 @@ def best_block_depth(
     compute, which on this machine model is the common regime: grid
     communication is cheap per element, so blocking wins only where the
     per-exchange startup dominates (small subgrids, many iterations).
+
+    When ``machine`` carries rerouted links (hard link faults routed
+    around), every candidate's exchanges are surcharged with the
+    per-depth detour cost (:func:`reroute_penalty_cycles`), so the
+    selection prices the machine as it is, not as it was built.
     """
     cap = depth_cap(compiled.pattern, subgrid_shape, iterations)
     if max_depth is not None:
         cap = min(cap, max_depth)
+    pad = compiled.pattern.border_widths().max_width
     best = 1
     best_seconds = None
     for depth in range(1, cap + 1):
-        seconds = blocked_costs(
-            compiled, subgrid_shape, iterations, depth
-        ).modeled_seconds(compiled.params, iterations)
+        costs = blocked_costs(compiled, subgrid_shape, iterations, depth)
+        seconds = costs.modeled_seconds(compiled.params, iterations)
+        penalty = reroute_penalty_cycles(
+            machine, subgrid_shape, compiled.params, depth, pad
+        )
+        if penalty:
+            total_exchanges = costs.num_exchanges + costs.coeff_exchanges
+            seconds += compiled.params.seconds(penalty * total_exchanges)
         if best_seconds is None or seconds < best_seconds:
             best = depth
             best_seconds = seconds

@@ -181,20 +181,39 @@ def exchange_halo_deep(
         _fill_padded_deep(source_stack, padded, pattern, subgrid_shape, deep)
         return stats
 
+    site = f"deep exchange (depth {depth})"
+    # Hard-fault window (see _exchange_halo_guarded).  The machine is
+    # known only when the guard is armed for hard faults.
+    machine = guard.machine
+    guard.begin_exchange(site)
     attempt = 0
     while True:
         attempt += 1
         _fill_padded_deep(source_stack, padded, pattern, subgrid_shape, deep)
         guard.charge_exchange(stats, retry=attempt > 1)
+        if machine is not None and _corrupt_dead_links(
+            machine, padded, subgrid_shape, deep, full_height_ew=True
+        ):
+            _apply_fill_deep(padded, pattern, subgrid_shape, deep)
         guard.inject_halo(_deep_regions(padded, deep, subgrid_shape))
         bad = _verify_deep(source_stack, padded, pattern, subgrid_shape, deep)
         if not bad:
+            if guard.monitor is not None:
+                guard.monitor.charge_detours(
+                    deep, subgrid_shape, params, full_height_ew=True
+                )
             return stats
-        guard.note_detected(
-            "halo_checksum",
-            f"deep exchange (depth {depth})",
-            ", ".join(bad),
-        )
+        guard.note_detected("halo_checksum", site, ", ".join(bad))
+        if guard.monitor is not None:
+            expected = np.zeros_like(padded)
+            _fill_padded_deep(
+                source_stack, expected, pattern, subgrid_shape, deep
+            )
+            routes = _localize_bad_routes(
+                machine, padded, expected, subgrid_shape, deep,
+                full_height_ew=True,
+            )
+            guard.monitor.observe_route_failures(routes, site)
         if attempt > guard.policy.max_retries:
             raise RetryExhaustedError(
                 f"deep halo exchange failed checksum verification on "
@@ -231,7 +250,18 @@ def _fill_padded_deep(
     padded[:, :, :, deep + cols :] = np.roll(
         padded[:, :, :, deep : 2 * deep], -1, axis=1
     )
+    _apply_fill_deep(padded, pattern, subgrid_shape, deep)
 
+
+def _apply_fill_deep(
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    deep: int,
+) -> None:
+    """(Re-)apply the FILL boundary overwrites to a deep buffer (see
+    :func:`_apply_fill_shallow` for why this is separable)."""
+    rows, cols = subgrid_shape
     dim_row, dim_col = pattern.plane_dims
     fill = np.float32(pattern.fill_value)
     if pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
@@ -381,7 +411,7 @@ def exchange_halo(
     name = into if into is not None else halo_buffer_name(source.name)
     if guard is not None:
         return _exchange_halo_guarded(
-            source, pattern, stats, name, batched, guard
+            source, pattern, stats, name, batched, guard, params
         )
     if batched and _exchange_halo_batched(source, pattern, stats, name):
         return stats
@@ -396,10 +426,16 @@ def _exchange_halo_guarded(
     name: str,
     batched: bool,
     guard: FaultGuard,
+    params: MachineParams,
 ) -> CommStats:
     """The checksummed, retried shallow exchange (chaos runs only)."""
     machine = source.machine
     subgrid_shape = source.subgrid_shape
+    site = f"exchange into {name!r}"
+    # Hard-fault window: the injector may break hardware now, and a
+    # dead participant misses the deadline here -- before any data
+    # moves and before any exchange is charged.
+    guard.begin_exchange(site)
     attempt = 0
     while True:
         attempt += 1
@@ -411,6 +447,11 @@ def _exchange_halo_guarded(
         guard.charge_exchange(stats, retry=attempt > 1)
         if used_batched:
             padded = machine.stacked(name)
+            if _corrupt_dead_links(
+                machine, padded, subgrid_shape, stats.pad,
+                full_height_ew=False,
+            ):
+                _apply_fill_shallow(padded, pattern, stats, subgrid_shape)
             guard.inject_halo(_shallow_regions(padded, stats, subgrid_shape))
             bad = _verify_shallow_batched(
                 machine.stacked(source.name),
@@ -420,17 +461,44 @@ def _exchange_halo_guarded(
                 subgrid_shape,
             )
         else:
+            _corrupt_dead_links_per_node(
+                machine, name, pattern, stats, subgrid_shape
+            )
             guard.inject_halo(
                 _per_node_regions(machine, stats, subgrid_shape, name)
             )
-            bad = _verify_shallow_per_node(
+            bad_coords = _verify_shallow_per_node(
                 machine, source.name, pattern, stats, subgrid_shape, name
             )
+            bad = [f"node({r},{c})" for (r, c) in bad_coords]
         if not bad:
+            if guard.monitor is not None:
+                guard.monitor.charge_detours(
+                    stats.pad, subgrid_shape, params
+                )
             return stats
-        guard.note_detected(
-            "halo_checksum", f"exchange into {name!r}", ", ".join(bad)
-        )
+        guard.note_detected("halo_checksum", site, ", ".join(bad))
+        # Route diagnosis: attribute the failures to physical links so
+        # a dead link is confirmed (and routed around) after enough
+        # failures on the same route.
+        if guard.monitor is not None:
+            if used_batched:
+                expected = np.zeros_like(padded)
+                _fill_padded_shallow(
+                    machine.stacked(source.name),
+                    expected,
+                    pattern,
+                    stats,
+                    subgrid_shape,
+                )
+                routes = _localize_bad_routes(
+                    machine, padded, expected, subgrid_shape, stats.pad,
+                    full_height_ew=False,
+                )
+                guard.monitor.observe_route_failures(routes, site)
+            else:
+                for coord in bad_coords:
+                    guard.monitor.probe_node_links(coord, site)
         if attempt > guard.policy.max_retries:
             raise RetryExhaustedError(
                 f"halo exchange into {name!r} failed checksum verification "
@@ -525,11 +593,15 @@ def _verify_shallow_per_node(
     stats: CommStats,
     subgrid_shape: Tuple[int, int],
     name: str,
-) -> List[str]:
-    """Checksum every node's whole padded buffer against a recompute."""
+) -> List[Tuple[int, int]]:
+    """Checksum every node's whole padded buffer against a recompute.
+
+    Returns the grid coordinates of nodes whose buffers mismatch (the
+    caller formats labels and, under a monitor, probes their links).
+    """
     rows, cols = subgrid_shape
     pad = stats.pad
-    bad: List[str] = []
+    bad: List[Tuple[int, int]] = []
     expected = np.zeros((rows + 2 * pad, cols + 2 * pad), dtype=np.float32)
     for node in machine.nodes():
         expected[...] = 0.0
@@ -537,8 +609,173 @@ def _verify_shallow_per_node(
             machine, node, source_name, pattern, stats, subgrid_shape, expected
         )
         if parity_word(node.memory.buffer(name)) != parity_word(expected):
-            bad.append(f"node({node.coord.row},{node.coord.col})")
+            bad.append((node.coord.row, node.coord.col))
     return bad
+
+
+def _dead_link_pairs(
+    machine: CM2,
+) -> List[Tuple[str, Tuple[int, int], Tuple[int, int]]]:
+    """Logical coordinate pairs of every dead, un-rerouted link.
+
+    Each entry is ``(orientation, first, second)`` with ``first`` the
+    North (for ``"v"``) or West (for ``"h"``) endpoint.  On a 2-wide
+    axis the +1 and -1 neighbors share one hypercube wire, so both
+    directed pairs are emitted.  Links with a retired endpoint resolve
+    to no logical coordinate and are skipped (the spare brought fresh
+    wires)."""
+    health = machine.health
+    pairs: List[Tuple[str, Tuple[int, int], Tuple[int, int]]] = []
+    if not health.dead_links:
+        return pairs
+    grid_rows, grid_cols = machine.shape
+    for key, link in health.dead_links.items():
+        if key in health.rerouted_links:
+            continue
+        end_a, end_b = tuple(key)
+        la = machine.coord_map.logical(end_a)
+        lb = machine.coord_map.logical(end_b)
+        if la is None or lb is None:
+            continue
+        if link.orientation == "v":
+            if la[1] != lb[1]:
+                continue
+            if (la[0] + 1) % grid_rows == lb[0]:
+                pairs.append(("v", la, lb))
+            if (lb[0] + 1) % grid_rows == la[0]:
+                pairs.append(("v", lb, la))
+        else:
+            if la[0] != lb[0]:
+                continue
+            if (la[1] + 1) % grid_cols == lb[1]:
+                pairs.append(("h", la, lb))
+            if (lb[1] + 1) % grid_cols == la[1]:
+                pairs.append(("h", lb, la))
+    return pairs
+
+
+def _corrupt_dead_links(
+    machine: CM2,
+    padded: np.ndarray,
+    subgrid_shape: Tuple[int, int],
+    depth: int,
+    *,
+    full_height_ew: bool,
+) -> bool:
+    """Corrupt every band that crossed a dead, un-rerouted link.
+
+    Models the hardware truth: a severed wire garbles everything it
+    carries, every time, until the runtime routes around it.  Corner
+    blocks travel the diagonal hypercube channels and are unaffected.
+    The caller re-applies the FILL overwrites afterwards (a FILL band
+    carries no message).  Returns True when anything was corrupted.
+    """
+    pairs = _dead_link_pairs(machine)
+    if not pairs or depth == 0:
+        return False
+    rows, cols = subgrid_shape
+    d = depth
+    nan = np.float32(np.nan)
+    for orientation, first, second in pairs:
+        if orientation == "v":
+            north, south = first, second
+            padded[south[0], south[1], :d, d : d + cols] = nan
+            padded[north[0], north[1], d + rows :, d : d + cols] = nan
+        else:
+            west, east = first, second
+            if full_height_ew:
+                padded[east[0], east[1], :, :d] = nan
+                padded[west[0], west[1], :, d + cols :] = nan
+            else:
+                padded[east[0], east[1], d : d + rows, :d] = nan
+                padded[west[0], west[1], d : d + rows, d + cols :] = nan
+    return True
+
+
+def _corrupt_dead_links_per_node(
+    machine: CM2,
+    name: str,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+) -> bool:
+    """Per-node variant of :func:`_corrupt_dead_links`: skips FILL
+    bands directly instead of re-applying the overwrites."""
+    pairs = _dead_link_pairs(machine)
+    pad = stats.pad
+    if not pairs or pad == 0:
+        return False
+    rows, cols = subgrid_shape
+    grid_rows, grid_cols = machine.shape
+    dim_row, dim_col = pattern.plane_dims
+    row_fills = (
+        pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
+    )
+    col_fills = (
+        pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
+    )
+    nan = np.float32(np.nan)
+    for orientation, first, second in pairs:
+        if orientation == "v":
+            north, south = first, second
+            if not (south[0] == 0 and row_fills):
+                buffer = machine.node(*south).memory.buffer(name)
+                buffer[:pad, pad : pad + cols] = nan
+            if not (north[0] == grid_rows - 1 and row_fills):
+                buffer = machine.node(*north).memory.buffer(name)
+                buffer[pad + rows :, pad : pad + cols] = nan
+        else:
+            west, east = first, second
+            if not (east[1] == 0 and col_fills):
+                buffer = machine.node(*east).memory.buffer(name)
+                buffer[pad : pad + rows, :pad] = nan
+            if not (west[1] == grid_cols - 1 and col_fills):
+                buffer = machine.node(*west).memory.buffer(name)
+                buffer[pad : pad + rows, pad + cols :] = nan
+    return True
+
+
+def _localize_bad_routes(
+    machine: CM2,
+    padded: np.ndarray,
+    expected: np.ndarray,
+    subgrid_shape: Tuple[int, int],
+    depth: int,
+    *,
+    full_height_ew: bool,
+) -> List[Tuple[Tuple[int, int], Tuple[int, int]]]:
+    """Per-node, per-band parity comparison: which (receiver, sender)
+    routes carried a bad message.  Corner blocks are not attributed --
+    they travel the diagonal channels, which the link model leaves
+    healthy."""
+    rows, cols = subgrid_shape
+    d = depth
+    if d == 0:
+        return []
+    grid_rows, grid_cols = machine.shape
+    if full_height_ew:
+        west_slice = np.s_[:, :d]
+        east_slice = np.s_[:, d + cols :]
+    else:
+        west_slice = np.s_[d : d + rows, :d]
+        east_slice = np.s_[d : d + rows, d + cols :]
+    bands = [
+        (np.s_[:d, d : d + cols], lambda r, c: ((r - 1) % grid_rows, c)),
+        (np.s_[d + rows :, d : d + cols], lambda r, c: ((r + 1) % grid_rows, c)),
+        (west_slice, lambda r, c: (r, (c - 1) % grid_cols)),
+        (east_slice, lambda r, c: (r, (c + 1) % grid_cols)),
+    ]
+    routes: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for r in range(grid_rows):
+        for c in range(grid_cols):
+            for band_slice, sender in bands:
+                got = padded[r, c][band_slice]
+                want = expected[r, c][band_slice]
+                if parity_word(got) != parity_word(want):
+                    routes.append(((r, c), sender(r, c)))
+    return routes
 
 
 def _exchange_halo_batched(
@@ -583,13 +820,6 @@ def _fill_padded_shallow(
     if pad == 0:
         return
 
-    dim_row, dim_col = pattern.plane_dims
-    row_wraps = pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
-    col_wraps = pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
-    fill = np.float32(pattern.fill_value)
-    row_fills = row_wraps is BoundaryMode.FILL
-    col_fills = col_wraps is BoundaryMode.FILL
-
     # Step 2: edges, exchanged with all four neighbors at once.  A roll
     # of +1 along a grid axis delivers each node the data of the
     # neighbor at the smaller index (its North/West neighbor), wrapping
@@ -606,12 +836,6 @@ def _fill_padded_shallow(
     padded[:, :, pad : pad + rows, pad + cols :] = np.roll(
         stack[:, :, :, :pad], -1, axis=1
     )
-    if row_fills:
-        padded[0, :, :pad, pad : pad + cols] = fill
-        padded[-1, :, pad + rows :, pad : pad + cols] = fill
-    if col_fills:
-        padded[:, 0, pad : pad + rows, :pad] = fill
-        padded[:, -1, pad : pad + rows, pad + cols :] = fill
 
     # Step 3: corners, unless the pattern has no diagonal reach.  When
     # skipped, the corner blocks are scrubbed to zero so a reused buffer
@@ -621,19 +845,57 @@ def _fill_padded_shallow(
         padded[:, :, :pad, pad + cols :] = 0.0
         padded[:, :, pad + rows :, :pad] = 0.0
         padded[:, :, pad + rows :, pad + cols :] = 0.0
+    else:
+        padded[:, :, :pad, :pad] = np.roll(
+            stack[:, :, rows - pad :, cols - pad :], (1, 1), axis=(0, 1)
+        )
+        padded[:, :, :pad, pad + cols :] = np.roll(
+            stack[:, :, rows - pad :, :pad], (1, -1), axis=(0, 1)
+        )
+        padded[:, :, pad + rows :, :pad] = np.roll(
+            stack[:, :, :pad, cols - pad :], (-1, 1), axis=(0, 1)
+        )
+        padded[:, :, pad + rows :, pad + cols :] = np.roll(
+            stack[:, :, :pad, :pad], (-1, -1), axis=(0, 1)
+        )
+    _apply_fill_shallow(padded, pattern, stats, subgrid_shape)
+
+
+def _apply_fill_shallow(
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    stats: CommStats,
+    subgrid_shape: Tuple[int, int],
+) -> None:
+    """(Re-)apply the FILL boundary overwrites to a shallow buffer.
+
+    Kept separate from the data movement so the guarded path can apply
+    link corruption to the exchanged bands and then restore the FILL
+    bands -- no message ever crossed a link there, so a dead link
+    cannot corrupt them.
+    """
+    rows, cols = subgrid_shape
+    pad = stats.pad
+    if pad == 0:
         return
-    padded[:, :, :pad, :pad] = np.roll(
-        stack[:, :, rows - pad :, cols - pad :], (1, 1), axis=(0, 1)
+    dim_row, dim_col = pattern.plane_dims
+    fill = np.float32(pattern.fill_value)
+    row_fills = (
+        pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
     )
-    padded[:, :, :pad, pad + cols :] = np.roll(
-        stack[:, :, rows - pad :, :pad], (1, -1), axis=(0, 1)
+    col_fills = (
+        pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR)
+        is BoundaryMode.FILL
     )
-    padded[:, :, pad + rows :, :pad] = np.roll(
-        stack[:, :, :pad, cols - pad :], (-1, 1), axis=(0, 1)
-    )
-    padded[:, :, pad + rows :, pad + cols :] = np.roll(
-        stack[:, :, :pad, :pad], (-1, -1), axis=(0, 1)
-    )
+    if row_fills:
+        padded[0, :, :pad, pad : pad + cols] = fill
+        padded[-1, :, pad + rows :, pad : pad + cols] = fill
+    if col_fills:
+        padded[:, 0, pad : pad + rows, :pad] = fill
+        padded[:, -1, pad : pad + rows, pad + cols :] = fill
+    if stats.corner_step_skipped:
+        return
     if row_fills:
         padded[0, :, :pad, :pad] = fill
         padded[0, :, :pad, pad + cols :] = fill

@@ -52,6 +52,9 @@ from .faults import (
     FaultGuard,
     FaultInjector,
     FaultStats,
+    LinkDownError,
+    NodeDeadError,
+    NoSpareError,
     ResiliencePolicy,
 )
 from .halo import (
@@ -357,7 +360,9 @@ def _resolve_block_depth(
         return min(requested, cap)
     if cap < 2:
         return 1
-    return select_block_depth(compiled, source.subgrid_shape, iterations)
+    return select_block_depth(
+        compiled, source.subgrid_shape, iterations, machine=source.machine
+    )
 
 
 def _apply_blocked(
@@ -407,106 +412,154 @@ def _apply_blocked(
     ping, pong = machine.pingpong_stacked(halo_name, padded_shape)
     scratch = machine.scratch_stacked(f"{halo_name}__prod__", padded_shape)
 
-    # Coefficient deep halos: exchanged once, reused by every block.
-    # The halo ring's locally recomputed points need the neighbors'
-    # coefficient values to reproduce the neighbors' bits.
-    deep_coeffs = {}
-    if guard is not None:
-        guard.role = "coeff"
-    try:
-        for name in coeff_names:
-            buf = machine.scratch_stacked(f"{name}__deep__", padded_shape)
-            exchange_halo_deep(
-                coeff_stacks[name],
-                buf,
-                pattern,
-                (rows, cols),
-                params,
-                depth,
-                guard=guard,
-            )
-            deep_coeffs[name] = buf
-    finally:
-        if guard is not None:
-            guard.role = "source"
-
     costs = blocked_costs(compiled, source.subgrid_shape, iterations, depth)
-
     blocks = list(block_steps(iterations, depth))
-    current = source_stack
-    for index, steps in enumerate(blocks):
-        deep_b = steps * pad
-        if deep_b < deep:
-            # Tail block: center a shallower padded window inside the
-            # full-depth buffers so the interior stays aligned.
-            delta = deep - deep_b
-            window = (
-                slice(None),
-                slice(None),
-                slice(delta, delta + rows + 2 * deep_b),
-                slice(delta, delta + cols + 2 * deep_b),
-            )
-            ping_v, pong_v = ping[window], pong[window]
-            coeffs_v = {n: b[window] for n, b in deep_coeffs.items()}
-        else:
-            ping_v, pong_v, coeffs_v = ping, pong, deep_coeffs
-        block_cycles, block_strips = (
-            block_compute_cycles(compiled, (rows, cols), steps)
-            if guard is not None
-            else (0, 0)
-        )
-        replays = 0
-        while True:
-            exchange_halo_deep(
-                current, ping_v, pattern, (rows, cols), params, steps,
-                guard=guard,
-            )
+
+    # Hard-fault restart state: a dead node detected mid-run loses its
+    # tile of every buffer, so recovery remaps it onto a spare, restores
+    # source/coefficients from the genesis checkpoint, and restarts the
+    # whole blocked run from the pristine source.  Coefficient exchanges
+    # and blocks below the high-water marks were already charged
+    # canonically; their re-runs are routed to the replay buckets.
+    coeff_high = 0
+    block_high = 0
+    while True:
+        try:
+            # Coefficient deep halos: exchanged once, reused by every
+            # block.  The halo ring's locally recomputed points need the
+            # neighbors' coefficient values to reproduce their bits.
+            deep_coeffs = {}
+            if guard is not None:
+                guard.role = "coeff"
             try:
-                final, fixed = machine_execute_blocked(
-                    pattern,
-                    ping=ping_v,
-                    pong=pong_v,
-                    deep_coeffs=coeffs_v,
-                    subgrid_shape=(rows, cols),
-                    pad=pad,
-                    steps=steps,
-                    scratch=scratch,
-                    guard=guard,
+                for coeff_index, name in enumerate(coeff_names):
+                    if guard is not None:
+                        guard.replaying = coeff_index < coeff_high
+                    buf = machine.scratch_stacked(
+                        f"{name}__deep__", padded_shape
+                    )
+                    exchange_halo_deep(
+                        coeff_stacks[name],
+                        buf,
+                        pattern,
+                        (rows, cols),
+                        params,
+                        depth,
+                        guard=guard,
+                    )
+                    deep_coeffs[name] = buf
+                    coeff_high = max(coeff_high, coeff_index + 1)
+            finally:
+                if guard is not None:
+                    guard.role = "source"
+                    guard.replaying = False
+
+            current = source_stack
+            for index, steps in enumerate(blocks):
+                if guard is not None:
+                    guard.replaying = index < block_high
+                deep_b = steps * pad
+                if deep_b < deep:
+                    # Tail block: center a shallower padded window
+                    # inside the full-depth buffers so the interior
+                    # stays aligned.
+                    delta = deep - deep_b
+                    window = (
+                        slice(None),
+                        slice(None),
+                        slice(delta, delta + rows + 2 * deep_b),
+                        slice(delta, delta + cols + 2 * deep_b),
+                    )
+                    ping_v, pong_v = ping[window], pong[window]
+                    coeffs_v = {n: b[window] for n, b in deep_coeffs.items()}
+                else:
+                    ping_v, pong_v, coeffs_v = ping, pong, deep_coeffs
+                block_cycles, block_strips = (
+                    block_compute_cycles(compiled, (rows, cols), steps)
+                    if guard is not None
+                    else (0, 0)
                 )
-            except FaultError:
-                # guard is not None here: only the guarded executor
-                # raises.  The failed attempt still cost its compute;
-                # the block input (``current``) is untouched, so a
-                # replay is a fresh exchange plus a fresh block.
-                guard.charge_compute(block_cycles, block_strips)
-                if replays >= guard.policy.max_replays:
-                    raise
-                replays += 1
-                guard.note_rollback(steps)
-                continue
-            if guard is not None:
-                guard.charge_compute(block_cycles, block_strips)
-            break
-        result_stack[...] = final[
-            :, :, deep_b : deep_b + rows, deep_b : deep_b + cols
-        ]
-        if fixed:
-            # Every remaining iterate reproduces this one bit for bit;
-            # stop computing.  The accounting still charges the whole
-            # run (``costs`` unguarded, explicit charges under guard).
-            if guard is not None:
-                for later_steps in blocks[index + 1 :]:
-                    guard.charge_skipped_exchanges(
-                        1,
-                        deep_exchange_cost(
-                            pattern, (rows, cols), params, later_steps
-                        ).cycles,
+                replays = 0
+                while True:
+                    exchange_halo_deep(
+                        current, ping_v, pattern, (rows, cols), params,
+                        steps, guard=guard,
                     )
-                    guard.charge_compute(
-                        *block_compute_cycles(compiled, (rows, cols), later_steps)
-                    )
+                    try:
+                        final, fixed = machine_execute_blocked(
+                            pattern,
+                            ping=ping_v,
+                            pong=pong_v,
+                            deep_coeffs=coeffs_v,
+                            subgrid_shape=(rows, cols),
+                            pad=pad,
+                            steps=steps,
+                            scratch=scratch,
+                            guard=guard,
+                        )
+                    except FaultError:
+                        # guard is not None here: only the guarded
+                        # executor raises.  The failed attempt still
+                        # cost its compute (a recovery charge); the
+                        # block input (``current``) is untouched, so a
+                        # replay is a fresh exchange plus a fresh
+                        # block.  The wasted exchange is reclaimed into
+                        # the replay bucket so the retry's exchange
+                        # charges canonically exactly once.
+                        guard.charge_compute(
+                            block_cycles, block_strips, recovery=True
+                        )
+                        if replays >= guard.policy.max_replays:
+                            raise
+                        replays += 1
+                        if not guard.replaying:
+                            guard.reclaim_exchange(
+                                deep_exchange_cost(
+                                    pattern, (rows, cols), params, steps
+                                ).cycles
+                            )
+                        guard.note_rollback(steps)
+                        continue
+                    if guard is not None:
+                        guard.charge_compute(block_cycles, block_strips)
+                    break
+                result_stack[...] = final[
+                    :, :, deep_b : deep_b + rows, deep_b : deep_b + cols
+                ]
+                block_high = max(block_high, index + 1)
+                if guard is not None:
+                    guard.replaying = False
+                if fixed:
+                    # Every remaining iterate reproduces this one bit
+                    # for bit; stop computing.  The accounting still
+                    # charges the whole run (``costs`` unguarded,
+                    # explicit charges under guard).
+                    if guard is not None:
+                        for later_steps in blocks[index + 1 :]:
+                            guard.charge_skipped_exchanges(
+                                1,
+                                deep_exchange_cost(
+                                    pattern, (rows, cols), params,
+                                    later_steps,
+                                ).cycles,
+                            )
+                            guard.charge_compute(
+                                *block_compute_cycles(
+                                    compiled, (rows, cols), later_steps
+                                )
+                            )
+                    break
+                current = result_stack
             break
-        current = result_stack
+        except NodeDeadError as dead:
+            # guard is not None here: only guarded exchanges raise.
+            # Remap the dead node onto a spare, restore the lost tile's
+            # source/coefficients from the genesis checkpoint, and
+            # restart the blocked run from the pristine source --
+            # completed blocks replay into the replay buckets.
+            guard.replaying = False
+            guard.recover_dead_node(dead.coord)
+            guard.note_rollback(sum(blocks[:block_high]))
 
     if guard is not None:
         return StencilRun(
@@ -569,7 +622,32 @@ def _apply_resilient(
     array is never modified, so each rung restarts from pristine input.
     Guard tallies accumulate across rungs -- a degraded run's totals
     include the cycles its failed rungs burned.
+
+    Hard faults add a final implicit rung past "exact": spare-node
+    remapping.  Arming the guard against the machine enables detection
+    (exchange deadlines, route-failure probes); when the machine is
+    configured with spares, a genesis checkpoint of every distributed
+    stack (source, coefficients, result) is taken up front -- the
+    reference a remap restores the lost tile from.  A dead node is
+    repaired *inside* the current rung (remap + restore + replay), not
+    by stepping down: no rung can outrun a node whose memory is gone.
+    :class:`NoSpareError` and :class:`LinkDownError` are therefore
+    unrecoverable-by-degradation and propagate immediately -- the typed
+    failure the no-spare guarantee demands, never silent corruption.
     """
+    machine = source.machine
+    guard.attach_machine(machine)
+    if machine.has_spares and guard.genesis is None:
+        seen = set()
+        names = []
+        for name in machine.storage.names:
+            stack = machine.storage.get(name)
+            if stack is None or id(stack) in seen:
+                continue
+            seen.add(id(stack))
+            names.append(name)
+        guard.genesis = machine.storage.checkpoint(names)
+        guard.charge_checkpoint(machine.migration_words())
     rungs = ["exact"] if exact else (
         ["blocked", "fast", "exact"] if depth > 1 else ["fast", "exact"]
     )
@@ -589,6 +667,10 @@ def _apply_resilient(
                 compiled, source, result, schedule, iterations,
                 exact=rung == "exact", batched=batched, guard=guard,
             )
+        except (NoSpareError, LinkDownError):
+            # Hardware is gone and no spare capacity remains: stepping
+            # down a rung cannot help, and limping on would corrupt.
+            raise
         except FaultError:
             if index == len(rungs) - 1:
                 raise
@@ -634,18 +716,44 @@ def _iterate_resilient(
     checkpoint = None
     checkpoint_iteration = 0
     replays = 0
+    replay_high = 0
     exact_cycles: Optional[int] = None
     ran_batched = False
     k = 0
     while k < iterations:
-        exchange_halo(
-            source if k == 0 else result,
-            pattern,
-            params,
-            into=halo_name,
-            batched=batched,
-            guard=guard,
-        )
+        # Iterations below the replay high-water mark were already
+        # charged to the canonical counters once; their re-runs are
+        # routed to the replay buckets so totals keep reconciling as
+        # closed form + recovery.
+        guard.replaying = k < replay_high
+        was_replay = guard.replaying
+        try:
+            exchange_halo(
+                source if k == 0 else result,
+                pattern,
+                params,
+                into=halo_name,
+                batched=batched,
+                guard=guard,
+            )
+        except NodeDeadError as dead:
+            # A participant's memory is gone.  Detected before any data
+            # moved (nothing was charged for this exchange): remap the
+            # logical coordinate onto a spare, restore the migrated
+            # tile's source/coefficients from the genesis checkpoint,
+            # rewind the iterate to the last periodic checkpoint, and
+            # replay.  Raises NoSpareError when no spare remains.
+            guard.replaying = False
+            guard.recover_dead_node(dead.coord)
+            if checkpoint is not None:
+                machine.storage.restore(checkpoint)
+                resume = checkpoint_iteration
+            else:
+                resume = 0
+            guard.note_rollback(k - resume)
+            replay_high = max(replay_high, k)
+            k = resume
+            continue
         attempt = 0
         rolled_back = False
         while True:
@@ -662,20 +770,27 @@ def _iterate_resilient(
                     if exact and exact_cycles is not None
                     else schedule.compute_cycles(params),
                     pass_half_strips,
+                    recovery=True,
                 )
                 if attempt > policy.max_retries:
                     # Recomputing alone did not clear it: roll back to
                     # the last checkpoint (or the untouched source) and
-                    # replay the iterations since.
+                    # replay the iterations since.  This iteration's
+                    # exchange was already charged canonically; reclaim
+                    # it into the replay bucket so the post-rollback
+                    # re-exchange charges canonically exactly once.
                     if replays >= policy.max_replays:
                         raise
                     replays += 1
+                    if not was_replay:
+                        guard.reclaim_exchange(comm.cycles)
                     if checkpoint is not None:
                         machine.storage.restore(checkpoint)
                         resume = checkpoint_iteration
                     else:
                         resume = 0
                     guard.note_rollback(k - resume + 1)
+                    replay_high = max(replay_high, k)
                     k = resume
                     rolled_back = True
                     break
@@ -686,6 +801,7 @@ def _iterate_resilient(
                 pass_half_strips,
             )
             break
+        guard.replaying = False
         if rolled_back:
             continue
         k += 1

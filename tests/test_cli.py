@@ -95,6 +95,50 @@ class TestReproduceCommand:
         assert "Ratio" in out
 
 
+class TestChaosCommand:
+    def test_chaos_campaign_survives_and_roundtrips(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.chaos import ChaosReport
+
+        out_path = tmp_path / "chaos.json"
+        assert (
+            main(["chaos", "--seeds", "1", "--json", str(out_path)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "survived bit-identically" in out
+        data = json.loads(out_path.read_text())
+        assert data["ok"] is True
+        assert data["num_trials"] == data["num_survived"] > 0
+        assert data["silent_corruptions"] == 0
+        # The FaultEvent/FaultStats streams round-trip exactly.
+        assert ChaosReport.from_dict(data).to_dict() == data
+
+    def test_chaos_json_to_stdout(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "chaos", "--seeds", "2", "--json", "-",
+                    "--iterations", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        data = json.loads(out[out.index("{"):])
+        assert data["ok"] is True
+
+    def test_seed_range_spelling(self, capsys):
+        assert main(["chaos", "--seeds", "1-2", "--iterations", "3"]) == 0
+        assert "survived" in capsys.readouterr().out
+
+    def test_bad_seed_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--seeds", "garbage"])
+
+
 class TestStrategyFlag:
     def test_compile_with_optimal_strategy(self, tmp_path, capsys):
         source = tmp_path / "s.f90"

@@ -28,6 +28,7 @@ from repro.machine.params import MachineParams
 from repro.runtime.cm_array import CMArray
 from repro.runtime.faults import (
     ALL_FAULT_KINDS,
+    TRANSIENT_FAULT_KINDS,
     FaultError,
     FaultInjector,
     FaultKind,
@@ -140,7 +141,9 @@ class TestCheckFinite:
 class TestInjectorDeterminism:
     def test_same_seed_same_faults_same_result(self):
         pattern = boundary_variant(cross(2), "torus")
-        rates = {kind: 0.3 for kind in ALL_FAULT_KINDS}
+        # Transient kinds only: hard faults on a spare-less machine
+        # raise the typed NoSpareError by design (see test_hard_faults).
+        rates = {kind: 0.3 for kind in TRANSIENT_FAULT_KINDS}
         outputs = []
         for _ in range(2):
             _, compiled, x, coeffs = make_problem(pattern)
@@ -204,7 +207,11 @@ class TestChaosProperty:
         pattern = boundary_variant(square(1), "torus")
         _, compiled, x, coeffs = make_problem(pattern)
         before = x.to_numpy()
-        rates = {kind: 0.4 for kind in ALL_FAULT_KINDS}
+        # Transient kinds only: NODE_DEAD genuinely destroys the dead
+        # node's tile of the source, and without a spare the run ends in
+        # a typed error with the tile still lost (see test_hard_faults
+        # for the spare-backed bit-restoration property).
+        rates = {kind: 0.4 for kind in TRANSIENT_FAULT_KINDS}
         try:
             apply_stencil(
                 compiled, x, coeffs, "R_CHAOS", iterations=ITERATIONS,
