@@ -1,0 +1,201 @@
+"""Guard the multi-tenant service's throughput, fairness, and identity.
+
+Four properties, enforced with nonzero exit status:
+
+1. **Bit-identity.**  Every job run through the scheduler on a carved
+   partition produces float32 results byte-identical to the same job
+   run solo on a private machine of the same node-grid shape.
+2. **Concurrency pays.**  Four tenants splitting the 4x4 node grid into
+   four 2x2 partitions must beat a single tenant running the same jobs
+   back to back on one 2x2 partition by at least 1.5x in aggregate
+   modeled throughput (useful flops over makespan) -- measured in cycle
+   terms, so the gate is deterministic, not wall-clock noise.
+3. **Fairness.**  Jain's index over the four equal tenants' cycle
+   allocations must exceed 0.99 (they run identical work).
+4. **The ledger reconciles.**  Every per-tenant counter and every
+   per-partition busy time re-derives exactly from the job records --
+   no concurrent charge lost or double-counted.
+
+Run:  python benchmarks/bench_service.py
+Writes BENCH_service.json at the repository root.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.machine.params import MachineParams  # noqa: E402
+from repro.service import (  # noqa: E402
+    MachinePool,
+    Scheduler,
+    ServiceAccounts,
+    StencilJob,
+    solo_run,
+)
+
+NODES = 16
+GRID = (32, 32)
+PARTITION = (2, 2)
+TENANTS = ("alice", "bob", "carol", "dave")
+PATTERNS = ("cross5", "cross9", "square9", "diamond13")
+JOBS_PER_TENANT = 3
+MIN_SPEEDUP = 1.5
+MIN_FAIRNESS = 0.99
+
+
+def build_jobs():
+    """Four tenants x three jobs, every tenant the same workload shape.
+
+    Each tenant rotates through the same three (pattern, boundary,
+    iterations) triples with tenant-distinct seeds, so the fairness gate
+    is meaningful: equal work should earn equal cycles.
+    """
+    triples = [
+        (PATTERNS[0], "torus", 4),
+        (PATTERNS[2], "fill", 3),
+        (PATTERNS[3], "torus", 2),
+    ]
+    jobs = []
+    for t_index, tenant in enumerate(TENANTS):
+        for j_index, (pattern, boundary, iterations) in enumerate(triples):
+            jobs.append(
+                StencilJob(
+                    tenant=tenant,
+                    pattern=pattern,
+                    grid_shape=GRID,
+                    boundary=boundary,
+                    iterations=iterations,
+                    seed=100 * t_index + j_index,
+                    partition_shape=PARTITION,
+                )
+            )
+    return jobs
+
+
+def run_service(jobs, params):
+    pool = MachinePool(params)
+    with Scheduler(pool) as scheduler:
+        scheduler.submit_all(jobs)
+        results = scheduler.drain(timeout=600)
+    return results, scheduler.accounts
+
+
+def run_single_tenant(jobs, params):
+    """The same jobs, one tenant, back to back on one partition.
+
+    The single-tenant baseline holds one 2x2 partition and runs its
+    jobs sequentially, so its ledger's makespan is the serial sum --
+    exactly what a tenant without the service would pay.
+    """
+    accounts = ServiceAccounts()
+    for job in jobs:
+        result = solo_run(job, params=params, shape=PARTITION)
+        accounts.charge(result)
+    return accounts
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_service.json",
+    )
+    args = parser.parse_args(argv)
+
+    params = MachineParams(num_nodes=NODES)
+    jobs = build_jobs()
+
+    wall_start = time.perf_counter()
+    results, accounts = run_service(jobs, params)
+    service_wall = time.perf_counter() - wall_start
+
+    mismatches = []
+    for result in results:
+        reference = solo_run(result.job, params=params, shape=PARTITION)
+        if not result.identical_to(reference):
+            mismatches.append(result.job.label)
+    print(
+        f"bit-identity : {len(results) - len(mismatches)}/{len(results)} "
+        f"scheduled jobs match their solo runs"
+    )
+
+    # The single-tenant baseline: alice's three jobs, serial.
+    solo_accounts = run_single_tenant(
+        [j for j in jobs if j.tenant == TENANTS[0]], params
+    )
+    single_mflops = solo_accounts.aggregate_mflops
+    multi_mflops = accounts.aggregate_mflops
+    throughput_ratio = (
+        multi_mflops / single_mflops if single_mflops > 0 else 0.0
+    )
+    fairness = accounts.fairness()
+    reconciled = accounts.reconcile()
+    print(
+        f"single tenant: {single_mflops:8.1f} Mflops "
+        f"(makespan {solo_accounts.makespan_seconds:.4f} s modeled)"
+    )
+    print(
+        f"four tenants : {multi_mflops:8.1f} Mflops "
+        f"(makespan {accounts.makespan_seconds:.4f} s modeled, "
+        f"{service_wall * 1e3:.0f} ms host)"
+    )
+    print(
+        f"throughput   : {throughput_ratio:.2f}x single-tenant "
+        f"(bar {MIN_SPEEDUP:.1f}x)   fairness {fairness:.4f} "
+        f"(bar {MIN_FAIRNESS})   "
+        f"ledger {'reconciled' if reconciled else 'OUT OF BALANCE'}"
+    )
+
+    payload = {
+        "benchmark": "service",
+        "nodes": NODES,
+        "grid": list(GRID),
+        "partition": list(PARTITION),
+        "tenants": list(TENANTS),
+        "jobs_per_tenant": JOBS_PER_TENANT,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "bit_identical": not mismatches,
+        "mismatches": mismatches,
+        "single_tenant_mflops": single_mflops,
+        "multi_tenant_mflops": multi_mflops,
+        "throughput_ratio": throughput_ratio,
+        "throughput_bar": MIN_SPEEDUP,
+        "fairness": fairness,
+        "fairness_bar": MIN_FAIRNESS,
+        "concurrency_speedup": accounts.concurrency_speedup,
+        "reconciled": reconciled,
+        "service_wall_seconds": service_wall,
+        "ledger": accounts.to_dict(),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if mismatches:
+        failures.append(
+            f"{len(mismatches)} scheduled job(s) diverge from solo runs: "
+            + ", ".join(mismatches)
+        )
+    if throughput_ratio < MIN_SPEEDUP:
+        failures.append(
+            f"multi-tenant throughput {throughput_ratio:.2f}x "
+            f"< {MIN_SPEEDUP:.1f}x single-tenant bar"
+        )
+    if fairness < MIN_FAIRNESS:
+        failures.append(
+            f"fairness {fairness:.4f} < {MIN_FAIRNESS} bar for equal tenants"
+        )
+    if not reconciled:
+        failures.append("service ledger does not reconcile")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,15 @@ Commands:
     machine-readable report (per-trial FaultStats and event streams).
     Exit status 1 unless every trial survived bit-identically and all
     recovery costs reconciled.
+
+``serve``
+    Stencil-as-a-service: read a job file (``--jobs jobs.json``), carve
+    the node grid into per-tenant partitions, run every job through the
+    async scheduler, and print the per-tenant cycle accounting, fairness
+    index, and concurrency speedup.  Every scheduled result is verified
+    bit-identical against a solo run of the same job (``--no-verify``
+    skips).  Exit status 1 on any job failure, identity mismatch, or
+    ledger reconciliation failure.
 """
 
 from __future__ import annotations
@@ -364,6 +373,118 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from .analysis.fairness import format_tenant_table
+    from .machine.params import MachineParams
+    from .service import (
+        JobSpecError,
+        MachinePool,
+        PartitionError,
+        Scheduler,
+        StencilJob,
+        solo_run,
+    )
+
+    try:
+        document = json.loads(Path(args.jobs).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{args.jobs}: cannot load: {exc}", file=sys.stderr)
+        return 1
+    if isinstance(document, dict):
+        pool_spec = document.get("pool", {})
+        job_specs = document.get("jobs", [])
+    else:
+        pool_spec, job_specs = {}, document
+    nodes = args.nodes if args.nodes is not None else pool_spec.get("nodes", 16)
+    spare_rows = (
+        args.spare_rows
+        if args.spare_rows is not None
+        else pool_spec.get("spare_rows", 0)
+    )
+    try:
+        jobs = [StencilJob.from_dict(spec) for spec in job_specs]
+    except (JobSpecError, TypeError) as exc:
+        print(f"{args.jobs}: bad job spec: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print(f"{args.jobs}: no jobs", file=sys.stderr)
+        return 1
+
+    params = MachineParams(num_nodes=nodes)
+    try:
+        pool = MachinePool(params, spare_rows=spare_rows)
+    except PartitionError as exc:
+        print(f"pool: {exc}", file=sys.stderr)
+        return 1
+    print(pool.describe())
+    print(
+        f"{len(jobs)} jobs from {len(set(j.tenant for j in jobs))} tenants, "
+        f"policy {args.policy}, default partition "
+        f"{pool.default_partition[0]}x{pool.default_partition[1]}"
+    )
+    print()
+
+    failures = 0
+    with Scheduler(pool, policy=args.policy) as sched:
+        try:
+            handles = sched.submit_all(jobs)
+        except PartitionError as exc:
+            print(f"admission rejected: {exc}", file=sys.stderr)
+            return 1
+        results = []
+        for handle in handles:
+            try:
+                results.append(handle.result(timeout=args.timeout))
+            except Exception as exc:  # noqa: BLE001 - reported per job
+                print(f"FAIL {handle.job.label}: {exc}")
+                failures += 1
+
+    mismatches = 0
+    for result in results:
+        verdict = ""
+        if args.verify:
+            reference = solo_run(
+                result.job, params=params, shape=result.partition.shape
+            )
+            if result.identical_to(reference):
+                verdict = "  solo-identical"
+            else:
+                verdict = "  SOLO MISMATCH"
+                mismatches += 1
+        origin = result.partition.origin
+        print(
+            f"  {result.job.label:<44} partition ({origin[0]},{origin[1]}) "
+            f"{result.cycles:>10} cycles  q={result.queue_seconds:.3f}s"
+            f"{verdict}"
+        )
+
+    accounts = sched.accounts
+    reconciled = accounts.reconcile()
+    print()
+    print(format_tenant_table(accounts.tenant_rows()))
+    print()
+    print(
+        f"fairness (Jain) {accounts.fairness():.3f}   "
+        f"concurrency speedup {accounts.concurrency_speedup:.2f}x   "
+        f"aggregate {accounts.aggregate_mflops:.1f} Mflops   "
+        f"ledger {'reconciled' if reconciled else 'OUT OF BALANCE'}"
+    )
+    if args.json:
+        payload = dict(accounts.to_dict())
+        payload["verified_bit_identical"] = args.verify and mismatches == 0
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text + "\n", encoding="utf-8")
+            print(f"report written to {args.json}")
+    if failures or mismatches or not reconciled:
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -455,6 +576,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the machine-readable report ('-' for stdout)",
     )
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="run a multi-tenant stencil job file"
+    )
+    p_serve.add_argument(
+        "--jobs", required=True, metavar="FILE", help="jobs.json to run"
+    )
+    p_serve.add_argument(
+        "--nodes", type=int, default=None, help="pool size (overrides file)"
+    )
+    p_serve.add_argument(
+        "--spare-rows",
+        type=int,
+        default=None,
+        help="node-grid rows reserved as the service spare pool",
+    )
+    p_serve.add_argument(
+        "--policy", choices=("first_fit", "best_fit"), default="first_fit"
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=600.0, help="per-job wait (seconds)"
+    )
+    p_serve.add_argument(
+        "--no-verify",
+        dest="verify",
+        action="store_false",
+        help="skip the solo-run bit-identity check",
+    )
+    p_serve.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write the machine-readable ledger ('-' for stdout)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,65 @@
+"""Fairness and throughput analysis for the multi-tenant service.
+
+The machine is synchronous SIMD and the simulator's costs are modeled in
+cycles, so service-level fairness is measured the same way everything
+else in this repository is: in cycle terms, not wall-clock.  A tenant's
+*allocation* is the modeled machine cycles (comm + compute) its jobs
+consumed; Jain's fairness index over those allocations summarizes how
+evenly the service carved the machine:
+
+    J(x_1..x_n) = (sum x_i)^2 / (n * sum x_i^2)
+
+J is 1 when every tenant consumed the same cycles, and falls toward
+``1/n`` as one tenant monopolizes the machine.  Aggregate throughput is
+useful flops over the service *makespan* -- the busiest partition's
+modeled seconds -- which is what concurrency actually buys: the same
+jobs run one after another cost the sum, run side by side they cost the
+max.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def jain_index(allocations: Iterable[float]) -> float:
+    """Jain's fairness index in [1/n, 1]; 1.0 for no or equal tenants."""
+    values = [float(v) for v in allocations]
+    if not values or all(v == 0 for v in values):
+        return 1.0
+    if any(v < 0 for v in values):
+        raise ValueError("allocations must be non-negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def speedup(serial_seconds: float, makespan_seconds: float) -> float:
+    """How much faster side-by-side execution was than back-to-back."""
+    if makespan_seconds <= 0:
+        return 1.0
+    return serial_seconds / makespan_seconds
+
+
+def format_tenant_table(rows: Sequence[dict]) -> str:
+    """A fixed-width per-tenant accounting table.
+
+    Each row is a mapping with ``tenant``, ``jobs``, ``cycles``,
+    ``comm_cycles``, ``compute_cycles``, ``useful_flops``, ``mflops``,
+    and ``share`` (fraction of all tenants' cycles) keys -- the shape
+    :meth:`repro.service.accounting.ServiceAccounts.tenant_rows`
+    produces.
+    """
+    header = (
+        f"{'tenant':<12} {'jobs':>5} {'cycles':>14} {'comm':>12} "
+        f"{'compute':>12} {'share':>7} {'Mflops':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{str(row['tenant']):<12} {row['jobs']:>5} "
+            f"{row['cycles']:>14} {row['comm_cycles']:>12} "
+            f"{row['compute_cycles']:>12} {row['share']:>6.1%} "
+            f"{row['mflops']:>9.1f}"
+        )
+    return "\n".join(lines)

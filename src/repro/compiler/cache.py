@@ -1,0 +1,200 @@
+"""Thread-safe, tenant-scoped memoization for the compile driver.
+
+The compiled-plan and block-depth caches started life as bare module
+globals mutated from whoever happened to be compiling.  One program
+owning the whole machine never noticed; a multi-tenant service hammering
+``apply_stencil`` from worker threads does: interleaved read-modify-write
+on the hit/miss counters, duplicate compilations racing into the same
+key, and one tenant's ``clear_compile_cache()`` zeroing every tenant's
+telemetry mid-flight.
+
+:class:`SyncCache` is the replacement: one lock-guarded cache object per
+kind of memoization, shared by every tenant (plans are tenant-agnostic
+-- the key carries everything that determines the output, health
+signatures included), with
+
+* **in-flight deduplication** -- concurrent misses on one key run the
+  factory exactly once and every caller receives the same object, so the
+  driver's "same plan returned to every caller" identity guarantee
+  survives concurrency;
+* **scoped statistics** -- hits and misses are tallied per *scope*
+  (a tenant id; ``None`` is the anonymous scope for direct callers), and
+  clearing one scope's telemetry never touches another's;
+* the same bounded-size discipline as before: at the entry limit the
+  table is dropped wholesale and rebuilt by demand.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+#: Scope key for callers that did not identify a tenant.
+ANONYMOUS = None
+
+#: Default argument sentinel: "every scope", as opposed to the anonymous
+#: scope (``None``) or one tenant's.
+ALL_SCOPES = object()
+
+
+class CacheStats:
+    """Hit/miss counters for one scope (mutable, lock-protected by the
+    owning cache)."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self, hits: int = 0, misses: int = 0) -> None:
+        self.hits = hits
+        self.misses = misses
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return self.hits, self.misses
+
+
+class _InFlight:
+    """A key being computed right now: waiters block on the event."""
+
+    __slots__ = ("event",)
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+
+
+class SyncCache:
+    """A bounded, lock-guarded memoization table with scoped stats.
+
+    All mutation happens under one reentrant lock; factories run
+    *outside* it (compilation is slow and must not serialize unrelated
+    keys) but are deduplicated per key, so a burst of identical requests
+    costs one compilation.
+    """
+
+    def __init__(self, name: str, limit: int) -> None:
+        self.name = name
+        self.limit = int(limit)
+        self._lock = threading.RLock()
+        self._entries: Dict[Hashable, object] = {}
+        self._inflight: Dict[Hashable, _InFlight] = {}
+        self._stats: Dict[Optional[str], CacheStats] = {}
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def _scope_stats(self, scope: Optional[str]) -> CacheStats:
+        stats = self._stats.get(scope)
+        if stats is None:
+            stats = self._stats[scope] = CacheStats()
+        return stats
+
+    def get_or_compute(
+        self,
+        key: Hashable,
+        factory: Callable[[], object],
+        scope: Optional[str] = ANONYMOUS,
+    ) -> object:
+        """The cached value for ``key``, computing it at most once.
+
+        Concurrent callers missing on the same key block until the first
+        one's factory returns, then share its result object.  A factory
+        that raises releases the waiters, and the next caller retries.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self._scope_stats(scope).hits += 1
+                    return self._entries[key]
+                pending = self._inflight.get(key)
+                if pending is None:
+                    pending = self._inflight[key] = _InFlight()
+                    owner = True
+                else:
+                    owner = False
+            if not owner:
+                pending.event.wait()
+                # Either the entry landed (hit on re-check) or the owner
+                # failed or a clear raced in -- loop and resolve again.
+                continue
+            try:
+                value = factory()
+            except BaseException:
+                with self._lock:
+                    if self._inflight.get(key) is pending:
+                        del self._inflight[key]
+                pending.event.set()
+                raise
+            with self._lock:
+                self._scope_stats(scope).misses += 1
+                if len(self._entries) >= self.limit:
+                    self._entries.clear()
+                self._entries[key] = value
+                if self._inflight.get(key) is pending:
+                    del self._inflight[key]
+            pending.event.set()
+            return value
+
+    def lookup(
+        self, key: Hashable, scope: Optional[str] = ANONYMOUS
+    ) -> Tuple[bool, object]:
+        """``(present, value)`` without computing; tallies the outcome."""
+        with self._lock:
+            if key in self._entries:
+                self._scope_stats(scope).hits += 1
+                return True, self._entries[key]
+            self._scope_stats(scope).misses += 1
+            return False, None
+
+    def insert(self, key: Hashable, value: object) -> None:
+        """Insert a value computed elsewhere (no stats tallied)."""
+        with self._lock:
+            if len(self._entries) >= self.limit:
+                self._entries.clear()
+            self._entries[key] = value
+
+    # ------------------------------------------------------------------
+    # Telemetry and maintenance
+    # ------------------------------------------------------------------
+
+    def info(self, scope: object = ALL_SCOPES) -> Tuple[int, int, int]:
+        """``(hits, misses, entries)``.
+
+        With no ``scope`` the counters aggregate every scope (the
+        pre-service behaviour of ``compile_cache_info()``); with a
+        ``scope`` -- a tenant id, or ``None`` for the anonymous scope --
+        they are that scope's alone.  Entry counts are global either
+        way: the table is shared.
+        """
+        with self._lock:
+            entries = len(self._entries)
+            if scope is not ALL_SCOPES:
+                stats = self._stats.get(scope, CacheStats())
+                return stats.hits, stats.misses, entries
+            hits = sum(s.hits for s in self._stats.values())
+            misses = sum(s.misses for s in self._stats.values())
+            return hits, misses, entries
+
+    def scopes(self) -> Tuple[Optional[str], ...]:
+        """Every scope that has recorded telemetry."""
+        with self._lock:
+            return tuple(self._stats.keys())
+
+    def clear(self, scope: object = ALL_SCOPES) -> None:
+        """Reset the cache.
+
+        ``clear()`` drops every entry and every scope's counters -- the
+        historical full reset, right for tests that want a pristine
+        module.  ``clear(scope=tenant)`` resets only that tenant's
+        counters and leaves the shared entries (and every other tenant's
+        telemetry) untouched: one tenant resetting its own view must not
+        corrupt another's.
+        """
+        with self._lock:
+            if scope is ALL_SCOPES:
+                self._entries.clear()
+                self._stats.clear()
+            else:
+                self._stats.pop(scope, None)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -5,12 +5,21 @@ Compiled plans are memoized: a stencil statement is compiled once per
 :class:`~repro.compiler.plan.CompiledStencil` (immutable after
 construction) is returned to every caller, so iterated runs, sweeps, and
 repeated subroutine calls skip recompilation entirely.
+
+Both memoization tables are shared, thread-safe services
+(:class:`~repro.compiler.cache.SyncCache`): the stencil service compiles
+from many tenants' worker threads at once, concurrent misses on a key
+run one compilation, and hit/miss telemetry is tallied per tenant scope
+-- ``compile_cache_info(tenant=...)`` reads one tenant's counters, and
+clearing one tenant's scope never perturbs another's.  Plans themselves
+are tenant-agnostic: the key carries everything that determines the
+output (degraded-machine health signatures included), never who asked.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..fortran.parser import parse_assignment, parse_subroutine
 from ..fortran.recognizer import recognize_assignment, recognize_subroutine
@@ -18,46 +27,47 @@ from ..lisp.defstencil import parse_defstencil, parse_defstencil_with_types
 from ..machine.params import MachineParams
 from ..stencil.multistencil import multistencil_widths
 from ..stencil.pattern import StencilPattern
+from .cache import ALL_SCOPES, ANONYMOUS, SyncCache
 from .plan import CompiledStencil, compile_pattern
 
 #: Memoized compilations, keyed on everything that determines the output.
-_PLAN_CACHE: Dict[tuple, CompiledStencil] = {}
-_PLAN_CACHE_LIMIT = 512
-_cache_hits = 0
-_cache_misses = 0
+_PLAN_CACHE = SyncCache("plans", limit=512)
 
 #: Memoized block-depth selections (temporal blocking), keyed like the
 #: plan cache plus the run geometry the choice depends on.
-_DEPTH_CACHE: Dict[tuple, int] = {}
-_DEPTH_CACHE_LIMIT = 2048
-_depth_cache_hits = 0
-_depth_cache_misses = 0
+_DEPTH_CACHE = SyncCache("depths", limit=2048)
 
 
-def clear_compile_cache() -> None:
-    """Drop all memoized compilations (mainly for tests)."""
-    global _cache_hits, _cache_misses, _depth_cache_hits, _depth_cache_misses
-    _PLAN_CACHE.clear()
-    _DEPTH_CACHE.clear()
-    _cache_hits = 0
-    _cache_misses = 0
-    _depth_cache_hits = 0
-    _depth_cache_misses = 0
+def clear_compile_cache(tenant: object = ALL_SCOPES) -> None:
+    """Reset the compile-driver caches.
+
+    With no argument: drop every memoized plan and depth selection and
+    every scope's counters (the historical full reset, mainly for
+    tests).  With ``tenant=<id>``: reset only that tenant's hit/miss
+    telemetry in both caches -- the shared entries and every other
+    tenant's counters are untouched.
+    """
+    _PLAN_CACHE.clear(tenant)
+    _DEPTH_CACHE.clear(tenant)
 
 
-def compile_cache_info() -> Tuple[int, int, int]:
-    """``(hits, misses, entries)`` of the compiled-plan cache."""
-    return _cache_hits, _cache_misses, len(_PLAN_CACHE)
+def compile_cache_info(tenant: object = ALL_SCOPES) -> Tuple[int, int, int]:
+    """``(hits, misses, entries)`` of the compiled-plan cache.
+
+    By default the counters aggregate every scope; ``tenant=<id>`` reads
+    one tenant's telemetry (entries stay global -- the table is shared).
+    """
+    return _PLAN_CACHE.info(tenant)
 
 
-def depth_cache_info() -> Tuple[int, int, int]:
+def depth_cache_info(tenant: object = ALL_SCOPES) -> Tuple[int, int, int]:
     """``(hits, misses, entries)`` of the block-depth selection cache.
 
     Chaos runs lean on this: a degraded retry of the same problem must
     not re-price the depth sweep, so resilient-path regressions show up
-    here as unexpected misses.
+    here as unexpected misses.  Scoped like :func:`compile_cache_info`.
     """
-    return _depth_cache_hits, _depth_cache_misses, len(_DEPTH_CACHE)
+    return _DEPTH_CACHE.info(tenant)
 
 
 def _maybe_verify(compiled: CompiledStencil) -> CompiledStencil:
@@ -83,31 +93,32 @@ def compile_stencil(
     widths: Sequence[int] = multistencil_widths(),
     *,
     strategy: str = "paper",
+    tenant: Optional[str] = ANONYMOUS,
 ) -> CompiledStencil:
-    """Compile a stencil pattern (any front end's output), memoized."""
-    global _cache_hits, _cache_misses
+    """Compile a stencil pattern (any front end's output), memoized.
+
+    ``tenant`` scopes the cache telemetry (never the cache contents):
+    the service passes each job's tenant id so per-tenant hit rates are
+    readable through ``compile_cache_info(tenant=...)``.
+    """
     params = params or MachineParams()
     try:
         # Pattern equality ignores the display name; key on it too so a
         # cached plan never reports another statement's label.
         key = (pattern, pattern.name, params, tuple(widths), strategy)
-        compiled = _PLAN_CACHE.get(key)
+        hash(key)
     except TypeError:
         # An unhashable pattern or parameter set compiles uncached.
         return _maybe_verify(
             compile_pattern(pattern, params, widths, strategy=strategy)
         )
-    if compiled is not None:
-        _cache_hits += 1
-        return compiled
-    _cache_misses += 1
-    compiled = _maybe_verify(
-        compile_pattern(pattern, params, widths, strategy=strategy)
+    return _PLAN_CACHE.get_or_compute(
+        key,
+        lambda: _maybe_verify(
+            compile_pattern(pattern, params, widths, strategy=strategy)
+        ),
+        scope=tenant,
     )
-    if len(_PLAN_CACHE) >= _PLAN_CACHE_LIMIT:
-        _PLAN_CACHE.clear()
-    _PLAN_CACHE[key] = compiled
-    return compiled
 
 
 def _health_signature(machine) -> Optional[tuple]:
@@ -140,6 +151,7 @@ def select_block_depth(
     *,
     max_depth: Optional[int] = None,
     machine=None,
+    tenant: Optional[str] = ANONYMOUS,
 ) -> int:
     """Pick the temporal block depth for an iterated run, memoized.
 
@@ -158,7 +170,6 @@ def select_block_depth(
     # Imported lazily: the runtime layer imports this module's siblings.
     from ..runtime.blocking import best_block_depth
 
-    global _depth_cache_hits, _depth_cache_misses
     try:
         key = (
             compiled.pattern,
@@ -168,22 +179,18 @@ def select_block_depth(
             max_depth,
             _health_signature(machine),
         )
-        depth = _DEPTH_CACHE.get(key)
+        hash(key)
     except TypeError:
         return best_block_depth(
             compiled, subgrid_shape, iterations, max_depth, machine=machine
         )
-    if depth is None:
-        _depth_cache_misses += 1
-        depth = best_block_depth(
+    return _DEPTH_CACHE.get_or_compute(
+        key,
+        lambda: best_block_depth(
             compiled, subgrid_shape, iterations, max_depth, machine=machine
-        )
-        if len(_DEPTH_CACHE) >= _DEPTH_CACHE_LIMIT:
-            _DEPTH_CACHE.clear()
-        _DEPTH_CACHE[key] = depth
-    else:
-        _depth_cache_hits += 1
-    return depth
+        ),
+        scope=tenant,
+    )
 
 
 def compile_fortran(

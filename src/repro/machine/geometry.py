@@ -18,8 +18,8 @@ and exchange schedule) stays fixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 
 def is_power_of_two(n: int) -> bool:
@@ -132,6 +132,125 @@ def spare_count(shape: Tuple[int, int], spares) -> int:
 
 class SpareExhaustedError(RuntimeError):
     """A remap was requested but no spare physical node remains."""
+
+
+class PartitionError(ValueError):
+    """A partition does not legally carve the parent node grid.
+
+    Raised at :class:`~repro.machine.machine.CM2` construction (and by
+    :meth:`Partition.validate`), *before* any storage is allocated or
+    halos move -- the alternative is an opaque shape error deep inside
+    halo exchange.  ``overlap`` names the offending parent-grid
+    coordinates when the failure is a collision with reserved (spare
+    pool) nodes or another tenant's rectangle.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        overlap: Tuple[Tuple[int, int], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.overlap = tuple(overlap)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One tenant's rectangle of the parent machine's node grid.
+
+    A partition is the placement record behind a carved-out
+    :class:`~repro.machine.machine.CM2`: the parent grid shape, the
+    rectangle's origin and shape in parent coordinates, and the parent
+    coordinates reserved for the service spare pool (which no tenant
+    rectangle may touch).  The partition's own machine runs with logical
+    coordinates ``(0..rows-1, 0..cols-1)``; :meth:`to_parent` resolves
+    them back onto the parent grid for accounting and health reporting.
+    """
+
+    parent_shape: Tuple[int, int]
+    origin: Tuple[int, int]
+    shape: Tuple[int, int]
+    reserved: FrozenSet[Tuple[int, int]] = field(default_factory=frozenset)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.shape[0] * self.shape[1]
+
+    def coords(self) -> Iterator[Tuple[int, int]]:
+        """The parent-grid coordinates the rectangle covers."""
+        for dr in range(self.shape[0]):
+            for dc in range(self.shape[1]):
+                yield (self.origin[0] + dr, self.origin[1] + dc)
+
+    def to_parent(self, row: int, col: int) -> Tuple[int, int]:
+        """Map a partition-local logical coordinate to the parent grid."""
+        rows, cols = self.shape
+        return (self.origin[0] + row % rows, self.origin[1] + col % cols)
+
+    def overlaps(self, other: "Partition") -> bool:
+        (ar, ac), (ah, aw) = self.origin, self.shape
+        (br, bc), (bh, bw) = other.origin, other.shape
+        return ar < br + bh and br < ar + ah and ac < bc + bw and bc < ac + aw
+
+    def validate(self) -> "Partition":
+        """Check the rectangle legally tiles the parent grid.
+
+        The rules, each raising a typed :class:`PartitionError`:
+
+        * extents positive, powers of two (the hypercube embedding), and
+          within the parent grid;
+        * the rectangle is one tile of the regular tiling -- its extents
+          divide the parent's and its origin is aligned to multiples of
+          them -- so every admitted partition set packs without gaps or
+          overlaps by construction;
+        * no covered coordinate is reserved for the spare pool (the
+          error names the overlapping coordinates).
+        """
+        prows, pcols = self.parent_shape
+        rows, cols = self.shape
+        orow, ocol = self.origin
+        if rows < 1 or cols < 1:
+            raise PartitionError(
+                f"partition shape {self.shape} must be at least 1x1"
+            )
+        if not (is_power_of_two(rows) and is_power_of_two(cols)):
+            raise PartitionError(
+                f"partition extents must be powers of two for the "
+                f"hypercube embedding, got {self.shape}"
+            )
+        if orow < 0 or ocol < 0 or orow + rows > prows or ocol + cols > pcols:
+            raise PartitionError(
+                f"partition {self.shape} at origin {self.origin} does not "
+                f"fit inside the {prows}x{pcols} parent node grid"
+            )
+        if prows % rows or pcols % cols:
+            raise PartitionError(
+                f"partition shape {self.shape} does not tile the "
+                f"{prows}x{pcols} parent node grid"
+            )
+        if orow % rows or ocol % cols:
+            raise PartitionError(
+                f"partition origin {self.origin} is not aligned to the "
+                f"{rows}x{cols} tiling of the {prows}x{pcols} parent grid"
+            )
+        overlap = tuple(
+            sorted(coord for coord in self.coords() if coord in self.reserved)
+        )
+        if overlap:
+            raise PartitionError(
+                f"partition {self.shape} at origin {self.origin} overlaps "
+                f"the spare-pool reservation at parent coordinates "
+                f"{list(overlap)}",
+                overlap=overlap,
+            )
+        return self
+
+    def describe(self) -> str:
+        rows, cols = self.shape
+        return (
+            f"{rows}x{cols} partition at {self.origin} of "
+            f"{self.parent_shape[0]}x{self.parent_shape[1]} grid"
+        )
 
 
 class CoordinateMap:

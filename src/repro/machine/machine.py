@@ -17,6 +17,8 @@ import numpy as np
 from .geometry import (
     CoordinateMap,
     NodeCoord,
+    Partition,
+    PartitionError,
     all_coords,
     grid_shape,
     is_power_of_two,
@@ -44,8 +46,23 @@ class CM2:
         params: Optional[MachineParams] = None,
         shape: Optional[Tuple[int, int]] = None,
         spares=0,
+        partition: Optional[Partition] = None,
     ) -> None:
         self.params = params or MachineParams()
+        if partition is not None:
+            # A carved-out tenant machine: validate the placement before
+            # any storage exists, so an illegal rectangle is a typed
+            # PartitionError here instead of an opaque failure deep
+            # inside halo exchange.
+            partition.validate()
+            if shape is None:
+                shape = partition.shape
+            elif tuple(shape) != partition.shape:
+                raise PartitionError(
+                    f"machine shape {tuple(shape)} does not match its "
+                    f"partition shape {partition.shape}"
+                )
+        self.partition = partition
         if shape is None:
             shape = grid_shape(self.params.num_nodes)
         else:
@@ -111,6 +128,17 @@ class CM2:
 
     def node(self, row: int, col: int) -> Node:
         return self._nodes[NodeCoord(row % self.grid_rows, col % self.grid_cols)]
+
+    def parent_coord(self, row: int, col: int) -> Tuple[int, int]:
+        """This machine's logical ``(row, col)`` in parent-grid terms.
+
+        Identity for a whole machine; partition machines resolve through
+        their placement record, so accounting and health reports can
+        name the physical rectangle a tenant actually occupies.
+        """
+        if self.partition is None:
+            return (row % self.grid_rows, col % self.grid_cols)
+        return self.partition.to_parent(row, col)
 
     def nodes(self) -> Iterator[Node]:
         for coord in all_coords(self.shape):
@@ -281,8 +309,12 @@ class CM2:
             if self.has_spares
             else ""
         )
+        carved = (
+            f" ({self.partition.describe()})" if self.partition else ""
+        )
         return (
-            f"CM-2: {self.num_nodes} nodes as a {rows}x{cols} grid{spares}, "
+            f"CM-2: {self.num_nodes} nodes as a {rows}x{cols} grid"
+            f"{carved}{spares}, "
             f"{self.params.clock_hz / 1e6:g} MHz, "
             f"peak {self.peak_gflops():.2f} Gflops"
         )

@@ -334,6 +334,7 @@ def _resolve_block_depth(
     exact: bool,
     batched: bool,
     block_depth: Union[int, str],
+    tenant: Optional[str] = None,
 ) -> int:
     """Validate the caller's ``block_depth`` and clamp it to what the
     run can actually support.  Exact mode, per-node mode, single calls,
@@ -361,7 +362,11 @@ def _resolve_block_depth(
     if cap < 2:
         return 1
     return select_block_depth(
-        compiled, source.subgrid_shape, iterations, machine=source.machine
+        compiled,
+        source.subgrid_shape,
+        iterations,
+        machine=source.machine,
+        tenant=tenant,
     )
 
 
@@ -927,6 +932,7 @@ def apply_stencil(
     check_finite: bool = False,
     faults: Optional[FaultInjector] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    tenant: Optional[str] = None,
 ) -> StencilRun:
     """Apply a compiled stencil to a distributed array.
 
@@ -975,6 +981,9 @@ def apply_stencil(
         resilience: detection/recovery knobs for the guarded path (a
             :class:`~repro.runtime.faults.ResiliencePolicy`); defaults
             apply when only ``faults`` is given.
+        tenant: tenant id scoping the compile-driver cache telemetry
+            (the stencil service passes each job's tenant; results and
+            cache *contents* are tenant-agnostic either way).
 
     Returns:
         a :class:`StencilRun` with the result and full cost accounting.
@@ -997,7 +1006,7 @@ def apply_stencil(
     params = compiled.params
     halo_name = halo_buffer_name(source.name)
     depth = _resolve_block_depth(
-        compiled, source, iterations, exact, batched, block_depth
+        compiled, source, iterations, exact, batched, block_depth, tenant
     )
     ran_batched = False
 

@@ -1,0 +1,42 @@
+"""Stencil-as-a-service: multi-tenant scheduling over one machine.
+
+The service layer carves the simulated CM-2's node grid into per-tenant
+partitions (:class:`MachinePool`), admits :class:`StencilJob` requests
+through an async :class:`Scheduler` under a placement policy, runs them
+concurrently -- each on its own carved-out machine, bit-identical to a
+solo run -- and keeps per-tenant cycle accounting
+(:class:`ServiceAccounts`) that reconciles exactly against the job
+records.
+"""
+
+from ..machine.geometry import Partition, PartitionError
+from .accounting import ServiceAccounts, TenantAccount
+from .jobs import (
+    BOUNDARIES,
+    JobResult,
+    JobSpecError,
+    StencilJob,
+    execute_job,
+    partition_machine,
+    solo_run,
+)
+from .partition import POLICIES, MachinePool
+from .scheduler import JobHandle, Scheduler
+
+__all__ = [
+    "BOUNDARIES",
+    "POLICIES",
+    "JobHandle",
+    "JobResult",
+    "JobSpecError",
+    "MachinePool",
+    "Partition",
+    "PartitionError",
+    "Scheduler",
+    "ServiceAccounts",
+    "StencilJob",
+    "TenantAccount",
+    "execute_job",
+    "partition_machine",
+    "solo_run",
+]

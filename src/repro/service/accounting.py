@@ -1,0 +1,258 @@
+"""Per-tenant cycle accounting for the stencil service.
+
+Every completed job charges its tenant's account with the job's modeled
+totals -- comm cycles, compute cycles, half-strips, useful flops, host
+and machine seconds -- exactly as they appear on the job's
+:class:`~repro.service.jobs.JobResult`.  Because those totals obey the
+PR 5 reconciliation invariant (closed form plus recovery buckets), the
+service ledger inherits it: the per-tenant sums, the per-partition busy
+times, and the grand totals are all exact integer/float sums of the job
+records, and :meth:`ServiceAccounts.reconcile` re-derives them from the
+records to prove no concurrent charge was lost or double-counted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.fairness import jain_index, speedup
+from .jobs import JobResult
+
+
+@dataclass
+class TenantAccount:
+    """One tenant's running totals, in cycle terms."""
+
+    tenant: str
+    jobs: int = 0
+    failures: int = 0
+    comm_cycles: int = 0
+    compute_cycles: int = 0
+    half_strips: int = 0
+    exchanges: int = 0
+    useful_flops: int = 0
+    machine_seconds: float = 0.0
+    host_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+    queue_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    faults_injected: int = 0
+    faults_detected: int = 0
+
+    @property
+    def cycles(self) -> int:
+        return self.comm_cycles + self.compute_cycles
+
+    @property
+    def mflops(self) -> float:
+        """The tenant's own serial throughput: its useful flops over its
+        jobs' summed modeled elapsed time."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.useful_flops / self.elapsed_seconds / 1e6
+
+    def charge(self, result: JobResult) -> None:
+        self.jobs += 1
+        self.comm_cycles += result.comm_cycles
+        self.compute_cycles += result.compute_cycles
+        self.half_strips += result.half_strips
+        self.exchanges += result.exchanges
+        self.useful_flops += result.useful_flops
+        self.machine_seconds += result.machine_seconds
+        self.host_seconds += result.host_seconds
+        self.elapsed_seconds += result.elapsed_seconds
+        self.queue_seconds += result.queue_seconds
+        self.wall_seconds += result.wall_seconds
+        self.faults_injected += result.fault_stats.total_injected
+        self.faults_detected += result.fault_stats.total_detected
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "jobs": self.jobs,
+            "failures": self.failures,
+            "comm_cycles": self.comm_cycles,
+            "compute_cycles": self.compute_cycles,
+            "cycles": self.cycles,
+            "half_strips": self.half_strips,
+            "exchanges": self.exchanges,
+            "useful_flops": self.useful_flops,
+            "machine_seconds": self.machine_seconds,
+            "host_seconds": self.host_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "queue_seconds": self.queue_seconds,
+            "wall_seconds": self.wall_seconds,
+            "mflops": self.mflops,
+            "faults_injected": self.faults_injected,
+            "faults_detected": self.faults_detected,
+        }
+
+
+@dataclass
+class ServiceAccounts:
+    """The whole service's ledger: tenants, partitions, job records."""
+
+    tenants: Dict[str, TenantAccount] = field(default_factory=dict)
+    records: List[JobResult] = field(default_factory=list)
+    #: Modeled busy seconds per partition origin -- the concurrency
+    #: skeleton: the makespan is the busiest partition's total.
+    partition_seconds: Dict[Optional[Tuple[int, int]], float] = field(
+        default_factory=dict
+    )
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
+
+    def charge(self, result: JobResult) -> None:
+        with self._lock:
+            account = self.tenants.get(result.job.tenant)
+            if account is None:
+                account = self.tenants[result.job.tenant] = TenantAccount(
+                    result.job.tenant
+                )
+            account.charge(result)
+            origin = (
+                result.partition.origin if result.partition is not None else None
+            )
+            self.partition_seconds[origin] = (
+                self.partition_seconds.get(origin, 0.0)
+                + result.elapsed_seconds
+            )
+            self.records.append(result)
+
+    def note_failure(self, tenant: str) -> None:
+        with self._lock:
+            account = self.tenants.get(tenant)
+            if account is None:
+                account = self.tenants[tenant] = TenantAccount(tenant)
+            account.failures += 1
+
+    # ------------------------------------------------------------------
+    # Derived service metrics (cycle terms)
+    # ------------------------------------------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        with self._lock:
+            return sum(a.cycles for a in self.tenants.values())
+
+    @property
+    def total_useful_flops(self) -> int:
+        with self._lock:
+            return sum(a.useful_flops for a in self.tenants.values())
+
+    @property
+    def serial_seconds(self) -> float:
+        """Modeled time had every job run back to back."""
+        with self._lock:
+            return sum(a.elapsed_seconds for a in self.tenants.values())
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Modeled time of the service run: the busiest partition."""
+        with self._lock:
+            if not self.partition_seconds:
+                return 0.0
+            return max(self.partition_seconds.values())
+
+    @property
+    def aggregate_mflops(self) -> float:
+        """Useful flops over the makespan -- what concurrency buys."""
+        makespan = self.makespan_seconds
+        if makespan <= 0:
+            return 0.0
+        return self.total_useful_flops / makespan / 1e6
+
+    @property
+    def concurrency_speedup(self) -> float:
+        return speedup(self.serial_seconds, self.makespan_seconds)
+
+    def fairness(self) -> float:
+        """Jain's index over per-tenant cycle allocations."""
+        with self._lock:
+            return jain_index(a.cycles for a in self.tenants.values())
+
+    def reconcile(self) -> bool:
+        """Re-derive every total from the job records.
+
+        True iff each tenant's counters equal the exact sums of its
+        records and the partition busy times equal the exact sums of
+        their records' elapsed seconds -- the concurrency-safety check
+        that no charge was lost or double-counted.
+        """
+        with self._lock:
+            by_tenant: Dict[str, List[JobResult]] = {}
+            by_origin: Dict[Optional[Tuple[int, int]], float] = {}
+            for result in self.records:
+                by_tenant.setdefault(result.job.tenant, []).append(result)
+                origin = (
+                    result.partition.origin
+                    if result.partition is not None
+                    else None
+                )
+                by_origin[origin] = (
+                    by_origin.get(origin, 0.0) + result.elapsed_seconds
+                )
+            for tenant, account in self.tenants.items():
+                records = by_tenant.get(tenant, [])
+                if account.jobs != len(records):
+                    return False
+                if account.comm_cycles != sum(r.comm_cycles for r in records):
+                    return False
+                if account.compute_cycles != sum(
+                    r.compute_cycles for r in records
+                ):
+                    return False
+                if account.half_strips != sum(r.half_strips for r in records):
+                    return False
+                if account.useful_flops != sum(
+                    r.useful_flops for r in records
+                ):
+                    return False
+            if set(by_tenant) != set(
+                t for t, a in self.tenants.items() if a.jobs
+            ):
+                return False
+            return by_origin == {
+                k: v for k, v in self.partition_seconds.items() if v
+            }
+
+    def tenant_rows(self) -> List[Dict[str, object]]:
+        """Per-tenant rows for :func:`repro.analysis.fairness.format_tenant_table`."""
+        with self._lock:
+            total = self.total_cycles
+            rows = []
+            for tenant in sorted(self.tenants):
+                account = self.tenants[tenant]
+                rows.append(
+                    {
+                        "tenant": tenant,
+                        "jobs": account.jobs,
+                        "cycles": account.cycles,
+                        "comm_cycles": account.comm_cycles,
+                        "compute_cycles": account.compute_cycles,
+                        "useful_flops": account.useful_flops,
+                        "mflops": account.mflops,
+                        "share": account.cycles / total if total else 0.0,
+                    }
+                )
+            return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "tenants": {
+                    t: a.to_dict() for t, a in sorted(self.tenants.items())
+                },
+                "total_cycles": self.total_cycles,
+                "total_useful_flops": self.total_useful_flops,
+                "serial_seconds": self.serial_seconds,
+                "makespan_seconds": self.makespan_seconds,
+                "aggregate_mflops": self.aggregate_mflops,
+                "concurrency_speedup": self.concurrency_speedup,
+                "fairness": self.fairness(),
+                "reconciled": self.reconcile(),
+                "jobs": [r.to_dict() for r in self.records],
+            }

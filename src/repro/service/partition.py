@@ -1,0 +1,238 @@
+"""The machine pool: one physical node grid carved among tenants.
+
+The pool owns the parent machine's geometry -- its node grid, and the
+rows reserved as the service spare pool -- and hands out
+:class:`~repro.machine.geometry.Partition` rectangles under a placement
+policy.  Because every admissible rectangle is one tile of a regular
+tiling (validated by ``Partition.validate``), admitted partitions pack
+without gaps or overlaps by construction; the pool only has to track
+which tiles are lent out, and which reserved spare nodes are currently
+backing tenants' fault-tolerance.
+
+Two placement policies:
+
+``first_fit``
+    The first free aligned tile in row-major order -- cheap,
+    deterministic, and what the paper-era batch queues did.
+
+``best_fit``
+    The free aligned tile with the most occupied/reserved/boundary
+    cells touching its perimeter -- packs tenants tightly so the
+    largest possible contiguous rectangle stays free for big arrivals.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.geometry import (
+    Partition,
+    PartitionError,
+    grid_shape,
+    is_power_of_two,
+)
+from ..machine.machine import CM2
+from ..machine.params import MachineParams
+from .jobs import partition_machine
+
+#: Placement policies ``acquire`` understands.
+POLICIES = ("first_fit", "best_fit")
+
+
+class MachinePool:
+    """The parent node grid, its spare reservation, and the free map."""
+
+    def __init__(
+        self,
+        params: Optional[MachineParams] = None,
+        shape: Optional[Tuple[int, int]] = None,
+        *,
+        spare_rows: int = 0,
+        default_partition: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        self.params = params or MachineParams()
+        if shape is None:
+            shape = grid_shape(self.params.num_nodes)
+        rows, cols = shape
+        if rows * cols != self.params.num_nodes:
+            raise PartitionError(
+                f"pool grid {shape} does not hold "
+                f"{self.params.num_nodes} nodes"
+            )
+        if not (is_power_of_two(rows) and is_power_of_two(cols)):
+            raise PartitionError(
+                f"pool grid extents must be powers of two, got {shape}"
+            )
+        if not 0 <= spare_rows < rows:
+            raise PartitionError(
+                f"spare_rows must leave at least one working row, "
+                f"got {spare_rows} of {rows}"
+            )
+        self.shape: Tuple[int, int] = (rows, cols)
+        #: Parent coordinates reserved as the service spare pool: the
+        #: bottom ``spare_rows`` rows, never handed to a tenant.
+        self.reserved = frozenset(
+            (r, c) for r in range(rows - spare_rows, rows) for c in range(cols)
+        )
+        if default_partition is None:
+            default_partition = self._default_tile(spare_rows)
+        self.default_partition: Tuple[int, int] = tuple(default_partition)
+        self._lock = threading.RLock()
+        self._occupied: List[Partition] = []
+        self._spares_lent = 0
+
+    def _default_tile(self, spare_rows: int) -> Tuple[int, int]:
+        """A sensible default partition: quarters of a fully free grid
+        (several tenants fit at once -- the service's raison d'etre), or
+        the tallest power-of-two row band clearing the reservation."""
+        rows, cols = self.shape
+        if spare_rows == 0:
+            return (max(1, rows // 2), max(1, cols // 2))
+        tile_rows = 1
+        while tile_rows * 2 <= rows - spare_rows:
+            tile_rows *= 2
+        return (tile_rows, max(1, cols // 2))
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_reserved(self) -> int:
+        return len(self.reserved)
+
+    @property
+    def spares_free(self) -> int:
+        with self._lock:
+            return self.num_reserved - self._spares_lent
+
+    @property
+    def occupied(self) -> Tuple[Partition, ...]:
+        with self._lock:
+            return tuple(self._occupied)
+
+    def capacity(self, shape: Tuple[int, int]) -> int:
+        """How many ``shape`` tiles the pool can host at once."""
+        return len(self._candidates(self._check_shape(shape)))
+
+    def _check_shape(self, shape: Tuple[int, int]) -> Tuple[int, int]:
+        """Raise :class:`PartitionError` when ``shape`` can never fit."""
+        probe = Partition(self.shape, (0, 0), tuple(shape), self.reserved)
+        # Validates extents, powers of two, and tiling; origin (0, 0) is
+        # always aligned.  Reserved overlap at (0, 0) is not fatal --
+        # another tile may clear it -- so retry candidates below.
+        try:
+            probe.validate()
+        except PartitionError as error:
+            if not error.overlap:
+                raise
+        if not self._candidates(tuple(shape)):
+            raise PartitionError(
+                f"no {shape[0]}x{shape[1]} tile of the "
+                f"{self.shape[0]}x{self.shape[1]} grid clears the "
+                f"{self.num_reserved}-node spare reservation"
+            )
+        return tuple(shape)
+
+    def _candidates(self, shape: Tuple[int, int]) -> List[Partition]:
+        """Every aligned tile of ``shape`` clear of the reservation."""
+        rows, cols = self.shape
+        out = []
+        for orow in range(0, rows, shape[0]):
+            for ocol in range(0, cols, shape[1]):
+                tile = Partition(self.shape, (orow, ocol), shape, self.reserved)
+                try:
+                    tile.validate()
+                except PartitionError:
+                    continue
+                out.append(tile)
+        return out
+
+    # ------------------------------------------------------------------
+    # Acquisition
+    # ------------------------------------------------------------------
+
+    def _packing_score(self, tile: Partition) -> int:
+        """How many perimeter-adjacent cells are unavailable (occupied,
+        reserved, or off-grid) -- best-fit packs where this is highest."""
+        rows, cols = self.shape
+        taken = set(self.reserved)
+        for other in self._occupied:
+            taken.update(other.coords())
+        body = set(tile.coords())
+        score = 0
+        for (r, c) in body:
+            for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                if (nr, nc) in body:
+                    continue
+                if not (0 <= nr < rows and 0 <= nc < cols):
+                    score += 1
+                elif (nr, nc) in taken:
+                    score += 1
+        return score
+
+    def acquire(
+        self,
+        shape: Optional[Tuple[int, int]] = None,
+        *,
+        spares: int = 0,
+        policy: str = "first_fit",
+    ) -> Optional[Tuple[Partition, CM2]]:
+        """Carve out a tile and build its machine, or None when busy.
+
+        Raises :class:`PartitionError` for requests that can *never* be
+        satisfied (shape does not tile the grid, every tile hits the
+        reservation, more spares than the pool reserves) -- the caller
+        fails the job instead of queueing it forever.  Returns None when
+        the request is legal but currently unsatisfiable (tiles or
+        spares all lent out) -- the caller queues and retries on
+        release.
+        """
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        shape = self._check_shape(shape or self.default_partition)
+        if spares > self.num_reserved:
+            raise PartitionError(
+                f"job wants {spares} spare nodes but the pool reserves "
+                f"only {self.num_reserved}"
+            )
+        with self._lock:
+            if spares > self.num_reserved - self._spares_lent:
+                return None
+            free = [
+                tile
+                for tile in self._candidates(shape)
+                if not any(tile.overlaps(held) for held in self._occupied)
+            ]
+            if not free:
+                return None
+            if policy == "best_fit":
+                tile = max(free, key=self._packing_score)
+            else:
+                tile = free[0]
+            self._occupied.append(tile)
+            self._spares_lent += spares
+            machine = partition_machine(self.params, tile, spares=spares)
+            return tile, machine
+
+    def release(self, tile: Partition, *, spares: int = 0) -> None:
+        """Return a tile (and its lent spares) to the pool."""
+        with self._lock:
+            try:
+                self._occupied.remove(tile)
+            except ValueError:
+                raise PartitionError(
+                    f"releasing a tile the pool never lent: {tile.describe()}"
+                ) from None
+            self._spares_lent -= spares
+
+    def describe(self) -> str:
+        rows, cols = self.shape
+        with self._lock:
+            return (
+                f"pool: {rows}x{cols} node grid, "
+                f"{len(self._occupied)} partitions lent, "
+                f"{self.num_reserved - self._spares_lent}/"
+                f"{self.num_reserved} spare nodes free"
+            )

@@ -1,0 +1,238 @@
+"""The async multi-tenant job scheduler.
+
+``submit`` is asynchronous: it enqueues a :class:`~repro.service.jobs.
+StencilJob` and immediately returns a :class:`JobHandle` the caller can
+wait on.  A small crew of worker threads drains the queue: a worker
+claims the highest-priority waiting job whose partition request the
+pool can satisfy *right now* (so small jobs backfill around a big job
+waiting for space), carves the partition, runs the job on it, releases
+the partition, and charges the tenant's account -- all detection,
+recovery, and cost accounting riding on the job's own guarded run.
+
+Every job executes on its own carved-out machine with its own storage,
+health ledger, and spare lease; the only cross-job state is the compile
+driver's thread-safe value-keyed caches, so a scheduled run is
+bit-identical to the same job run solo -- the property ``repro serve``
+and the service test suite assert job by job.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..machine.geometry import PartitionError
+from .accounting import ServiceAccounts
+from .jobs import JobResult, StencilJob, execute_job
+from .partition import POLICIES, MachinePool
+
+
+class JobHandle:
+    """A submitted job's future result."""
+
+    def __init__(self, job: StencilJob, seq: int) -> None:
+        self.job = job
+        self.seq = seq
+        self.submitted_wall = time.perf_counter()
+        self.started_wall: Optional[float] = None
+        self._done = threading.Event()
+        self._result: Optional[JobResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> JobResult:
+        """Block until the job finishes; re-raise its failure."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job.label!r} still running after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _finish(self, result: JobResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+
+@dataclass
+class _QueueEntry:
+    handle: JobHandle
+    shape: Tuple[int, int]
+
+    @property
+    def sort_key(self) -> Tuple[int, int]:
+        # Higher priority first; FIFO within a priority.
+        return (-self.handle.job.priority, self.handle.seq)
+
+
+class Scheduler:
+    """Admission, placement, execution, accounting -- the service core."""
+
+    def __init__(
+        self,
+        pool: MachinePool,
+        *,
+        policy: str = "first_fit",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        self.pool = pool
+        self.policy = policy
+        if max_workers is None:
+            # One worker per default-sized partition the pool can host:
+            # more would only contend, fewer would idle free tiles.
+            max_workers = max(1, pool.capacity(pool.default_partition))
+        self.max_workers = max_workers
+        self.accounts = ServiceAccounts()
+        self._cond = threading.Condition()
+        self._queue: List[_QueueEntry] = []
+        self._handles: List[JobHandle] = []
+        self._seq = itertools.count()
+        self._running = 0
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker, name=f"stencil-worker-{i}", daemon=True
+            )
+            for i in range(self.max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+
+    def submit(self, job: StencilJob) -> JobHandle:
+        """Enqueue a job; returns immediately with its handle.
+
+        Impossible requests -- a partition shape that can never tile the
+        pool's grid or clear its spare reservation, more spares than the
+        reservation holds -- raise :class:`PartitionError` here, at
+        admission, rather than queueing forever.
+        """
+        shape = job.partition_shape or self.pool.default_partition
+        # Admission control: raises PartitionError when no legal tile
+        # (or spare lease) could ever satisfy the request.
+        self.pool._check_shape(shape)
+        if job.spares > self.pool.num_reserved:
+            raise PartitionError(
+                f"job wants {job.spares} spare nodes but the pool "
+                f"reserves only {self.pool.num_reserved}"
+            )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            handle = JobHandle(job, next(self._seq))
+            self._queue.append(_QueueEntry(handle, tuple(shape)))
+            self._handles.append(handle)
+            self._cond.notify_all()
+        return handle
+
+    def submit_all(self, jobs) -> List[JobHandle]:
+        return [self.submit(job) for job in jobs]
+
+    def drain(self, timeout: Optional[float] = None) -> List[JobResult]:
+        """Wait for every submitted job; results in submission order.
+
+        Failed jobs re-raise from here, like :meth:`JobHandle.result`.
+        """
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        results = []
+        for handle in list(self._handles):
+            remaining = (
+                None if deadline is None else deadline - time.perf_counter()
+            )
+            results.append(handle.result(remaining))
+        return results
+
+    def close(self, timeout: Optional[float] = 60.0) -> None:
+        """Stop accepting work and shut the workers down."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _claim(self):
+        """Pop the best currently-placeable entry, with its partition.
+
+        Called under the condition lock.  Scans waiting jobs in priority
+        order and admits the first whose tile and spare lease the pool
+        can satisfy now -- strict priority for placeable jobs, backfill
+        past jobs that must wait for space.
+        """
+        for entry in sorted(self._queue, key=lambda e: e.sort_key):
+            try:
+                acquired = self.pool.acquire(
+                    entry.shape,
+                    spares=entry.handle.job.spares,
+                    policy=self.policy,
+                )
+            except PartitionError as error:
+                self._queue.remove(entry)
+                return entry, None, error
+            if acquired is not None:
+                self._queue.remove(entry)
+                return entry, acquired, None
+        return None
+
+    def _worker(self) -> None:
+        while True:
+            with self._cond:
+                claimed = self._claim()
+                while claimed is None:
+                    if self._closed and not self._queue:
+                        return
+                    self._cond.wait(0.1)
+                    claimed = self._claim()
+                self._running += 1
+            entry, acquired, error = claimed
+            handle = entry.handle
+            try:
+                if error is not None:
+                    raise error
+                tile, machine = acquired
+                handle.started_wall = time.perf_counter()
+                try:
+                    result = execute_job(
+                        handle.job,
+                        machine,
+                        queue_seconds=handle.started_wall
+                        - handle.submitted_wall,
+                    )
+                finally:
+                    self.pool.release(tile, spares=handle.job.spares)
+                self.accounts.charge(result)
+                handle._finish(result)
+            except BaseException as failure:  # noqa: BLE001 - routed to handle
+                self.accounts.note_failure(handle.job.tenant)
+                handle._fail(failure)
+            finally:
+                with self._cond:
+                    self._running -= 1
+                    self._cond.notify_all()

@@ -1,13 +1,26 @@
-"""The compiled-plan cache: one compilation per (pattern, params)."""
+"""The compiled-plan cache: one compilation per (pattern, params).
+
+Including the thread-safety regression suite: the caches started life
+as bare module globals, and a multi-tenant scheduler compiling from
+worker threads exposed duplicate compilations racing into one key,
+lost counter updates, and cross-tenant telemetry corruption.  The
+tests in ``TestThreadSafety`` fail on that module-global
+implementation and pass on the lock-guarded :class:`SyncCache`.
+"""
+
+import threading
+import time
 
 import pytest
 
+import repro.compiler.driver as driver
 from repro.compiler.driver import (
     clear_compile_cache,
     compile_cache_info,
     compile_defstencil,
     compile_fortran,
     compile_stencil,
+    depth_cache_info,
 )
 from repro.machine.params import MachineParams
 from repro.runtime.strips import StripSchedule
@@ -92,3 +105,141 @@ def test_strip_schedules_are_cached_per_plan_and_subgrid():
     first = StripSchedule.cached(compiled, (64, 64))
     assert StripSchedule.cached(compiled, (64, 64)) is first
     assert StripSchedule.cached(compiled, (64, 128)) is not first
+
+
+class TestThreadSafety:
+    """The service-exposed races, reproduced deterministically."""
+
+    def test_concurrent_misses_compile_once(self, monkeypatch):
+        """Two threads missing on one key must run one compilation and
+        share the object.
+
+        This is the regression test for the module-global cache: there,
+        both threads saw the empty dict, both compiled, and the callers
+        ended up holding *different* plan objects -- breaking the
+        driver's identity guarantee the moment a second tenant arrived.
+        The slow compile plus the stagger makes the old interleaving
+        certain, not probabilistic: the second thread arrives while the
+        first is still inside ``compile_pattern``.
+        """
+        real_compile = driver.compile_pattern
+        calls = []
+
+        def slow_compile(*args, **kwargs):
+            calls.append(threading.get_ident())
+            time.sleep(0.2)
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(driver, "compile_pattern", slow_compile)
+        params = MachineParams(num_nodes=16)
+        plans = {}
+
+        def worker(slot):
+            plans[slot] = compile_stencil(cross(2), params)
+
+        first = threading.Thread(target=worker, args=("a",))
+        second = threading.Thread(target=worker, args=("b",))
+        first.start()
+        time.sleep(0.05)  # lands mid-compilation, guaranteed
+        second.start()
+        first.join()
+        second.join()
+
+        assert len(calls) == 1, "concurrent misses must deduplicate"
+        assert plans["a"] is plans["b"]
+        hits, misses, entries = compile_cache_info()
+        assert (misses, entries) == (1, 1)
+        assert hits == 1  # the waiter re-checked and hit
+
+    def test_counters_stay_exact_under_a_thread_hammer(self):
+        """N threads x M lookups: every call is exactly one hit or one
+        miss, so the totals must sum to N*M with one miss per distinct
+        key.  The unlocked counters lost updates here."""
+        params = MachineParams(num_nodes=16)
+        patterns = [cross(1), cross(2), square(1), square(2)]
+        num_threads, rounds = 8, 25
+        barrier = threading.Barrier(num_threads)
+
+        def worker(index):
+            barrier.wait()
+            for round_number in range(rounds):
+                pattern = patterns[(index + round_number) % len(patterns)]
+                compile_stencil(pattern, params)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        hits, misses, entries = compile_cache_info()
+        assert hits + misses == num_threads * rounds
+        assert misses == len(patterns)
+        assert entries == len(patterns)
+
+    def test_factory_failure_releases_waiters(self, monkeypatch):
+        """A compilation that raises must not wedge the key: waiters
+        wake, and the next caller retries and succeeds."""
+        real_compile = driver.compile_pattern
+        attempts = []
+
+        def flaky_compile(*args, **kwargs):
+            attempts.append(None)
+            if len(attempts) == 1:
+                raise RuntimeError("transient")
+            return real_compile(*args, **kwargs)
+
+        monkeypatch.setattr(driver, "compile_pattern", flaky_compile)
+        params = MachineParams(num_nodes=16)
+        with pytest.raises(RuntimeError):
+            compile_stencil(cross(2), params)
+        compiled = compile_stencil(cross(2), params)
+        assert compiled is compile_stencil(cross(2), params)
+        assert len(attempts) == 2
+
+
+class TestTenantScopes:
+    """Per-tenant telemetry over the shared tables."""
+
+    def test_scoped_stats_are_isolated(self):
+        params = MachineParams(num_nodes=16)
+        compile_stencil(cross(2), params, tenant="alice")  # miss
+        compile_stencil(cross(2), params, tenant="alice")  # hit
+        compile_stencil(cross(2), params, tenant="bob")  # hit
+        assert compile_cache_info(tenant="alice") == (1, 1, 1)
+        assert compile_cache_info(tenant="bob") == (1, 0, 1)
+        # The aggregate view sums every scope.
+        assert compile_cache_info() == (2, 1, 1)
+
+    def test_anonymous_scope_is_a_scope(self):
+        params = MachineParams(num_nodes=16)
+        compile_stencil(cross(2), params)  # anonymous miss
+        compile_stencil(cross(2), params, tenant="alice")  # hit
+        assert compile_cache_info(tenant=None) == (0, 1, 1)
+        assert compile_cache_info(tenant="alice") == (1, 0, 1)
+
+    def test_clearing_one_tenant_leaves_the_others_alone(self):
+        """The bug this scoping exists to fix: one tenant's reset used
+        to zero every tenant's counters and drop the shared plans."""
+        params = MachineParams(num_nodes=16)
+        compile_stencil(cross(2), params, tenant="alice")
+        compile_stencil(cross(2), params, tenant="bob")
+        clear_compile_cache(tenant="alice")
+        # Alice's view is pristine; the shared entry survives.
+        assert compile_cache_info(tenant="alice") == (0, 0, 1)
+        # Bob's telemetry is untouched.
+        assert compile_cache_info(tenant="bob") == (1, 0, 1)
+        # Alice's next compile hits the still-cached plan.
+        compile_stencil(cross(2), params, tenant="alice")
+        assert compile_cache_info(tenant="alice") == (1, 0, 1)
+
+    def test_full_clear_resets_both_caches_and_every_scope(self):
+        params = MachineParams(num_nodes=16)
+        compile_stencil(cross(2), params, tenant="alice")
+        clear_compile_cache()
+        assert compile_cache_info() == (0, 0, 0)
+        assert compile_cache_info(tenant="alice") == (0, 0, 0)
+        assert depth_cache_info() == (0, 0, 0)

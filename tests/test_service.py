@@ -1,0 +1,449 @@
+"""Stencil-as-a-service: partitions, the pool, the scheduler, the ledger.
+
+The acceptance property runs throughout: any job scheduled onto a
+carved-out partition produces float32 results bit-identical to the same
+job run solo on a private machine of the same node-grid shape -- fault
+campaigns included -- and the per-tenant cycle accounting reconciles
+exactly against the job records.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.machine.geometry import Partition, PartitionError
+from repro.machine.machine import CM2
+from repro.machine.params import MachineParams
+from repro.service import (
+    JobSpecError,
+    MachinePool,
+    Scheduler,
+    ServiceAccounts,
+    StencilJob,
+    execute_job,
+    partition_machine,
+    solo_run,
+)
+
+PARAMS = MachineParams(num_nodes=16)  # a 4x4 node grid
+
+
+# ---------------------------------------------------------------------------
+# Partition validation
+# ---------------------------------------------------------------------------
+
+
+class TestPartition:
+    def test_quarters_tile_the_grid(self):
+        for origin in ((0, 0), (0, 2), (2, 0), (2, 2)):
+            Partition((4, 4), origin, (2, 2)).validate()
+
+    def test_row_bands_tile_the_grid(self):
+        Partition((4, 4), (2, 0), (2, 4)).validate()
+
+    def test_non_power_of_two_extent_rejected(self):
+        with pytest.raises(PartitionError, match="powers of two"):
+            Partition((4, 4), (0, 0), (3, 4)).validate()
+
+    def test_extent_must_divide_parent(self):
+        with pytest.raises(PartitionError):
+            Partition((4, 4), (0, 0), (8, 4)).validate()
+
+    def test_origin_must_align_to_the_tiling(self):
+        with pytest.raises(PartitionError, match="align"):
+            Partition((4, 4), (1, 0), (2, 2)).validate()
+
+    def test_reserved_overlap_names_the_coordinates(self):
+        reserved = frozenset({(3, 0), (3, 1), (3, 2), (3, 3)})
+        with pytest.raises(PartitionError) as excinfo:
+            Partition((4, 4), (2, 0), (2, 2), reserved).validate()
+        assert excinfo.value.overlap == ((3, 0), (3, 1))
+        assert "(3, 0)" in str(excinfo.value)
+
+    def test_overlap_detection(self):
+        a = Partition((4, 4), (0, 0), (2, 2))
+        b = Partition((4, 4), (0, 2), (2, 2))
+        c = Partition((4, 4), (0, 0), (4, 4))
+        assert not a.overlaps(b)
+        assert a.overlaps(c) and b.overlaps(c)
+
+    def test_to_parent_maps_through_the_origin(self):
+        tile = Partition((4, 4), (2, 2), (2, 2))
+        assert tile.to_parent(0, 0) == (2, 2)
+        assert tile.to_parent(1, 1) == (3, 3)
+        # Logical coordinates wrap: the partition is its own torus.
+        assert tile.to_parent(2, 0) == (2, 2)
+        assert tile.to_parent(-1, 0) == (3, 2)
+
+
+class TestPartitionedMachine:
+    def test_machine_takes_its_shape_from_the_partition(self):
+        tile = Partition((4, 4), (2, 0), (2, 2))
+        machine = partition_machine(PARAMS, tile)
+        assert machine.shape == (2, 2)
+        assert machine.partition is tile
+        assert machine.params.num_nodes == 4
+
+    def test_shape_partition_mismatch_rejected(self):
+        tile = Partition((4, 4), (0, 0), (2, 2))
+        with pytest.raises(PartitionError, match="does not match"):
+            CM2(PARAMS.with_nodes(8), shape=(2, 4), partition=tile)
+
+    def test_invalid_partition_rejected_at_construction(self):
+        bad = Partition((4, 4), (1, 0), (2, 2))
+        with pytest.raises(PartitionError):
+            CM2(PARAMS.with_nodes(4), partition=bad)
+
+    def test_parent_coord_translation(self):
+        tile = Partition((4, 4), (2, 2), (2, 2))
+        machine = partition_machine(PARAMS, tile)
+        assert machine.parent_coord(0, 0) == (2, 2)
+        whole = CM2(PARAMS)
+        assert whole.parent_coord(1, 3) == (1, 3)
+
+
+# ---------------------------------------------------------------------------
+# The machine pool
+# ---------------------------------------------------------------------------
+
+
+class TestMachinePool:
+    def test_first_fit_walks_row_major(self):
+        pool = MachinePool(PARAMS)
+        origins = []
+        for _ in range(4):
+            tile, _machine = pool.acquire((2, 2))
+            origins.append(tile.origin)
+        assert origins == [(0, 0), (0, 2), (2, 0), (2, 2)]
+        assert pool.acquire((2, 2)) is None  # full: busy, not an error
+
+    def test_release_makes_the_tile_reusable(self):
+        pool = MachinePool(PARAMS)
+        held = [pool.acquire((2, 2)) for _ in range(4)]
+        tile = held[2][0]
+        pool.release(tile)
+        again, _machine = pool.acquire((2, 2))
+        assert again.origin == tile.origin
+
+    def test_releasing_a_foreign_tile_is_an_error(self):
+        pool = MachinePool(PARAMS)
+        stranger = Partition((4, 4), (0, 0), (2, 2))
+        with pytest.raises(PartitionError, match="never lent"):
+            pool.release(stranger)
+
+    def test_impossible_shape_raises_not_queues(self):
+        pool = MachinePool(PARAMS)
+        with pytest.raises(PartitionError):
+            pool.acquire((3, 3))
+        with pytest.raises(PartitionError):
+            pool.acquire((8, 8))
+
+    def test_spare_reservation_blocks_bottom_rows(self):
+        pool = MachinePool(PARAMS, spare_rows=1)
+        assert pool.num_reserved == 4
+        origins = set()
+        while True:
+            acquired = pool.acquire((2, 2))
+            if acquired is None:
+                break
+            origins.add(acquired[0].origin)
+        # The (2, *) tiles cover reserved row 3 and are never lent.
+        assert origins == {(0, 0), (0, 2)}
+        with pytest.raises(PartitionError, match="reservation"):
+            pool.acquire((4, 4))
+
+    def test_spares_lend_and_exhaust(self):
+        pool = MachinePool(PARAMS, spare_rows=1)
+        first = pool.acquire((2, 2), spares=3)
+        assert first is not None and pool.spares_free == 1
+        assert pool.acquire((2, 2), spares=2) is None  # busy, retry later
+        with pytest.raises(PartitionError, match="reserves"):
+            pool.acquire((2, 2), spares=5)  # never satisfiable
+        pool.release(first[0], spares=3)
+        assert pool.spares_free == 4
+
+    def test_best_fit_packs_against_the_occupied_corner(self):
+        pool = MachinePool(PARAMS)
+        corner, _machine = pool.acquire((2, 2), policy="best_fit")
+        assert corner.origin == (0, 0)  # all corners tie; first wins
+        neighbor, _machine = pool.acquire((2, 2), policy="best_fit")
+        # Adjacent to the held corner beats the diagonally-opposite one.
+        assert neighbor.origin in ((0, 2), (2, 0))
+
+    def test_capacity_counts_simultaneous_tiles(self):
+        assert MachinePool(PARAMS).capacity((2, 2)) == 4
+        assert MachinePool(PARAMS, spare_rows=1).capacity((2, 2)) == 2
+
+
+# ---------------------------------------------------------------------------
+# Job specs
+# ---------------------------------------------------------------------------
+
+
+class TestStencilJob:
+    def test_defaults_validate(self):
+        job = StencilJob(tenant="t")
+        assert job.pattern == "cross5" and job.label
+
+    def test_bad_specs_raise_typed_errors(self):
+        with pytest.raises(JobSpecError):
+            StencilJob(tenant="")
+        with pytest.raises(JobSpecError):
+            StencilJob(tenant="t", pattern="nonesuch")
+        with pytest.raises(JobSpecError):
+            StencilJob(tenant="t", boundary="reflect")
+        with pytest.raises(JobSpecError):
+            StencilJob(tenant="t", iterations=0)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(JobSpecError, match="unknown job fields"):
+            StencilJob.from_dict({"tenant": "t", "color": "red"})
+
+    def test_fault_rates_are_canonicalized(self):
+        a = StencilJob(tenant="t", fault_rates={"halo_corrupt": 0.5})
+        b = StencilJob(tenant="t", fault_rates={"halo_corrupt": 0.5})
+        assert a.fault_rates == b.fault_rates == (("halo_corrupt", 0.5),)
+        assert a.guarded
+
+    def test_grid_must_divide_over_the_partition(self):
+        job = StencilJob(tenant="t", grid_shape=(15, 15))
+        machine = CM2(PARAMS.with_nodes(4), shape=(2, 2))
+        with pytest.raises(JobSpecError, match="divide evenly"):
+            execute_job(job, machine)
+
+    def test_solo_run_needs_a_shape(self):
+        with pytest.raises(JobSpecError, match="shape"):
+            solo_run(StencilJob(tenant="t"))
+
+
+# ---------------------------------------------------------------------------
+# The scheduler: bit-identity, priority, accounting
+# ---------------------------------------------------------------------------
+
+
+def _distinct_jobs():
+    """K jobs spanning patterns, boundary modes, and iteration counts."""
+    specs = [
+        ("alice", "cross5", "torus", 1),
+        ("alice", "cross9", "fill", 3),
+        ("bob", "square9", "torus", 2),
+        ("bob", "diamond13", "fill", 1),
+        ("carol", "asymmetric5", "torus", 4),
+        ("carol", "cross5", "fill", 2),
+        ("dave", "diamond13", "torus", 3),
+        ("dave", "square9", "fill", 4),
+    ]
+    return [
+        StencilJob(
+            tenant=tenant,
+            pattern=pattern,
+            boundary=boundary,
+            iterations=iterations,
+            grid_shape=(16, 16),
+            seed=index,
+        )
+        for index, (tenant, pattern, boundary, iterations) in enumerate(specs)
+    ]
+
+
+class TestScheduler:
+    def test_scheduled_results_are_bit_identical_to_solo_runs(self):
+        """The acceptance property: K jobs with distinct patterns and
+        boundary modes through the scheduler == solo sequential runs,
+        bit for bit, with the ledger reconciling exactly."""
+        jobs = _distinct_jobs()
+        pool = MachinePool(PARAMS)
+        with Scheduler(pool) as scheduler:
+            scheduler.submit_all(jobs)
+            results = scheduler.drain(timeout=120)
+        assert len(results) == len(jobs)
+        for result, job in zip(results, jobs):
+            assert result.job is job
+            reference = solo_run(job, params=PARAMS, shape=result.partition.shape)
+            assert result.identical_to(reference), job.label
+        accounts = scheduler.accounts
+        assert accounts.reconcile()
+        assert set(accounts.tenants) == {"alice", "bob", "carol", "dave"}
+        assert accounts.total_cycles == sum(r.cycles for r in results)
+
+    def test_fault_campaign_on_one_tenant_leaves_the_others_untouched(self):
+        """A seeded soft-fault campaign on one tenant's jobs: its
+        results still match its solo runs (the guarded run retries
+        through the corruption), and no other tenant sees a fault."""
+        clean = _distinct_jobs()[:4]
+        chaotic = [
+            StencilJob(
+                tenant="chaos",
+                pattern="cross5",
+                boundary="torus",
+                iterations=4,
+                grid_shape=(16, 16),
+                seed=99,
+                fault_rates={"halo_corrupt": 0.6},
+                fault_seed=5,
+            ),
+            StencilJob(
+                tenant="chaos",
+                pattern="square9",
+                boundary="fill",
+                iterations=3,
+                grid_shape=(16, 16),
+                seed=98,
+                fault_rates={"halo_corrupt": 0.6},
+                fault_seed=6,
+            ),
+        ]
+        pool = MachinePool(PARAMS)
+        with Scheduler(pool) as scheduler:
+            scheduler.submit_all(clean + chaotic)
+            results = scheduler.drain(timeout=120)
+        injected = 0
+        for result in results:
+            reference = solo_run(
+                result.job, params=PARAMS, shape=result.partition.shape
+            )
+            assert result.identical_to(reference), result.job.label
+            if result.job.tenant == "chaos":
+                injected += result.fault_stats.total_injected
+            else:
+                assert result.fault_stats.total_injected == 0
+        assert injected > 0, "the campaign must actually inject"
+        accounts = scheduler.accounts
+        assert accounts.reconcile()
+        assert accounts.tenants["chaos"].faults_injected == injected
+        for tenant in ("alice", "bob"):
+            assert accounts.tenants[tenant].faults_injected == 0
+
+    def test_priority_orders_waiting_jobs(self):
+        """On a single-tile pool, queued jobs run highest-priority
+        first, FIFO within a priority."""
+        pool = MachinePool(PARAMS, default_partition=(4, 4))
+        with Scheduler(pool) as scheduler:
+            head = scheduler.submit(
+                StencilJob(tenant="head", iterations=6, grid_shape=(16, 16))
+            )
+            # Wait until "head" holds the only tile, so the rest queue
+            # behind it and drain strictly by priority.
+            deadline = time.perf_counter() + 30
+            while head.started_wall is None:
+                assert time.perf_counter() < deadline, "head never started"
+                time.sleep(0.001)
+            for tenant, priority in (("low", 0), ("high", 5), ("mid", 2)):
+                scheduler.submit(
+                    StencilJob(
+                        tenant=tenant, priority=priority, grid_shape=(16, 16)
+                    )
+                )
+            scheduler.drain(timeout=120)
+            order = [r.job.tenant for r in scheduler.accounts.records]
+        assert order == ["head", "high", "mid", "low"]
+
+    def test_admission_rejects_impossible_jobs_immediately(self):
+        pool = MachinePool(PARAMS, spare_rows=1)
+        with Scheduler(pool) as scheduler:
+            with pytest.raises(PartitionError):
+                scheduler.submit(
+                    StencilJob(tenant="t", partition_shape=(4, 4))
+                )
+            with pytest.raises(PartitionError):
+                scheduler.submit(StencilJob(tenant="t", spares=99))
+
+    def test_job_failures_surface_through_the_handle(self):
+        pool = MachinePool(PARAMS)
+        with Scheduler(pool) as scheduler:
+            handle = scheduler.submit(
+                StencilJob(tenant="t", grid_shape=(15, 15))
+            )
+            with pytest.raises(JobSpecError):
+                handle.result(timeout=60)
+            assert scheduler.accounts.tenants["t"].failures == 1
+            assert scheduler.accounts.reconcile()
+
+    def test_submit_after_close_is_refused(self):
+        scheduler = Scheduler(MachinePool(PARAMS))
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit(StencilJob(tenant="t"))
+
+    def test_guarded_job_borrows_pool_spares(self):
+        pool = MachinePool(PARAMS, spare_rows=1)
+        job = StencilJob(
+            tenant="t",
+            grid_shape=(16, 16),
+            spares=2,
+            fault_rates={"halo_corrupt": 0.2},
+        )
+        with Scheduler(pool) as scheduler:
+            result = scheduler.submit(job).result(timeout=120)
+        assert pool.spares_free == pool.num_reserved  # returned on release
+        reference = solo_run(job, params=PARAMS, shape=result.partition.shape)
+        assert result.identical_to(reference)
+
+
+# ---------------------------------------------------------------------------
+# Accounting
+# ---------------------------------------------------------------------------
+
+
+class TestAccounting:
+    def test_fairness_is_one_for_equal_tenants(self):
+        accounts = ServiceAccounts()
+        jobs = [
+            StencilJob(tenant=t, grid_shape=(16, 16), seed=i, iterations=2)
+            for i, t in enumerate(("a", "b", "c", "d"))
+        ]
+        for job in jobs:
+            accounts.charge(solo_run(job, params=PARAMS, shape=(2, 2)))
+        # Same pattern, same grid, same iterations: identical cycles.
+        assert accounts.fairness() == pytest.approx(1.0)
+        assert accounts.reconcile()
+
+    def test_reconcile_catches_a_corrupted_counter(self):
+        accounts = ServiceAccounts()
+        job = StencilJob(tenant="t", grid_shape=(16, 16))
+        accounts.charge(solo_run(job, params=PARAMS, shape=(2, 2)))
+        assert accounts.reconcile()
+        accounts.tenants["t"].comm_cycles += 1  # the lost-update bug
+        assert not accounts.reconcile()
+
+    def test_concurrent_charges_are_not_lost(self):
+        """The ledger under a thread hammer: every charge lands."""
+        accounts = ServiceAccounts()
+        result = solo_run(
+            StencilJob(tenant="t", grid_shape=(16, 16)),
+            params=PARAMS,
+            shape=(2, 2),
+        )
+        num_threads, rounds = 8, 50
+        barrier = threading.Barrier(num_threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(rounds):
+                accounts.charge(result)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        account = accounts.tenants["t"]
+        assert account.jobs == num_threads * rounds
+        assert account.comm_cycles == num_threads * rounds * result.comm_cycles
+        assert accounts.reconcile()
+
+    def test_makespan_is_the_busiest_partition(self):
+        accounts = ServiceAccounts()
+        jobs = _distinct_jobs()
+        pool = MachinePool(PARAMS)
+        with Scheduler(pool) as scheduler:
+            scheduler.submit_all(jobs)
+            scheduler.drain(timeout=120)
+            accounts = scheduler.accounts
+        assert accounts.makespan_seconds <= accounts.serial_seconds
+        assert accounts.concurrency_speedup >= 1.0
+        assert accounts.aggregate_mflops > 0
