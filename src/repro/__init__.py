@@ -34,13 +34,17 @@ from .compiler import (
 )
 from .machine import CM2, FULL_CM2, SIXTEEN_NODE, MachineParams
 from .runtime import (
+    BatchStencilRun,
     CMArray,
+    CMBatch,
     FaultError,
     FaultInjector,
     FaultStats,
+    FilterCost,
     ResiliencePolicy,
     StencilRun,
     apply_stencil,
+    apply_stencil_batch,
     make_stencil_function,
     make_subroutine,
 )
@@ -50,9 +54,12 @@ from . import testing
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchStencilRun",
     "CM2",
     "CMArray",
+    "CMBatch",
     "CompiledStencil",
+    "FilterCost",
     "FULL_CM2",
     "FaultError",
     "FaultInjector",
@@ -64,6 +71,7 @@ __all__ = [
     "StencilPattern",
     "StencilRun",
     "apply_stencil",
+    "apply_stencil_batch",
     "compile_defstencil",
     "make_stencil_function",
     "make_subroutine",

@@ -119,3 +119,49 @@ def account_blocked(
             subgrid_shape, pad, iterations, depth, nodes
         ),
     )
+
+
+def account_batch(
+    patterns,
+    subgrid_shape: Tuple[int, int],
+    batch: int,
+    iterations: int = 1,
+    nodes: int = 1,
+    depths=None,
+) -> Tuple[FlopAccounting, ...]:
+    """Flop accounting for a batched multi-convolution, one entry per
+    filter.
+
+    Useful work scales with the batch -- every entry's every point is a
+    distinct output -- and so does the temporal-blocking halo ring's
+    redundant recomputation (each entry runs its own blocks).  The
+    amortized costs of batching (shared halo exchanges, once-per-batch
+    coefficient exchanges) are communication, not flops, so they do not
+    appear here; see
+    :class:`~repro.runtime.batch.BatchStencilRun` for those.
+    """
+    rows, cols = subgrid_shape
+    if depths is None:
+        depths = tuple(1 for _ in patterns)
+    accounts = []
+    for pattern, depth in zip(patterns, depths):
+        pad = pattern.border_widths().max_width
+        redundant = (
+            blocked_redundant_points(
+                subgrid_shape, pad, iterations, depth, nodes
+            )
+            * batch
+            if depth > 1
+            else 0
+        )
+        accounts.append(
+            FlopAccounting(
+                pattern_name=pattern.name or "stencil",
+                points=rows * cols * nodes * batch,
+                iterations=iterations,
+                useful_per_point=pattern.useful_flops_per_point(),
+                issued_ma_per_point=pattern.issued_multiply_adds_per_point(),
+                redundant_points=redundant,
+            )
+        )
+    return tuple(accounts)

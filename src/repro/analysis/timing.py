@@ -134,3 +134,110 @@ def resimulated_gflops(run: StencilRun, to_nodes: int) -> float:
     seconds = run.seconds_per_iteration  # unchanged per-node + host time
     flops = run.useful_flops_per_node_per_iteration * to_nodes
     return flops / seconds / 1e9
+
+
+@dataclass(frozen=True)
+class BatchFilterRow:
+    """One filter's line of a batched-run results table."""
+
+    stencil: str
+    block_depth: int
+    shared_exchanges: int
+    own_exchanges: int
+    coeff_exchanges: int
+    comm_share: float
+    mflops: float
+
+    def row(self) -> str:
+        blocked = f" T={self.block_depth}" if self.block_depth > 1 else ""
+        return (
+            f"  {self.stencil:<12} {self.shared_exchanges:>4} shared "
+            f"{self.own_exchanges:>5} own {self.coeff_exchanges:>3} coeff "
+            f"{self.comm_share:>5.1%} comm {self.mflops:>8.1f} Mflops"
+            f"{blocked}"
+        )
+
+
+@dataclass(frozen=True)
+class BatchRateReport:
+    """A batched multi-convolution's results-table block: the aggregate
+    line (the number the amortization argument is about) plus one
+    attribution row per filter.
+
+    Per-filter Mflops divide the run's elapsed time by each filter's
+    share of total machine cycles -- host overhead is shared pro rata,
+    since the front end issues group passes, not per-filter calls.
+    """
+
+    batch: int
+    filters: int
+    nodes: int
+    subgrid_rows: int
+    subgrid_cols: int
+    iterations: int
+    elapsed_seconds: float
+    measured_mflops: float
+    extrapolated_gflops: float
+    num_exchanges: int
+    host_calls: int
+    per_filter: tuple
+
+    def rows(self) -> str:
+        head = (
+            f"batch {self.batch:>3} x {self.filters} filters "
+            f"{self.subgrid_rows:>4}x{self.subgrid_cols:<5} "
+            f"{self.nodes:>5} {self.iterations:>6} "
+            f"{self.elapsed_seconds:>9.4f} s "
+            f"{self.measured_mflops:>8.1f} Mflops "
+            f"{self.extrapolated_gflops:>7.2f} Gflops "
+            f"[{self.num_exchanges} msgs, {self.host_calls} host calls]"
+        )
+        return "\n".join([head] + [row.row() for row in self.per_filter])
+
+
+def batch_report(run, *, extrapolate_to: int = 2048) -> BatchRateReport:
+    """Summarize a :class:`~repro.runtime.batch.BatchStencilRun`.
+
+    The aggregate rate is useful flops over elapsed wall clock for the
+    whole batch -- the number to compare against a loop of solo runs.
+    """
+    rows, cols = run.result.subgrid_shape
+    measured = run.mflops
+    total_cycles = max(
+        run.total_comm_cycles + run.total_compute_cycles, 1
+    )
+    per_filter = []
+    for cost in run.per_filter:
+        cycles = cost.comm_cycles + cost.compute_cycles
+        share = cycles / total_cycles
+        seconds = run.elapsed_seconds * share
+        per_filter.append(
+            BatchFilterRow(
+                stencil=cost.name,
+                block_depth=cost.block_depth,
+                shared_exchanges=cost.shared_exchanges,
+                own_exchanges=cost.own_exchanges,
+                coeff_exchanges=cost.coeff_exchanges,
+                comm_share=share,
+                mflops=(
+                    cost.useful_flops / seconds / 1e6 if seconds > 0 else 0.0
+                ),
+            )
+        )
+    return BatchRateReport(
+        batch=run.batch,
+        filters=len(run.filters),
+        nodes=run.machine.num_nodes,
+        subgrid_rows=rows,
+        subgrid_cols=cols,
+        iterations=run.iterations,
+        elapsed_seconds=run.elapsed_seconds,
+        measured_mflops=measured,
+        extrapolated_gflops=extrapolate_mflops(
+            measured, run.machine.num_nodes, extrapolate_to
+        )
+        / 1e3,
+        num_exchanges=run.num_exchanges,
+        host_calls=run.host_calls,
+        per_filter=tuple(per_filter),
+    )

@@ -193,6 +193,116 @@ def select_block_depth(
     )
 
 
+def select_batch_block_depth(
+    compiled: CompiledStencil,
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    batch: int,
+    *,
+    max_depth: Optional[int] = None,
+    machine=None,
+    tenant: Optional[str] = ANONYMOUS,
+) -> int:
+    """Pick one filter's temporal block depth for a batched run,
+    memoized.
+
+    Like :func:`select_block_depth` but priced through the batch-aware
+    model (:func:`repro.runtime.blocking.best_batch_block_depth`):
+    source exchanges scale with ``batch`` while coefficient deep
+    exchanges amortize over it, so the same filter can block deeper in a
+    batch than solo.  Keyed with a ``"batch"`` discriminator so batched
+    and solo selections for the same geometry never collide.
+    """
+    # Imported lazily: the runtime layer imports this module's siblings.
+    from ..runtime.blocking import best_batch_block_depth
+
+    try:
+        key = (
+            "batch",
+            compiled.pattern,
+            compiled.params,
+            tuple(subgrid_shape),
+            iterations,
+            batch,
+            max_depth,
+            _health_signature(machine),
+        )
+        hash(key)
+    except TypeError:
+        return best_batch_block_depth(
+            compiled,
+            subgrid_shape,
+            iterations,
+            batch,
+            max_depth,
+            machine=machine,
+        )
+    return _DEPTH_CACHE.get_or_compute(
+        key,
+        lambda: best_batch_block_depth(
+            compiled,
+            subgrid_shape,
+            iterations,
+            batch,
+            max_depth,
+            machine=machine,
+        ),
+        scope=tenant,
+    )
+
+
+def select_batch_block_depths(
+    filters: Sequence[CompiledStencil],
+    subgrid_shape: Tuple[int, int],
+    iterations: int,
+    batch: int,
+    *,
+    machine=None,
+    tenant: Optional[str] = ANONYMOUS,
+) -> Tuple[int, ...]:
+    """Per-filter block depths for a whole batched filter set, memoized
+    on the set.
+
+    The batched runtime plans one machine pass for the entire filter
+    set, so the plan cache is keyed on the set too (a ``"batchset"``
+    entry over every member's pattern): re-submitting the same workload
+    -- the service's steady state -- resolves every depth in one cache
+    hit instead of F sweeps.  Unblockable filters resolve to depth 1.
+    """
+    filters = tuple(filters)
+
+    def sweep() -> Tuple[int, ...]:
+        return tuple(
+            select_batch_block_depth(
+                compiled,
+                subgrid_shape,
+                iterations,
+                batch,
+                machine=machine,
+                tenant=tenant,
+            )
+            for compiled in filters
+        )
+
+    try:
+        key = (
+            "batchset",
+            tuple(
+                (compiled.pattern, compiled.pattern.name)
+                for compiled in filters
+            ),
+            filters[0].params if filters else None,
+            tuple(subgrid_shape),
+            iterations,
+            batch,
+            _health_signature(machine),
+        )
+        hash(key)
+    except TypeError:
+        return sweep()
+    return _DEPTH_CACHE.get_or_compute(key, sweep, scope=tenant)
+
+
 def compile_fortran(
     source: str,
     params: Optional[MachineParams] = None,

@@ -207,24 +207,32 @@ class CM2:
         self.health.retire_node(old_phys)
         for name in self.storage.names:
             stack = self.storage.get(name)
-            if stack is not None and stack.shape[:2] == self.shape:
+            if (
+                stack is not None
+                and stack.ndim == 4
+                and stack.shape[:2] == self.shape
+            ):
                 spare.memory.install_view(name, stack[coord.row, coord.col])
         return spare
 
     def migration_words(self) -> int:
         """Words one node's migration moves: its tile of every
-        distributed stack (the state a spare must receive)."""
+        distributed stack (the state a spare must receive).  Batched
+        stacks count every leading-axis copy of the tile -- the spare
+        receives the whole batch's slice."""
         total = 0
         seen = set()
+        grid_rows, grid_cols = self.shape
         for name in self.storage.names:
             stack = self.storage.get(name)
             if (
                 stack is not None
-                and stack.shape[:2] == self.shape
+                and stack.ndim >= 4
+                and stack.shape[-4:-2] == self.shape
                 and id(stack) not in seen
             ):
                 seen.add(id(stack))
-                total += int(stack.shape[2] * stack.shape[3])
+                total += int(stack.size // (grid_rows * grid_cols))
         return total
 
     # ------------------------------------------------------------------
@@ -281,16 +289,31 @@ class CM2:
         self._stack_checks[name] = (stack, self._memory_epoch[0])
         return stack
 
+    def alloc_batch_stacked(
+        self,
+        name: str,
+        lead_shape: Tuple[int, ...],
+        subgrid_shape: Tuple[int, int],
+    ) -> np.ndarray:
+        """Allocate a batched distributed buffer (leading batch/filter
+        axes ahead of the node grid).  No node views -- see
+        :meth:`~repro.machine.memory.MachineStorage.allocate_batched`."""
+        return self.storage.allocate_batched(name, lead_shape, subgrid_shape)
+
     def scratch_stacked(
-        self, name: str, buffer_shape: Tuple[int, int]
+        self,
+        name: str,
+        buffer_shape: Tuple[int, int],
+        lead_shape: Tuple[int, ...] = (),
     ) -> np.ndarray:
         """A reusable machine-wide scratch stack (no node views).
 
         Used by the temporal-blocking executor for deep-padded iterate
-        and coefficient buffers; see
+        and coefficient buffers, and (with ``lead_shape``) by the
+        batched multi-convolution runtime; see
         :meth:`~repro.machine.memory.MachineStorage.scratch`.
         """
-        return self.storage.scratch(name, buffer_shape)
+        return self.storage.scratch(name, buffer_shape, lead_shape)
 
     def pingpong_stacked(
         self, name: str, buffer_shape: Tuple[int, int]

@@ -242,6 +242,31 @@ class MachineStorage:
         self._stacks[name] = stack
         return stack
 
+    def allocate_batched(
+        self,
+        name: str,
+        lead_shape: Tuple[int, ...],
+        subgrid_shape: Tuple[int, int],
+    ) -> np.ndarray:
+        """Allocate (or replace) a batched stack: ``lead_shape`` axes
+        (batch, filter, ...) ahead of the node-grid pair.
+
+        Batched stacks live in the distributed-array namespace -- they
+        checkpoint, seal parity, and NaN out with their node tile on a
+        node death like any 4-d stack -- but no node memory views them:
+        :meth:`NodeMemory.install_view` requires 2-D views, so per-node
+        paths (exact mode, the sequencer) stage one ``(batch, filter)``
+        slice at a time instead.
+        """
+        rows, cols = subgrid_shape
+        stack = np.zeros(
+            tuple(int(n) for n in lead_shape)
+            + (self.grid_shape[0], self.grid_shape[1], rows, cols),
+            dtype=np.float32,
+        )
+        self._stacks[name] = stack
+        return stack
+
     def get(self, name: str) -> Optional[np.ndarray]:
         return self._stacks.get(name)
 
@@ -258,7 +283,8 @@ class MachineStorage:
 
     def tile_stacks(self):
         """Every distinct node-tiled stack, from both namespaces:
-        ``(name, stack)`` pairs whose leading dims are the node grid.
+        ``(name, stack)`` pairs whose ``-4/-3`` dims are the node grid
+        (4-d classic stacks and batched stacks with leading axes alike).
         Aliased names yield the underlying stack once (the view a dead
         node loses is the storage, not the name)."""
         seen = set()
@@ -266,8 +292,8 @@ class MachineStorage:
             self._scratch.items()
         ):
             if (
-                stack.ndim == 4
-                and stack.shape[:2] == self.grid_shape
+                stack.ndim >= 4
+                and stack.shape[-4:-2] == self.grid_shape
                 and id(stack) not in seen
             ):
                 seen.add(id(stack))
@@ -277,9 +303,15 @@ class MachineStorage:
     # Scratch stacks (temporal blocking)
     # ------------------------------------------------------------------
 
-    def scratch(self, name: str, buffer_shape: Tuple[int, int]) -> np.ndarray:
+    def scratch(
+        self,
+        name: str,
+        buffer_shape: Tuple[int, int],
+        lead_shape: Tuple[int, ...] = (),
+    ) -> np.ndarray:
         """A reusable machine-wide scratch stack of per-node shape
-        ``buffer_shape``.
+        ``buffer_shape`` (with optional batch/filter axes ahead of the
+        node grid).
 
         Unlike :meth:`allocate`, the returned stack is kept in a
         separate namespace (it never shadows a distributed array) and is
@@ -288,7 +320,12 @@ class MachineStorage:
         *not* cleared between calls; callers overwrite what they read.
         """
         rows, cols = buffer_shape
-        shape = (self.grid_shape[0], self.grid_shape[1], rows, cols)
+        shape = tuple(int(n) for n in lead_shape) + (
+            self.grid_shape[0],
+            self.grid_shape[1],
+            rows,
+            cols,
+        )
         stack = self._scratch.get(name)
         if stack is None or stack.shape != shape:
             stack = np.zeros(shape, dtype=np.float32)

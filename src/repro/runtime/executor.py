@@ -32,8 +32,28 @@ from .halo import halo_buffer_name
 from .strips import StripSchedule
 
 
-class ExecutionSetupError(Exception):
+class ExecutionSetupError(ValueError):
     """Arrays handed to the executor do not match the compiled stencil."""
+
+
+def shape_mismatch(label: str, got, want) -> str:
+    """A mismatch message naming the first offending axis and the
+    expected extent there (instead of letting numpy raise a deep
+    broadcast error from inside the tap loop)."""
+    got = tuple(int(n) for n in got)
+    want = tuple(int(n) for n in want)
+    if len(got) != len(want):
+        return (
+            f"{label} shape {got} (rank {len(got)}) != "
+            f"expected shape {want} (rank {len(want)})"
+        )
+    for axis, (g, w) in enumerate(zip(got, want)):
+        if g != w:
+            return (
+                f"{label} shape {got}: axis {axis} has extent {g}, "
+                f"expected extent {w} (full expected shape {want})"
+            )
+    return f"{label} shape {got} != expected shape {want}"
 
 
 def check_arrays(
@@ -42,12 +62,20 @@ def check_arrays(
     coefficients: Dict[str, CMArray],
     result: CMArray,
 ) -> None:
-    """Validate that the run-time arrays match the compiled statement."""
+    """Validate that the run-time arrays match the compiled statement.
+
+    Every array the tap loop will touch is shape-checked here --
+    coefficients, fused extra sources, and fused extra-term coefficient
+    arrays *whether or not* they were passed in ``coefficients`` -- so
+    a mismatch raises a :class:`ExecutionSetupError` (a ``ValueError``)
+    naming the offending axis, never a numpy broadcast error.
+    """
     pattern = compiled.pattern
     if result.global_shape != source.global_shape:
         raise ExecutionSetupError(
-            f"result shape {result.global_shape} != source shape "
-            f"{source.global_shape}"
+            shape_mismatch(
+                "result array", result.global_shape, source.global_shape
+            )
         )
     for name in pattern.coefficient_names():
         if name not in coefficients:
@@ -57,9 +85,11 @@ def check_arrays(
             )
         if coefficients[name].global_shape != source.global_shape:
             raise ExecutionSetupError(
-                f"coefficient {name!r} shape "
-                f"{coefficients[name].global_shape} != source shape "
-                f"{source.global_shape}"
+                shape_mismatch(
+                    f"coefficient {name!r}",
+                    coefficients[name].global_shape,
+                    source.global_shape,
+                )
             )
     extra_terms = getattr(pattern, "extra_terms", ())
     if extra_terms:
@@ -74,23 +104,41 @@ def check_arrays(
                 )
             if tuple(buffer.shape) != subgrid_shape:
                 raise ExecutionSetupError(
-                    f"fused extra-source {term.source!r} subgrid shape "
-                    f"{tuple(buffer.shape)} != source subgrid shape "
-                    f"{subgrid_shape}"
+                    shape_mismatch(
+                        f"fused extra-source {term.source!r} subgrid",
+                        tuple(buffer.shape),
+                        subgrid_shape,
+                    )
                 )
             coeff = term.coeff
-            if coeff.kind is CoeffKind.ARRAY and coeff.name not in coefficients:
-                coeff_buffer = sample_node.memory.view(coeff.name)
-                if coeff_buffer is None:
+            if coeff.kind is not CoeffKind.ARRAY:
+                continue
+            if coeff.name in coefficients:
+                # Previously unvalidated: a wrong-shaped extra-term
+                # coefficient passed in ``coefficients`` surfaced as a
+                # numpy broadcast error deep in the executor.
+                if coefficients[coeff.name].global_shape != source.global_shape:
                     raise ExecutionSetupError(
-                        f"missing fused extra-term coefficient {coeff.name!r}"
+                        shape_mismatch(
+                            f"fused extra-term coefficient {coeff.name!r}",
+                            coefficients[coeff.name].global_shape,
+                            source.global_shape,
+                        )
                     )
-                if tuple(coeff_buffer.shape) != subgrid_shape:
-                    raise ExecutionSetupError(
-                        f"fused extra-term coefficient {coeff.name!r} subgrid "
-                        f"shape {tuple(coeff_buffer.shape)} != source subgrid "
-                        f"shape {subgrid_shape}"
+                continue
+            coeff_buffer = sample_node.memory.view(coeff.name)
+            if coeff_buffer is None:
+                raise ExecutionSetupError(
+                    f"missing fused extra-term coefficient {coeff.name!r}"
+                )
+            if tuple(coeff_buffer.shape) != subgrid_shape:
+                raise ExecutionSetupError(
+                    shape_mismatch(
+                        f"fused extra-term coefficient {coeff.name!r} subgrid",
+                        tuple(coeff_buffer.shape),
+                        subgrid_shape,
                     )
+                )
 
 
 def check_finite_arrays(
@@ -291,6 +339,59 @@ def machine_execute_fast(
     return True
 
 
+def machine_execute_fast_stack(
+    pattern: StencilPattern,
+    *,
+    padded: np.ndarray,
+    coeff_stacks: Dict[str, np.ndarray],
+    halo: int,
+    out: np.ndarray,
+    acc: np.ndarray,
+    scratch: np.ndarray,
+) -> None:
+    """The fast tap-accumulation loop on raw stacks (batched runs).
+
+    Exactly :func:`machine_execute_fast`'s rounding chain -- taps in
+    statement order, float32 rounding after every multiply and every add
+    -- but operating on explicit arrays instead of named machine
+    buffers.  ``padded`` carries any leading batch axes ahead of the
+    node grid (subgrid axes at ``-2``/``-1``); 4-d coefficient stacks
+    broadcast across them, so one ufunc call per tap serves the whole
+    batch and every element's float32 chain matches the per-grid run
+    bit for bit.
+
+    ``out``, ``acc``, and ``scratch`` share ``padded``'s leading axes
+    with unpadded subgrid extents; ``acc`` is zeroed here.  Patterns
+    with fused extra terms are not supported on this path (the batch
+    entry point rejects them up front).
+    """
+    if getattr(pattern, "extra_terms", ()):
+        raise ExecutionSetupError(
+            "the stacked batch executor does not support fused extra terms"
+        )
+    rows, cols = out.shape[-2:]
+    acc[...] = np.float32(0.0)
+    # The FPU saturates silently; overflow to inf is a data property,
+    # not an execution error.
+    with np.errstate(over="ignore", invalid="ignore"):
+        for tap in pattern.taps:
+            coeff = _stacked_coefficient(tap.coeff, coeff_stacks)
+            if tap.is_constant_term:
+                np.multiply(np.float32(1.0), coeff, out=scratch)
+            else:
+                window = padded[
+                    ...,
+                    halo + tap.dy : halo + tap.dy + rows,
+                    halo + tap.dx : halo + tap.dx + cols,
+                ]
+                if tap.coeff.kind is CoeffKind.UNIT:
+                    np.multiply(np.float32(1.0), window, out=scratch)
+                else:
+                    np.multiply(coeff, window, out=scratch)
+            np.add(acc, scratch, out=acc)
+    out[...] = acc
+
+
 def machine_execute_blocked(
     pattern: StencilPattern,
     *,
@@ -369,13 +470,16 @@ def machine_execute_blocked(
             # Accumulate straight into the destination region; the
             # rounding chain is the per-tap multiply and add of
             # machine_execute_fast, only the final buffer copy is gone.
-            acc = dst[:, :, base : base + out_rows, base : base + out_cols]
-            prod = scratch[:, :, :out_rows, :out_cols]
+            # Leading batch axes (if any) ride along: the subgrid axes
+            # sit at -2/-1 and 4-d coefficient stacks broadcast across
+            # the batch, so the per-element float32 chain is unchanged.
+            acc = dst[..., base : base + out_rows, base : base + out_cols]
+            prod = scratch[..., :out_rows, :out_cols]
             acc[...] = np.float32(0.0)
             for tap in pattern.taps:
                 if tap.coeff.kind is CoeffKind.ARRAY:
                     coeff = deep_coeffs[tap.coeff.name][
-                        :, :, base : base + out_rows, base : base + out_cols
+                        ..., base : base + out_rows, base : base + out_cols
                     ]
                 elif tap.coeff.kind is CoeffKind.SCALAR:
                     coeff = np.float32(tap.coeff.value)
@@ -385,8 +489,7 @@ def machine_execute_blocked(
                     np.multiply(np.float32(1.0), coeff, out=prod)
                 else:
                     window = src[
-                        :,
-                        :,
+                        ...,
                         base + tap.dy : base + tap.dy + out_rows,
                         base + tap.dx : base + tap.dx + out_cols,
                     ]
@@ -396,14 +499,14 @@ def machine_execute_blocked(
                         np.multiply(coeff, window, out=prod)
                 np.add(acc, prod, out=acc)
             if row_fills:
-                dst[0, :, :deep, :] = fill
-                dst[-1, :, deep + rows :, :] = fill
+                dst[..., 0, :, :deep, :] = fill
+                dst[..., -1, :, deep + rows :, :] = fill
             if col_fills:
-                dst[:, 0, :, :deep] = fill
-                dst[:, -1, :, deep + cols :] = fill
+                dst[..., :, 0, :, :deep] = fill
+                dst[..., :, -1, :, deep + cols :] = fill
             if guard is not None:
                 sealed_view = dst[
-                    :, :, base : base + out_rows, base : base + out_cols
+                    ..., base : base + out_rows, base : base + out_cols
                 ]
                 sealed = parity_word(sealed_view)
             if t == 0 and steps > 1 and check_fixed_point:
@@ -411,12 +514,12 @@ def machine_execute_blocked(
                 # machine-wide interior equality means a true fixed
                 # point: every later iterate reproduces this one.
                 if np.array_equal(
-                    dst[:, :, deep : deep + rows, deep : deep + cols],
-                    src[:, :, deep : deep + rows, deep : deep + cols],
+                    dst[..., deep : deep + rows, deep : deep + cols],
+                    src[..., deep : deep + rows, deep : deep + cols],
                 ):
                     if guard is not None:
                         guard.verify_finite(
-                            dst[:, :, deep : deep + rows, deep : deep + cols],
+                            dst[..., deep : deep + rows, deep : deep + cols],
                             "temporal block fixed-point output",
                         )
                     return dst, True
@@ -429,7 +532,7 @@ def machine_execute_blocked(
         # produced inside the block) cannot escape the block.
         guard.verify_parity(sealed_view, sealed, "temporal block output")
         guard.verify_finite(
-            src[:, :, deep : deep + rows, deep : deep + cols],
+            src[..., deep : deep + rows, deep : deep + cols],
             "temporal block output",
         )
     return src, False

@@ -638,13 +638,18 @@ class FaultInjector:
         return events
 
     def inject_poison(self, result_stack: np.ndarray) -> List[FaultEvent]:
-        """Maybe poison (NaN) one node's tile of a result stack."""
+        """Maybe poison (NaN) one node's tile of a result stack.
+
+        The node-grid axes sit at ``-4``/``-3``, so batched stacks with
+        leading (batch, filter) axes poison the node's tile in *every*
+        copy -- a dead FPU corrupts whatever it was computing.
+        """
         events: List[FaultEvent] = []
         if self._fires(FaultKind.NODE_POISON):
-            grid_rows, grid_cols = result_stack.shape[:2]
+            grid_rows, grid_cols = result_stack.shape[-4:-2]
             row = int(self._rng.integers(grid_rows))
             col = int(self._rng.integers(grid_cols))
-            result_stack[row, col] = np.float32(np.nan)
+            result_stack[..., row, col, :, :] = np.float32(np.nan)
             events.append(
                 self._record(
                     FaultKind.NODE_POISON,
@@ -751,9 +756,10 @@ class FaultInjector:
         ]
 
     def _trash_node_memory(self, machine, row: int, col: int) -> None:
-        """A dead node's memory is gone: NaN its tile everywhere."""
+        """A dead node's memory is gone: NaN its tile everywhere
+        (batched stacks lose every leading-axis copy of the tile)."""
         for _, stack in machine.storage.tile_stacks():
-            stack[row, col] = np.float32(np.nan)
+            stack[..., row, col, :, :] = np.float32(np.nan)
 
 
 class HealthMonitor:

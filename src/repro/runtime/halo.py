@@ -17,6 +17,13 @@ Boundary treatment: CSHIFT dimensions wrap (the node grid is a torus);
 EOSHIFT dimensions fill out-of-bounds halo regions with the statement's
 boundary value at the global array edges (interior node boundaries still
 receive neighbor data).
+
+Axis convention: every stack-level helper in this module indexes the
+node-grid axes at ``-4``/``-3`` and the subgrid axes at ``-2``/``-1``,
+so the same data movement serves the classic 4-d
+``(grid_rows, grid_cols, rows, cols)`` stacks and the batched
+``(batch, ..., grid_rows, grid_cols, rows, cols)`` stacks -- one
+machine pass exchanges the halos of every leading-axis copy at once.
 """
 
 from __future__ import annotations
@@ -119,8 +126,28 @@ def deep_exchange_cost(
     pad = pattern.border_widths().max_width
     if pad == 0 or depth == 1:
         return exchange_cost(pattern, subgrid_shape, params)
-    deep = depth * pad
+    return deep_width_cost(subgrid_shape, params, depth * pad)
+
+
+def deep_width_cost(
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    deep: int,
+) -> CommStats:
+    """The cost of one composed-corner exchange at an explicit halo
+    width.  :func:`deep_exchange_cost` prices ``depth * pad``; batched
+    blocked runs share one exchange at the *largest* of their filters'
+    deep widths, which need not be a multiple of any single pad."""
     rows, cols = subgrid_shape
+    if deep == 0:
+        return CommStats(
+            pad=0,
+            cycles=0,
+            edge_elements=0,
+            corner_elements=0,
+            corner_step_skipped=True,
+            temp_words=rows * cols,
+        )
     cycles = (
         params.comm_startup_cycles
         + int(params.comm_cycles_per_element * deep * max(rows, cols))
@@ -229,26 +256,31 @@ def _fill_padded_deep(
     subgrid_shape: Tuple[int, int],
     deep: int,
 ) -> None:
-    """The deep exchange's pure data movement (no costing, no guard)."""
+    """The deep exchange's pure data movement (no costing, no guard).
+
+    Leading-axes aware: any axes ahead of the node-grid pair are
+    carried through untouched, so a batched stack's every copy is
+    exchanged in the same pass.
+    """
     rows, cols = subgrid_shape
-    padded[:, :, deep : deep + rows, deep : deep + cols] = source_stack
+    padded[..., deep : deep + rows, deep : deep + cols] = source_stack
     if deep == 0:
         return
     # Pass 1: north/south bands (interior width).
-    padded[:, :, :deep, deep : deep + cols] = np.roll(
-        source_stack[:, :, rows - deep :, :], 1, axis=0
+    padded[..., :deep, deep : deep + cols] = np.roll(
+        source_stack[..., rows - deep :, :], 1, axis=-4
     )
-    padded[:, :, deep + rows :, deep : deep + cols] = np.roll(
-        source_stack[:, :, :deep, :], -1, axis=0
+    padded[..., deep + rows :, deep : deep + cols] = np.roll(
+        source_stack[..., :deep, :], -1, axis=-4
     )
     # Pass 2: east/west bands over the full padded height.  The rolled
     # columns include the neighbors' pass-1 bands, so the corner blocks
     # arrive as the composed row+column shift -- no separate step.
-    padded[:, :, :, :deep] = np.roll(
-        padded[:, :, :, cols : cols + deep], 1, axis=1
+    padded[..., :deep] = np.roll(
+        padded[..., cols : cols + deep], 1, axis=-3
     )
-    padded[:, :, :, deep + cols :] = np.roll(
-        padded[:, :, :, deep : 2 * deep], -1, axis=1
+    padded[..., deep + cols :] = np.roll(
+        padded[..., deep : 2 * deep], -1, axis=-3
     )
     _apply_fill_deep(padded, pattern, subgrid_shape, deep)
 
@@ -265,11 +297,11 @@ def _apply_fill_deep(
     dim_row, dim_col = pattern.plane_dims
     fill = np.float32(pattern.fill_value)
     if pattern.boundary.get(dim_row, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
-        padded[0, :, :deep, :] = fill
-        padded[-1, :, deep + rows :, :] = fill
+        padded[..., 0, :, :deep, :] = fill
+        padded[..., -1, :, deep + rows :, :] = fill
     if pattern.boundary.get(dim_col, BoundaryMode.CIRCULAR) is BoundaryMode.FILL:
-        padded[:, 0, :, :deep] = fill
-        padded[:, -1, :, deep + cols :] = fill
+        padded[..., :, 0, :, :deep] = fill
+        padded[..., :, -1, :, deep + cols :] = fill
 
 
 def _deep_regions(
@@ -280,10 +312,10 @@ def _deep_regions(
     if deep == 0:
         return []
     return [
-        ("north band", padded[:, :, :deep, deep : deep + cols]),
-        ("south band", padded[:, :, deep + rows :, deep : deep + cols]),
-        ("west band", padded[:, :, :, :deep]),
-        ("east band", padded[:, :, :, deep + cols :]),
+        ("north band", padded[..., :deep, deep : deep + cols]),
+        ("south band", padded[..., deep + rows :, deep : deep + cols]),
+        ("west band", padded[..., :deep]),
+        ("east band", padded[..., deep + cols :]),
     ]
 
 
@@ -309,6 +341,196 @@ def _verify_deep(
         for (label, region), (_, reference) in zip(got, want)
         if parity_word(region) != parity_word(reference)
     ]
+
+
+def exchange_halo_batch(
+    stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    *,
+    copies: int = 1,
+    guard: Optional[FaultGuard] = None,
+    site: str = "batch exchange",
+) -> CommStats:
+    """One machine pass filling the shallow halos of ``copies`` stacked
+    grids at once.
+
+    ``stack`` is a ``(..., grid_rows, grid_cols, rows, cols)`` stack
+    whose leading axes enumerate independent grids (batch entries,
+    filter states); ``padded`` is the preallocated destination with the
+    same leading axes and ``2 * pad`` larger subgrid extents.  The data
+    of every copy moves in the same four slice assignments -- this is
+    the batched multi-convolution's amortization primitive -- but each
+    copy's halo is a real message, so the caller charges ``copies``
+    exchanges at the returned per-copy :class:`CommStats`.
+
+    Under ``guard`` the exchange is checksummed and retried exactly
+    like :func:`exchange_halo`'s batched path, with every attempt
+    charged ``copies`` times.
+
+    Returns the per-copy cost statistics.
+    """
+    rows, cols = subgrid_shape
+    pad = pattern.border_widths().max_width
+    if pad > min(rows, cols):
+        raise ValueError(
+            f"halo width {pad} exceeds the subgrid extent {subgrid_shape}; "
+            "the exchange primitive reaches only immediate neighbors"
+        )
+    stats = exchange_cost(pattern, subgrid_shape, params)
+    if guard is None:
+        _fill_padded_shallow(stack, padded, pattern, stats, subgrid_shape)
+        return stats
+
+    machine = guard.machine
+    guard.begin_exchange(site)
+    attempt = 0
+    while True:
+        attempt += 1
+        _fill_padded_shallow(stack, padded, pattern, stats, subgrid_shape)
+        for _ in range(max(1, copies)):
+            guard.charge_exchange(stats, retry=attempt > 1)
+        if machine is not None and _corrupt_dead_links(
+            machine, padded, subgrid_shape, stats.pad, full_height_ew=False
+        ):
+            _apply_fill_shallow(padded, pattern, stats, subgrid_shape)
+        guard.inject_halo(_shallow_regions(padded, stats, subgrid_shape))
+        bad = _verify_shallow_batched(
+            stack, padded, pattern, stats, subgrid_shape
+        )
+        if not bad:
+            if guard.monitor is not None:
+                for _ in range(max(1, copies)):
+                    guard.monitor.charge_detours(
+                        stats.pad, subgrid_shape, params
+                    )
+            return stats
+        guard.note_detected("halo_checksum", site, ", ".join(bad))
+        if guard.monitor is not None:
+            expected = np.zeros_like(padded)
+            _fill_padded_shallow(
+                stack, expected, pattern, stats, subgrid_shape
+            )
+            routes = _localize_bad_routes(
+                machine, padded, expected, subgrid_shape, stats.pad,
+                full_height_ew=False,
+            )
+            guard.monitor.observe_route_failures(routes, site)
+        if attempt > guard.policy.max_retries:
+            raise RetryExhaustedError(
+                f"{site} failed checksum verification on {attempt} "
+                f"attempts (bad messages: {', '.join(bad)})"
+            )
+        guard.charge_backoff(attempt)
+
+
+def exchange_halo_deep_width(
+    stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    deep: int,
+) -> CommStats:
+    """A composed-corner deep exchange at an explicit halo width.
+
+    The batched blocked path exchanges the whole batch's source once at
+    the largest deep width any filter in the group needs; each filter
+    then copies its centered window out locally (no further messages).
+    Leading axes carry through like :func:`exchange_halo_batch`.
+    """
+    rows, cols = subgrid_shape
+    if deep > min(rows, cols):
+        raise ValueError(
+            f"deep halo width {deep} exceeds the subgrid extent "
+            f"{subgrid_shape}; the exchange primitive reaches only "
+            "immediate neighbors"
+        )
+    stats = deep_width_cost(subgrid_shape, params, deep)
+    _fill_padded_deep(stack, padded, pattern, subgrid_shape, deep)
+    return stats
+
+
+def exchange_halo_group(
+    stack: np.ndarray,
+    padded: np.ndarray,
+    pattern: StencilPattern,
+    subgrid_shape: Tuple[int, int],
+    params: MachineParams,
+    deep: int,
+    *,
+    copies: int = 1,
+    guard: Optional[FaultGuard] = None,
+    site: str = "group exchange",
+) -> CommStats:
+    """One machine pass filling a width-``deep`` composed-corner halo
+    for ``copies`` stacked grids at once.
+
+    The mixed-footprint variant of :func:`exchange_halo_batch`: when the
+    filters sharing an exchange have *different* pads, the group
+    exchanges once at the widest pad and every filter reads its own
+    centered window of the result (a centered sub-window of a wider
+    exchange is bit-identical to that filter's own exchange).  Corners
+    arrive composed -- the wider halo must serve filters with diagonal
+    reach -- so the per-copy cost is :func:`deep_width_cost`.
+
+    ``pattern`` supplies only the boundary modes and fill value, which
+    grouping guarantees are uniform across the group's filters.
+
+    Under ``guard`` the exchange is checksummed and retried exactly like
+    :func:`exchange_halo_deep`, with every attempt charged ``copies``
+    times.  Returns the per-copy cost statistics.
+    """
+    rows, cols = subgrid_shape
+    if deep > min(rows, cols):
+        raise ValueError(
+            f"group halo width {deep} exceeds the subgrid extent "
+            f"{subgrid_shape}; the exchange primitive reaches only "
+            "immediate neighbors"
+        )
+    stats = deep_width_cost(subgrid_shape, params, deep)
+    if guard is None:
+        _fill_padded_deep(stack, padded, pattern, subgrid_shape, deep)
+        return stats
+
+    machine = guard.machine
+    guard.begin_exchange(site)
+    attempt = 0
+    while True:
+        attempt += 1
+        _fill_padded_deep(stack, padded, pattern, subgrid_shape, deep)
+        for _ in range(max(1, copies)):
+            guard.charge_exchange(stats, retry=attempt > 1)
+        if machine is not None and _corrupt_dead_links(
+            machine, padded, subgrid_shape, deep, full_height_ew=True
+        ):
+            _apply_fill_deep(padded, pattern, subgrid_shape, deep)
+        guard.inject_halo(_deep_regions(padded, deep, subgrid_shape))
+        bad = _verify_deep(stack, padded, pattern, subgrid_shape, deep)
+        if not bad:
+            if guard.monitor is not None:
+                for _ in range(max(1, copies)):
+                    guard.monitor.charge_detours(
+                        deep, subgrid_shape, params, full_height_ew=True
+                    )
+            return stats
+        guard.note_detected("halo_checksum", site, ", ".join(bad))
+        if guard.monitor is not None:
+            expected = np.zeros_like(padded)
+            _fill_padded_deep(stack, expected, pattern, subgrid_shape, deep)
+            routes = _localize_bad_routes(
+                machine, padded, expected, subgrid_shape, deep,
+                full_height_ew=True,
+            )
+            guard.monitor.observe_route_failures(routes, site)
+        if attempt > guard.policy.max_retries:
+            raise RetryExhaustedError(
+                f"{site} failed checksum verification on {attempt} "
+                f"attempts (bad messages: {', '.join(bad)})"
+            )
+        guard.charge_backoff(attempt)
 
 
 def legacy_exchange_cost(
@@ -521,17 +743,17 @@ def _shallow_regions(
     if pad == 0:
         return []
     regions = [
-        ("north edge", padded[:, :, :pad, pad : pad + cols]),
-        ("south edge", padded[:, :, pad + rows :, pad : pad + cols]),
-        ("west edge", padded[:, :, pad : pad + rows, :pad]),
-        ("east edge", padded[:, :, pad : pad + rows, pad + cols :]),
+        ("north edge", padded[..., :pad, pad : pad + cols]),
+        ("south edge", padded[..., pad + rows :, pad : pad + cols]),
+        ("west edge", padded[..., pad : pad + rows, :pad]),
+        ("east edge", padded[..., pad : pad + rows, pad + cols :]),
     ]
     if not stats.corner_step_skipped:
         regions += [
-            ("NW corner", padded[:, :, :pad, :pad]),
-            ("NE corner", padded[:, :, :pad, pad + cols :]),
-            ("SW corner", padded[:, :, pad + rows :, :pad]),
-            ("SE corner", padded[:, :, pad + rows :, pad + cols :]),
+            ("NW corner", padded[..., :pad, :pad]),
+            ("NE corner", padded[..., :pad, pad + cols :]),
+            ("SW corner", padded[..., pad + rows :, :pad]),
+            ("SE corner", padded[..., pad + rows :, pad + cols :]),
         ]
     return regions
 
@@ -679,16 +901,16 @@ def _corrupt_dead_links(
     for orientation, first, second in pairs:
         if orientation == "v":
             north, south = first, second
-            padded[south[0], south[1], :d, d : d + cols] = nan
-            padded[north[0], north[1], d + rows :, d : d + cols] = nan
+            padded[..., south[0], south[1], :d, d : d + cols] = nan
+            padded[..., north[0], north[1], d + rows :, d : d + cols] = nan
         else:
             west, east = first, second
             if full_height_ew:
-                padded[east[0], east[1], :, :d] = nan
-                padded[west[0], west[1], :, d + cols :] = nan
+                padded[..., east[0], east[1], :, :d] = nan
+                padded[..., west[0], west[1], :, d + cols :] = nan
             else:
-                padded[east[0], east[1], d : d + rows, :d] = nan
-                padded[west[0], west[1], d : d + rows, d + cols :] = nan
+                padded[..., east[0], east[1], d : d + rows, :d] = nan
+                padded[..., west[0], west[1], d : d + rows, d + cols :] = nan
     return True
 
 
@@ -771,8 +993,8 @@ def _localize_bad_routes(
     for r in range(grid_rows):
         for c in range(grid_cols):
             for band_slice, sender in bands:
-                got = padded[r, c][band_slice]
-                want = expected[r, c][band_slice]
+                got = padded[..., r, c, :, :][(Ellipsis,) + band_slice]
+                want = expected[..., r, c, :, :][(Ellipsis,) + band_slice]
                 if parity_word(got) != parity_word(want):
                     routes.append(((r, c), sender(r, c)))
     return routes
@@ -812,11 +1034,16 @@ def _fill_padded_shallow(
     stats: CommStats,
     subgrid_shape: Tuple[int, int],
 ) -> None:
-    """The batched exchange's pure data movement (no allocation)."""
+    """The batched exchange's pure data movement (no allocation).
+
+    Leading-axes aware (see the module docstring): ``stack`` and
+    ``padded`` may carry any number of axes ahead of the node-grid
+    pair, and every leading-axis copy is exchanged in the same pass.
+    """
     rows, cols = subgrid_shape
     pad = stats.pad
     # Step 1: every node's interior is its own subgrid.
-    padded[:, :, pad : pad + rows, pad : pad + cols] = stack
+    padded[..., pad : pad + rows, pad : pad + cols] = stack
     if pad == 0:
         return
 
@@ -824,39 +1051,39 @@ def _fill_padded_shallow(
     # of +1 along a grid axis delivers each node the data of the
     # neighbor at the smaller index (its North/West neighbor), wrapping
     # at the torus seam.
-    padded[:, :, :pad, pad : pad + cols] = np.roll(
-        stack[:, :, rows - pad :, :], 1, axis=0
+    padded[..., :pad, pad : pad + cols] = np.roll(
+        stack[..., rows - pad :, :], 1, axis=-4
     )
-    padded[:, :, pad + rows :, pad : pad + cols] = np.roll(
-        stack[:, :, :pad, :], -1, axis=0
+    padded[..., pad + rows :, pad : pad + cols] = np.roll(
+        stack[..., :pad, :], -1, axis=-4
     )
-    padded[:, :, pad : pad + rows, :pad] = np.roll(
-        stack[:, :, :, cols - pad :], 1, axis=1
+    padded[..., pad : pad + rows, :pad] = np.roll(
+        stack[..., cols - pad :], 1, axis=-3
     )
-    padded[:, :, pad : pad + rows, pad + cols :] = np.roll(
-        stack[:, :, :, :pad], -1, axis=1
+    padded[..., pad : pad + rows, pad + cols :] = np.roll(
+        stack[..., :pad], -1, axis=-3
     )
 
     # Step 3: corners, unless the pattern has no diagonal reach.  When
     # skipped, the corner blocks are scrubbed to zero so a reused buffer
     # matches a freshly allocated one (temp storage, never read).
     if stats.corner_step_skipped:
-        padded[:, :, :pad, :pad] = 0.0
-        padded[:, :, :pad, pad + cols :] = 0.0
-        padded[:, :, pad + rows :, :pad] = 0.0
-        padded[:, :, pad + rows :, pad + cols :] = 0.0
+        padded[..., :pad, :pad] = 0.0
+        padded[..., :pad, pad + cols :] = 0.0
+        padded[..., pad + rows :, :pad] = 0.0
+        padded[..., pad + rows :, pad + cols :] = 0.0
     else:
-        padded[:, :, :pad, :pad] = np.roll(
-            stack[:, :, rows - pad :, cols - pad :], (1, 1), axis=(0, 1)
+        padded[..., :pad, :pad] = np.roll(
+            stack[..., rows - pad :, cols - pad :], (1, 1), axis=(-4, -3)
         )
-        padded[:, :, :pad, pad + cols :] = np.roll(
-            stack[:, :, rows - pad :, :pad], (1, -1), axis=(0, 1)
+        padded[..., :pad, pad + cols :] = np.roll(
+            stack[..., rows - pad :, :pad], (1, -1), axis=(-4, -3)
         )
-        padded[:, :, pad + rows :, :pad] = np.roll(
-            stack[:, :, :pad, cols - pad :], (-1, 1), axis=(0, 1)
+        padded[..., pad + rows :, :pad] = np.roll(
+            stack[..., :pad, cols - pad :], (-1, 1), axis=(-4, -3)
         )
-        padded[:, :, pad + rows :, pad + cols :] = np.roll(
-            stack[:, :, :pad, :pad], (-1, -1), axis=(0, 1)
+        padded[..., pad + rows :, pad + cols :] = np.roll(
+            stack[..., :pad, :pad], (-1, -1), axis=(-4, -3)
         )
     _apply_fill_shallow(padded, pattern, stats, subgrid_shape)
 
@@ -889,23 +1116,23 @@ def _apply_fill_shallow(
         is BoundaryMode.FILL
     )
     if row_fills:
-        padded[0, :, :pad, pad : pad + cols] = fill
-        padded[-1, :, pad + rows :, pad : pad + cols] = fill
+        padded[..., 0, :, :pad, pad : pad + cols] = fill
+        padded[..., -1, :, pad + rows :, pad : pad + cols] = fill
     if col_fills:
-        padded[:, 0, pad : pad + rows, :pad] = fill
-        padded[:, -1, pad : pad + rows, pad + cols :] = fill
+        padded[..., :, 0, pad : pad + rows, :pad] = fill
+        padded[..., :, -1, pad : pad + rows, pad + cols :] = fill
     if stats.corner_step_skipped:
         return
     if row_fills:
-        padded[0, :, :pad, :pad] = fill
-        padded[0, :, :pad, pad + cols :] = fill
-        padded[-1, :, pad + rows :, :pad] = fill
-        padded[-1, :, pad + rows :, pad + cols :] = fill
+        padded[..., 0, :, :pad, :pad] = fill
+        padded[..., 0, :, :pad, pad + cols :] = fill
+        padded[..., -1, :, pad + rows :, :pad] = fill
+        padded[..., -1, :, pad + rows :, pad + cols :] = fill
     if col_fills:
-        padded[:, 0, :pad, :pad] = fill
-        padded[:, 0, pad + rows :, :pad] = fill
-        padded[:, -1, :pad, pad + cols :] = fill
-        padded[:, -1, pad + rows :, pad + cols :] = fill
+        padded[..., :, 0, :pad, :pad] = fill
+        padded[..., :, 0, pad + rows :, :pad] = fill
+        padded[..., :, -1, :pad, pad + cols :] = fill
+        padded[..., :, -1, pad + rows :, pad + cols :] = fill
 
 
 def _exchange_halo_per_node(

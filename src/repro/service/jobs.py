@@ -63,6 +63,12 @@ class StencilJob:
             (a mapping, stored canonically); empty/None runs unguarded.
         fault_seed: the injector seed for chaos jobs.
         label: optional display name; defaults to a description.
+        batch: independent input grids to run in one batched machine
+            pass (1 = the classic solo job).
+        filters: gallery pattern names to apply to every grid of the
+            batch; None applies just ``pattern``.  Setting either
+            ``batch > 1`` or ``filters`` routes the job through
+            :func:`~repro.runtime.batch.apply_stencil_batch`.
     """
 
     tenant: str
@@ -79,6 +85,8 @@ class StencilJob:
     fault_rates: Optional[Tuple[Tuple[str, float], ...]] = None
     fault_seed: int = 1
     label: str = ""
+    batch: int = 1
+    filters: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.tenant:
@@ -103,6 +111,29 @@ class StencilJob:
         if self.partition_shape is not None:
             pr, pc = self.partition_shape
             object.__setattr__(self, "partition_shape", (int(pr), int(pc)))
+        if self.batch < 1:
+            raise JobSpecError(
+                f"batch must be >= 1, got {self.batch}"
+            )
+        if self.filters is not None:
+            names = tuple(str(name) for name in self.filters)
+            if not names:
+                raise JobSpecError(
+                    "filters must name at least one gallery pattern "
+                    "(or be omitted)"
+                )
+            for name in names:
+                if not hasattr(gallery, name):
+                    raise JobSpecError(
+                        f"unknown gallery pattern {name!r} in filters "
+                        f"(try `python -m repro gallery`)"
+                    )
+            object.__setattr__(self, "filters", names)
+        if self.batched and self.spares > 0:
+            raise JobSpecError(
+                "batched jobs cannot arm spare nodes: the batched "
+                "working set has no per-node views to migrate"
+            )
         if isinstance(self.fault_rates, Mapping):
             object.__setattr__(
                 self,
@@ -116,16 +147,39 @@ class StencilJob:
     def guarded(self) -> bool:
         return bool(self.fault_rates) or self.spares > 0
 
+    @property
+    def batched(self) -> bool:
+        """Whether this job runs the batched multi-convolution path."""
+        return self.batch > 1 or self.filters is not None
+
     def describe(self) -> str:
         rows, cols = self.grid_shape
+        if self.batched:
+            names = "+".join(self.filter_names)
+            return (
+                f"{self.tenant}/{names}/{self.boundary} "
+                f"{rows}x{cols} b{self.batch} x{self.iterations}"
+            )
         return (
             f"{self.tenant}/{self.pattern}/{self.boundary} "
             f"{rows}x{cols} x{self.iterations}"
         )
 
+    @property
+    def filter_names(self) -> Tuple[str, ...]:
+        """The gallery names this job applies (always at least one)."""
+        return self.filters if self.filters is not None else (self.pattern,)
+
     def build_pattern(self):
         """The gallery pattern under this job's boundary mode."""
         return boundary_variant(getattr(gallery, self.pattern)(), self.boundary)
+
+    def build_filters(self):
+        """Every filter pattern under this job's boundary mode."""
+        return tuple(
+            boundary_variant(getattr(gallery, name)(), self.boundary)
+            for name in self.filter_names
+        )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "StencilJob":
@@ -135,7 +189,7 @@ class StencilJob:
         if unknown:
             raise JobSpecError(f"unknown job fields: {sorted(unknown)}")
         kwargs = dict(data)
-        for key in ("grid_shape", "partition_shape"):
+        for key in ("grid_shape", "partition_shape", "filters"):
             if kwargs.get(key) is not None:
                 kwargs[key] = tuple(kwargs[key])
         if kwargs.get("fault_rates") is not None and not isinstance(
@@ -265,6 +319,10 @@ def execute_job(
             f"job grid {job.grid_shape} does not divide evenly over the "
             f"{grid_rows}x{grid_cols} partition node grid"
         )
+    if job.batched:
+        return _execute_batched_job(
+            job, machine, queue_seconds=queue_seconds
+        )
     pattern = job.build_pattern()
     compiled = compile_stencil(pattern, machine.params, tenant=job.tenant)
     rng = np.random.default_rng(job.seed)
@@ -311,6 +369,87 @@ def execute_job(
         block_depth=run.block_depth,
         machine_seconds=run.params.seconds(
             run.comm_cycles_total + run.compute_cycles_total
+        ),
+        host_seconds=run.host_seconds_total,
+        elapsed_seconds=run.elapsed_seconds,
+        useful_flops=run.useful_flops,
+        mflops=run.mflops,
+        fault_stats=run.fault_stats,
+        queue_seconds=queue_seconds,
+        wall_seconds=wall,
+    )
+
+
+def _execute_batched_job(
+    job: StencilJob,
+    machine: CM2,
+    *,
+    queue_seconds: float = 0.0,
+) -> JobResult:
+    """The batched-job branch of :func:`execute_job`.
+
+    Same determinism contract: the batch of inputs and the (shared)
+    coefficient arrays derive from ``job.seed`` -- the batch first, then
+    each coefficient in sorted-name order -- so re-running the job
+    anywhere reproduces the bits.  The result array is the full
+    ``(batch, filters, rows, cols)`` stack.
+    """
+    from ..runtime.batch import BatchStencilRun, CMBatch, apply_stencil_batch
+
+    patterns = job.build_filters()
+    filters = tuple(
+        compile_stencil(pattern, machine.params, tenant=job.tenant)
+        for pattern in patterns
+    )
+    rng = np.random.default_rng(job.seed)
+    source = CMBatch.from_numpy(
+        "X",
+        machine,
+        rng.standard_normal((job.batch,) + job.grid_shape).astype(np.float32),
+    )
+    coeff_names = sorted(
+        {name for pattern in patterns for name in pattern.coefficient_names()}
+    )
+    coefficients = {
+        name: CMArray.from_numpy(
+            name,
+            machine,
+            rng.standard_normal(job.grid_shape).astype(np.float32),
+        )
+        for name in coeff_names
+    }
+    injector = None
+    resilience = None
+    if job.guarded:
+        injector = FaultInjector(
+            seed=job.fault_seed, rates=dict(job.fault_rates or ())
+        )
+        resilience = ResiliencePolicy()
+    started = time.perf_counter()
+    run: BatchStencilRun = apply_stencil_batch(
+        filters,
+        source,
+        coefficients,
+        "R",
+        iterations=job.iterations,
+        exact=job.exact,
+        block_depth=job.block_depth,
+        faults=injector,
+        resilience=resilience,
+        tenant=job.tenant,
+    )
+    wall = time.perf_counter() - started
+    return JobResult(
+        job=job,
+        partition=machine.partition,
+        output=run.result.to_numpy(),
+        comm_cycles=run.total_comm_cycles,
+        compute_cycles=run.total_compute_cycles,
+        half_strips=run.total_half_strips,
+        exchanges=run.num_exchanges,
+        block_depth=max(run.block_depths),
+        machine_seconds=run.params.seconds(
+            run.total_comm_cycles + run.total_compute_cycles
         ),
         host_seconds=run.host_seconds_total,
         elapsed_seconds=run.elapsed_seconds,

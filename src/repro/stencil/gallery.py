@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from .pattern import Offset, StencilPattern, pattern_from_offsets
+from .pattern import (
+    Coefficient,
+    Offset,
+    StencilPattern,
+    Tap,
+    pattern_from_offsets,
+)
 
 
 def cross(radius: int, *, name: str = None) -> StencilPattern:
@@ -142,6 +148,45 @@ def row(length: int, *, name: str = None) -> StencilPattern:
 def column(length: int, *, name: str = None) -> StencilPattern:
     """A vertical line stencil: 1-D convolution along dimension 1."""
     return box(length, 1, name=name or f"column{length}")
+
+
+def _laplacian27_plane(dz: int, *, name: str) -> StencilPattern:
+    """One z-plane of the 27-point 3-D Laplacian as a 3x3 scalar-weight
+    square.
+
+    The classic compact 27-point discretization weights neighbors by
+    their distance from the center: with ``h = 1`` and the conventional
+    ``1/26`` normalization, faces get 6/26, edges 3/26, corners 2/26,
+    and the center -88/26 (the weights sum to zero).  An in-plane tap at
+    ``(dy, dx)`` in plane ``dz`` is a face, edge, or corner according to
+    how many of ``(dy, dx, dz)`` are nonzero.  Taps run row-major, the
+    same statement order as :func:`square9`, which fixes the
+    accumulation rounding the bit-identity tests check.
+    """
+    taps = []
+    for dy in range(-1, 2):
+        for dx in range(-1, 2):
+            nonzero = (dy != 0) + (dx != 0) + (dz != 0)
+            weight = (-88.0, 6.0, 3.0, 2.0)[nonzero] / 26.0
+            taps.append(Tap((dy, dx), Coefficient.scalar(weight)))
+    return StencilPattern(taps, name=name)
+
+
+def laplacian27_below() -> StencilPattern:
+    """The ``z-1`` plane of the 27-point 3-D Laplacian (see
+    :func:`_laplacian27_plane`); the three planes compose into the full
+    operator via :func:`repro.runtime.multidim.apply_laplacian27`."""
+    return _laplacian27_plane(-1, name="lap27_below")
+
+
+def laplacian27_mid() -> StencilPattern:
+    """The center plane of the 27-point 3-D Laplacian."""
+    return _laplacian27_plane(0, name="lap27_mid")
+
+
+def laplacian27_above() -> StencilPattern:
+    """The ``z+1`` plane of the 27-point 3-D Laplacian."""
+    return _laplacian27_plane(1, name="lap27_above")
 
 
 def table1_patterns() -> Tuple[StencilPattern, ...]:
