@@ -1,0 +1,184 @@
+"""Guard the service's fault-containment machinery and its price.
+
+Two properties, enforced with nonzero exit status:
+
+1. **Supervision is (nearly) free.**  The fault-containment control
+   plane -- service policy, the supervisor thread, deadline checks and
+   circuit breakers -- running with zero injected faults must keep
+   aggregate modeled throughput within 5% of ``multi_tenant_mflops``
+   from BENCH_service.json (regenerated in-process when the file is
+   absent).  Both sides of the comparison take the best of three runs:
+   the modeled makespan depends on which partition each job lands on,
+   and placement is decided by a live claim race, so single draws are
+   noisy in both directions.  The fsync'd journal is *not* part of this
+   gate -- durability costs one fsync per lifecycle event by design --
+   but its wall-clock price is measured and reported alongside.
+2. **Chaos is survived.**  The reference service chaos campaign (seeds
+   1-5: worker kills, job hangs, tenant storms, SIGKILL-and-resume)
+   reports zero lost jobs, zero double runs, healthy tenants
+   bit-identical to solo, and exact ledger reconciliation.
+
+Run:  python benchmarks/bench_service_chaos.py
+Writes BENCH_service_chaos.json at the repository root.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.chaos import run_service_campaign  # noqa: E402
+from repro.machine.params import MachineParams  # noqa: E402
+from repro.service import (  # noqa: E402
+    MachinePool,
+    Scheduler,
+    ServicePolicy,
+)
+
+from bench_service import NODES, build_jobs, run_service  # noqa: E402
+
+MAX_OVERHEAD = 0.05
+BEST_OF = 3
+CHAOS_SEEDS = (1, 2, 3, 4, 5)
+
+
+def run_supervised(jobs, params, journal_path=None):
+    """The bench_service workload under the containment control plane."""
+    policy = ServicePolicy(
+        deadline_seconds=600.0,
+        max_attempts=3,
+        breaker_threshold=3,
+        supervision_interval_seconds=0.005,
+    )
+    pool = MachinePool(params)
+    with Scheduler(
+        pool, service_policy=policy, journal_path=journal_path
+    ) as scheduler:
+        scheduler.submit_all(jobs)
+        results = scheduler.drain(timeout=600)
+    return results, scheduler.accounts
+
+
+def best_run(label, runner, jobs, params):
+    """Best aggregate modeled throughput (and its wall time) of N runs."""
+    best_mflops, best_wall, best_accounts = 0.0, 0.0, None
+    for _ in range(BEST_OF):
+        start = time.perf_counter()
+        _results, accounts = runner(jobs, params)
+        wall = time.perf_counter() - start
+        if accounts.aggregate_mflops > best_mflops:
+            best_mflops = accounts.aggregate_mflops
+            best_wall = wall
+            best_accounts = accounts
+    print(
+        f"{label:13s}: {best_mflops:8.1f} Mflops modeled "
+        f"(best of {BEST_OF}, {best_wall * 1e3:.0f} ms host)"
+    )
+    return best_mflops, best_wall, best_accounts
+
+
+def baseline_mflops(path, jobs, params):
+    """BENCH_service.json's aggregate throughput, or a fresh run's."""
+    if path.exists():
+        payload = json.loads(path.read_text())
+        value = payload.get("multi_tenant_mflops")
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value), "BENCH_service.json"
+    mflops, _wall, _accounts = best_run("baseline", run_service, jobs, params)
+    return mflops, "in-process baseline run"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    root = Path(__file__).resolve().parent.parent
+    parser.add_argument(
+        "--output", type=Path, default=root / "BENCH_service_chaos.json"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=root / "BENCH_service.json"
+    )
+    args = parser.parse_args(argv)
+
+    params = MachineParams(num_nodes=NODES)
+    jobs = build_jobs()
+
+    base_mflops, base_source = baseline_mflops(args.baseline, jobs, params)
+    print(f"baseline     : {base_mflops:8.1f} Mflops ({base_source})")
+
+    supervised_mflops, supervised_wall, accounts = best_run(
+        "supervised", run_supervised, jobs, params
+    )
+    overhead = (
+        1.0 - supervised_mflops / base_mflops if base_mflops > 0 else 1.0
+    )
+    reconciled = accounts.reconcile()
+    print(
+        f"overhead     : {overhead * 100:+.2f}% modeled "
+        f"(bar {MAX_OVERHEAD * 100:.0f}%)   "
+        f"ledger {'reconciled' if reconciled else 'OUT OF BALANCE'}"
+    )
+
+    # The journal's durability price: same workload, fsync per event.
+    with tempfile.TemporaryDirectory() as tmp:
+        start = time.perf_counter()
+        _results, journal_accounts = run_supervised(
+            jobs, params, str(Path(tmp) / "journal.jsonl")
+        )
+        journal_wall = time.perf_counter() - start
+    journal_reconciled = journal_accounts.reconcile()
+    print(
+        f"journaled    : {journal_wall * 1e3:.0f} ms host with fsync'd "
+        f"journal (vs {supervised_wall * 1e3:.0f} ms without; "
+        f"informational, not gated)"
+    )
+
+    chaos_start = time.perf_counter()
+    report = run_service_campaign(seeds=CHAOS_SEEDS)
+    chaos_wall = time.perf_counter() - chaos_start
+    print(report.describe())
+    print(f"campaign     : {chaos_wall:.1f} s host")
+
+    payload = {
+        "benchmark": "service_chaos",
+        "nodes": NODES,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "baseline_mflops": base_mflops,
+        "baseline_source": base_source,
+        "supervised_mflops": supervised_mflops,
+        "supervision_overhead": overhead,
+        "overhead_bar": MAX_OVERHEAD,
+        "best_of": BEST_OF,
+        "supervised_wall_seconds": supervised_wall,
+        "supervised_reconciled": reconciled,
+        "journal_wall_seconds": journal_wall,
+        "journal_reconciled": journal_reconciled,
+        "chaos_seeds": list(CHAOS_SEEDS),
+        "chaos_ok": report.ok,
+        "chaos_wall_seconds": chaos_wall,
+        "chaos_report": report.to_dict(),
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if overhead > MAX_OVERHEAD:
+        failures.append(
+            f"no-fault supervision overhead {overhead * 100:.2f}% "
+            f"> {MAX_OVERHEAD * 100:.0f}% bar"
+        )
+    if not reconciled or not journal_reconciled:
+        failures.append("supervised ledger does not reconcile")
+    if not report.ok:
+        failures.append("service chaos campaign did not survive: "
+                        + report.describe())
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,11 @@ Commands:
     survival report; ``--json FILE`` additionally dumps the full
     machine-readable report (per-trial FaultStats and event streams).
     Exit status 1 unless every trial survived bit-identically and all
-    recovery costs reconciled.
+    recovery costs reconciled.  ``--service`` runs the service chaos
+    campaign instead: seeded worker crashes, job hangs, tenant storms,
+    and SIGKILL/journal-resume trials against the scheduler, asserting
+    zero lost jobs, zero double runs, healthy-tenant bit-identity, and
+    exact ledger reconciliation.
 
 ``serve``
     Stencil-as-a-service: read a job file (``--jobs jobs.json``), carve
@@ -45,7 +49,12 @@ Commands:
     index, and concurrency speedup.  Every scheduled result is verified
     bit-identical against a solo run of the same job (``--no-verify``
     skips).  Exit status 1 on any job failure, identity mismatch, or
-    ledger reconciliation failure.
+    ledger reconciliation failure.  ``--journal PATH`` records every
+    submission, attempt, and completion to an append-only JSONL file: a
+    killed service re-run with the same journal resumes, replaying
+    completed jobs instead of re-running them.  ``--deadline``,
+    ``--max-attempts``, ``--breaker-threshold``, and ``--queue-depth``
+    expose the fault-containment policy.
 """
 
 from __future__ import annotations
@@ -354,14 +363,17 @@ def _parse_seeds(text: str):
 def cmd_chaos(args) -> int:
     import json
 
-    from .analysis.chaos import run_campaign
+    from .analysis.chaos import run_campaign, run_service_campaign
 
-    report = run_campaign(
-        seeds=args.seeds,
-        nodes=args.nodes,
-        iterations=args.iterations,
-        spares=args.spares,
-    )
+    if args.service:
+        report = run_service_campaign(seeds=args.seeds)
+    else:
+        report = run_campaign(
+            seeds=args.seeds,
+            nodes=args.nodes,
+            iterations=args.iterations,
+            spares=args.spares,
+        )
     print(report.describe())
     if args.json:
         payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
@@ -381,8 +393,10 @@ def cmd_serve(args) -> int:
     from .service import (
         JobSpecError,
         MachinePool,
+        OverloadError,
         PartitionError,
         Scheduler,
+        ServicePolicy,
         StencilJob,
         solo_run,
     )
@@ -426,19 +440,43 @@ def cmd_serve(args) -> int:
     )
     print()
 
+    try:
+        service_policy = ServicePolicy(
+            deadline_seconds=args.deadline,
+            max_attempts=args.max_attempts,
+            breaker_threshold=args.breaker_threshold,
+            max_queue_depth=args.queue_depth,
+        )
+    except ValueError as exc:
+        print(f"policy: {exc}", file=sys.stderr)
+        return 1
+    if args.journal:
+        print(f"journal: {args.journal} (completed jobs resume, not re-run)")
+        print()
+
     failures = 0
-    with Scheduler(pool, policy=args.policy) as sched:
-        try:
-            handles = sched.submit_all(jobs)
-        except PartitionError as exc:
-            print(f"admission rejected: {exc}", file=sys.stderr)
-            return 1
+    with Scheduler(
+        pool,
+        policy=args.policy,
+        service_policy=service_policy,
+        journal_path=args.journal,
+    ) as sched:
+        handles = []
+        for job in jobs:
+            try:
+                handles.append(sched.submit(job))
+            except OverloadError as exc:
+                print(f"SHED {job.label}: {exc}")
+                failures += 1
+            except PartitionError as exc:
+                print(f"admission rejected: {exc}", file=sys.stderr)
+                return 1
         results = []
         for handle in handles:
             try:
                 results.append(handle.result(timeout=args.timeout))
             except Exception as exc:  # noqa: BLE001 - reported per job
-                print(f"FAIL {handle.job.label}: {exc}")
+                print(f"FAIL {handle.job.label} [{handle.outcome}]: {exc}")
                 failures += 1
 
     mismatches = 0
@@ -570,6 +608,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--spares", type=int, default=4, help="spare nodes per machine"
     )
     p_chaos.add_argument(
+        "--service",
+        action="store_true",
+        help="run the service chaos campaign instead: worker crashes, "
+        "job hangs, tenant storms, and SIGKILL/journal-resume trials "
+        "against the scheduler's fault-containment invariants",
+    )
+    p_chaos.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -597,6 +642,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--timeout", type=float, default=600.0, help="per-job wait (seconds)"
+    )
+    p_serve.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="append-only JSONL job journal; re-running against an "
+        "existing journal resumes, replaying completed jobs instead of "
+        "re-running them",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        help="per-attempt wall-clock deadline in seconds (default 60)",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per job before a crash/hang records its typed "
+        "failure (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive failures that quarantine a tenant (default 3)",
+    )
+    p_serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=0,
+        help="queue watermark for overload shedding (0 = unbounded)",
     )
     p_serve.add_argument(
         "--no-verify",

@@ -359,3 +359,494 @@ def run_campaign(
                         )
                     )
     return report
+
+
+# ----------------------------------------------------------------------
+# Service chaos: the ``repro chaos --service`` engine
+# ----------------------------------------------------------------------
+
+#: Default service-plane fault rates for a chaos trial: crashes and
+#: hangs frequent enough that every five-seed campaign exercises the
+#: supervisor's reclaim/re-enqueue/respawn path and the deadline abort,
+#: storms certain so the overload phase always has a burst to shed.
+SERVICE_RATES: Dict[str, float] = {
+    "worker_crash": 0.12,
+    "job_hang": 0.08,
+    "tenant_storm": 1.0,
+}
+
+
+@dataclass
+class ServiceChaosTrial:
+    """One seeded pass of the three-phase service chaos scenario.
+
+    Phase A runs a two-wave multi-tenant workload (healthy tenants plus
+    a tenant whose every job dies with a hard data-path fault) to
+    completion under seeded worker crashes and hangs.  Phase B runs the
+    *same* workload against a journal, SIGKILLs the scheduler mid-wave,
+    resumes from the journal, and finishes.  Phase C floods a
+    watermarked single-worker scheduler with a seeded tenant storm and
+    a pair of high-priority jobs.  ``survived`` is the conjunction of
+    the chaos invariants: zero lost jobs, zero double runs, healthy
+    tenants bit-identical to solo, exact ledger reconciliation, the
+    resumed fingerprint equal to the uninterrupted one, quarantine
+    observed, every shed typed.
+    """
+
+    seed: int
+    jobs: int
+    completed: int
+    failed: int
+    timeouts: int
+    quarantined: int
+    retries: int
+    crashes_injected: int
+    hangs_injected: int
+    storm_jobs: int
+    shed: int
+    lost_jobs: int
+    double_runs: int
+    fingerprint_match: bool
+    healthy_identical: bool
+    reconciled: bool
+    quarantine_observed: bool
+    sheds_typed: bool
+    outcome: str = "ok"
+
+    @property
+    def survived(self) -> bool:
+        return (
+            self.lost_jobs == 0
+            and self.double_runs == 0
+            and self.fingerprint_match
+            and self.healthy_identical
+            and self.reconciled
+            and self.quarantine_observed
+            and self.sheds_typed
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "completed": self.completed,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "crashes_injected": self.crashes_injected,
+            "hangs_injected": self.hangs_injected,
+            "storm_jobs": self.storm_jobs,
+            "shed": self.shed,
+            "lost_jobs": self.lost_jobs,
+            "double_runs": self.double_runs,
+            "fingerprint_match": self.fingerprint_match,
+            "healthy_identical": self.healthy_identical,
+            "reconciled": self.reconciled,
+            "quarantine_observed": self.quarantine_observed,
+            "sheds_typed": self.sheds_typed,
+            "survived": self.survived,
+            "outcome": self.outcome,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServiceChaosTrial":
+        known = {
+            f: data[f]
+            for f in (
+                "seed", "jobs", "completed", "failed", "timeouts",
+                "quarantined", "retries", "crashes_injected",
+                "hangs_injected", "storm_jobs", "shed", "lost_jobs",
+                "double_runs", "fingerprint_match", "healthy_identical",
+                "reconciled", "quarantine_observed", "sheds_typed",
+                "outcome",
+            )
+        }
+        return cls(**known)
+
+
+@dataclass
+class ServiceChaosReport:
+    """A whole service chaos campaign's trials plus the verdict."""
+
+    trials: List[ServiceChaosTrial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def num_survived(self) -> int:
+        return sum(1 for t in self.trials if t.survived)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(t.retries for t in self.trials)
+
+    @property
+    def total_sheds(self) -> int:
+        return sum(t.shed for t in self.trials)
+
+    @property
+    def ok(self) -> bool:
+        """Every trial upheld every invariant."""
+        return self.num_survived == self.num_trials
+
+    def describe(self) -> str:
+        lines = [
+            f"service chaos campaign: {self.num_survived}/{self.num_trials} "
+            f"trials upheld every invariant "
+            f"({sum(t.crashes_injected for t in self.trials)} crashes, "
+            f"{sum(t.hangs_injected for t in self.trials)} hangs, "
+            f"{self.total_retries} retries, {self.total_sheds} sheds, "
+            f"{sum(t.quarantined for t in self.trials)} quarantines)"
+        ]
+        for trial in self.trials:
+            if not trial.survived:
+                lines.append(f"  seed {trial.seed}: {trial.outcome}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_trials": self.num_trials,
+            "num_survived": self.num_survived,
+            "total_retries": self.total_retries,
+            "total_sheds": self.total_sheds,
+            "ok": self.ok,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ServiceChaosReport":
+        return cls(
+            trials=[
+                ServiceChaosTrial.from_dict(dict(t)) for t in data["trials"]
+            ]
+        )
+
+
+def _service_workload(seed: int):
+    """The trial's two-wave workload, identical across phases A and B.
+
+    Two healthy tenants run real stencils; the ``flaky`` tenant's jobs
+    all carry a certain hard data-path fault with no spares, so each
+    one terminates in a typed ``JobFaultError`` -- wave 1 trips the
+    tenant's breaker (three failures at the default threshold), so its
+    wave-2 jobs must be quarantined at admission.
+    """
+    from ..service import StencilJob
+
+    def healthy(index: int, wave: int) -> StencilJob:
+        return StencilJob(
+            tenant=f"tenant{index % 2}",
+            pattern="cross5" if index % 2 else "square9",
+            grid_shape=(32, 32),
+            iterations=2,
+            seed=seed * 1000 + wave * 100 + index,
+            partition_shape=(2, 2),
+            label=f"healthy{wave}-{index}",
+        )
+
+    def flaky(index: int, wave: int) -> StencilJob:
+        return StencilJob(
+            tenant="flaky",
+            grid_shape=(16, 16),
+            seed=seed * 1000 + wave * 100 + 50 + index,
+            partition_shape=(2, 2),
+            fault_rates={"node_dead": 1.0},
+            fault_seed=seed + index,
+            label=f"flaky{wave}-{index}",
+        )
+
+    wave1 = [healthy(i, 1) for i in range(6)] + [flaky(i, 1) for i in range(3)]
+    wave2 = [healthy(i, 2) for i in range(3)] + [flaky(i, 2) for i in range(2)]
+    return wave1, wave2
+
+
+def run_service_trial(
+    seed: int,
+    *,
+    journal_path: Optional[str] = None,
+    rates: Optional[Dict[str, float]] = None,
+    deadline_seconds: float = 0.3,
+) -> ServiceChaosTrial:
+    """One seeded pass of the three-phase service chaos scenario."""
+    import os
+    import random
+    import tempfile
+    import time
+
+    from ..machine.params import MachineParams
+    from ..runtime.faults import ServiceFaultInjector
+    from ..service import (
+        JournalState,
+        MachinePool,
+        OverloadError,
+        Scheduler,
+        ServicePolicy,
+        StencilJob,
+        solo_run,
+    )
+
+    def make_pool() -> MachinePool:
+        return MachinePool(
+            MachineParams().with_nodes(16),
+            shape=(4, 4),
+            default_partition=(2, 2),
+        )
+
+    def make_injector() -> ServiceFaultInjector:
+        return ServiceFaultInjector(
+            seed=seed, rates=dict(SERVICE_RATES if rates is None else rates)
+        )
+
+    policy = ServicePolicy(
+        deadline_seconds=deadline_seconds,
+        max_attempts=3,
+        backoff_base_seconds=0.001,
+        backoff_cap_seconds=0.004,
+        breaker_threshold=3,
+        breaker_cooldown_seconds=60.0,
+        supervision_interval_seconds=0.002,
+    )
+
+    def wait_all(handles, timeout: float = 120.0) -> None:
+        deadline = time.perf_counter() + timeout
+        for handle in handles:
+            remaining = max(deadline - time.perf_counter(), 0.01)
+            try:
+                handle.result(remaining)
+            except Exception:
+                pass  # typed outcomes are inspected via the handle
+
+    wave1, wave2 = _service_workload(seed)
+
+    def run_program(scheduler: Scheduler):
+        first = scheduler.submit_all(wave1)
+        wait_all(first)
+        second = scheduler.submit_all(wave2)
+        wait_all(second)
+        return first + second
+
+    violations: List[str] = []
+
+    # ---- Phase A: uninterrupted run under crashes and hangs ----------
+    injector_a = make_injector()
+    sched_a = Scheduler(
+        make_pool(), service_policy=policy, faults=injector_a
+    )
+    handles_a = run_program(sched_a)
+    sched_a.close(timeout=60.0)
+    fingerprint_a = sched_a.accounts.ledger_fingerprint()
+    accounts_a = sched_a.accounts
+
+    lost = sum(1 for h in handles_a if not h.done)
+    if lost:
+        violations.append(f"phase A lost {lost} job(s)")
+
+    healthy_identical = True
+    for handle in handles_a:
+        if handle.job.tenant == "flaky" or handle.outcome != "completed":
+            continue
+        reference = solo_run(handle.job)
+        if not handle.result().identical_to(reference):
+            healthy_identical = False
+            violations.append(
+                f"phase A: {handle.job.label} diverged from its solo run"
+            )
+            break
+    quarantine_observed = any(
+        h.outcome == "quarantined" for h in handles_a
+    )
+    if not quarantine_observed:
+        violations.append("phase A: breaker never quarantined the flaky tenant")
+    reconciled = accounts_a.reconcile()
+    if not reconciled:
+        violations.append("phase A: ledger failed exact reconciliation")
+
+    # ---- Phase B: journal, SIGKILL mid-wave, resume ------------------
+    path = journal_path
+    cleanup = False
+    if path is None:
+        fd, path = tempfile.mkstemp(
+            prefix=f"service-chaos-{seed}-", suffix=".jsonl"
+        )
+        os.close(fd)
+        cleanup = True
+    try:
+        victim = Scheduler(
+            make_pool(),
+            service_policy=policy,
+            faults=make_injector(),
+            journal_path=path,
+        )
+        victim.submit_all(wave1)
+        time.sleep(0.003 + 0.04 * random.Random(seed).random())
+        victim.kill()
+
+        resumed = Scheduler(
+            make_pool(),
+            service_policy=policy,
+            faults=make_injector(),
+            journal_path=path,
+        )
+        handles_b = run_program(resumed)
+        resumed.close(timeout=60.0)
+        fingerprint_b = resumed.accounts.ledger_fingerprint()
+
+        lost_b = sum(1 for h in handles_b if not h.done)
+        if lost_b:
+            violations.append(f"phase B lost {lost_b} job(s)")
+        lost += lost_b
+        state = JournalState.load(path)
+        unsettled = sum(
+            1 for key in state.submitted if not state.is_settled(key)
+        )
+        if unsettled:
+            violations.append(
+                f"phase B: {unsettled} journaled job(s) never settled"
+            )
+        lost += unsettled
+        double_runs = state.duplicate_completions
+        if double_runs:
+            violations.append(f"phase B: {double_runs} double-run(s)")
+        fingerprint_match = fingerprint_b == fingerprint_a
+        if not fingerprint_match:
+            violations.append(
+                "phase B: resumed ledger fingerprint differs from the "
+                "uninterrupted run's"
+            )
+        if not resumed.accounts.reconcile():
+            reconciled = False
+            violations.append("phase B: resumed ledger failed reconciliation")
+    finally:
+        if cleanup and os.path.exists(path):
+            os.remove(path)
+
+    # ---- Phase C: tenant storm against the watermark -----------------
+    storm_injector = make_injector()
+    burst = storm_injector.storm_size("storm", low=6, high=10)
+    storm_policy = ServicePolicy(
+        deadline_seconds=deadline_seconds,
+        max_attempts=3,
+        backoff_base_seconds=0.001,
+        backoff_cap_seconds=0.004,
+        breaker_threshold=3,
+        breaker_cooldown_seconds=60.0,
+        supervision_interval_seconds=0.002,
+        max_queue_depth=2,
+    )
+    storm_sched = Scheduler(
+        make_pool(), service_policy=storm_policy, max_workers=1
+    )
+    storm_jobs = [
+        StencilJob(
+            tenant="storm",
+            grid_shape=(64, 64),
+            iterations=6,
+            seed=seed * 1000 + 500 + i,
+            partition_shape=(2, 2),
+            priority=0,
+            label=f"storm-{i}",
+        )
+        for i in range(burst)
+    ]
+    vip_jobs = [
+        StencilJob(
+            tenant="vip",
+            pattern="square9",
+            grid_shape=(32, 32),
+            iterations=2,
+            seed=seed * 1000 + 600 + i,
+            partition_shape=(2, 2),
+            priority=10,
+            label=f"vip-{i}",
+        )
+        for i in range(2)
+    ]
+    shed_raised = 0
+    storm_handles = []
+    sheds_typed = True
+    for job in storm_jobs:
+        try:
+            storm_handles.append(storm_sched.submit(job))
+        except OverloadError:
+            shed_raised += 1
+        except Exception as error:  # pragma: no cover - invariant breach
+            sheds_typed = False
+            violations.append(
+                f"phase C: shed raised untyped {type(error).__name__}"
+            )
+    vip_handles = storm_sched.submit_all(vip_jobs)
+    wait_all(storm_handles + vip_handles)
+    storm_sched.close(timeout=60.0)
+    shed_recorded = [h for h in storm_handles if h.outcome == "shed"]
+    for handle in shed_recorded:
+        if not isinstance(handle.error, OverloadError):
+            sheds_typed = False
+            violations.append(
+                f"phase C: {handle.job.label} shed with untyped "
+                f"{type(handle.error).__name__}"
+            )
+    shed_total = shed_raised + len(shed_recorded)
+    if shed_total == 0:
+        violations.append("phase C: the storm never hit the watermark")
+        sheds_typed = False
+    for handle in vip_handles:
+        if handle.outcome != "completed":
+            healthy_identical = False
+            violations.append(
+                f"phase C: vip job ended {handle.outcome}, not completed"
+            )
+        elif not handle.result().identical_to(solo_run(handle.job)):
+            healthy_identical = False
+            violations.append(
+                f"phase C: {handle.job.label} diverged from its solo run"
+            )
+    if not storm_sched.accounts.reconcile():
+        reconciled = False
+        violations.append("phase C: storm ledger failed reconciliation")
+
+    flaky_account = accounts_a.tenants.get("flaky")
+    return ServiceChaosTrial(
+        seed=seed,
+        jobs=len(handles_a) + len(storm_jobs) + len(vip_jobs),
+        completed=sum(1 for h in handles_a if h.outcome == "completed"),
+        failed=0 if flaky_account is None else flaky_account.failures,
+        timeouts=sum(
+            a.timeouts for a in accounts_a.tenants.values()
+        ),
+        quarantined=sum(
+            a.quarantined for a in accounts_a.tenants.values()
+        ),
+        retries=sum(a.retries for a in accounts_a.tenants.values()),
+        crashes_injected=injector_a.injected.get("worker_crash", 0),
+        hangs_injected=injector_a.injected.get("job_hang", 0),
+        storm_jobs=burst,
+        shed=shed_total,
+        lost_jobs=lost,
+        double_runs=double_runs,
+        fingerprint_match=fingerprint_match,
+        healthy_identical=healthy_identical,
+        reconciled=reconciled,
+        quarantine_observed=quarantine_observed,
+        sheds_typed=sheds_typed,
+        outcome="ok" if not violations else "; ".join(violations),
+    )
+
+
+def run_service_campaign(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    rates: Optional[Dict[str, float]] = None,
+    deadline_seconds: float = 0.3,
+) -> ServiceChaosReport:
+    """Run the three-phase service chaos scenario once per seed."""
+    report = ServiceChaosReport()
+    for seed in seeds:
+        report.trials.append(
+            run_service_trial(
+                seed, rates=rates, deadline_seconds=deadline_seconds
+            )
+        )
+    return report

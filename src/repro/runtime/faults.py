@@ -70,6 +70,8 @@ corruption remains impossible.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import ClassVar, Dict, FrozenSet, List, Optional, Sequence, Tuple
@@ -174,6 +176,27 @@ HARD_FAULT_KINDS: Tuple[str, ...] = (
 )
 
 ALL_FAULT_KINDS: Tuple[str, ...] = tuple(kind.value for kind in FaultKind)
+
+
+class ServiceFaultKind(str, Enum):
+    """The service-plane fault classes: they break the *orchestration*
+    layer (workers, queues, tenants), never the data path, so none of
+    them can change a job's bits -- only whether and when it runs."""
+
+    #: The worker thread running a job dies mid-flight; its partition
+    #: leaks until the supervisor reclaims it and re-enqueues the job.
+    WORKER_CRASH = "worker_crash"
+    #: A job stops making progress: its worker blocks until the
+    #: supervisor aborts it at the wall-clock deadline.
+    JOB_HANG = "job_hang"
+    #: One tenant floods the queue with a burst of low-priority jobs,
+    #: exercising watermark shedding and admission control.
+    TENANT_STORM = "tenant_storm"
+
+
+SERVICE_FAULT_KINDS: Tuple[str, ...] = tuple(
+    kind.value for kind in ServiceFaultKind
+)
 
 
 @dataclass(frozen=True)
@@ -760,6 +783,84 @@ class FaultInjector:
         (batched stacks lose every leading-axis copy of the tile)."""
         for _, stack in machine.storage.tile_stacks():
             stack[..., row, col, :, :] = np.float32(np.nan)
+
+
+class ServiceFaultInjector:
+    """A deterministic, seeded source of service-plane faults.
+
+    ``rates`` maps :class:`ServiceFaultKind` (or their string values)
+    to per-opportunity probabilities.  Unlike the data-path injector,
+    draws must be reproducible under *concurrency*: worker threads
+    consult the injector in whatever order the host schedules them, so
+    a shared RNG stream would make chaos runs unrepeatable.  Every draw
+    is therefore a pure function of ``(seed, kind, site, attempt)`` --
+    hashed independently -- and a campaign re-run with the same seed
+    sees exactly the same crashes and hangs at the same jobs no matter
+    how the threads interleave.  ``max_faults`` bounds total
+    injections (None = unbounded).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rates: Optional[Dict[object, float]] = None,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        self.seed = int(seed)
+        self.rates: Dict[ServiceFaultKind, float] = {}
+        for kind, rate in (rates or {}).items():
+            self.rates[ServiceFaultKind(kind)] = float(rate)
+        self.max_faults = max_faults
+        self.injected: Dict[str, int] = {}
+        self.events: List[FaultEvent] = []
+        self._lock = threading.Lock()
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    def _draw(self, kind: str, site: str, attempt: int) -> float:
+        """A uniform in [0, 1) determined solely by the coordinates."""
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{site}:{attempt}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    def fires(self, kind: object, site: str, attempt: int = 1) -> bool:
+        """One seeded draw for ``kind`` at ``site`` (e.g. a job key) on
+        this ``attempt``; records the event when it fires."""
+        fault = ServiceFaultKind(kind)
+        rate = self.rates.get(fault, 0.0)
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            if (
+                self.max_faults is not None
+                and sum(self.injected.values()) >= self.max_faults
+            ):
+                return False
+            if self._draw(fault.value, site, attempt) >= rate:
+                return False
+            self.injected[fault.value] = self.injected.get(fault.value, 0) + 1
+            self.events.append(
+                FaultEvent(
+                    kind=fault.value,
+                    site=site,
+                    injected=True,
+                    detail=f"attempt {attempt}",
+                )
+            )
+            return True
+
+    def storm_size(self, site: str, low: int = 4, high: int = 12) -> int:
+        """Burst size of a tenant storm at ``site``: 0 when the
+        TENANT_STORM draw does not fire, else a seeded size in
+        ``[low, high]``."""
+        if not self.fires(ServiceFaultKind.TENANT_STORM, site):
+            return 0
+        span = max(high - low, 0) + 1
+        return low + int(self._draw("tenant_storm_size", site, 0) * span)
 
 
 class HealthMonitor:

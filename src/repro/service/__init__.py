@@ -7,10 +7,29 @@ concurrently -- each on its own carved-out machine, bit-identical to a
 solo run -- and keeps per-tenant cycle accounting
 (:class:`ServiceAccounts`) that reconciles exactly against the job
 records.
+
+PR 8 adds the fault-containment layer: a frozen :class:`ServicePolicy`
+(deadlines, cycle budgets, bounded retry, breaker thresholds, queue
+watermark), typed service errors recorded on the :class:`JobHandle`
+rather than raised into workers, worker supervision with crash
+recovery, per-tenant circuit breakers, overload shedding, and an
+append-only :class:`JobJournal` that lets a SIGKILL'd service resume
+with the same ledger an uninterrupted run produces.
 """
 
 from ..machine.geometry import Partition, PartitionError
 from .accounting import ServiceAccounts, TenantAccount
+from .errors import (
+    JobCancelledError,
+    JobFaultError,
+    JobQuarantinedError,
+    JobTimeoutError,
+    OverloadError,
+    SchedulerClosedError,
+    SchedulerShutdownError,
+    ServiceError,
+    WorkerCrashError,
+)
 from .jobs import (
     BOUNDARIES,
     JobResult,
@@ -20,23 +39,38 @@ from .jobs import (
     partition_machine,
     solo_run,
 )
+from .journal import JobJournal, JournalState, job_key
 from .partition import POLICIES, MachinePool
+from .policy import ServicePolicy
 from .scheduler import JobHandle, Scheduler
 
 __all__ = [
     "BOUNDARIES",
     "POLICIES",
+    "JobCancelledError",
+    "JobFaultError",
     "JobHandle",
+    "JobJournal",
+    "JobQuarantinedError",
     "JobResult",
     "JobSpecError",
+    "JobTimeoutError",
+    "JournalState",
     "MachinePool",
+    "OverloadError",
     "Partition",
     "PartitionError",
     "Scheduler",
+    "SchedulerClosedError",
+    "SchedulerShutdownError",
     "ServiceAccounts",
+    "ServiceError",
+    "ServicePolicy",
     "StencilJob",
     "TenantAccount",
+    "WorkerCrashError",
     "execute_job",
+    "job_key",
     "partition_machine",
     "solo_run",
 ]

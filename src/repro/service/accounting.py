@@ -13,12 +13,24 @@ records to prove no concurrent charge was lost or double-counted.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.fairness import jain_index, speedup
 from .jobs import JobResult
+
+#: Terminal outcomes :meth:`ServiceAccounts.note_outcome` accepts, and
+#: the tenant counter each one bumps.
+OUTCOME_COUNTERS = {
+    "failed": "failures",
+    "timeout": "timeouts",
+    "cancelled": "cancelled",
+    "quarantined": "quarantined",
+    "shed": "shed",
+}
 
 
 @dataclass
@@ -28,6 +40,11 @@ class TenantAccount:
     tenant: str
     jobs: int = 0
     failures: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    quarantined: int = 0
+    shed: int = 0
+    retries: int = 0
     comm_cycles: int = 0
     compute_cycles: int = 0
     half_strips: int = 0
@@ -73,6 +90,11 @@ class TenantAccount:
             "tenant": self.tenant,
             "jobs": self.jobs,
             "failures": self.failures,
+            "timeouts": self.timeouts,
+            "cancelled": self.cancelled,
+            "quarantined": self.quarantined,
+            "shed": self.shed,
+            "retries": self.retries,
             "comm_cycles": self.comm_cycles,
             "compute_cycles": self.compute_cycles,
             "cycles": self.cycles,
@@ -101,6 +123,10 @@ class ServiceAccounts:
     partition_seconds: Dict[Optional[Tuple[int, int]], float] = field(
         default_factory=dict
     )
+    #: Every terminal non-success and every retry, as (tenant, outcome)
+    #: pairs -- the raw log :meth:`reconcile` re-derives the outcome
+    #: counters from, same discipline as the cycle counters.
+    outcome_log: List[Tuple[str, str]] = field(default_factory=list)
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
@@ -122,12 +148,33 @@ class ServiceAccounts:
             )
             self.records.append(result)
 
+    def _account(self, tenant: str) -> TenantAccount:
+        account = self.tenants.get(tenant)
+        if account is None:
+            account = self.tenants[tenant] = TenantAccount(tenant)
+        return account
+
     def note_failure(self, tenant: str) -> None:
+        self.note_outcome(tenant, "failed")
+
+    def note_outcome(self, tenant: str, outcome: str) -> None:
+        """Record a terminal non-success (typed error) on the ledger."""
+        counter = OUTCOME_COUNTERS.get(outcome)
+        if counter is None:
+            raise ValueError(
+                f"outcome must be one of {sorted(OUTCOME_COUNTERS)}, "
+                f"got {outcome!r}"
+            )
         with self._lock:
-            account = self.tenants.get(tenant)
-            if account is None:
-                account = self.tenants[tenant] = TenantAccount(tenant)
-            account.failures += 1
+            account = self._account(tenant)
+            setattr(account, counter, getattr(account, counter) + 1)
+            self.outcome_log.append((tenant, outcome))
+
+    def note_retry(self, tenant: str) -> None:
+        """Record one re-enqueue of a tenant's job after a service fault."""
+        with self._lock:
+            self._account(tenant).retries += 1
+            self.outcome_log.append((tenant, "retry"))
 
     # ------------------------------------------------------------------
     # Derived service metrics (cycle terms)
@@ -195,9 +242,21 @@ class ServiceAccounts:
                 by_origin[origin] = (
                     by_origin.get(origin, 0.0) + result.elapsed_seconds
                 )
+            by_outcome: Dict[Tuple[str, str], int] = {}
+            for tenant, outcome in self.outcome_log:
+                by_outcome[(tenant, outcome)] = (
+                    by_outcome.get((tenant, outcome), 0) + 1
+                )
             for tenant, account in self.tenants.items():
                 records = by_tenant.get(tenant, [])
                 if account.jobs != len(records):
+                    return False
+                for outcome, counter in OUTCOME_COUNTERS.items():
+                    if getattr(account, counter) != by_outcome.get(
+                        (tenant, outcome), 0
+                    ):
+                        return False
+                if account.retries != by_outcome.get((tenant, "retry"), 0):
                     return False
                 if account.comm_cycles != sum(r.comm_cycles for r in records):
                     return False
@@ -218,6 +277,50 @@ class ServiceAccounts:
             return by_origin == {
                 k: v for k, v in self.partition_seconds.items() if v
             }
+
+    def ledger_fingerprint(self) -> str:
+        """A deterministic hash of everything two runs must agree on.
+
+        Covers, per tenant: the sorted modeled-cost records of every
+        completed job (label, cycle totals, half-strips, exchanges,
+        useful flops, output checksum) and the terminal outcome counts.
+        Excludes wall-clock fields, retry counts, and partition
+        placement -- host noise and scheduling nondeterminism a
+        crash/resume is allowed to change.  An uninterrupted run and a
+        journal-resumed run of the same workload must produce equal
+        fingerprints; the chaos campaign asserts exactly that.
+        """
+        with self._lock:
+            per_tenant: Dict[str, Dict[str, object]] = {}
+            for result in self.records:
+                bucket = per_tenant.setdefault(
+                    result.job.tenant, {"records": [], "outcomes": {}}
+                )
+                bucket["records"].append(
+                    [
+                        result.job.label,
+                        result.comm_cycles,
+                        result.compute_cycles,
+                        result.half_strips,
+                        result.exchanges,
+                        result.useful_flops,
+                        result.checksum,
+                    ]
+                )
+            for tenant, account in self.tenants.items():
+                bucket = per_tenant.setdefault(
+                    tenant, {"records": [], "outcomes": {}}
+                )
+                bucket["outcomes"] = {
+                    outcome: getattr(account, counter)
+                    for outcome, counter in sorted(OUTCOME_COUNTERS.items())
+                }
+            for bucket in per_tenant.values():
+                bucket["records"].sort()
+            payload = json.dumps(
+                per_tenant, sort_keys=True, separators=(",", ":")
+            )
+            return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def tenant_rows(self) -> List[Dict[str, object]]:
         """Per-tenant rows for :func:`repro.analysis.fairness.format_tenant_table`."""
@@ -254,5 +357,6 @@ class ServiceAccounts:
                 "concurrency_speedup": self.concurrency_speedup,
                 "fairness": self.fairness(),
                 "reconciled": self.reconcile(),
+                "ledger_fingerprint": self.ledger_fingerprint(),
                 "jobs": [r.to_dict() for r in self.records],
             }

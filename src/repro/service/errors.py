@@ -1,0 +1,98 @@
+"""Typed service-level errors: the scheduler's fault vocabulary.
+
+The runtime's contract is "bit-identical or typed ``FaultError``, never
+silent corruption"; the service layer mirrors it at job granularity.
+Every way a job can fail to produce a result has a typed error carrying
+the tenant and job label, and the scheduler *records* these outcomes on
+the job's handle (and in the journal) instead of letting them escape
+into a worker thread -- ``JobHandle.result()`` is where they re-raise,
+in the caller's own frame.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..runtime.faults import FaultError
+
+
+class ServiceError(Exception):
+    """Base of every typed error the service layer raises or records."""
+
+
+class SchedulerClosedError(ServiceError, RuntimeError):
+    """A job was submitted to a scheduler that has been closed.
+
+    Also a ``RuntimeError`` so pre-PR 8 callers that caught the old
+    ad-hoc ``RuntimeError("scheduler is closed")`` keep working.
+    """
+
+
+class SchedulerShutdownError(ServiceError):
+    """``Scheduler.close`` timed out with workers still running.
+
+    Carries the stuck workers' thread names so the operator knows which
+    in-flight jobs never came back instead of silently leaking threads.
+    """
+
+    def __init__(self, stuck_workers: Sequence[str], timeout: float) -> None:
+        self.stuck_workers: Tuple[str, ...] = tuple(stuck_workers)
+        super().__init__(
+            f"{len(self.stuck_workers)} worker(s) failed to join within "
+            f"{timeout}s: {', '.join(self.stuck_workers)}"
+        )
+
+
+class _JobScopedError(ServiceError):
+    """A typed error tied to one tenant's job."""
+
+    def __init__(self, tenant: str, label: str, message: str) -> None:
+        self.tenant = tenant
+        self.label = label
+        super().__init__(message)
+
+
+class JobTimeoutError(_JobScopedError, TimeoutError):
+    """A job ran past its wall-clock deadline or cycle budget, or a
+    ``JobHandle.result(timeout=...)`` wait expired while the job was
+    still running.  Carries the tenant and job label either way."""
+
+
+class JobCancelledError(_JobScopedError):
+    """A still-queued job was cancelled before any worker claimed it."""
+
+
+class JobQuarantinedError(_JobScopedError):
+    """The tenant's circuit breaker is open: its jobs keep failing, so
+    new submissions are refused at admission (recorded, not run) until
+    the breaker's cooldown admits a probe."""
+
+
+class OverloadError(_JobScopedError):
+    """The queue watermark was hit and this job was shed (it was the
+    lowest-priority work in sight at admission time)."""
+
+
+class WorkerCrashError(_JobScopedError):
+    """Every attempt at this job died with its worker; the retry budget
+    is spent."""
+
+
+class JobFaultError(_JobScopedError, FaultError):
+    """A typed runtime ``FaultError`` surfaced by a job's guarded run,
+    re-raised with the job's tenant and label attached.
+
+    Subclasses both :class:`ServiceError` and ``FaultError`` so the
+    scheduler's breaker/retry classification *and* runtime-level
+    handlers see the same typed object; the original fault rides on
+    ``fault`` (and ``__cause__``).
+    """
+
+    def __init__(self, tenant: str, label: str, fault: FaultError) -> None:
+        self.fault = fault
+        super().__init__(
+            tenant,
+            label,
+            f"job {label!r} (tenant {tenant!r}) hit a "
+            f"{type(fault).__name__}: {fault}",
+        )

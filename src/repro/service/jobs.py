@@ -13,6 +13,7 @@ test suite and ``repro serve`` both enforce exactly that.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import time
 from dataclasses import dataclass, field, fields
@@ -26,9 +27,15 @@ from ..machine.geometry import Partition
 from ..machine.machine import CM2
 from ..machine.params import MachineParams
 from ..runtime.cm_array import CMArray
-from ..runtime.faults import FaultInjector, FaultStats, ResiliencePolicy
+from ..runtime.faults import (
+    FaultError,
+    FaultInjector,
+    FaultStats,
+    ResiliencePolicy,
+)
 from ..runtime.stencil_op import StencilRun, apply_stencil
 from ..stencil import gallery
+from .errors import JobFaultError
 
 #: Boundary modes a job may name.
 BOUNDARIES = ("torus", "fill")
@@ -181,6 +188,37 @@ class StencilJob:
             for name in self.filter_names
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """The job's full spec as JSON-clean data -- the exact inverse
+        of :meth:`from_dict`, and the journal's canonical record of
+        what was submitted."""
+        return {
+            "tenant": self.tenant,
+            "pattern": self.pattern,
+            "grid_shape": list(self.grid_shape),
+            "boundary": self.boundary,
+            "iterations": self.iterations,
+            "priority": self.priority,
+            "partition_shape": (
+                None
+                if self.partition_shape is None
+                else list(self.partition_shape)
+            ),
+            "seed": self.seed,
+            "block_depth": self.block_depth,
+            "exact": self.exact,
+            "spares": self.spares,
+            "fault_rates": (
+                None
+                if self.fault_rates is None
+                else [[kind, rate] for kind, rate in self.fault_rates]
+            ),
+            "fault_seed": self.fault_seed,
+            "label": self.label,
+            "batch": self.batch,
+            "filters": None if self.filters is None else list(self.filters),
+        }
+
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "StencilJob":
         """Build a job from a ``jobs.json`` entry (unknown keys rejected)."""
@@ -278,6 +316,78 @@ class JobResult:
             "faults_detected": self.fault_stats.total_detected,
         }
 
+    def to_journal_dict(self) -> Dict[str, object]:
+        """Everything needed to reconstruct this result after a crash:
+        the full job spec, the partition rectangle, every charged
+        counter, the fault stats, and the raw float32 output bits
+        (base64) -- so a journal-resumed ledger can equal an
+        uninterrupted run's ledger bit for bit, identity checks
+        included."""
+        return {
+            "job": self.job.to_dict(),
+            "partition": (
+                None
+                if self.partition is None
+                else {
+                    "parent_shape": list(self.partition.parent_shape),
+                    "origin": list(self.partition.origin),
+                    "shape": list(self.partition.shape),
+                }
+            ),
+            "output_shape": list(self.output.shape),
+            "output_b64": base64.b64encode(
+                np.ascontiguousarray(self.output, dtype=np.float32).tobytes()
+            ).decode("ascii"),
+            "comm_cycles": self.comm_cycles,
+            "compute_cycles": self.compute_cycles,
+            "half_strips": self.half_strips,
+            "exchanges": self.exchanges,
+            "block_depth": self.block_depth,
+            "machine_seconds": self.machine_seconds,
+            "host_seconds": self.host_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "useful_flops": self.useful_flops,
+            "mflops": self.mflops,
+            "fault_stats": self.fault_stats.to_dict(),
+            "queue_seconds": self.queue_seconds,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    @classmethod
+    def from_journal_dict(cls, data: Mapping[str, object]) -> "JobResult":
+        """Rebuild a completed job's result from its journal record."""
+        part = data.get("partition")
+        partition = (
+            None
+            if part is None
+            else Partition(
+                tuple(part["parent_shape"]),
+                tuple(part["origin"]),
+                tuple(part["shape"]),
+            )
+        )
+        output = np.frombuffer(
+            base64.b64decode(str(data["output_b64"])), dtype=np.float32
+        ).reshape(tuple(data["output_shape"]))
+        return cls(
+            job=StencilJob.from_dict(dict(data["job"])),
+            partition=partition,
+            output=output,
+            comm_cycles=int(data["comm_cycles"]),
+            compute_cycles=int(data["compute_cycles"]),
+            half_strips=int(data["half_strips"]),
+            exchanges=int(data["exchanges"]),
+            block_depth=int(data["block_depth"]),
+            machine_seconds=float(data["machine_seconds"]),
+            host_seconds=float(data["host_seconds"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            useful_flops=int(data["useful_flops"]),
+            mflops=float(data["mflops"]),
+            fault_stats=FaultStats.from_dict(dict(data["fault_stats"])),
+            queue_seconds=float(data["queue_seconds"]),
+            wall_seconds=float(data["wall_seconds"]),
+        )
+
 
 def partition_machine(
     params: MachineParams,
@@ -345,18 +455,21 @@ def execute_job(
         )
         resilience = ResiliencePolicy(max_remaps=max(1, job.spares))
     started = time.perf_counter()
-    run: StencilRun = apply_stencil(
-        compiled,
-        source,
-        coefficients,
-        "R",
-        iterations=job.iterations,
-        exact=job.exact,
-        block_depth=job.block_depth,
-        faults=injector,
-        resilience=resilience,
-        tenant=job.tenant,
-    )
+    try:
+        run: StencilRun = apply_stencil(
+            compiled,
+            source,
+            coefficients,
+            "R",
+            iterations=job.iterations,
+            exact=job.exact,
+            block_depth=job.block_depth,
+            faults=injector,
+            resilience=resilience,
+            tenant=job.tenant,
+        )
+    except FaultError as error:
+        raise JobFaultError(job.tenant, job.label, error) from error
     wall = time.perf_counter() - started
     return JobResult(
         job=job,
@@ -426,18 +539,21 @@ def _execute_batched_job(
         )
         resilience = ResiliencePolicy()
     started = time.perf_counter()
-    run: BatchStencilRun = apply_stencil_batch(
-        filters,
-        source,
-        coefficients,
-        "R",
-        iterations=job.iterations,
-        exact=job.exact,
-        block_depth=job.block_depth,
-        faults=injector,
-        resilience=resilience,
-        tenant=job.tenant,
-    )
+    try:
+        run: BatchStencilRun = apply_stencil_batch(
+            filters,
+            source,
+            coefficients,
+            "R",
+            iterations=job.iterations,
+            exact=job.exact,
+            block_depth=job.block_depth,
+            faults=injector,
+            resilience=resilience,
+            tenant=job.tenant,
+        )
+    except FaultError as error:
+        raise JobFaultError(job.tenant, job.label, error) from error
     wall = time.perf_counter() - started
     return JobResult(
         job=job,

@@ -1,0 +1,208 @@
+"""The append-only job journal: crash-safe JSONL ledger of the service.
+
+Every externally visible transition of a job's life is appended as one
+JSON line -- ``submitted`` when admission accepts it, ``attempt`` when a
+worker claims it, ``completed`` with the full result (output bits
+included, base64), and ``outcome`` when a terminal typed error is
+recorded instead.  Each append is flushed and fsync'd before the
+scheduler proceeds, so a SIGKILL can lose at most the line being
+written; :meth:`JournalState.load` tolerates exactly that -- a torn
+trailing line is discarded, never a parse error.
+
+Job identity is content-addressed: :func:`job_key` hashes the job's
+canonical spec (:meth:`StencilJob.to_dict`) plus a per-run occurrence
+index, so submitting the same spec twice on purpose yields two distinct
+journal keys, while a resumed service maps re-submitted specs onto
+their previous keys deterministically.  On resume the scheduler skips
+jobs whose key already has a ``completed`` (or terminal ``outcome``)
+line -- replaying the recorded result and charges instead of re-running
+-- and re-runs everything that was merely submitted or in flight.  The
+chaos campaign asserts the resumed ledger fingerprint equals an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, IO, Mapping, Optional, Tuple
+
+from .jobs import JobResult, StencilJob
+
+#: Terminal outcome tags an ``outcome`` event may carry.
+TERMINAL_OUTCOMES = (
+    "failed",
+    "timeout",
+    "cancelled",
+    "quarantined",
+    "shed",
+)
+
+
+def job_key(job: StencilJob, occurrence: int) -> str:
+    """Content-addressed identity of one submission of one job spec.
+
+    The hash covers the full canonical spec and the 0-based occurrence
+    index of that spec within the run, so identical specs submitted N
+    times get N distinct, deterministic keys -- the property that lets
+    a resumed service re-map its submissions onto the journal without
+    any server-assigned ids surviving the crash.
+    """
+    payload = json.dumps(
+        {"job": job.to_dict(), "occurrence": int(occurrence)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+class JobJournal:
+    """Append-only JSONL writer for job lifecycle events.
+
+    Thread-safe; every append is ``flush`` + ``fsync`` so completed work
+    survives a SIGKILL of the host process.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+
+    # -- appends ------------------------------------------------------
+
+    def record_submitted(self, key: str, job: StencilJob, occurrence: int) -> None:
+        self._append(
+            {
+                "event": "submitted",
+                "key": key,
+                "occurrence": int(occurrence),
+                "job": job.to_dict(),
+            }
+        )
+
+    def record_attempt(self, key: str, attempt: int) -> None:
+        self._append({"event": "attempt", "key": key, "attempt": int(attempt)})
+
+    def record_completed(self, key: str, result: JobResult) -> None:
+        self._append(
+            {
+                "event": "completed",
+                "key": key,
+                "result": result.to_journal_dict(),
+            }
+        )
+
+    def record_outcome(
+        self,
+        key: str,
+        outcome: str,
+        error_type: str,
+        message: str,
+        *,
+        tenant: str,
+        label: str,
+    ) -> None:
+        if outcome not in TERMINAL_OUTCOMES:
+            raise ValueError(
+                f"outcome must be one of {TERMINAL_OUTCOMES}, got {outcome!r}"
+            )
+        self._append(
+            {
+                "event": "outcome",
+                "key": key,
+                "outcome": outcome,
+                "error_type": error_type,
+                "message": message,
+                "tenant": tenant,
+                "label": label,
+            }
+        )
+
+    def _append(self, record: Mapping[str, object]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+@dataclass
+class JournalState:
+    """What a journal file says happened, replayable at resume.
+
+    Attributes:
+        submitted: key -> (occurrence, job spec dict) of every admission.
+        attempts: key -> highest attempt number seen (in-flight marker).
+        completed: key -> the full ``completed`` result record.
+        outcomes: key -> the terminal ``outcome`` record.
+        torn_tail: whether the final line was truncated mid-write (the
+            one loss a SIGKILL is allowed to cause).
+    """
+
+    submitted: Dict[str, Tuple[int, Dict[str, object]]] = field(default_factory=dict)
+    attempts: Dict[str, int] = field(default_factory=dict)
+    completed: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    outcomes: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    torn_tail: bool = False
+    #: ``completed`` events for a key that already had one -- a double
+    #: run.  The chaos campaign asserts this stays zero.
+    duplicate_completions: int = 0
+
+    @classmethod
+    def load(cls, path: str) -> "JournalState":
+        state = cls()
+        if not os.path.exists(path):
+            return state
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index >= len(lines) - 2:
+                    state.torn_tail = True
+                    break
+                raise
+            event = record.get("event")
+            key = str(record.get("key"))
+            if event == "submitted":
+                state.submitted[key] = (
+                    int(record["occurrence"]),
+                    dict(record["job"]),
+                )
+            elif event == "attempt":
+                state.attempts[key] = max(
+                    state.attempts.get(key, 0), int(record["attempt"])
+                )
+            elif event == "completed":
+                if key in state.completed:
+                    state.duplicate_completions += 1
+                state.completed[key] = dict(record["result"])
+            elif event == "outcome":
+                state.outcomes[key] = dict(record)
+        return state
+
+    def is_settled(self, key: str) -> bool:
+        """Whether this key needs no re-run on resume."""
+        return key in self.completed or key in self.outcomes
+
+    def result_for(self, key: str) -> Optional[JobResult]:
+        """The reconstructed result of a completed key (None otherwise)."""
+        record = self.completed.get(key)
+        if record is None:
+            return None
+        return JobResult.from_journal_dict(record)

@@ -1,0 +1,114 @@
+"""The service policy: every job's fault-containment knobs, frozen.
+
+The runtime has :class:`~repro.runtime.faults.ResiliencePolicy` for the
+data path; the scheduler has :class:`ServicePolicy` for the job path.
+One frozen object fixes, for every job the scheduler runs:
+
+* a **wall-clock deadline** per attempt (a hung job is aborted and
+  retried instead of blocking its worker forever) and a **cycle
+  budget** (a job whose modeled cost exceeds it records a typed
+  ``JobTimeoutError`` -- deterministic jobs make the post-run check
+  exact, and retrying a budget breach would only reproduce it);
+* a **bounded retry** budget with capped exponential backoff for
+  transient service faults (worker crashes, hangs, deadline overruns).
+  Jobs are deterministic, so a retried attempt that completes is
+  bit-identical to what the first attempt would have produced;
+* the per-tenant **circuit breaker**: consecutive failures to trip it,
+  and the cooldown after which a single probe job is admitted;
+* the **queue watermark** for overload shedding (0 = unbounded).
+
+All fields are validated at construction; nonsense values raise
+:class:`ValueError` immediately instead of misbehaving mid-recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Knobs of the scheduler's fault-containment layer.
+
+    Attributes:
+        deadline_seconds: wall-clock ceiling per job attempt.  The
+            supervisor aborts interruptible waits (injected hangs) at
+            the deadline; a finished run is additionally checked
+            against it when ``enforce_deadline_after_run`` is set.
+        cycle_budget: modeled-cycle ceiling per job (0 = unlimited).
+            A completed run whose ``comm + compute`` total exceeds it
+            is discarded and recorded as a typed ``JobTimeoutError``;
+            it is not retried (the job is deterministic, so the breach
+            would reproduce exactly).
+        max_attempts: total attempts per job (first try included)
+            before a crashing/hanging job records its typed failure.
+        backoff_base_seconds: stall before the second attempt; doubles
+            per further attempt.
+        backoff_cap_seconds: ceiling of the per-retry backoff stall.
+        breaker_threshold: consecutive failed/timed-out jobs that open
+            a tenant's circuit breaker (quarantine).
+        breaker_cooldown_seconds: how long an open breaker refuses the
+            tenant before admitting one half-open probe job.
+        max_queue_depth: queue watermark for overload shedding
+            (0 = unbounded).  At admission past the watermark the
+            lowest-priority job in sight is shed with a typed
+            ``OverloadError`` -- the incoming job itself when nothing
+            queued outranks it.
+        supervision_interval_seconds: the supervisor's polling period
+            for dead workers and overdue jobs.
+        enforce_deadline_after_run: also apply the wall-clock deadline
+            to attempts that finished computing (off by default: the
+            modeled machine is deterministic, so wall time is host
+            noise unless a test opts in).
+    """
+
+    deadline_seconds: float = 60.0
+    cycle_budget: int = 0
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.002
+    backoff_cap_seconds: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown_seconds: float = 30.0
+    max_queue_depth: int = 0
+    supervision_interval_seconds: float = 0.005
+    enforce_deadline_after_run: bool = False
+
+    def __post_init__(self) -> None:
+        def require(ok: bool, what: str) -> None:
+            if not ok:
+                raise ValueError(f"ServicePolicy: {what}")
+
+        require(self.deadline_seconds > 0,
+                f"deadline_seconds must be positive, got "
+                f"{self.deadline_seconds}")
+        require(self.cycle_budget >= 0,
+                f"cycle_budget must be >= 0 (0 = unlimited), got "
+                f"{self.cycle_budget}")
+        require(self.max_attempts >= 1,
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        require(self.backoff_base_seconds >= 0,
+                f"backoff_base_seconds must be >= 0, got "
+                f"{self.backoff_base_seconds}")
+        require(self.backoff_cap_seconds >= self.backoff_base_seconds,
+                f"backoff_cap_seconds ({self.backoff_cap_seconds}) must be "
+                f">= backoff_base_seconds ({self.backoff_base_seconds})")
+        require(self.breaker_threshold >= 1,
+                f"breaker_threshold must be >= 1, got "
+                f"{self.breaker_threshold}")
+        require(self.breaker_cooldown_seconds >= 0,
+                f"breaker_cooldown_seconds must be >= 0, got "
+                f"{self.breaker_cooldown_seconds}")
+        require(self.max_queue_depth >= 0,
+                f"max_queue_depth must be >= 0 (0 = unbounded), got "
+                f"{self.max_queue_depth}")
+        require(self.supervision_interval_seconds > 0,
+                f"supervision_interval_seconds must be positive, got "
+                f"{self.supervision_interval_seconds}")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Capped exponential backoff before attempt ``attempt + 1``
+        (``attempt`` counts completed attempts, 1-based)."""
+        return min(
+            self.backoff_base_seconds * (2 ** max(attempt - 1, 0)),
+            self.backoff_cap_seconds,
+        )

@@ -1,4 +1,4 @@
-"""The async multi-tenant job scheduler.
+"""The async multi-tenant job scheduler, with fault containment.
 
 ``submit`` is asynchronous: it enqueues a :class:`~repro.service.jobs.
 StencilJob` and immediately returns a :class:`JobHandle` the caller can
@@ -9,35 +9,121 @@ waiting for space), carves the partition, runs the job on it, releases
 the partition, and charges the tenant's account -- all detection,
 recovery, and cost accounting riding on the job's own guarded run.
 
-Every job executes on its own carved-out machine with its own storage,
-health ledger, and spare lease; the only cross-job state is the compile
-driver's thread-safe value-keyed caches, so a scheduled run is
-bit-identical to the same job run solo -- the property ``repro serve``
-and the service test suite assert job by job.
+PR 8 extends the runtime's "bit-identical or typed error, never silent
+corruption" contract to the job-orchestration layer:
+
+* A frozen :class:`~repro.service.policy.ServicePolicy` fixes every
+  job's wall-clock deadline, cycle budget, retry budget with capped
+  exponential backoff, circuit-breaker thresholds, and the queue
+  watermark.  Terminal non-successes are **recorded on the handle** as
+  typed errors (:class:`JobTimeoutError`, :class:`JobCancelledError`,
+  :class:`JobQuarantinedError`, :class:`OverloadError`,
+  :class:`WorkerCrashError`, or the run's own typed failure) and
+  re-raise only from ``JobHandle.result()`` in the caller's frame --
+  never inside a worker.
+* A supervisor thread polls for dead workers (a seeded
+  :class:`~repro.runtime.faults.ServiceFaultInjector` can crash them
+  mid-job), reclaims the dead worker's partition, re-enqueues its
+  in-flight job, and respawns the worker; it also aborts injected
+  hangs at the deadline.  Worker crashes, hangs, and deadline overruns
+  are *retryable* (jobs are deterministic, so a retried attempt that
+  completes is bit-identical); typed run failures and cycle-budget
+  breaches are terminal.
+* Per-tenant circuit breakers quarantine tenants whose jobs keep
+  failing (closed -> open -> half-open probe -> closed), and a queue
+  watermark sheds the lowest-priority job in sight at admission with a
+  typed :class:`OverloadError` -- healthy tenants stay bit-identical
+  to their solo runs throughout.
+* An optional append-only JSONL :class:`~repro.service.journal.
+  JobJournal` records every submission, attempt, completion (output
+  bits included), and terminal outcome.  A scheduler pointed at an
+  existing journal *resumes*: re-submitted jobs whose content-addressed
+  key is already settled replay their recorded result/outcome and
+  charges instead of re-running, so a SIGKILL'd service finishes with
+  the same ledger fingerprint an uninterrupted run produces.
+  :meth:`Scheduler.kill` simulates the SIGKILL (drops in-flight work
+  unjournaled and uncharged) for tests and the chaos campaign.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import threading
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..machine.geometry import PartitionError
+from ..runtime.faults import ServiceFaultInjector, ServiceFaultKind
 from .accounting import ServiceAccounts
+from .errors import (
+    JobCancelledError,
+    JobQuarantinedError,
+    JobTimeoutError,
+    OverloadError,
+    SchedulerClosedError,
+    SchedulerShutdownError,
+    ServiceError,
+    WorkerCrashError,
+    _JobScopedError,
+)
 from .jobs import JobResult, StencilJob, execute_job
+from .journal import JobJournal, JournalState, job_key
 from .partition import POLICIES, MachinePool
+from .policy import ServicePolicy
+
+#: Outcomes whose typed errors count against the tenant's breaker.
+_BREAKER_OUTCOMES = ("failed", "timeout")
+
+#: Typed errors a journal replay can reconstruct exactly by name.
+_REPLAY_ERRORS = {
+    cls.__name__: cls
+    for cls in (
+        JobTimeoutError,
+        JobCancelledError,
+        JobQuarantinedError,
+        OverloadError,
+        WorkerCrashError,
+    )
+}
+
+
+class _InjectedWorkerCrash(BaseException):
+    """Raised by the fault plane to kill a worker thread mid-job.
+
+    Derives from ``BaseException`` so the worker's normal failure
+    handling (``except Exception``) cannot absorb it -- the thread
+    dies with its partition held, exactly like a real crash, and the
+    supervisor has to clean up.
+    """
 
 
 class JobHandle:
-    """A submitted job's future result."""
+    """A submitted job's future result, outcome included.
 
-    def __init__(self, job: StencilJob, seq: int) -> None:
+    ``outcome`` tracks the job record's lifecycle: ``queued`` ->
+    ``running`` -> one of ``completed`` / ``failed`` / ``timeout`` /
+    ``cancelled`` / ``quarantined`` / ``shed``.  Terminal typed errors
+    are recorded here and re-raise from :meth:`result` in the caller's
+    own frame; ``attempts`` counts how many times a worker claimed the
+    job (retries after crashes/hangs increment it).
+    """
+
+    def __init__(
+        self,
+        job: StencilJob,
+        seq: int,
+        scheduler: Optional["Scheduler"] = None,
+    ) -> None:
         self.job = job
         self.seq = seq
+        self.key: str = ""
+        self.attempts = 0
+        self.outcome = "queued"
         self.submitted_wall = time.perf_counter()
         self.started_wall: Optional[float] = None
+        self._scheduler = scheduler
         self._done = threading.Event()
         self._result: Optional[JobResult] = None
         self._error: Optional[BaseException] = None
@@ -46,34 +132,93 @@ class JobHandle:
     def done(self) -> bool:
         return self._done.is_set()
 
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The recorded typed error of a non-completed outcome."""
+        return self._error
+
     def result(self, timeout: Optional[float] = None) -> JobResult:
-        """Block until the job finishes; re-raise its failure."""
+        """Block until the job finishes; re-raise its recorded error.
+
+        An expired wait raises a typed :class:`JobTimeoutError`
+        carrying the tenant and job label (the job itself keeps
+        running; only this wait gave up).
+        """
         if not self._done.wait(timeout):
-            raise TimeoutError(
-                f"job {self.job.label!r} still running after {timeout}s"
+            raise JobTimeoutError(
+                self.job.tenant,
+                self.job.label,
+                f"job {self.job.label!r} (tenant {self.job.tenant!r}) "
+                f"still running after {timeout}s",
             )
         if self._error is not None:
             raise self._error
         return self._result
 
+    def cancel(self) -> bool:
+        """Remove the job from the queue if no worker has claimed it.
+
+        True iff the job was still queued: it is recorded as
+        ``cancelled`` with a typed :class:`JobCancelledError` and the
+        tenant is charged nothing.  A running or settled job returns
+        False and is left alone.
+        """
+        if self._scheduler is None:
+            return False
+        return self._scheduler.cancel(self)
+
+    # -- scheduler-side transitions -----------------------------------
+
+    def _mark_running(self, attempt: int) -> None:
+        self.attempts = attempt
+        self.outcome = "running"
+        self.started_wall = time.perf_counter()
+
     def _finish(self, result: JobResult) -> None:
         self._result = result
+        self.outcome = "completed"
+        self._done.set()
+
+    def _record(self, outcome: str, error: BaseException) -> None:
+        self._error = error
+        self.outcome = outcome
         self._done.set()
 
     def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._done.set()
+        self._record("failed", error)
 
 
 @dataclass
 class _QueueEntry:
     handle: JobHandle
     shape: Tuple[int, int]
+    attempt: int = 1
+    #: Earliest claim time -- retry backoff without blocking a worker.
+    not_before: float = 0.0
 
     @property
     def sort_key(self) -> Tuple[int, int]:
         # Higher priority first; FIFO within a priority.
         return (-self.handle.job.priority, self.handle.seq)
+
+
+@dataclass
+class _Inflight:
+    """What the supervisor needs to clean up after a dead worker."""
+
+    entry: _QueueEntry
+    tile: object
+    started: float
+    abort: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass
+class _Breaker:
+    """One tenant's circuit-breaker state machine."""
+
+    state: str = "closed"  # closed | open | half_open
+    failures: int = 0
+    opened_at: float = 0.0
 
 
 class Scheduler:
@@ -85,6 +230,9 @@ class Scheduler:
         *,
         policy: str = "first_fit",
         max_workers: Optional[int] = None,
+        service_policy: Optional[ServicePolicy] = None,
+        faults: Optional[ServiceFaultInjector] = None,
+        journal_path: Optional[str] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(
@@ -92,18 +240,31 @@ class Scheduler:
             )
         self.pool = pool
         self.policy = policy
+        self.service_policy = service_policy or ServicePolicy()
         if max_workers is None:
             # One worker per default-sized partition the pool can host:
             # more would only contend, fewer would idle free tiles.
             max_workers = max(1, pool.capacity(pool.default_partition))
         self.max_workers = max_workers
         self.accounts = ServiceAccounts()
+        self._faults = faults
+        self._journal: Optional[JobJournal] = None
+        self._resume_state: Optional[JournalState] = None
+        if journal_path is not None:
+            self._resume_state = JournalState.load(journal_path)
+            self._journal = JobJournal(journal_path)
         self._cond = threading.Condition()
         self._queue: List[_QueueEntry] = []
         self._handles: List[JobHandle] = []
         self._seq = itertools.count()
+        self._occurrences: Dict[str, int] = {}
+        self._inflight: Dict[str, _Inflight] = {}
+        self._breakers: Dict[str, _Breaker] = {}
+        self._breaker_lock = threading.Lock()
         self._running = 0
         self._closed = False
+        self._killed = False
+        self._stop_supervisor = False
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"stencil-worker-{i}", daemon=True
@@ -112,6 +273,10 @@ class Scheduler:
         ]
         for worker in self._workers:
             worker.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="stencil-supervisor", daemon=True
+        )
+        self._supervisor.start()
 
     # ------------------------------------------------------------------
     # Submission API
@@ -123,7 +288,11 @@ class Scheduler:
         Impossible requests -- a partition shape that can never tile the
         pool's grid or clear its spare reservation, more spares than the
         reservation holds -- raise :class:`PartitionError` here, at
-        admission, rather than queueing forever.
+        admission, rather than queueing forever.  A closed scheduler
+        raises :class:`SchedulerClosedError`; a full queue may raise
+        :class:`OverloadError` (when this job is the lowest-priority
+        work in sight); a quarantined tenant's job is *recorded* as
+        ``quarantined`` on the returned handle, not raised.
         """
         shape = job.partition_shape or self.pool.default_partition
         # Admission control: raises PartitionError when no legal tile
@@ -136,43 +305,391 @@ class Scheduler:
             )
         with self._cond:
             if self._closed:
-                raise RuntimeError("scheduler is closed")
-            handle = JobHandle(job, next(self._seq))
-            self._queue.append(_QueueEntry(handle, tuple(shape)))
+                raise SchedulerClosedError("scheduler is closed")
+            handle = JobHandle(job, next(self._seq), scheduler=self)
+            spec = json.dumps(
+                job.to_dict(), sort_keys=True, separators=(",", ":")
+            )
+            occurrence = self._occurrences.get(spec, 0)
+            self._occurrences[spec] = occurrence + 1
+            handle.key = job_key(job, occurrence)
+
+            # Journal resume: a settled key replays its recorded
+            # result/outcome and charges instead of re-running.
+            if self._resume_state is not None and self._resume_state.is_settled(
+                handle.key
+            ):
+                self._handles.append(handle)
+                self._replay(handle)
+                return handle
+
+            # Circuit breaker: an open breaker refuses the tenant at
+            # admission -- recorded on the handle, never raised here.
+            if not self._breaker_admits(job.tenant):
+                self._handles.append(handle)
+                self._journal_submitted(handle, occurrence)
+                self._settle_failure(
+                    handle,
+                    "quarantined",
+                    JobQuarantinedError(
+                        job.tenant,
+                        job.label,
+                        f"tenant {job.tenant!r} is quarantined: its "
+                        f"circuit breaker is open",
+                    ),
+                )
+                return handle
+
+            # Overload shedding: past the watermark, the lowest-priority
+            # job in sight goes -- the incoming one raises, a queued one
+            # is recorded as shed.
+            depth = self.service_policy.max_queue_depth
+            if depth and len(self._queue) >= depth:
+                victim = min(
+                    self._queue,
+                    key=lambda e: (e.handle.job.priority, -e.handle.seq),
+                )
+                if (job.priority, -handle.seq) <= (
+                    victim.handle.job.priority,
+                    -victim.handle.seq,
+                ):
+                    self.accounts.note_outcome(job.tenant, "shed")
+                    raise OverloadError(
+                        job.tenant,
+                        job.label,
+                        f"queue is at its watermark ({depth}) and job "
+                        f"{job.label!r} is the lowest-priority work in "
+                        f"sight",
+                    )
+                self._queue.remove(victim)
+                self._settle_failure(
+                    victim.handle,
+                    "shed",
+                    OverloadError(
+                        victim.handle.job.tenant,
+                        victim.handle.job.label,
+                        f"shed at the queue watermark ({depth}) to admit "
+                        f"higher-priority job {job.label!r}",
+                    ),
+                )
+
             self._handles.append(handle)
+            self._journal_submitted(handle, occurrence)
+            self._queue.append(_QueueEntry(handle, tuple(shape)))
             self._cond.notify_all()
         return handle
 
     def submit_all(self, jobs) -> List[JobHandle]:
         return [self.submit(job) for job in jobs]
 
+    def cancel(self, handle: JobHandle) -> bool:
+        """Remove a still-queued job; see :meth:`JobHandle.cancel`."""
+        with self._cond:
+            entry = next(
+                (e for e in self._queue if e.handle is handle), None
+            )
+            if entry is None:
+                return False
+            self._queue.remove(entry)
+        self._settle_failure(
+            handle,
+            "cancelled",
+            JobCancelledError(
+                handle.job.tenant,
+                handle.job.label,
+                f"job {handle.job.label!r} cancelled while queued",
+            ),
+        )
+        return True
+
     def drain(self, timeout: Optional[float] = None) -> List[JobResult]:
         """Wait for every submitted job; results in submission order.
 
         Failed jobs re-raise from here, like :meth:`JobHandle.result`.
+        Jobs submitted concurrently with the drain are waited on too:
+        the handle list is re-snapshot until no new submissions appear.
         """
         deadline = None if timeout is None else time.perf_counter() + timeout
-        results = []
-        for handle in list(self._handles):
-            remaining = (
-                None if deadline is None else deadline - time.perf_counter()
-            )
-            results.append(handle.result(remaining))
-        return results
+        results: List[JobResult] = []
+        index = 0
+        while True:
+            with self._cond:
+                pending = self._handles[index:]
+            if not pending:
+                return results
+            for handle in pending:
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(deadline - time.perf_counter(), 0.0)
+                )
+                results.append(handle.result(remaining))
+                index += 1
 
     def close(self, timeout: Optional[float] = 60.0) -> None:
-        """Stop accepting work and shut the workers down."""
+        """Stop accepting work, drain the queue, shut the workers down.
+
+        Workers that fail to join within ``timeout`` -- a wedged job, a
+        hang the supervisor has not aborted yet -- raise a typed
+        :class:`SchedulerShutdownError` naming them, instead of leaking
+        threads silently.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
-        for worker in self._workers:
-            worker.join(timeout)
+        deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        while True:
+            # Re-snapshot every pass: the supervisor may respawn a
+            # crashed worker while we wait.
+            alive = [w for w in self._workers if w.is_alive()]
+            if not alive:
+                break
+            if deadline is not None and time.perf_counter() >= deadline:
+                break
+            alive[0].join(0.02)
+        stuck = [w.name for w in self._workers if w.is_alive()]
+        self._stop_supervisor = True
+        self._supervisor.join(
+            timeout=max(
+                1.0, 10 * self.service_policy.supervision_interval_seconds
+            )
+        )
+        if self._journal is not None:
+            self._journal.close()
+        if stuck:
+            raise SchedulerShutdownError(
+                stuck, 0.0 if timeout is None else timeout
+            )
+
+    def kill(self) -> None:
+        """Simulate a SIGKILL of the service process.
+
+        Everything stops where it stands: queued jobs stay unsettled,
+        in-flight results are dropped unjournaled and uncharged, and
+        the journal file keeps only what was already fsync'd.  A new
+        scheduler pointed at the same journal path resumes: completed
+        jobs replay, in-flight ones re-run.
+        """
+        with self._cond:
+            self._killed = True
+            self._closed = True
+            self._cond.notify_all()
+        if self._journal is not None:
+            self._journal.close()
+
+    def breaker_state(self, tenant: str) -> str:
+        """The tenant's circuit-breaker state (``closed`` when unseen)."""
+        with self._breaker_lock:
+            breaker = self._breakers.get(tenant)
+            return "closed" if breaker is None else breaker.state
 
     def __enter__(self) -> "Scheduler":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Journal replay and settling
+    # ------------------------------------------------------------------
+
+    def _journal_submitted(self, handle: JobHandle, occurrence: int) -> None:
+        if self._journal is not None and not self._killed:
+            self._journal.record_submitted(handle.key, handle.job, occurrence)
+
+    def _replay(self, handle: JobHandle) -> None:
+        """Settle a handle from the journal's recorded history.
+
+        Replayed charges and outcomes go through the same accounting
+        (and breaker transitions) as live ones, so a resumed run's
+        ledger fingerprint matches an uninterrupted run's; nothing is
+        re-journaled.
+        """
+        state = self._resume_state
+        result = state.result_for(handle.key)
+        if result is not None:
+            self.accounts.charge(result)
+            self._breaker_success(handle.job.tenant)
+            handle._finish(result)
+            return
+        record = state.outcomes[handle.key]
+        outcome = str(record["outcome"])
+        error_type = str(record.get("error_type", "ServiceError"))
+        message = str(record.get("message", ""))
+        cls = _REPLAY_ERRORS.get(error_type)
+        error: BaseException
+        if cls is not None:
+            error = cls(handle.job.tenant, handle.job.label, message)
+        else:
+            error = _JobScopedError(
+                handle.job.tenant,
+                handle.job.label,
+                f"[replayed {error_type}] {message}",
+            )
+        self.accounts.note_outcome(handle.job.tenant, outcome)
+        if outcome in _BREAKER_OUTCOMES:
+            self._breaker_failure(handle.job.tenant)
+        handle._record(outcome, error)
+
+    def _settle_success(self, handle: JobHandle, result: JobResult) -> None:
+        if self._killed:
+            return  # a real SIGKILL would have dropped this result too
+        if self._journal is not None:
+            self._journal.record_completed(handle.key, result)
+        self.accounts.charge(result)
+        self._breaker_success(handle.job.tenant)
+        handle._finish(result)
+
+    def _settle_failure(
+        self, handle: JobHandle, outcome: str, error: BaseException
+    ) -> None:
+        if self._killed:
+            return
+        if self._journal is not None:
+            self._journal.record_outcome(
+                handle.key,
+                outcome,
+                type(error).__name__,
+                str(error),
+                tenant=handle.job.tenant,
+                label=handle.job.label,
+            )
+        self.accounts.note_outcome(handle.job.tenant, outcome)
+        if outcome in _BREAKER_OUTCOMES:
+            self._breaker_failure(handle.job.tenant)
+        handle._record(outcome, error)
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+
+    def _breaker_admits(self, tenant: str) -> bool:
+        with self._breaker_lock:
+            breaker = self._breakers.get(tenant)
+            if breaker is None or breaker.state == "closed":
+                return True
+            if breaker.state == "open":
+                elapsed = time.perf_counter() - breaker.opened_at
+                if elapsed >= self.service_policy.breaker_cooldown_seconds:
+                    breaker.state = "half_open"  # admit one probe
+                    return True
+                return False
+            # half_open: the probe is already out; refuse the rest.
+            return False
+
+    def _breaker_failure(self, tenant: str) -> None:
+        with self._breaker_lock:
+            breaker = self._breakers.setdefault(tenant, _Breaker())
+            if breaker.state == "half_open":
+                breaker.state = "open"
+                breaker.opened_at = time.perf_counter()
+                return
+            breaker.failures += 1
+            if breaker.failures >= self.service_policy.breaker_threshold:
+                breaker.state = "open"
+                breaker.opened_at = time.perf_counter()
+
+    def _breaker_success(self, tenant: str) -> None:
+        with self._breaker_lock:
+            breaker = self._breakers.get(tenant)
+            if breaker is not None:
+                breaker.state = "closed"
+                breaker.failures = 0
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Detect dead workers, reclaim their work, abort overdue hangs."""
+        interval = self.service_policy.supervision_interval_seconds
+        while True:
+            time.sleep(interval)
+            if self._stop_supervisor or self._killed:
+                return
+            with self._cond:
+                if self._killed:
+                    return
+                for index, worker in enumerate(self._workers):
+                    if worker.is_alive():
+                        continue
+                    inflight = self._inflight.pop(worker.name, None)
+                    crashed = inflight is not None
+                    if crashed:
+                        self._running -= 1
+                        self.pool.release(
+                            inflight.tile,
+                            spares=inflight.entry.handle.job.spares,
+                        )
+                        self._requeue_or_fail_locked(
+                            inflight.entry, kind="crash"
+                        )
+                    if (crashed or not self._closed) and not self._killed:
+                        replacement = threading.Thread(
+                            target=self._worker,
+                            name=worker.name,
+                            daemon=True,
+                        )
+                        self._workers[index] = replacement
+                        replacement.start()
+                now = time.perf_counter()
+                for inflight in self._inflight.values():
+                    overdue = (
+                        now - inflight.started
+                        > self.service_policy.deadline_seconds
+                    )
+                    if overdue:
+                        inflight.abort.set()
+                if (
+                    self._closed
+                    and not self._queue
+                    and not self._inflight
+                    and not any(w.is_alive() for w in self._workers)
+                ):
+                    return
+
+    def _requeue_or_fail_locked(self, entry: _QueueEntry, kind: str) -> None:
+        """Retry a crashed/hung/overrun attempt, or record its typed end.
+
+        Called with the condition lock held (so no worker can observe a
+        window where the job is neither queued nor in flight and exit
+        early).
+        """
+        handle = entry.handle
+        job = handle.job
+        if entry.attempt < self.service_policy.max_attempts:
+            self.accounts.note_retry(job.tenant)
+            entry.not_before = time.perf_counter() + (
+                self.service_policy.backoff_seconds(entry.attempt)
+            )
+            entry.attempt += 1
+            self._queue.append(entry)
+            self._cond.notify_all()
+            return
+        if kind == "crash":
+            error: ServiceError = WorkerCrashError(
+                job.tenant,
+                job.label,
+                f"job {job.label!r} (tenant {job.tenant!r}) lost its "
+                f"worker {entry.attempt} time(s); retry budget spent",
+            )
+            outcome = "failed"
+        else:
+            error = JobTimeoutError(
+                job.tenant,
+                job.label,
+                f"job {job.label!r} (tenant {job.tenant!r}) overran its "
+                f"{self.service_policy.deadline_seconds}s deadline on "
+                f"all {entry.attempt} attempt(s)",
+            )
+            outcome = "timeout"
+        self._settle_failure(handle, outcome, error)
+
+    def _requeue_or_fail(self, entry: _QueueEntry, kind: str) -> None:
+        with self._cond:
+            self._requeue_or_fail_locked(entry, kind)
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -184,9 +701,13 @@ class Scheduler:
         Called under the condition lock.  Scans waiting jobs in priority
         order and admits the first whose tile and spare lease the pool
         can satisfy now -- strict priority for placeable jobs, backfill
-        past jobs that must wait for space.
+        past jobs that must wait for space.  Entries inside their retry
+        backoff window are skipped until it elapses.
         """
+        now = time.perf_counter()
         for entry in sorted(self._queue, key=lambda e: e.sort_key):
+            if entry.not_before > now:
+                continue
             try:
                 acquired = self.pool.acquire(
                     entry.shape,
@@ -202,37 +723,111 @@ class Scheduler:
         return None
 
     def _worker(self) -> None:
+        try:
+            self._worker_loop()
+        except _InjectedWorkerCrash:
+            # Die without the default unhandled-exception traceback;
+            # the tile stays held and the in-flight entry registered,
+            # exactly like a real crash -- the supervisor notices the
+            # dead thread and cleans up either way.
+            return
+
+    def _worker_loop(self) -> None:
+        policy = self.service_policy
+        name = threading.current_thread().name
         while True:
             with self._cond:
                 claimed = self._claim()
                 while claimed is None:
-                    if self._closed and not self._queue:
+                    if self._killed:
                         return
-                    self._cond.wait(0.1)
+                    if (
+                        self._closed
+                        and not self._queue
+                        and not self._inflight
+                    ):
+                        return
+                    self._cond.wait(0.01)
                     claimed = self._claim()
+                entry, acquired, error = claimed
                 self._running += 1
-            entry, acquired, error = claimed
+                inflight = None
+                if acquired is not None:
+                    inflight = _Inflight(
+                        entry=entry,
+                        tile=acquired[0],
+                        started=time.perf_counter(),
+                    )
+                    self._inflight[name] = inflight
             handle = entry.handle
+            job = handle.job
+            crashed = False
             try:
                 if error is not None:
-                    raise error
+                    self._settle_failure(handle, "failed", error)
+                    continue
                 tile, machine = acquired
-                handle.started_wall = time.perf_counter()
+                handle._mark_running(entry.attempt)
+                if self._journal is not None and not self._killed:
+                    self._journal.record_attempt(handle.key, entry.attempt)
+                if self._faults is not None and self._faults.fires(
+                    ServiceFaultKind.WORKER_CRASH, handle.key, entry.attempt
+                ):
+                    # Die with the tile held, like a real crash: the
+                    # supervisor reclaims it and re-enqueues the job.
+                    crashed = True
+                    raise _InjectedWorkerCrash(name)
+                if self._faults is not None and self._faults.fires(
+                    ServiceFaultKind.JOB_HANG, handle.key, entry.attempt
+                ):
+                    # Cooperative hang: wait for the supervisor's
+                    # deadline abort (with a backstop so a stopped
+                    # supervisor cannot wedge the worker forever).
+                    inflight.abort.wait(
+                        policy.deadline_seconds
+                        + 4 * policy.supervision_interval_seconds
+                    )
+                    self.pool.release(tile, spares=job.spares)
+                    self._requeue_or_fail(entry, kind="hang")
+                    continue
                 try:
                     result = execute_job(
-                        handle.job,
+                        job,
                         machine,
                         queue_seconds=handle.started_wall
                         - handle.submitted_wall,
                     )
-                finally:
-                    self.pool.release(tile, spares=handle.job.spares)
-                self.accounts.charge(result)
-                handle._finish(result)
-            except BaseException as failure:  # noqa: BLE001 - routed to handle
-                self.accounts.note_failure(handle.job.tenant)
-                handle._fail(failure)
+                except Exception as failure:
+                    self.pool.release(tile, spares=job.spares)
+                    self._settle_failure(handle, "failed", failure)
+                    continue
+                self.pool.release(tile, spares=job.spares)
+                wall = time.perf_counter() - handle.started_wall
+                if (
+                    policy.enforce_deadline_after_run
+                    and wall > policy.deadline_seconds
+                ):
+                    self._requeue_or_fail(entry, kind="deadline")
+                    continue
+                if policy.cycle_budget and result.cycles > policy.cycle_budget:
+                    # Deterministic job: the breach would reproduce
+                    # exactly, so it is terminal, not retried.
+                    self._settle_failure(
+                        handle,
+                        "timeout",
+                        JobTimeoutError(
+                            job.tenant,
+                            job.label,
+                            f"job {job.label!r} (tenant {job.tenant!r}) "
+                            f"cost {result.cycles} cycles, over its "
+                            f"budget of {policy.cycle_budget}",
+                        ),
+                    )
+                    continue
+                self._settle_success(handle, result)
             finally:
-                with self._cond:
-                    self._running -= 1
-                    self._cond.notify_all()
+                if not crashed:
+                    with self._cond:
+                        self._inflight.pop(name, None)
+                        self._running -= 1
+                        self._cond.notify_all()

@@ -17,10 +17,15 @@ from repro.machine.geometry import Partition, PartitionError
 from repro.machine.machine import CM2
 from repro.machine.params import MachineParams
 from repro.service import (
+    JobCancelledError,
+    JobFaultError,
     JobSpecError,
+    JobTimeoutError,
     MachinePool,
     Scheduler,
+    SchedulerClosedError,
     ServiceAccounts,
+    ServicePolicy,
     StencilJob,
     execute_job,
     partition_machine,
@@ -364,7 +369,8 @@ class TestScheduler:
     def test_submit_after_close_is_refused(self):
         scheduler = Scheduler(MachinePool(PARAMS))
         scheduler.close()
-        with pytest.raises(RuntimeError, match="closed"):
+        # The typed error is also a RuntimeError, for pre-PR 8 callers.
+        with pytest.raises(SchedulerClosedError, match="closed"):
             scheduler.submit(StencilJob(tenant="t"))
 
     def test_guarded_job_borrows_pool_spares(self):
@@ -447,3 +453,467 @@ class TestAccounting:
         assert accounts.makespan_seconds <= accounts.serial_seconds
         assert accounts.concurrency_speedup >= 1.0
         assert accounts.aggregate_mflops > 0
+
+
+# ---------------------------------------------------------------------------
+# PR 8: fault containment
+# ---------------------------------------------------------------------------
+
+from repro.runtime.faults import (  # noqa: E402 - grouped with their tests
+    FaultError,
+    ServiceFaultInjector,
+    ServiceFaultKind,
+)
+from repro.service import (  # noqa: E402 - grouped with their tests
+    JobJournal,
+    JobQuarantinedError,
+    JobResult,
+    JournalState,
+    OverloadError,
+    SchedulerShutdownError,
+    WorkerCrashError,
+    job_key,
+)
+
+
+def _wait_until(predicate, timeout=10.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.001)
+    return False
+
+
+def _fast_policy(**overrides):
+    defaults = dict(
+        deadline_seconds=0.2,
+        max_attempts=3,
+        backoff_base_seconds=0.001,
+        backoff_cap_seconds=0.004,
+        breaker_threshold=3,
+        breaker_cooldown_seconds=60.0,
+        supervision_interval_seconds=0.002,
+    )
+    defaults.update(overrides)
+    return ServicePolicy(**defaults)
+
+
+def _flaky_job(index, tenant="flaky"):
+    """A job whose guarded run always dies with a hard data-path fault."""
+    return StencilJob(
+        tenant=tenant,
+        grid_shape=(16, 16),
+        seed=index,
+        partition_shape=(2, 2),
+        fault_rates={"node_dead": 1.0},
+        fault_seed=index + 1,
+        label=f"flaky-{index}",
+    )
+
+
+class TestServicePolicy:
+    def test_defaults_validate(self):
+        ServicePolicy()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(deadline_seconds=0.0),
+            dict(cycle_budget=-1),
+            dict(max_attempts=0),
+            dict(backoff_base_seconds=-0.1),
+            dict(backoff_base_seconds=0.1, backoff_cap_seconds=0.01),
+            dict(breaker_threshold=0),
+            dict(breaker_cooldown_seconds=-1.0),
+            dict(max_queue_depth=-1),
+            dict(supervision_interval_seconds=0.0),
+        ],
+    )
+    def test_nonsense_values_raise_immediately(self, bad):
+        with pytest.raises(ValueError, match="ServicePolicy"):
+            ServicePolicy(**bad)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = ServicePolicy(
+            backoff_base_seconds=0.01, backoff_cap_seconds=0.05
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(0.01)
+        assert policy.backoff_seconds(2) == pytest.approx(0.02)
+        assert policy.backoff_seconds(3) == pytest.approx(0.04)
+        assert policy.backoff_seconds(4) == pytest.approx(0.05)  # capped
+        assert policy.backoff_seconds(10) == pytest.approx(0.05)
+
+
+class TestTypedOutcomes:
+    def test_result_wait_timeout_is_typed_with_tenant_and_label(self):
+        # Satellite 1: an expired result() wait raises JobTimeoutError,
+        # not a bare TimeoutError, and names the tenant and job.
+        with Scheduler(MachinePool(PARAMS)) as scheduler:
+            handle = scheduler.submit(
+                StencilJob(
+                    tenant="slow",
+                    grid_shape=(64, 64),
+                    iterations=12,
+                    label="glacier",
+                )
+            )
+            with pytest.raises(JobTimeoutError) as excinfo:
+                handle.result(timeout=1e-4)
+            assert excinfo.value.tenant == "slow"
+            assert excinfo.value.label == "glacier"
+            assert isinstance(excinfo.value, TimeoutError)
+            # The job itself was unaffected by the caller's impatience.
+            assert handle.result(timeout=60.0).job.label == "glacier"
+
+    def test_close_reports_stuck_workers(self):
+        # Satellite 2: a wedged worker makes close() raise a typed
+        # SchedulerShutdownError naming the stuck threads.
+        injector = ServiceFaultInjector(
+            seed=0, rates={ServiceFaultKind.JOB_HANG: 1.0}
+        )
+        scheduler = Scheduler(
+            MachinePool(PARAMS),
+            service_policy=_fast_policy(deadline_seconds=1.0, max_attempts=1),
+            faults=injector,
+        )
+        handle = scheduler.submit(StencilJob(tenant="t", label="wedge"))
+        assert _wait_until(lambda: handle.outcome == "running")
+        with pytest.raises(SchedulerShutdownError) as excinfo:
+            scheduler.close(timeout=0.05)
+        assert excinfo.value.stuck_workers
+        assert all("worker" in name for name in excinfo.value.stuck_workers)
+
+    def test_batched_job_hard_fault_lands_typed_in_the_record(self):
+        # Satellite 3: a hard fault inside a batched (filters=) job must
+        # reach the job record as a typed FaultError the retry and
+        # quarantine paths can classify -- not a raw runtime exception.
+        job = StencilJob(
+            tenant="t",
+            grid_shape=(16, 16),
+            filters=("cross5", "square9"),
+            batch=2,
+            partition_shape=(2, 2),
+            fault_rates={"node_dead": 1.0},
+            fault_seed=7,
+            label="batched-doom",
+        )
+        with Scheduler(MachinePool(PARAMS)) as scheduler:
+            handle = scheduler.submit(job)
+            with pytest.raises(JobFaultError) as excinfo:
+                handle.result(timeout=60.0)
+        assert handle.outcome == "failed"
+        assert isinstance(handle.error, FaultError)
+        assert excinfo.value.tenant == "t"
+        assert excinfo.value.label == "batched-doom"
+        assert isinstance(excinfo.value.fault, FaultError)
+        assert scheduler.accounts.tenants["t"].failures == 1
+
+    def test_cancelling_a_queued_job_charges_nothing(self):
+        # Satellite 4: cancel removes a queued job; the tenant's cycle
+        # ledger stays empty and the outcome is typed.
+        pool = MachinePool(PARAMS, default_partition=(4, 4))
+        with Scheduler(pool, max_workers=1) as scheduler:
+            running = scheduler.submit(
+                StencilJob(tenant="busy", grid_shape=(64, 64), iterations=8)
+            )
+            assert _wait_until(lambda: running.outcome == "running")
+            queued = scheduler.submit(
+                StencilJob(tenant="victim", label="doomed")
+            )
+            assert queued.cancel() is True
+            assert queued.outcome == "cancelled"
+            with pytest.raises(JobCancelledError):
+                queued.result(timeout=1.0)
+            # Cancelling again (or cancelling a settled job) is a no-op.
+            assert queued.cancel() is False
+            running.result(timeout=60.0)
+        victim = scheduler.accounts.tenants["victim"]
+        assert victim.cancelled == 1
+        assert victim.jobs == 0
+        assert victim.cycles == 0
+        assert scheduler.accounts.reconcile()
+
+    def test_drain_races_a_concurrent_submitter(self):
+        # Satellite 4: drain must pick up jobs submitted while it runs.
+        first = [
+            StencilJob(
+                tenant="a", grid_shape=(32, 32), iterations=4, seed=i,
+                partition_shape=(2, 2), label=f"first-{i}",
+            )
+            for i in range(5)
+        ]
+        late = [
+            StencilJob(
+                tenant="b", grid_shape=(16, 16), seed=i,
+                partition_shape=(2, 2), label=f"late-{i}",
+            )
+            for i in range(5)
+        ]
+        with Scheduler(MachinePool(PARAMS)) as scheduler:
+            scheduler.submit_all(first)
+            barrier = threading.Barrier(2)
+
+            def submitter():
+                barrier.wait()
+                scheduler.submit_all(late)
+
+            thread = threading.Thread(target=submitter)
+            thread.start()
+            barrier.wait()
+            results = scheduler.drain(timeout=120.0)
+            thread.join()
+        assert len(results) == len(first) + len(late)
+        assert scheduler.accounts.reconcile()
+
+
+class TestSupervision:
+    def test_crashed_worker_is_detected_and_job_retried_bit_identical(self):
+        # Two certain crashes, then the third attempt completes; the
+        # retried result must be bit-identical to the solo run.
+        injector = ServiceFaultInjector(
+            seed=1,
+            rates={ServiceFaultKind.WORKER_CRASH: 1.0},
+            max_faults=2,
+        )
+        job = StencilJob(
+            tenant="t", grid_shape=(16, 16), seed=3, partition_shape=(2, 2)
+        )
+        with Scheduler(
+            MachinePool(PARAMS),
+            service_policy=_fast_policy(),
+            faults=injector,
+        ) as scheduler:
+            handle = scheduler.submit(job)
+            result = handle.result(timeout=60.0)
+        assert handle.attempts == 3
+        assert injector.injected["worker_crash"] == 2
+        assert result.identical_to(solo_run(job))
+        account = scheduler.accounts.tenants["t"]
+        assert account.retries == 2
+        assert account.jobs == 1
+        assert scheduler.accounts.reconcile()
+
+    def test_crash_budget_exhaustion_records_worker_crash_error(self):
+        injector = ServiceFaultInjector(
+            seed=1, rates={ServiceFaultKind.WORKER_CRASH: 1.0}
+        )
+        job = StencilJob(tenant="t", grid_shape=(16, 16), seed=5,
+                         partition_shape=(2, 2))
+        with Scheduler(
+            MachinePool(PARAMS),
+            service_policy=_fast_policy(max_attempts=2),
+            faults=injector,
+        ) as scheduler:
+            handle = scheduler.submit(job)
+            with pytest.raises(WorkerCrashError):
+                handle.result(timeout=60.0)
+        assert handle.outcome == "failed"
+        assert handle.attempts == 2
+        # The pool recovered both leaked partitions.
+        assert scheduler.pool.occupied == ()
+
+    def test_hung_job_is_aborted_at_the_deadline_and_times_out(self):
+        injector = ServiceFaultInjector(
+            seed=1, rates={ServiceFaultKind.JOB_HANG: 1.0}
+        )
+        job = StencilJob(tenant="t", grid_shape=(16, 16), seed=6,
+                         partition_shape=(2, 2))
+        with Scheduler(
+            MachinePool(PARAMS),
+            service_policy=_fast_policy(
+                deadline_seconds=0.05, max_attempts=2
+            ),
+            faults=injector,
+        ) as scheduler:
+            handle = scheduler.submit(job)
+            with pytest.raises(JobTimeoutError):
+                handle.result(timeout=60.0)
+        assert handle.outcome == "timeout"
+        assert scheduler.accounts.tenants["t"].timeouts == 1
+        assert scheduler.accounts.tenants["t"].retries == 1
+        assert scheduler.accounts.reconcile()
+
+    def test_cycle_budget_breach_is_terminal_not_retried(self):
+        job = StencilJob(tenant="t", grid_shape=(32, 32), iterations=4,
+                         partition_shape=(2, 2))
+        with Scheduler(
+            MachinePool(PARAMS),
+            service_policy=_fast_policy(cycle_budget=10),
+        ) as scheduler:
+            handle = scheduler.submit(job)
+            with pytest.raises(JobTimeoutError, match="budget"):
+                handle.result(timeout=60.0)
+        assert handle.outcome == "timeout"
+        assert handle.attempts == 1  # deterministic cost: no retry
+
+
+class TestCircuitBreaker:
+    def test_breaker_opens_quarantines_then_probes_after_cooldown(self):
+        policy = _fast_policy(
+            breaker_threshold=2, breaker_cooldown_seconds=0.05
+        )
+        with Scheduler(
+            MachinePool(PARAMS), service_policy=policy
+        ) as scheduler:
+            for index in range(2):
+                handle = scheduler.submit(_flaky_job(index))
+                with pytest.raises(FaultError):
+                    handle.result(timeout=60.0)
+            assert scheduler.breaker_state("flaky") == "open"
+            refused = scheduler.submit(_flaky_job(99))
+            assert refused.outcome == "quarantined"
+            with pytest.raises(JobQuarantinedError):
+                refused.result(timeout=1.0)
+            time.sleep(0.08)  # past the cooldown: one probe is admitted
+            probe = scheduler.submit(
+                StencilJob(
+                    tenant="flaky", grid_shape=(16, 16), seed=42,
+                    partition_shape=(2, 2), label="probe",
+                )
+            )
+            assert probe.result(timeout=60.0).job.label == "probe"
+            assert scheduler.breaker_state("flaky") == "closed"
+        assert scheduler.accounts.tenants["flaky"].quarantined == 1
+        assert scheduler.accounts.reconcile()
+
+    def test_quarantined_tenant_cannot_slow_healthy_ones(self):
+        policy = _fast_policy(breaker_threshold=2)
+        clean = StencilJob(
+            tenant="clean", grid_shape=(16, 16), seed=9,
+            partition_shape=(2, 2),
+        )
+        with Scheduler(
+            MachinePool(PARAMS), service_policy=policy
+        ) as scheduler:
+            for index in range(2):
+                handle = scheduler.submit(_flaky_job(index))
+                with pytest.raises(FaultError):
+                    handle.result(timeout=60.0)
+            scheduler.submit(_flaky_job(50))  # quarantined, never runs
+            result = scheduler.submit(clean).result(timeout=60.0)
+        assert result.identical_to(solo_run(clean))
+        assert scheduler.accounts.tenants["flaky"].jobs == 0
+        assert scheduler.accounts.reconcile()
+
+
+class TestOverloadShedding:
+    def test_watermark_sheds_lowest_priority_first(self):
+        pool = MachinePool(PARAMS, default_partition=(4, 4))
+        policy = _fast_policy(max_queue_depth=1)
+        with Scheduler(pool, service_policy=policy, max_workers=1) as sched:
+            running = sched.submit(
+                StencilJob(tenant="t", grid_shape=(64, 64), iterations=8,
+                           priority=5, label="running")
+            )
+            assert _wait_until(lambda: running.outcome == "running")
+            queued = sched.submit(
+                StencilJob(tenant="t", grid_shape=(16, 16), priority=5,
+                           seed=1, label="queued")
+            )
+            # Queue is at the watermark.  A lower-priority arrival is
+            # itself the victim: typed OverloadError at admission.
+            with pytest.raises(OverloadError):
+                sched.submit(
+                    StencilJob(tenant="lowly", grid_shape=(16, 16),
+                               priority=0, seed=2, label="lowly")
+                )
+            # A higher-priority arrival evicts the queued job instead.
+            vip = sched.submit(
+                StencilJob(tenant="vip", grid_shape=(16, 16), priority=9,
+                           seed=3, label="vip")
+            )
+            assert queued.outcome == "shed"
+            assert isinstance(queued.error, OverloadError)
+            running.result(timeout=60.0)
+            vip.result(timeout=60.0)
+        accounts = sched.accounts
+        assert accounts.tenants["lowly"].shed == 1
+        assert accounts.tenants["t"].shed == 1
+        assert accounts.tenants["vip"].jobs == 1
+        assert accounts.reconcile()
+
+
+class TestJournal:
+    def test_job_keys_are_content_addressed_and_occurrence_indexed(self):
+        job_a = StencilJob(tenant="t", seed=1)
+        job_b = StencilJob(tenant="t", seed=2)
+        assert job_key(job_a, 0) == job_key(StencilJob(tenant="t", seed=1), 0)
+        assert job_key(job_a, 0) != job_key(job_a, 1)
+        assert job_key(job_a, 0) != job_key(job_b, 0)
+
+    def test_result_round_trips_through_the_journal_bit_exact(self):
+        job = StencilJob(tenant="t", grid_shape=(16, 16), seed=4,
+                         partition_shape=(2, 2))
+        result = solo_run(job)
+        clone = JobResult.from_journal_dict(result.to_journal_dict())
+        assert clone.identical_to(result)
+        assert clone.checksum == result.checksum
+        assert clone.comm_cycles == result.comm_cycles
+        assert clone.compute_cycles == result.compute_cycles
+        assert clone.job == job
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(str(path))
+        job = StencilJob(tenant="t", seed=1)
+        journal.record_submitted(job_key(job, 0), job, 0)
+        journal.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "completed", "key": "abc", "resu')
+        state = JournalState.load(str(path))
+        assert state.torn_tail
+        assert len(state.submitted) == 1
+        assert not state.completed
+
+    def test_resumed_service_replays_completed_jobs(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        jobs = [
+            StencilJob(tenant=f"t{i % 2}", grid_shape=(16, 16), seed=i,
+                       partition_shape=(2, 2), label=f"j{i}")
+            for i in range(6)
+        ]
+        with Scheduler(MachinePool(PARAMS), journal_path=path) as first:
+            first.submit_all(jobs)
+            originals = first.drain(timeout=120.0)
+        fingerprint = first.accounts.ledger_fingerprint()
+
+        with Scheduler(MachinePool(PARAMS), journal_path=path) as second:
+            handles = second.submit_all(jobs)
+            replayed = second.drain(timeout=120.0)
+            # Replays settle instantly from the journal: no re-runs.
+            assert all(h.attempts == 0 for h in handles)
+        assert len(replayed) == len(originals)
+        for original, replay in zip(originals, replayed):
+            assert replay.identical_to(original)
+        assert second.accounts.ledger_fingerprint() == fingerprint
+        assert second.accounts.reconcile()
+        assert JournalState.load(path).duplicate_completions == 0
+
+    def test_kill_drops_inflight_work_and_resume_reruns_it(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        jobs = [
+            StencilJob(tenant="t", grid_shape=(32, 32), iterations=3,
+                       seed=i, partition_shape=(2, 2), label=f"j{i}")
+            for i in range(8)
+        ]
+        reference = Scheduler(MachinePool(PARAMS))
+        reference.submit_all(jobs)
+        reference.drain(timeout=120.0)
+        reference.close()
+        fingerprint = reference.accounts.ledger_fingerprint()
+
+        victim = Scheduler(MachinePool(PARAMS), journal_path=path)
+        victim.submit_all(jobs)
+        victim.kill()  # SIGKILL simulation: no drain, no settling
+
+        resumed = Scheduler(MachinePool(PARAMS), journal_path=path)
+        resumed.submit_all(jobs)
+        results = resumed.drain(timeout=120.0)
+        resumed.close()
+        assert len(results) == len(jobs)
+        assert resumed.accounts.ledger_fingerprint() == fingerprint
+        assert resumed.accounts.reconcile()
+        state = JournalState.load(path)
+        assert state.duplicate_completions == 0
+        assert all(state.is_settled(key) for key in state.submitted)
