@@ -12,7 +12,10 @@ Two properties, enforced with nonzero exit status:
    and placement is decided by a live claim race, so single draws are
    noisy in both directions.  The fsync'd journal is *not* part of this
    gate -- durability costs one fsync per lifecycle event by design --
-   but its wall-clock price is measured and reported alongside.
+   but its wall-clock price is measured and reported alongside, as is
+   the price of the opt-in ``RS_LOCKDEP=1`` lock instrumentation
+   (whose observed acquisition graph is also cross-checked against the
+   static lock graph).
 2. **Chaos is survived.**  The reference service chaos campaign (seeds
    1-5: worker kills, job hangs, tenant storms, SIGKILL-and-resume)
    reports zero lost jobs, zero double runs, healthy tenants
@@ -24,6 +27,7 @@ Writes BENCH_service_chaos.json at the repository root.
 
 import argparse
 import json
+import os
 import sys
 import tempfile
 import time
@@ -136,6 +140,41 @@ def main(argv=None):
         f"informational, not gated)"
     )
 
+    # The lockdep runtime's price: same workload with every
+    # control-plane lock instrumented (RS_LOCKDEP=1).  Informational,
+    # not gated -- the instrumentation is opt-in -- but the observed
+    # acquisition graph must still be acyclic and explained by the
+    # static lock graph.
+    from repro.verify import lockdep, predicted_lock_graph
+
+    saved_flag = os.environ.get(lockdep.ENV_FLAG)
+    os.environ[lockdep.ENV_FLAG] = "1"
+    lockdep.REGISTRY.reset()
+    try:
+        start = time.perf_counter()
+        _results, lockdep_accounts = run_supervised(jobs, params)
+        lockdep_wall = time.perf_counter() - start
+    finally:
+        if saved_flag is None:
+            del os.environ[lockdep.ENV_FLAG]
+        else:
+            os.environ[lockdep.ENV_FLAG] = saved_flag
+    lockdep_mflops = lockdep_accounts.aggregate_mflops
+    lockdep_acquisitions = lockdep.REGISTRY.acquisitions()
+    lockdep_locks = lockdep.REGISTRY.locks()
+    lockdep_cycle = lockdep.REGISTRY.find_cycle()
+    lockdep_unexplained = lockdep.REGISTRY.cross_check(predicted_lock_graph())
+    lockdep_wall_ratio = (
+        lockdep_wall / supervised_wall if supervised_wall > 0 else 0.0
+    )
+    lockdep.REGISTRY.reset()
+    print(
+        f"lockdep      : {lockdep_wall * 1e3:.0f} ms host with "
+        f"RS_LOCKDEP=1 ({lockdep_wall_ratio:.2f}x the uninstrumented "
+        f"run; {lockdep_acquisitions} acquisitions across "
+        f"{len(lockdep_locks)} locks; informational, not gated)"
+    )
+
     chaos_start = time.perf_counter()
     report = run_service_campaign(seeds=CHAOS_SEEDS)
     chaos_wall = time.perf_counter() - chaos_start
@@ -156,6 +195,13 @@ def main(argv=None):
         "supervised_reconciled": reconciled,
         "journal_wall_seconds": journal_wall,
         "journal_reconciled": journal_reconciled,
+        "lockdep_wall_seconds": lockdep_wall,
+        "lockdep_wall_ratio": lockdep_wall_ratio,
+        "lockdep_mflops": lockdep_mflops,
+        "lockdep_acquisitions": lockdep_acquisitions,
+        "lockdep_locks": list(lockdep_locks),
+        "lockdep_acyclic": lockdep_cycle is None,
+        "lockdep_unexplained_edges": [list(e) for e in lockdep_unexplained],
         "chaos_seeds": list(CHAOS_SEEDS),
         "chaos_ok": report.ok,
         "chaos_wall_seconds": chaos_wall,

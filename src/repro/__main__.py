@@ -29,6 +29,19 @@ Commands:
     (dataflow + ring lifetimes) across every width and ring-sizing
     strategy.  Exit status 1 on any diagnostic.
 
+``racecheck [path...]``
+    Statically verify the lock/guard discipline of repro's own threaded
+    control plane (default target: the installed ``repro`` package):
+    ``# guarded-by:`` annotations, lock-acquisition order,
+    condition-variable usage (RS701-RS706), caret diagnostics with
+    fix-its.  ``--graph`` also prints the inferred lock-order graph the
+    ``RS_LOCKDEP=1`` runtime cross-checks at run time.  Exit status 1
+    on any diagnostic.
+
+``lint``/``verify``/``racecheck`` all accept ``--json FILE`` (``-``
+for stdout) to emit machine-readable diagnostics: RS code, path, span,
+message, and fix-it per finding, for CI and editor consumption.
+
 ``chaos``
     Run a seeded hard-fault campaign across the gallery: every stencil
     x boundary x execution mode, on a machine with spare nodes, under
@@ -293,12 +306,26 @@ def cmd_gallery(args) -> int:
     return 0
 
 
+def _emit_json(args, payload: dict) -> None:
+    """Write a ``--json`` payload to the requested file ('-' = stdout)."""
+    import json
+
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.json == "-":
+        print(text)
+    else:
+        Path(args.json).write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.json}")
+
+
 def cmd_lint(args) -> int:
     from .fortran.errors import has_errors, render_diagnostics
+    from .verify.diagnostics import diagnostic_to_dict
     from .verify.lint import DEFAULT_MAX_HALO, lint_path
 
     max_halo = args.max_halo if args.max_halo is not None else DEFAULT_MAX_HALO
     worst = 0
+    collected = []
     for name in args.files:
         path = Path(name)
         try:
@@ -308,12 +335,27 @@ def cmd_lint(args) -> int:
             worst = 1
             continue
         diagnostics = lint_path(path, max_halo=max_halo)
+        for diag in diagnostics:
+            entry = diagnostic_to_dict(diag)
+            entry.setdefault("path", name)
+            if entry["path"] is None:
+                entry["path"] = name
+            collected.append(entry)
         if diagnostics:
             print(render_diagnostics(diagnostics, source))
             if has_errors(diagnostics):
                 worst = 1
         else:
             print(f"{name}: clean")
+    if args.json:
+        _emit_json(
+            args,
+            {
+                "command": "lint",
+                "diagnostics": collected,
+                "ok": worst == 0,
+            },
+        )
     return worst
 
 
@@ -321,6 +363,7 @@ def cmd_verify(args) -> int:
     from .fortran.errors import has_errors
     from .machine.params import MachineParams
     from .verify import verify_gallery
+    from .verify.diagnostics import diagnostic_to_dict
 
     strategies = (
         ("paper", "optimal") if args.strategy == "both" else (args.strategy,)
@@ -328,16 +371,78 @@ def cmd_verify(args) -> int:
     params = MachineParams(num_nodes=args.nodes)
     results = verify_gallery(params, strategies=strategies)
     failures = 0
+    collected = []
     for (pattern_name, strategy), diagnostics in sorted(results.items()):
         status = "ok" if not diagnostics else "FAILED"
         print(f"{pattern_name:<12} {strategy:<8} {status}")
         for diag in diagnostics:
             print(f"    {diag.describe()}")
+            entry = diagnostic_to_dict(diag)
+            entry["pattern"] = pattern_name
+            entry["strategy"] = strategy
+            collected.append(entry)
         if has_errors(diagnostics):
             failures += 1
     total = len(results)
     print(f"\n{total - failures}/{total} pattern/strategy combos verified")
+    if args.json:
+        _emit_json(
+            args,
+            {
+                "command": "verify",
+                "combos": total,
+                "diagnostics": collected,
+                "ok": failures == 0,
+            },
+        )
     return 1 if failures else 0
+
+
+def cmd_racecheck(args) -> int:
+    from .fortran.errors import render_diagnostics
+    from .verify.concurrency import racecheck_paths
+    from .verify.diagnostics import diagnostic_to_dict
+
+    paths = args.paths
+    if not paths:
+        # Default target: repro's own installed source tree.
+        paths = [str(Path(__file__).resolve().parent)]
+    result = racecheck_paths(paths)
+    flagged = 0
+    for report in result.files:
+        if not report.diagnostics:
+            continue
+        flagged += 1
+        print(render_diagnostics(report.diagnostics, report.source))
+    diagnostics = result.diagnostics
+    if args.graph or not diagnostics:
+        edge_count = sum(len(vs) for vs in result.lock_graph.values())
+        print(
+            f"{len(result.files)} files, {len(result.locks)} locks, "
+            f"{edge_count} lock-order edges, "
+            f"{len(diagnostics)} diagnostic(s)"
+        )
+    if args.graph:
+        for u in sorted(result.lock_graph):
+            for v in result.lock_graph[u]:
+                print(f"  {u} -> {v}")
+    if args.json:
+        _emit_json(
+            args,
+            {
+                "command": "racecheck",
+                "files": len(result.files),
+                "locks": list(result.locks),
+                "lock_graph": {
+                    u: list(vs) for u, vs in result.lock_graph.items()
+                },
+                "diagnostics": [
+                    diagnostic_to_dict(d) for d in diagnostics
+                ],
+                "ok": not diagnostics,
+            },
+        )
+    return 1 if diagnostics else 0
 
 
 def _parse_seeds(text: str):
@@ -579,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="halo-reach ceiling for RS101 (default 16)",
     )
+    p_lint.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write machine-readable diagnostics ('-' for stdout)",
+    )
     p_lint.set_defaults(func=cmd_lint)
 
     p_verify = sub.add_parser(
@@ -591,7 +702,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="ring-sizing strategies to sweep",
     )
     p_verify.add_argument("--nodes", type=int, default=16)
+    p_verify.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write machine-readable diagnostics ('-' for stdout)",
+    )
     p_verify.set_defaults(func=cmd_verify)
+
+    p_race = sub.add_parser(
+        "racecheck",
+        help="statically verify the threaded control plane's lock "
+        "discipline (RS701-RS706)",
+    )
+    p_race.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to analyze (default: the installed "
+        "repro package)",
+    )
+    p_race.add_argument(
+        "--graph",
+        action="store_true",
+        help="also print the inferred lock-order graph",
+    )
+    p_race.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="write machine-readable diagnostics ('-' for stdout)",
+    )
+    p_race.set_defaults(func=cmd_racecheck)
 
     p_chaos = sub.add_parser(
         "chaos", help="run a seeded hard-fault survival campaign"

@@ -807,6 +807,30 @@ def run_service_trial(
         reconciled = False
         violations.append("phase C: storm ledger failed reconciliation")
 
+    # ---- Lockdep cross-check (RS_LOCKDEP=1 runs only) ----------------
+    # The whole trial ran on instrumented locks: the observed
+    # acquisition DAG must be acyclic and every observed edge must be
+    # explained by the racecheck analyzer's predicted lock graph --
+    # the chaos campaign is what validates the static analysis.
+    from ..verify import lockdep
+
+    if lockdep.enabled():
+        from ..verify.concurrency import predicted_lock_graph
+
+        cycle = lockdep.REGISTRY.find_cycle()
+        if cycle is not None:
+            violations.append(
+                "lockdep: observed lock-order cycle "
+                + " -> ".join(cycle + cycle[:1])
+            )
+        unexplained = lockdep.REGISTRY.cross_check(predicted_lock_graph())
+        if unexplained:
+            violations.append(
+                "lockdep: observed edge(s) the static lock graph does "
+                "not predict: "
+                + ", ".join(f"{u} -> {v}" for u, v in unexplained)
+            )
+
     flaky_account = accounts_a.tenants.get("flaky")
     return ServiceChaosTrial(
         seed=seed,

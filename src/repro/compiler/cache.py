@@ -29,6 +29,8 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
+from ..verify import lockdep
+
 #: Scope key for callers that did not identify a tenant.
 ANONYMOUS = None
 
@@ -67,21 +69,26 @@ class SyncCache:
     *outside* it (compilation is slow and must not serialize unrelated
     keys) but are deduplicated per key, so a burst of identical requests
     costs one compilation.
+
+    Lock discipline: ``_entries``, ``_inflight``, and ``_stats`` are
+    guarded by ``_lock``; waiters block on an in-flight entry's event
+    *outside* the lock.  The cache calls nothing that locks -- a leaf
+    of the lock graph.
     """
 
     def __init__(self, name: str, limit: int) -> None:
         self.name = name
         self.limit = int(limit)
-        self._lock = threading.RLock()
-        self._entries: Dict[Hashable, object] = {}
-        self._inflight: Dict[Hashable, _InFlight] = {}
-        self._stats: Dict[Optional[str], CacheStats] = {}
+        self._lock = lockdep.rlock("SyncCache._lock")
+        self._entries: Dict[Hashable, object] = {}  # guarded-by: _lock
+        self._inflight: Dict[Hashable, _InFlight] = {}  # guarded-by: _lock
+        self._stats: Dict[Optional[str], CacheStats] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
 
-    def _scope_stats(self, scope: Optional[str]) -> CacheStats:
+    def _scope_stats(self, scope: Optional[str]) -> CacheStats:  # guarded-by: _lock
         stats = self._stats.get(scope)
         if stats is None:
             stats = self._stats[scope] = CacheStats()

@@ -80,6 +80,7 @@ import numpy as np
 
 from ..machine.health import link_key
 from ..machine.memory import parity_word
+from ..verify import lockdep
 
 
 class FaultError(Exception):
@@ -798,6 +799,11 @@ class ServiceFaultInjector:
     sees exactly the same crashes and hangs at the same jobs no matter
     how the threads interleave.  ``max_faults`` bounds total
     injections (None = unbounded).
+
+    Lock discipline: the mutable tallies (``injected``, ``events``) are
+    guarded by ``_lock``; the draw itself is pure.  Workers consult the
+    injector outside the scheduler's condition lock, and the injector
+    calls nothing that locks -- a leaf of the lock graph.
     """
 
     def __init__(
@@ -811,9 +817,9 @@ class ServiceFaultInjector:
         for kind, rate in (rates or {}).items():
             self.rates[ServiceFaultKind(kind)] = float(rate)
         self.max_faults = max_faults
-        self.injected: Dict[str, int] = {}
-        self.events: List[FaultEvent] = []
-        self._lock = threading.Lock()
+        self.injected: Dict[str, int] = {}  # guarded-by: _lock
+        self.events: List[FaultEvent] = []  # guarded-by: _lock
+        self._lock = lockdep.lock("ServiceFaultInjector._lock")
 
     @property
     def total_injected(self) -> int:

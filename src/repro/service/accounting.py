@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.fairness import jain_index, speedup
+from ..verify import lockdep
 from .jobs import JobResult
 
 #: Terminal outcomes :meth:`ServiceAccounts.note_outcome` accepts, and
@@ -114,21 +115,30 @@ class TenantAccount:
 
 @dataclass
 class ServiceAccounts:
-    """The whole service's ledger: tenants, partitions, job records."""
+    """The whole service's ledger: tenants, partitions, job records.
 
-    tenants: Dict[str, TenantAccount] = field(default_factory=dict)
-    records: List[JobResult] = field(default_factory=list)
+    Lock discipline: every ledger container is guarded by ``_lock``
+    (reentrant, so derived metrics can compose locked properties).  The
+    ledger calls only into pure fairness math -- a leaf of the lock
+    graph, safe to charge from any scheduler context.
+    """
+
+    tenants: Dict[str, TenantAccount] = field(default_factory=dict)  # guarded-by: _lock
+    records: List[JobResult] = field(default_factory=list)  # guarded-by: _lock
     #: Modeled busy seconds per partition origin -- the concurrency
     #: skeleton: the makespan is the busiest partition's total.
+    # guarded-by: _lock
     partition_seconds: Dict[Optional[Tuple[int, int]], float] = field(
         default_factory=dict
     )
     #: Every terminal non-success and every retry, as (tenant, outcome)
     #: pairs -- the raw log :meth:`reconcile` re-derives the outcome
     #: counters from, same discipline as the cycle counters.
-    outcome_log: List[Tuple[str, str]] = field(default_factory=list)
+    outcome_log: List[Tuple[str, str]] = field(default_factory=list)  # guarded-by: _lock
     _lock: threading.RLock = field(
-        default_factory=threading.RLock, repr=False, compare=False
+        default_factory=lambda: lockdep.rlock("ServiceAccounts._lock"),
+        repr=False,
+        compare=False,
     )
 
     def charge(self, result: JobResult) -> None:
@@ -148,7 +158,7 @@ class ServiceAccounts:
             )
             self.records.append(result)
 
-    def _account(self, tenant: str) -> TenantAccount:
+    def _account(self, tenant: str) -> TenantAccount:  # guarded-by: _lock
         account = self.tenants.get(tenant)
         if account is None:
             account = self.tenants[tenant] = TenantAccount(tenant)

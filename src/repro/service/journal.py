@@ -30,6 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, IO, Mapping, Optional, Tuple
 
+from ..verify import lockdep
 from .jobs import JobResult, StencilJob
 
 #: Terminal outcome tags an ``outcome`` event may carry.
@@ -64,12 +65,18 @@ class JobJournal:
 
     Thread-safe; every append is ``flush`` + ``fsync`` so completed work
     survives a SIGKILL of the host process.
+
+    Lock discipline: ``_handle`` is guarded by ``_lock``, and the fsync
+    *deliberately* happens under it -- append order is durability
+    order, which the resume fingerprint check depends on.  The journal
+    never calls back into the scheduler, so it is a leaf of the lock
+    graph.
     """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._lock = threading.Lock()
-        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+        self._lock = lockdep.lock("JobJournal._lock")
+        self._handle: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")  # guarded-by: _lock
 
     # -- appends ------------------------------------------------------
 
@@ -128,6 +135,9 @@ class JobJournal:
                 return
             self._handle.write(line + "\n")
             self._handle.flush()
+            # An fsync outside the lock could commit line N+1 before
+            # N, breaking the crash-resume fingerprint guarantee:
+            # lock-blocking-ok: append order is durability order.
             os.fsync(self._handle.fileno())
 
     def close(self) -> None:

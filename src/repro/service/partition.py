@@ -34,6 +34,7 @@ from ..machine.geometry import (
 )
 from ..machine.machine import CM2
 from ..machine.params import MachineParams
+from ..verify import lockdep
 from .jobs import partition_machine
 
 #: Placement policies ``acquire`` understands.
@@ -41,7 +42,14 @@ POLICIES = ("first_fit", "best_fit")
 
 
 class MachinePool:
-    """The parent node grid, its spare reservation, and the free map."""
+    """The parent node grid, its spare reservation, and the free map.
+
+    Lock discipline: the free map (``_occupied``, ``_spares_lent``) is
+    guarded by ``_lock``; geometry (``shape``, ``reserved``) is frozen
+    at construction and read lock-free.  The pool never calls other
+    locked subsystems -- a leaf of the service lock graph, safe to
+    call while holding the scheduler's condition lock.
+    """
 
     def __init__(
         self,
@@ -78,9 +86,9 @@ class MachinePool:
         if default_partition is None:
             default_partition = self._default_tile(spare_rows)
         self.default_partition: Tuple[int, int] = tuple(default_partition)
-        self._lock = threading.RLock()
-        self._occupied: List[Partition] = []
-        self._spares_lent = 0
+        self._lock = lockdep.rlock("MachinePool._lock")
+        self._occupied: List[Partition] = []  # guarded-by: _lock
+        self._spares_lent = 0  # guarded-by: _lock
 
     def _default_tile(self, spare_rows: int) -> Tuple[int, int]:
         """A sensible default partition: quarters of a fully free grid
@@ -153,7 +161,7 @@ class MachinePool:
     # Acquisition
     # ------------------------------------------------------------------
 
-    def _packing_score(self, tile: Partition) -> int:
+    def _packing_score(self, tile: Partition) -> int:  # guarded-by: _lock
         """How many perimeter-adjacent cells are unavailable (occupied,
         reserved, or off-grid) -- best-fit packs where this is highest."""
         rows, cols = self.shape

@@ -43,6 +43,16 @@ corruption" contract to the job-orchestration layer:
   the same ledger fingerprint an uninterrupted run produces.
   :meth:`Scheduler.kill` simulates the SIGKILL (drops in-flight work
   unjournaled and uncharged) for tests and the chaos campaign.
+
+Lock discipline (checked by ``repro racecheck``): all queue/worker
+state -- ``_queue``, ``_handles``, ``_inflight``, ``_occurrences``,
+``_running``, ``_closed``, ``_killed``, ``_stop_supervisor``,
+``_workers`` -- is guarded by ``_cond``; circuit breakers live under
+the independent ``_breaker_lock``.  The global acquisition order is
+``_cond`` first, then any of pool/journal/accounts/breaker locks; no
+code path takes ``_cond`` while holding one of those, so the lock
+graph stays acyclic.  Helpers suffixed ``_locked`` (and ``_claim``)
+declare a ``# guarded-by: _cond`` precondition instead of acquiring.
 """
 
 from __future__ import annotations
@@ -56,6 +66,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..machine.geometry import PartitionError
 from ..runtime.faults import ServiceFaultInjector, ServiceFaultKind
+from ..verify import lockdep
 from .accounting import ServiceAccounts
 from .errors import (
     JobCancelledError,
@@ -253,18 +264,19 @@ class Scheduler:
         if journal_path is not None:
             self._resume_state = JournalState.load(journal_path)
             self._journal = JobJournal(journal_path)
-        self._cond = threading.Condition()
-        self._queue: List[_QueueEntry] = []
-        self._handles: List[JobHandle] = []
-        self._seq = itertools.count()
-        self._occurrences: Dict[str, int] = {}
-        self._inflight: Dict[str, _Inflight] = {}
-        self._breakers: Dict[str, _Breaker] = {}
-        self._breaker_lock = threading.Lock()
-        self._running = 0
-        self._closed = False
-        self._killed = False
-        self._stop_supervisor = False
+        self._cond = lockdep.condition("Scheduler._cond")
+        self._queue: List[_QueueEntry] = []  # guarded-by: _cond
+        self._handles: List[JobHandle] = []  # guarded-by: _cond
+        self._seq = itertools.count()  # guarded-by: _cond
+        self._occurrences: Dict[str, int] = {}  # guarded-by: _cond
+        self._inflight: Dict[str, _Inflight] = {}  # guarded-by: _cond
+        self._breakers: Dict[str, _Breaker] = {}  # guarded-by: _breaker_lock
+        self._breaker_lock = lockdep.lock("Scheduler._breaker_lock")
+        self._running = 0  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        self._killed = False  # guarded-by: _cond
+        self._stop_supervisor = False  # guarded-by: _cond
+        # guarded-by: _cond
         self._workers = [
             threading.Thread(
                 target=self._worker, name=f"stencil-worker-{i}", daemon=True
@@ -450,7 +462,10 @@ class Scheduler:
                 break
             alive[0].join(0.02)
         stuck = [w.name for w in self._workers if w.is_alive()]
-        self._stop_supervisor = True
+        # The supervisor polls this flag between sleeps; the store must
+        # hold _cond like every other mutation of scheduler state.
+        with self._cond:
+            self._stop_supervisor = True
         self._supervisor.join(
             timeout=max(
                 1.0, 10 * self.service_policy.supervision_interval_seconds
@@ -650,7 +665,7 @@ class Scheduler:
                 ):
                     return
 
-    def _requeue_or_fail_locked(self, entry: _QueueEntry, kind: str) -> None:
+    def _requeue_or_fail_locked(self, entry: _QueueEntry, kind: str) -> None:  # guarded-by: _cond
         """Retry a crashed/hung/overrun attempt, or record its typed end.
 
         Called with the condition lock held (so no worker can observe a
@@ -695,7 +710,7 @@ class Scheduler:
     # Worker loop
     # ------------------------------------------------------------------
 
-    def _claim(self):
+    def _claim(self):  # guarded-by: _cond
         """Pop the best currently-placeable entry, with its partition.
 
         Called under the condition lock.  Scans waiting jobs in priority

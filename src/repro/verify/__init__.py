@@ -11,7 +11,11 @@ executed):
   rings, bad unroll factors);
 * :mod:`repro.verify.lint` -- source-span diagnostics for the Fortran
   front end (``repro lint``), plus :mod:`repro.verify.aliasing` for the
-  run-time call boundary.
+  run-time call boundary;
+* :mod:`repro.verify.concurrency` -- the ``repro racecheck`` analyzer:
+  lock/guard discipline of repro's own threaded control plane
+  (RS701-RS706), validated at run time by the opt-in
+  :mod:`repro.verify.lockdep` instrumented locks (``RS_LOCKDEP=1``).
 
 ``verify_plan`` is wired into the compile driver behind ``RS_VERIFY=1``
 so every freshly compiled plan is proven before it is cached; the
@@ -29,6 +33,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..machine.params import MachineParams
 from ..stencil.multistencil import multistencil_widths
 from .aliasing import AliasingError, check_aliasing, ensure_no_aliasing
+from .concurrency import (
+    RaceCheckResult,
+    analyze_sources,
+    predicted_lock_graph,
+    racecheck_paths,
+)
 from .dataflow import analyze_dataflow, check_register_usage
 from .diagnostics import (
     Diagnostic,
@@ -43,9 +53,11 @@ from .lint import DEFAULT_MAX_HALO, lint_path, lint_source
 __all__ = [
     "AliasingError",
     "DEFAULT_MAX_HALO",
+    "RaceCheckResult",
     "VerificationError",
     "analyze_dataflow",
     "analyze_lifetimes",
+    "analyze_sources",
     "assert_verified",
     "check_aliasing",
     "check_register_usage",
@@ -53,6 +65,8 @@ __all__ = [
     "has_errors",
     "lint_path",
     "lint_source",
+    "predicted_lock_graph",
+    "racecheck_paths",
     "render_diagnostics",
     "verify_compiled",
     "verify_gallery",

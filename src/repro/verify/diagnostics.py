@@ -9,11 +9,13 @@ catalogue in ``docs/INTERNALS.md`` section 10.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..fortran.errors import (  # noqa: F401  (re-exported)
     Diagnostic,
     SEVERITY_ORDER,
+    SourceLocation,
+    Span,
     has_errors,
     render_diagnostic,
     render_diagnostics,
@@ -28,6 +30,63 @@ def plan_error(code: str, message: str) -> Diagnostic:
 def plan_warning(code: str, message: str) -> Diagnostic:
     """A warning diagnostic about a compiled plan."""
     return Diagnostic("warning", message, code=code)
+
+
+def diagnostic_to_dict(diagnostic: Diagnostic) -> Dict[str, object]:
+    """One diagnostic as a JSON-ready dict (the ``--json`` CLI schema).
+
+    Every field round-trips through :func:`diagnostic_from_dict`;
+    locations are ``path``/``line``/``column`` (1-based), the span is
+    ``[start_line, start_column, end_line, end_column]`` or ``None``.
+    """
+    location = diagnostic.location
+    span = diagnostic.span
+    return {
+        "severity": diagnostic.severity,
+        "code": diagnostic.code,
+        "message": diagnostic.message,
+        "path": location.filename if location is not None else None,
+        "line": location.line if location is not None else None,
+        "column": location.column if location is not None else None,
+        "span": (
+            [
+                span.start.line,
+                span.start.column,
+                span.end.line,
+                span.end.column,
+            ]
+            if span is not None
+            else None
+        ),
+        "fixit": diagnostic.fixit,
+    }
+
+
+def diagnostic_from_dict(payload: Dict[str, object]) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from its ``--json`` dict."""
+    path = payload.get("path")
+    line = payload.get("line")
+    location = (
+        SourceLocation(int(line), int(payload.get("column") or 1), str(path))
+        if path is not None and line is not None
+        else None
+    )
+    raw_span = payload.get("span")
+    span = None
+    if isinstance(raw_span, (list, tuple)) and len(raw_span) == 4:
+        filename = str(path) if path is not None else "<fortran>"
+        span = Span(
+            SourceLocation(int(raw_span[0]), int(raw_span[1]), filename),
+            SourceLocation(int(raw_span[2]), int(raw_span[3]), filename),
+        )
+    return Diagnostic(
+        severity=str(payload.get("severity", "error")),
+        message=str(payload.get("message", "")),
+        location=location,
+        code=payload.get("code"),  # type: ignore[arg-type]
+        span=span,
+        fixit=payload.get("fixit"),  # type: ignore[arg-type]
+    )
 
 
 def with_context(

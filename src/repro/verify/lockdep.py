@@ -1,0 +1,331 @@
+"""Validating lock-order runtime: the dynamic half of ``repro racecheck``.
+
+The static analyzer (:mod:`repro.verify.concurrency`) predicts a lock
+graph from the source alone; this module *observes* the real one.  When
+``RS_LOCKDEP=1`` is set, every lock the threaded control plane creates
+through the factories below is wrapped so that each acquisition records
+an edge ``held -> acquired`` into a process-global registry:
+
+* the registry keeps the acquisition DAG (class-level lock identity:
+  every ``Scheduler._cond`` is one node, like the static side);
+* adding an edge that closes a cycle raises :class:`LockOrderViolation`
+  immediately, at the acquisition that completed the inversion -- the
+  classic lockdep discipline, so the *first* run that interleaves two
+  inconsistent orderings fails loudly even if it did not deadlock;
+* :meth:`LockdepRegistry.cross_check` compares the observed edges
+  against the statically predicted graph: an observed edge the analyzer
+  did not predict (directly or transitively) means the annotations have
+  drifted from reality, and the chaos campaign treats it as a trial
+  violation.
+
+With ``RS_LOCKDEP`` unset the factories return plain
+:mod:`threading` primitives -- zero overhead, byte-identical behaviour.
+
+The condition wrapper is a real :class:`threading.Condition` built on an
+instrumented RLock: ``wait`` internally releases and reacquires through
+the *inner* lock's ``_release_save``/``_acquire_restore`` (delegated
+untouched), so a waiting thread keeps its logical hold in the
+per-thread stack -- lock-order edges describe the discipline, not the
+scheduler's interleaving.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+#: Environment flag that turns the instrumented factories on.
+ENV_FLAG = "RS_LOCKDEP"
+
+
+def enabled() -> bool:
+    """Whether lock instrumentation is on (``RS_LOCKDEP=1``)."""
+    return os.environ.get(ENV_FLAG, "") not in ("", "0")
+
+
+class LockOrderViolation(RuntimeError):
+    """An acquisition closed a cycle in the lock-order graph.
+
+    Carries the offending ``cycle`` as a list of lock names in
+    acquisition order (first element repeated at the end).
+    """
+
+    def __init__(self, cycle: List[str]) -> None:
+        self.cycle = list(cycle)
+        chain = " -> ".join(self.cycle)
+        super().__init__(
+            f"lock acquisition order cycle: {chain} (a thread holding "
+            f"{self.cycle[-2]!r} tried to take {self.cycle[0]!r}, which "
+            f"other acquisitions order before it)"
+        )
+
+
+class LockdepRegistry:
+    """The observed acquisition DAG, shared by every instrumented lock."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        #: edge u -> v: some thread acquired v while holding u.
+        self._edges: Dict[str, Set[str]] = {}
+        #: total acquisitions per lock name.
+        self._acquisitions: Dict[str, int] = {}
+        #: first witness of each edge: (thread name) -- for reports.
+        self._witness: Dict[Tuple[str, str], str] = {}
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def note_acquire(self, name: str, held: List[str]) -> None:
+        """Record one acquisition of ``name`` while ``held`` are held.
+
+        Raises :class:`LockOrderViolation` when a newly recorded edge
+        closes a cycle; the registry keeps the edge either way, so the
+        final report shows the full observed graph.
+        """
+        with self._mutex:
+            self._acquisitions[name] = self._acquisitions.get(name, 0) + 1
+            self._edges.setdefault(name, set())
+            cycle: Optional[List[str]] = None
+            for holder in held:
+                if holder == name:
+                    continue  # reentrant hold, not an ordering edge
+                outgoing = self._edges.setdefault(holder, set())
+                if name in outgoing:
+                    continue
+                outgoing.add(name)
+                self._witness[(holder, name)] = (
+                    threading.current_thread().name
+                )
+                if cycle is None:
+                    path = self._path(name, holder)
+                    if path is not None:
+                        cycle = path + [name]
+        if cycle is not None:
+            raise LockOrderViolation(cycle)
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A directed path ``start -> ... -> goal``, or None (DFS)."""
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for succ in self._edges.get(node, ()):
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    # -- queries -------------------------------------------------------
+
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """A snapshot of the observed graph (name -> sorted successors)."""
+        with self._mutex:
+            return {
+                u: tuple(sorted(vs)) for u, vs in self._edges.items() if vs
+            }
+
+    def acquisitions(self, name: Optional[str] = None) -> int:
+        """Total acquisitions of one lock (or of every lock)."""
+        with self._mutex:
+            if name is not None:
+                return self._acquisitions.get(name, 0)
+            return sum(self._acquisitions.values())
+
+    def locks(self) -> Tuple[str, ...]:
+        """Every lock name that recorded at least one acquisition."""
+        with self._mutex:
+            return tuple(sorted(self._acquisitions))
+
+    def find_cycle(self) -> Optional[List[str]]:
+        """A cycle in the observed graph, or None when it is a DAG."""
+        with self._mutex:
+            edges = {u: set(vs) for u, vs in self._edges.items()}
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in edges}
+        parent: Dict[str, str] = {}
+
+        for root in sorted(edges):
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(sorted(edges[root])))]
+            color[root] = GREY
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in edges:
+                        continue
+                    if color[succ] == GREY:
+                        cycle = [succ, node]
+                        walk = node
+                        while walk != succ:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return cycle
+                    if color[succ] == WHITE:
+                        color[succ] = GREY
+                        parent[succ] = node
+                        stack.append((succ, iter(sorted(edges[succ]))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderViolation` if the observed graph cycles."""
+        cycle = self.find_cycle()
+        if cycle is not None:
+            raise LockOrderViolation(cycle + cycle[:1])
+
+    def cross_check(
+        self, predicted: Dict[str, Iterable[str]]
+    ) -> List[Tuple[str, str]]:
+        """Observed edges the static analyzer did not predict.
+
+        An observed edge ``u -> v`` is *explained* when ``v`` is
+        reachable from ``u`` in the predicted graph (the runtime records
+        adjacent stack edges, so a statically modelled chain
+        ``u -> w -> v`` explains an observed ``u -> v``).  Observed
+        locks absent from the predicted graph entirely are reported
+        too: they mean the analyzer never saw the lock's declaration.
+        """
+        closure: Dict[str, Set[str]] = {}
+
+        def reach(node: str) -> Set[str]:
+            cached = closure.get(node)
+            if cached is not None:
+                return cached
+            closure[node] = set()  # cycle guard; predicted should be a DAG
+            out: Set[str] = set()
+            for succ in predicted.get(node, ()):
+                out.add(succ)
+                out |= reach(succ)
+            closure[node] = out
+            return out
+
+        unexplained = []
+        for u, vs in self.edges().items():
+            for v in vs:
+                if v not in reach(u):
+                    unexplained.append((u, v))
+        return sorted(unexplained)
+
+    def reset(self) -> None:
+        """Drop every recorded edge and counter (test isolation)."""
+        with self._mutex:
+            self._edges.clear()
+            self._acquisitions.clear()
+            self._witness.clear()
+
+    def describe(self) -> str:
+        edges = self.edges()
+        lines = [
+            f"lockdep: {len(self.locks())} locks, "
+            f"{sum(len(v) for v in edges.values())} ordered edges, "
+            f"{self.acquisitions()} acquisitions"
+        ]
+        for u in sorted(edges):
+            for v in edges[u]:
+                lines.append(f"  {u} -> {v}")
+        return "\n".join(lines)
+
+
+#: The process-global registry every instrumented lock reports into.
+REGISTRY = LockdepRegistry()
+
+_tls = threading.local()
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+class _DepLockBase:
+    """Shared instrumentation for wrapped Lock/RLock objects."""
+
+    def __init__(self, name: str, inner) -> None:
+        self.name = name
+        self._inner = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = _held_stack()
+        # Record the would-be edge *before* blocking: a true inversion
+        # deadlocks inside the inner acquire, so checking afterwards
+        # would only ever report the interleavings that got lucky.
+        REGISTRY.note_acquire(self.name, list(stack))
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            stack.append(self.name)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Locks are almost always released LIFO; tolerate out-of-order
+        # releases by removing the most recent matching hold.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == self.name:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+
+class _DepLock(_DepLockBase):
+    """An instrumented non-reentrant lock."""
+
+
+class _DepRLock(_DepLockBase):
+    """An instrumented reentrant lock, Condition-compatible.
+
+    The three underscore hooks delegate straight to the inner RLock so
+    :class:`threading.Condition` built on top of this wrapper juggles
+    the *real* lock during ``wait`` without touching the per-thread
+    hold stack -- a waiting thread logically keeps its hold.
+    """
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        return self._inner._release_save()
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+
+
+def lock(name: str):
+    """A mutex: instrumented under ``RS_LOCKDEP=1``, plain otherwise."""
+    if enabled():
+        return _DepLock(name, threading.Lock())
+    return threading.Lock()
+
+
+def rlock(name: str):
+    """A reentrant mutex, instrumented under ``RS_LOCKDEP=1``."""
+    if enabled():
+        return _DepRLock(name, threading.RLock())
+    return threading.RLock()
+
+
+def condition(name: str):
+    """A condition variable whose lock is instrumented under lockdep."""
+    if enabled():
+        return threading.Condition(_DepRLock(name, threading.RLock()))
+    return threading.Condition()

@@ -139,6 +139,113 @@ class TestChaosCommand:
             main(["chaos", "--seeds", "garbage"])
 
 
+class TestRacecheckCommand:
+    def test_racecheck_default_tree_is_clean(self, capsys):
+        assert main(["racecheck"]) == 0
+        out = capsys.readouterr().out
+        assert "0 diagnostic(s)" in out
+        assert "locks" in out and "lock-order edges" in out
+
+    def test_racecheck_graph_prints_predicted_edges(self, capsys):
+        assert main(["racecheck", "--graph"]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler._cond -> " in out
+
+    def test_racecheck_flags_a_bad_file_with_carets(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n\n\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0  # guarded-by: _lock\n\n"
+            "    def bump(self):\n"
+            "        self._n += 1\n"
+        )
+        assert main(["racecheck", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RS701" in out
+        assert "^" in out  # caret rendering under the mutation
+
+    def test_racecheck_json_roundtrips(self, tmp_path, capsys):
+        import json
+
+        from repro.verify.diagnostics import (
+            diagnostic_from_dict,
+            diagnostic_to_dict,
+        )
+
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n\n\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0  # guarded-by: _lock\n\n"
+            "    def bump(self):\n"
+            "        self._n += 1\n"
+        )
+        out_path = tmp_path / "race.json"
+        assert main(["racecheck", str(bad), "--json", str(out_path)]) == 1
+        capsys.readouterr()
+        data = json.loads(out_path.read_text())
+        assert data["command"] == "racecheck"
+        assert data["ok"] is False
+        assert data["files"] == 1
+        assert "S._lock" in data["locks"]
+        assert len(data["diagnostics"]) == 1
+        entry = data["diagnostics"][0]
+        assert entry["code"] == "RS701"
+        assert entry["line"] == 10
+        # Every diagnostic dict rebuilds into an equal dict.
+        assert diagnostic_to_dict(diagnostic_from_dict(entry)) == entry
+
+    def test_racecheck_json_to_stdout(self, tmp_path, capsys):
+        import json
+
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["racecheck", str(clean), "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out[out.index("{"):])
+        assert data["ok"] is True
+        assert data["diagnostics"] == []
+
+
+class TestLintJson:
+    def test_lint_json_roundtrips(self, tmp_path, capsys):
+        import json
+
+        from repro.verify.diagnostics import (
+            diagnostic_from_dict,
+            diagnostic_to_dict,
+        )
+
+        source = tmp_path / "warn.f90"
+        source.write_text("R = C1 * CSHIFT(X, 1, -1) + C2 * X\n")
+        out_path = tmp_path / "lint.json"
+        assert main(["lint", str(source), "--json", str(out_path)]) == 0
+        capsys.readouterr()
+        data = json.loads(out_path.read_text())
+        assert data["command"] == "lint"
+        assert data["ok"] is True  # RS201 is a warning, not an error
+        entry = data["diagnostics"][0]
+        assert entry["code"] == "RS201"
+        assert entry["fixit"] == "CSHIFT(X, DIM=1, SHIFT=-1)"
+        assert diagnostic_to_dict(diagnostic_from_dict(entry)) == entry
+
+    def test_lint_json_error_exit(self, tmp_path, capsys):
+        import json
+
+        source = tmp_path / "bad.f90"
+        source.write_text("R = C1 * CSHIFT(X, DIM=1, SHIFT=-1) + X / C2\n")
+        assert main(["lint", str(source), "--json", "-"]) == 1
+        out = capsys.readouterr().out
+        data = json.loads(out[out.index("{"):])
+        assert data["ok"] is False
+        assert any(d["code"] == "RS301" for d in data["diagnostics"])
+
+
 class TestStrategyFlag:
     def test_compile_with_optimal_strategy(self, tmp_path, capsys):
         source = tmp_path / "s.f90"

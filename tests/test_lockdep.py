@@ -1,0 +1,259 @@
+"""The ``RS_LOCKDEP=1`` runtime: observed lock-order validation.
+
+The registry is exercised directly (edges, cycles, cross-check), then
+through the instrumented factories against the real control plane: a
+multi-thread cache hammer, a scheduler crash/respawn cycle under fault
+injection, and an injected inversion that must trip the cycle assertion
+at the acquisition that closes it.  ``enabled()`` is consulted at lock
+*creation*, so every test that wants instrumentation sets the flag
+before constructing the object under test.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import threading
+
+import pytest
+
+import repro
+from repro.verify import lockdep, predicted_lock_graph
+from repro.verify.lockdep import (
+    REGISTRY,
+    LockdepRegistry,
+    LockOrderViolation,
+)
+
+SRC_DIR = pathlib.Path(repro.__file__).resolve().parents[1]
+
+
+@pytest.fixture
+def lockdep_on(monkeypatch):
+    monkeypatch.setenv(lockdep.ENV_FLAG, "1")
+    REGISTRY.reset()
+    yield REGISTRY
+    REGISTRY.reset()
+
+
+class TestRegistry:
+    def test_records_edges_and_counts(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("A", [])
+        registry.note_acquire("B", ["A"])
+        registry.note_acquire("B", ["A"])
+        assert registry.edges() == {"A": ("B",)}
+        assert registry.acquisitions("A") == 1
+        assert registry.acquisitions("B") == 2
+        assert registry.acquisitions() == 3
+        assert registry.locks() == ("A", "B")
+
+    def test_reentrant_hold_is_not_an_edge(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("A", ["A"])
+        assert registry.edges() == {}
+
+    def test_cycle_closing_edge_raises_immediately(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("B", ["A"])
+        with pytest.raises(LockOrderViolation) as excinfo:
+            registry.note_acquire("A", ["B"])
+        assert set(excinfo.value.cycle) == {"A", "B"}
+        # The edge is kept, so the post-mortem queries agree.
+        assert registry.find_cycle() is not None
+        with pytest.raises(LockOrderViolation):
+            registry.assert_acyclic()
+
+    def test_acyclic_graph_passes_assertion(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("B", ["A"])
+        registry.note_acquire("C", ["A", "B"])
+        assert registry.find_cycle() is None
+        registry.assert_acyclic()
+
+    def test_cross_check_accepts_transitively_predicted_edges(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("C", ["A"])  # observed A -> C directly
+        predicted = {"A": ["B"], "B": ["C"]}
+        assert registry.cross_check(predicted) == []
+
+    def test_cross_check_reports_unpredicted_edges(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("B", ["A"])
+        registry.note_acquire("D", ["C"])
+        assert registry.cross_check({"A": ["B"]}) == [("C", "D")]
+
+    def test_reset_clears_everything(self):
+        registry = LockdepRegistry()
+        registry.note_acquire("B", ["A"])
+        registry.reset()
+        assert registry.edges() == {}
+        assert registry.acquisitions() == 0
+
+
+class TestFactories:
+    def test_disabled_factories_return_plain_primitives(self, monkeypatch):
+        monkeypatch.delenv(lockdep.ENV_FLAG, raising=False)
+        assert type(lockdep.lock("X")) is type(threading.Lock())
+        assert type(lockdep.rlock("X")) is type(threading.RLock())
+        assert isinstance(lockdep.condition("X"), threading.Condition)
+
+    def test_enabled_factories_instrument(self, lockdep_on):
+        mutex = lockdep.lock("TestFactories.mutex")
+        with mutex:
+            pass
+        assert REGISTRY.acquisitions("TestFactories.mutex") == 1
+
+    def test_condition_wait_notify_across_threads(self, lockdep_on):
+        cond = lockdep.condition("TestFactories.cond")
+        state = {"ready": False, "seen": False}
+
+        def waiter():
+            with cond:
+                while not state["ready"]:
+                    cond.wait(timeout=5.0)
+                state["seen"] = True
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cond:
+            state["ready"] = True
+            cond.notify_all()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert state["seen"] is True
+        assert REGISTRY.acquisitions("TestFactories.cond") >= 2
+
+    def test_injected_inversion_trips_the_cycle_assertion(self, lockdep_on):
+        a = lockdep.lock("Inversion.a")
+        b = lockdep.lock("Inversion.b")
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderViolation) as excinfo:
+                a.acquire()
+        assert "Inversion.a" in excinfo.value.cycle
+        assert "Inversion.b" in excinfo.value.cycle
+
+
+class TestControlPlaneUnderLockdep:
+    def test_cache_hammer_records_an_acyclic_leaf(self, lockdep_on):
+        from repro.compiler.cache import SyncCache
+
+        cache = SyncCache("lockdep-test", limit=64)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(200):
+                    key = (worker + i) % 10
+                    value = cache.get_or_compute(key, lambda k=key: k * 2)
+                    assert value == key * 2
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert REGISTRY.acquisitions("SyncCache._lock") >= 8 * 200
+        REGISTRY.assert_acyclic()
+        # The cache is a leaf: it never acquires another lock.
+        assert "SyncCache._lock" not in REGISTRY.edges()
+
+    def test_scheduler_crash_respawn_matches_static_graph(self, lockdep_on):
+        from repro.machine.params import MachineParams
+        from repro.runtime.faults import (
+            ServiceFaultInjector,
+            ServiceFaultKind,
+        )
+        from repro.service import (
+            MachinePool,
+            Scheduler,
+            ServicePolicy,
+            StencilJob,
+        )
+
+        injector = ServiceFaultInjector(
+            seed=1,
+            rates={ServiceFaultKind.WORKER_CRASH: 1.0},
+            max_faults=2,
+        )
+        policy = ServicePolicy(
+            deadline_seconds=0.2,
+            max_attempts=3,
+            backoff_base_seconds=0.001,
+            backoff_cap_seconds=0.004,
+            supervision_interval_seconds=0.002,
+        )
+        params = MachineParams(num_nodes=16)
+        with Scheduler(
+            MachinePool(params),
+            service_policy=policy,
+            faults=injector,
+        ) as scheduler:
+            handles = [
+                scheduler.submit(
+                    StencilJob(
+                        tenant="t",
+                        grid_shape=(16, 16),
+                        seed=index,
+                        partition_shape=(2, 2),
+                    )
+                )
+                for index in range(3)
+            ]
+            for handle in handles:
+                handle.result(timeout=60.0)
+        assert injector.total_injected == 2
+
+        # The crash/respawn cycle exercised every control-plane lock;
+        # the observed DAG must be acyclic and fully explained by the
+        # statically predicted graph.
+        REGISTRY.assert_acyclic()
+        assert REGISTRY.acquisitions("Scheduler._cond") > 0
+        assert REGISTRY.acquisitions("MachinePool._lock") > 0
+        assert REGISTRY.cross_check(predicted_lock_graph()) == []
+
+    def test_rs_lockdep_smoke_in_a_fresh_process(self):
+        # The tier-1-style smoke: a whole scheduler run in a subprocess
+        # with RS_LOCKDEP=1 from the very first import, cross-checked
+        # against the static graph before exit.
+        script = (
+            "from repro.machine.params import MachineParams\n"
+            "from repro.service import MachinePool, Scheduler, StencilJob\n"
+            "from repro.verify import lockdep, predicted_lock_graph\n"
+            "assert lockdep.enabled()\n"
+            "with Scheduler(MachinePool(MachineParams(num_nodes=16)))"
+            " as scheduler:\n"
+            "    handles = [scheduler.submit(StencilJob(tenant='t',"
+            " grid_shape=(16, 16), seed=s)) for s in range(2)]\n"
+            "    for handle in handles:\n"
+            "        handle.result(timeout=60.0)\n"
+            "registry = lockdep.REGISTRY\n"
+            "registry.assert_acyclic()\n"
+            "assert registry.cross_check(predicted_lock_graph()) == []\n"
+            "print(registry.describe())\n"
+        )
+        env = dict(os.environ)
+        env["RS_LOCKDEP"] = "1"
+        env["PYTHONPATH"] = os.pathsep.join(
+            path
+            for path in (str(SRC_DIR), env.get("PYTHONPATH", ""))
+            if path
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "lockdep:" in result.stdout
+        assert "Scheduler._cond" in result.stdout
