@@ -53,7 +53,13 @@ message, and fix-it per finding, for CI and editor consumption.
     campaign instead: seeded worker crashes, job hangs, tenant storms,
     and SIGKILL/journal-resume trials against the scheduler, asserting
     zero lost jobs, zero double runs, healthy-tenant bit-identity, and
-    exact ledger reconciliation.
+    exact ledger reconciliation.  ``--sdc`` runs the silent-data-
+    corruption campaign instead: seeded bit-flips struck into resident
+    result tiles under the ABFT checksum verifier, asserting 100%
+    detection, forward correction of single-cell damage with zero
+    rollback and zero replay, rollback-ladder fallback for multi-cell
+    damage, bit-identical outputs, and exact cycle reconciliation
+    including the dedicated ``abft_cycles`` bucket.
 
 ``serve``
     Stencil-as-a-service: read a job file (``--jobs jobs.json``), carve
@@ -73,6 +79,7 @@ message, and fix-it per finding, for CI and editor consumption.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -445,33 +452,69 @@ def cmd_racecheck(args) -> int:
     return 1 if diagnostics else 0
 
 
+class SeedSpecError(argparse.ArgumentTypeError, ValueError):
+    """A malformed ``--seeds`` token.
+
+    Doubles as :class:`ValueError` so library callers of
+    :func:`_parse_seeds` can catch it without importing argparse
+    machinery; argparse itself renders it as a clean usage error.
+    """
+
+
 def _parse_seeds(text: str):
-    """Seed lists: ``1,2,3`` or ranges ``1-5`` (inclusive), mixed."""
+    """Seed lists: ``1,2,3`` or ranges ``1-5`` (inclusive), mixed
+    (``1-3,7``).  Rejects each malformed token by name."""
     seeds = []
-    try:
-        for part in text.split(","):
-            part = part.strip()
-            if "-" in part:
-                lo, hi = part.split("-", 1)
-                seeds.extend(range(int(lo), int(hi) + 1))
+    for part in text.split(","):
+        token = part.strip()
+        try:
+            if "-" in token:
+                lo_text, hi_text = token.split("-", 1)
+                lo, hi = int(lo_text), int(hi_text)
+                if lo > hi:
+                    raise SeedSpecError(
+                        f"bad seed range {token!r} in {text!r}: "
+                        f"{lo} > {hi} (ranges are low-high, inclusive)"
+                    )
+                seeds.extend(range(lo, hi + 1))
             else:
-                seeds.append(int(part))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"expected seeds like '1,2,3' or '1-5', got {text!r}"
-        )
+                seeds.append(int(token))
+        except ValueError as error:
+            if isinstance(error, SeedSpecError):
+                raise
+            raise SeedSpecError(
+                f"bad seed token {token!r} in {text!r} (expected an "
+                f"integer or an A-B range, e.g. '1-3,7')"
+            ) from None
     if not seeds:
-        raise argparse.ArgumentTypeError("no seeds given")
+        raise SeedSpecError(f"no seeds in {text!r}")
     return tuple(seeds)
 
 
 def cmd_chaos(args) -> int:
     import json
 
-    from .analysis.chaos import run_campaign, run_service_campaign
+    from .analysis.chaos import (
+        run_campaign,
+        run_sdc_campaign,
+        run_service_campaign,
+    )
 
+    if args.service and args.sdc:
+        print(
+            "chaos: --service and --sdc are separate campaigns; "
+            "pick one",
+            file=sys.stderr,
+        )
+        return 2
     if args.service:
         report = run_service_campaign(seeds=args.seeds)
+    elif args.sdc:
+        report = run_sdc_campaign(
+            seeds=args.seeds,
+            nodes=args.nodes,
+            iterations=args.iterations,
+        )
     else:
         report = run_campaign(
             seeds=args.seeds,
@@ -524,6 +567,11 @@ def cmd_serve(args) -> int:
     )
     try:
         jobs = [StencilJob.from_dict(spec) for spec in job_specs]
+        if args.abft:
+            jobs = [
+                job if job.abft else dataclasses.replace(job, abft=True)
+                for job in jobs
+            ]
     except (JobSpecError, TypeError) as exc:
         print(f"{args.jobs}: bad job spec: {exc}", file=sys.stderr)
         return 1
@@ -756,6 +804,15 @@ def build_parser() -> argparse.ArgumentParser:
         "against the scheduler's fault-containment invariants",
     )
     p_chaos.add_argument(
+        "--sdc",
+        action="store_true",
+        help="run the silent-data-corruption campaign instead: seeded "
+        "bit-flips in resident result tiles under the ABFT checksum "
+        "verifier, asserting 100%% detection, forward correction of "
+        "single-cell damage without replay, ladder fallback for "
+        "multi-cell damage, and exact cycle reconciliation",
+    )
+    p_chaos.add_argument(
         "--json",
         metavar="FILE",
         default=None,
@@ -816,6 +873,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="queue watermark for overload shedding (0 = unbounded)",
+    )
+    p_serve.add_argument(
+        "--abft",
+        action="store_true",
+        help="arm the ABFT silent-corruption verifier on every job "
+        "(equivalent to abft=true on each job spec): result stacks "
+        "are checksum-sealed each pass and single corrupted words "
+        "forward-corrected in place",
     )
     p_serve.add_argument(
         "--no-verify",

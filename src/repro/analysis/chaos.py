@@ -49,6 +49,7 @@ from ..runtime.faults import (
     HardFaultSpec,
     ResiliencePolicy,
 )
+from ..runtime.batch import apply_stencil_batch
 from ..runtime.stencil_op import apply_stencil
 from ..stencil import gallery
 from ..stencil.offsets import BoundaryMode
@@ -871,6 +872,472 @@ def run_service_campaign(
         report.trials.append(
             run_service_trial(
                 seed, rates=rates, deadline_seconds=deadline_seconds
+            )
+        )
+    return report
+
+
+# ----------------------------------------------------------------------
+# SDC chaos: the ``repro chaos --sdc`` engine
+# ----------------------------------------------------------------------
+
+#: Execution modes the SDC campaign sweeps.  The exact oracle is
+#: excluded by design: its rung is modeled as ECC-protected end to end,
+#: so ABFT neither seals nor injects there (it is the ladder's last
+#: resort *after* ABFT gives up on multi-cell damage).
+SDC_MODES: Tuple[Tuple[str, Dict[str, object]], ...] = (
+    ("fast", {}),
+    ("blocked", {"block_depth": 3}),
+)
+
+
+@dataclass
+class SdcTrial:
+    """One seeded silent-data-corruption trial.
+
+    ``kind`` names the scenario: ``solo`` (single-cell strikes on the
+    solo executor, forward correction expected), ``batched`` (the same
+    on the batched multi-filter executor), or ``multicell`` (several
+    words flipped per strike on a one-node machine, beyond forward
+    correction by construction -- the rollback ladder or a typed error
+    must take over).  ``forward`` records that the run healed with zero
+    rollbacks, zero replayed iterations, and zero rung degradations:
+    the headline ABFT property for single-cell damage.
+    """
+
+    stencil: str
+    mode: str
+    seed: int
+    cells: int
+    kind: str  # "solo", "batched", or "multicell"
+    injected: int
+    corrections: int
+    detected: int
+    rollbacks: int
+    replays: int
+    survived: bool
+    outcome: str  # "identical", "typed_error:<Name>", or "MISMATCH"
+    reconciled: Optional[bool]
+    forward: bool
+    stats: FaultStats = field(default_factory=FaultStats)
+
+    @property
+    def silent_corruption(self) -> bool:
+        return self.outcome == "MISMATCH"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stencil": self.stencil,
+            "mode": self.mode,
+            "seed": self.seed,
+            "cells": self.cells,
+            "kind": self.kind,
+            "injected": self.injected,
+            "corrections": self.corrections,
+            "detected": self.detected,
+            "rollbacks": self.rollbacks,
+            "replays": self.replays,
+            "survived": self.survived,
+            "outcome": self.outcome,
+            "reconciled": self.reconciled,
+            "forward": self.forward,
+            "stats": self.stats.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SdcTrial":
+        return cls(
+            stencil=str(data["stencil"]),
+            mode=str(data["mode"]),
+            seed=int(data["seed"]),
+            cells=int(data["cells"]),
+            kind=str(data["kind"]),
+            injected=int(data["injected"]),
+            corrections=int(data["corrections"]),
+            detected=int(data["detected"]),
+            rollbacks=int(data["rollbacks"]),
+            replays=int(data["replays"]),
+            survived=bool(data["survived"]),
+            outcome=str(data["outcome"]),
+            reconciled=(
+                None
+                if data.get("reconciled") is None
+                else bool(data["reconciled"])
+            ),
+            forward=bool(data["forward"]),
+            stats=FaultStats.from_dict(dict(data["stats"])),
+        )
+
+
+def _sdc_trial_from_run(
+    *,
+    stencil: str,
+    mode: str,
+    seed: int,
+    cells: int,
+    kind: str,
+    identical: bool,
+    stats: FaultStats,
+    run_comm: int,
+    run_compute: int,
+    ref_comm: int,
+    ref_compute: int,
+) -> SdcTrial:
+    """Score a completed (non-raising) SDC run against its reference.
+
+    Reconciliation adds the dedicated ``abft_cycles`` bucket on the
+    compute side: seal/verify overhead is canonical ABFT work, not
+    recovery, so the decomposition is
+    ``run = reference + recovery + abft``.
+    """
+    degraded = any("->" in step for step in stats.degradations)
+    if degraded:
+        reconciled: Optional[bool] = None
+    else:
+        reconciled = (
+            run_comm == ref_comm + stats.recovery_comm_cycles()
+        ) and (
+            run_compute
+            == ref_compute
+            + stats.recovery_compute_cycles()
+            + stats.abft_cycles
+        )
+    forward = (
+        stats.rollbacks == 0
+        and stats.replayed_iterations == 0
+        and not degraded
+    )
+    return SdcTrial(
+        stencil=stencil,
+        mode=mode,
+        seed=seed,
+        cells=cells,
+        kind=kind,
+        injected=stats.total_injected,
+        corrections=stats.sdc_corrections,
+        detected=stats.total_detected,
+        rollbacks=stats.rollbacks,
+        replays=stats.replayed_iterations,
+        survived=identical,
+        outcome="identical" if identical else "MISMATCH",
+        reconciled=reconciled,
+        forward=forward,
+        stats=stats,
+    )
+
+
+def _sdc_trial_from_error(
+    error: FaultError,
+    injector: FaultInjector,
+    *,
+    stencil: str,
+    mode: str,
+    seed: int,
+    cells: int,
+    kind: str,
+) -> SdcTrial:
+    return SdcTrial(
+        stencil=stencil,
+        mode=mode,
+        seed=seed,
+        cells=cells,
+        kind=kind,
+        injected=injector.total_injected,
+        corrections=0,
+        detected=0,
+        rollbacks=0,
+        replays=0,
+        survived=False,
+        outcome=f"typed_error:{type(error).__name__}",
+        reconciled=None,
+        forward=False,
+        stats=FaultStats(),
+    )
+
+
+def run_sdc_trial(
+    stencil: str,
+    mode: str,
+    mode_kwargs: Dict[str, object],
+    seed: int,
+    *,
+    cells: int = 1,
+    nodes: int = 4,
+    shape: Tuple[int, int] = (16, 24),
+    iterations: int = 6,
+    rate: float = 1.0,
+) -> SdcTrial:
+    """One solo SDC trial: seeded bit-flips vs an unguarded reference.
+
+    The injector strikes the resident result stack between ABFT seal
+    and verify every iteration (``rate`` defaults to certainty), each
+    strike flipping ``cells`` mantissa/exponent bits.  With
+    ``cells=1`` every strike is forward-correctable; larger values
+    force the rollback ladder.
+    """
+    pattern = getattr(gallery, stencil)()
+    _, ref_compiled, ref_x, ref_coeffs = _build_problem(
+        pattern, nodes=nodes, shape=shape, spares=0, seed=seed
+    )
+    reference = apply_stencil(
+        ref_compiled, ref_x, ref_coeffs, "R_REF",
+        iterations=iterations, **mode_kwargs,
+    )
+    expected = reference.result.to_numpy()
+
+    _, compiled, x, coeffs = _build_problem(
+        pattern, nodes=nodes, shape=shape, spares=0, seed=seed
+    )
+    injector = FaultInjector(
+        seed=seed, rates={"sdc": rate}, sdc_cells=cells
+    )
+    kind = "solo" if cells == 1 else "multicell"
+    try:
+        run = apply_stencil(
+            compiled, x, coeffs, "R_SDC", iterations=iterations,
+            faults=injector, resilience=ResiliencePolicy(abft=True),
+            **mode_kwargs,
+        )
+    except FaultError as error:
+        return _sdc_trial_from_error(
+            error, injector, stencil=stencil, mode=mode, seed=seed,
+            cells=cells, kind=kind,
+        )
+    stats = run.fault_stats
+    identical = bool(np.array_equal(run.result.to_numpy(), expected))
+    return _sdc_trial_from_run(
+        stencil=stencil, mode=mode, seed=seed, cells=cells, kind=kind,
+        identical=identical, stats=stats,
+        run_comm=run.comm_cycles_total,
+        run_compute=run.compute_cycles_total,
+        ref_comm=reference.comm_cycles_total,
+        ref_compute=reference.compute_cycles_total,
+    )
+
+
+def run_sdc_batched_trial(
+    seed: int,
+    *,
+    nodes: int = 4,
+    shape: Tuple[int, int] = (16, 24),
+    batch: int = 2,
+    iterations: int = 4,
+    rate: float = 1.0,
+) -> SdcTrial:
+    """One batched SDC trial: mixed-pad filters, per-filter seals.
+
+    Strikes land on per-filter result slabs of the shared 6-D stack;
+    the executor verifies each filter's slab before gathering it into
+    the next pass and sweeps all slabs at run end.  Uncorrectable
+    damage surfaces as a typed error (the batched path has no rollback
+    ladder, matching its hard-fault contract).
+    """
+
+    def build(spares: int):
+        params = MachineParams(num_nodes=nodes)
+        machine = CM2(params, spares=spares)
+        filters = tuple(
+            compile_stencil(p, params)
+            for p in (gallery.cross5(), gallery.cross9())
+        )
+        rng = np.random.default_rng(seed)
+        sources = [
+            CMArray.from_numpy(
+                f"X{b}", machine,
+                rng.standard_normal(shape).astype(np.float32),
+            )
+            for b in range(batch)
+        ]
+        coeffs = {
+            name: CMArray.from_numpy(
+                name, machine,
+                rng.standard_normal(shape).astype(np.float32),
+            )
+            for p in (gallery.cross5(), gallery.cross9())
+            for name in p.coefficient_names()
+        }
+        return machine, filters, sources, coeffs
+
+    _, ref_filters, ref_sources, ref_coeffs = build(0)
+    reference = apply_stencil_batch(
+        ref_filters, ref_sources, ref_coeffs, "R_REF",
+        iterations=iterations,
+    )
+    expected = reference.result.to_numpy()
+
+    _, filters, sources, coeffs = build(0)
+    injector = FaultInjector(seed=seed, rates={"sdc": rate})
+    try:
+        run = apply_stencil_batch(
+            filters, sources, coeffs, "R_SDC", iterations=iterations,
+            faults=injector, resilience=ResiliencePolicy(abft=True),
+        )
+    except FaultError as error:
+        return _sdc_trial_from_error(
+            error, injector, stencil="cross5+cross9", mode="batched",
+            seed=seed, cells=1, kind="batched",
+        )
+    stats = run.fault_stats
+    identical = bool(np.array_equal(run.result.to_numpy(), expected))
+    return _sdc_trial_from_run(
+        stencil="cross5+cross9", mode="batched", seed=seed, cells=1,
+        kind="batched", identical=identical, stats=stats,
+        run_comm=run.total_comm_cycles,
+        run_compute=run.total_compute_cycles,
+        ref_comm=reference.total_comm_cycles,
+        ref_compute=reference.total_compute_cycles,
+    )
+
+
+@dataclass
+class SdcReport:
+    """A whole SDC campaign's trials plus the headline properties."""
+
+    trials: List[SdcTrial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def single_cell_trials(self) -> List[SdcTrial]:
+        return [t for t in self.trials if t.kind != "multicell"]
+
+    @property
+    def multicell_trials(self) -> List[SdcTrial]:
+        return [t for t in self.trials if t.kind == "multicell"]
+
+    @property
+    def silent_corruptions(self) -> int:
+        return sum(1 for t in self.trials if t.silent_corruption)
+
+    @property
+    def unreconciled(self) -> int:
+        return sum(1 for t in self.trials if t.reconciled is False)
+
+    @property
+    def total_injected(self) -> int:
+        return sum(t.injected for t in self.trials)
+
+    @property
+    def total_corrections(self) -> int:
+        return sum(t.corrections for t in self.trials)
+
+    @property
+    def forward_corrected(self) -> int:
+        """Single-cell trials healed with zero rollback/replay."""
+        return sum(
+            1
+            for t in self.single_cell_trials
+            if t.survived and t.forward
+        )
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance predicate.
+
+        Every single-cell trial must be bit-identical via pure forward
+        correction (no rollbacks, no replays, no rung degradation) with
+        every injected strike detected; every multi-cell trial must be
+        bit-identical via the ladder *or* end in a typed error; nothing
+        may silently corrupt and no reconcilable trial may fail to
+        reconcile exactly.
+        """
+        single_ok = all(
+            t.survived
+            and t.forward
+            and t.injected > 0
+            and t.detected >= t.injected
+            and t.corrections >= t.injected
+            for t in self.single_cell_trials
+        )
+        multi_ok = all(
+            t.survived or t.outcome.startswith("typed_error:")
+            for t in self.multicell_trials
+        )
+        return (
+            single_ok
+            and multi_ok
+            and self.silent_corruptions == 0
+            and self.unreconciled == 0
+        )
+
+    def describe(self) -> str:
+        singles = self.single_cell_trials
+        lines = [
+            f"sdc campaign: {self.forward_corrected}/{len(singles)} "
+            f"single-cell trials forward-corrected bit-identically, "
+            f"{self.total_corrections}/{self.total_injected} strikes "
+            f"corrected, "
+            f"{sum(1 for t in self.multicell_trials if t.survived)}"
+            f"/{len(self.multicell_trials)} multi-cell trials healed "
+            f"by the ladder, "
+            f"{self.silent_corruptions} silent corruptions, "
+            f"{self.unreconciled} accounting mismatches"
+        ]
+        for trial in self.trials:
+            if trial.silent_corruption or trial.reconciled is False or (
+                trial.kind != "multicell" and not trial.forward
+            ):
+                lines.append(
+                    f"  {trial.kind}/{trial.stencil}/{trial.mode} "
+                    f"seed {trial.seed}: {trial.outcome}, "
+                    f"{trial.rollbacks} rollbacks, "
+                    f"{trial.replays} replayed iterations"
+                    + ("" if trial.reconciled is not False
+                       else ", UNRECONCILED")
+                )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "num_trials": self.num_trials,
+            "forward_corrected": self.forward_corrected,
+            "total_injected": self.total_injected,
+            "total_corrections": self.total_corrections,
+            "silent_corruptions": self.silent_corruptions,
+            "unreconciled": self.unreconciled,
+            "ok": self.ok,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SdcReport":
+        return cls(
+            trials=[SdcTrial.from_dict(dict(t)) for t in data["trials"]]
+        )
+
+
+def run_sdc_campaign(
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    patterns: Sequence[str] = ("cross5", "square9"),
+    nodes: int = 4,
+    shape: Tuple[int, int] = (16, 24),
+    iterations: int = 6,
+) -> SdcReport:
+    """Per seed: ``patterns x SDC_MODES`` single-cell solo trials, one
+    batched mixed-pad trial, and one multi-cell ladder trial (three
+    flips per strike on a one-node machine, where forward correction
+    provably cannot localize)."""
+    report = SdcReport()
+    for seed in seeds:
+        for stencil in patterns:
+            for mode, mode_kwargs in SDC_MODES:
+                report.trials.append(
+                    run_sdc_trial(
+                        stencil, mode, dict(mode_kwargs), seed,
+                        nodes=nodes, shape=shape,
+                        iterations=iterations,
+                    )
+                )
+        report.trials.append(
+            run_sdc_batched_trial(seed, nodes=nodes, shape=shape)
+        )
+        report.trials.append(
+            run_sdc_trial(
+                "cross5", "fast", {}, seed, cells=3, nodes=1,
+                shape=(8, 12), iterations=iterations,
             )
         )
     return report

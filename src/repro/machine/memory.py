@@ -231,6 +231,11 @@ class MachineStorage:
         self.scratch_allocations = 0
         #: Optional sealed parity words, by buffer name.
         self._parity: Dict[str, int] = {}
+        #: Optional ABFT row/column checksum seals, by buffer name
+        #: (opaque :class:`repro.runtime.abft.AbftSeal` objects -- the
+        #: storage keeps them next to the stacks they cover, the ABFT
+        #: layer derives and verifies them).
+        self._abft: Dict[str, object] = {}
 
     def allocate(self, name: str, subgrid_shape: Tuple[int, int]) -> np.ndarray:
         """Allocate (or replace) a zero-filled stack for ``name``."""
@@ -403,3 +408,16 @@ class MachineStorage:
 
     def clear_parity(self, name: str) -> None:
         self._parity.pop(name, None)
+
+    def seal_abft(self, name: str, seal: object) -> None:
+        """Attach an ABFT checksum seal to ``name``.  The storage holds
+        the seal alongside the stack; the ABFT layer owns its algebra
+        (:func:`repro.runtime.abft.seal_checksums`)."""
+        self._abft[name] = seal
+
+    def get_abft(self, name: str) -> Optional[object]:
+        """The current ABFT seal of ``name`` (None when never sealed)."""
+        return self._abft.get(name)
+
+    def clear_abft(self, name: str) -> None:
+        self._abft.pop(name, None)

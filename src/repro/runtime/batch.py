@@ -57,7 +57,7 @@ reason.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -74,6 +74,7 @@ from .blocking import (
     blockable,
     depth_cap,
 )
+from .abft import seal_checksums, verify_and_correct
 from .cm_array import CMArray
 from .decomposition import Decomposition
 from .executor import (
@@ -571,6 +572,31 @@ def _run_unblocked(
     acc = machine.scratch_stacked("__batch_acc__", subgrid_shape, (batch,))
     prod = machine.scratch_stacked("__batch_prod__", subgrid_shape, (batch,))
 
+    # ABFT per filter: each filter's result slab gets its own seal
+    # (sealed after the pass, SDC window opened, verified before the
+    # next gather reads it and once more at run end).  The checksum
+    # vectors ride the same leading (batch,) axis as the data, so mixed
+    # pads and shared k==0 halos need no special casing.  Uncorrectable
+    # damage raises the typed SdcUncorrectableError straight out of the
+    # batched run -- like a dead node, batched runs do not arm the
+    # rollback ladder.
+    abft_on = guard is not None and guard.policy.abft
+    abft_words = batch * rows * cols
+
+    def abft_key(fi: int) -> str:
+        return f"__abft_batch_f{fi}__"
+
+    def abft_verify(fi: int, site: str) -> None:
+        guard.charge_abft(abft_words, verifies=1)
+        corrected = verify_and_correct(
+            result6[:, fi],
+            machine.storage.get_abft(abft_key(fi)),
+            site=site,
+            guard=guard,
+        )
+        if corrected:
+            guard.charge_sdc_correction(corrected)
+
     for k in range(iterations):
         for gi, group in enumerate(groups):
             members = group.indices
@@ -597,6 +623,16 @@ def _run_unblocked(
                     (batch, len(members)),
                 )
                 copies = batch * len(members)
+                if abft_on:
+                    # Verify every member's slab before the gather
+                    # copies it into the exchange: corrupted bits must
+                    # never leave the resident tile.
+                    for fi in members:
+                        abft_verify(
+                            fi,
+                            f"abft batched gather "
+                            f"(filter {fi}, iteration {k})",
+                        )
                 stack = result6[:, list(members)]
                 views = {fi: padded[:, j] for j, fi in enumerate(members)}
             if group.uniform:
@@ -681,6 +717,24 @@ def _run_unblocked(
                 counters["total_half_strips"] += batch * pass_strips[fi]
                 counters["f_compute"][fi] += batch * pass_cycles[fi]
                 counters["f_strips"][fi] += batch * pass_strips[fi]
+                if abft_on:
+                    machine.storage.seal_abft(
+                        abft_key(fi), seal_checksums(result6[:, fi])
+                    )
+                    guard.charge_abft(abft_words, seals=1)
+                    guard.inject_sdc(
+                        [(
+                            f"batched result stack (filter {fi})",
+                            result6[:, fi],
+                        )]
+                    )
+
+    if abft_on:
+        # Run-end sweep: the last iteration's SDC windows have not been
+        # verified yet; nothing unverified may reach the caller.
+        for fi in range(len(filters)):
+            abft_verify(fi, f"abft batched run end (filter {fi})")
+            machine.storage.clear_abft(abft_key(fi))
 
     if guard is not None:
         counters["num_exchanges"] = guard.exchanges
@@ -964,6 +1018,7 @@ def apply_stencil_batch(
     check_finite: bool = False,
     faults: Optional[FaultInjector] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    abft: bool = False,
     tenant: Optional[str] = None,
 ) -> BatchStencilRun:
     """Apply ``F`` compiled filters to ``B`` grids in one machine-wide
@@ -1002,6 +1057,14 @@ def apply_stencil_batch(
             :class:`~repro.runtime.faults.NodeDeadError` -- batched runs
             do not arm spare-node remapping.
         resilience: detection/recovery knobs for the guarded path.
+        abft: switch onto the guarded path with
+            :attr:`ResiliencePolicy.abft` enabled: every filter's
+            result slab is checksum-sealed after its pass and verified
+            before the next gather (and at run end), single corrupted
+            words forward-corrected in place, multi-cell damage raised
+            as the typed
+            :class:`~repro.runtime.faults.SdcUncorrectableError` (see
+            :mod:`repro.runtime.abft`).
         tenant: tenant id scoping compile/depth cache telemetry.
 
     Returns:
@@ -1139,6 +1202,11 @@ def apply_stencil_batch(
                     f"coefficient array {name!r} contains non-finite values"
                 )
 
+    if abft:
+        if resilience is None:
+            resilience = ResiliencePolicy(abft=True)
+        elif not resilience.abft:
+            resilience = replace(resilience, abft=True)
     guarded = faults is not None or resilience is not None
     depths = _resolve_batch_depths(
         filters,

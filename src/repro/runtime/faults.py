@@ -137,6 +137,12 @@ class NoSpareError(FaultError):
     budget is exhausted)."""
 
 
+class SdcUncorrectableError(FaultError):
+    """ABFT found residual damage it cannot forward-correct: more than
+    one violated row/column checksum per tile, or mismatched residual
+    masks.  The caller falls back to the checkpoint/rollback ladder."""
+
+
 class FaultKind(str, Enum):
     """The injectable fault classes."""
 
@@ -157,6 +163,11 @@ class FaultKind(str, Enum):
     #: Degrade a node: results stay correct but every exchange deadline
     #: is overrun until the runtime live-migrates it to a spare.
     NODE_SLOW = "node_slow"
+    #: Silent data corruption: flip mantissa/exponent bits of resident
+    #: result tiles *between* parity seals, bypassing every message
+    #: checksum.  Only the ABFT row/column residuals can see it, so
+    #: injecting it requires ``ResiliencePolicy.abft=True``.
+    SDC = "sdc"
 
 
 #: The message/memory corruption kinds of PR 3: one bad datum, healed
@@ -278,6 +289,18 @@ class FaultStats:
     replay_comm_cycles: int = 0
     #: Executor cycles of replayed (post-rollback) iterations.
     replay_compute_cycles: int = 0
+    # --- ABFT buckets --------------------------------------------------
+    #: Row/column checksum seals taken over result stacks.
+    abft_seals: int = 0
+    #: Residual verifications of sealed stacks.
+    abft_verifies: int = 0
+    #: Cycles of seals + verifies together: the always-on ABFT overhead,
+    #: a bucket of its own (NOT recovery -- it is paid even fault-free).
+    abft_cycles: int = 0
+    #: Corrupted words localized and forward-corrected in place.
+    sdc_corrections: int = 0
+    #: Cycles of those in-place corrections (recovery compute).
+    sdc_correction_cycles: int = 0
     events: List[FaultEvent] = field(default_factory=list)
 
     @property
@@ -312,6 +335,11 @@ class FaultStats:
         "recompute_cycles",
         "replay_comm_cycles",
         "replay_compute_cycles",
+        "abft_seals",
+        "abft_verifies",
+        "abft_cycles",
+        "sdc_corrections",
+        "sdc_correction_cycles",
     )
 
     def all_zero(self) -> bool:
@@ -338,6 +366,10 @@ class FaultStats:
                 f"{self.remaps + self.live_migrations} remaps"
                 f" ({self.live_migrations} live)"
             )
+        if self.sdc_corrections:
+            parts.append(
+                f"{self.sdc_corrections} forward-corrected"
+            )
         if self.degradations:
             parts.append("degraded " + ", ".join(self.degradations))
         return "; ".join(parts)
@@ -359,11 +391,14 @@ class FaultStats:
 
     def recovery_compute_cycles(self) -> int:
         """Every executor cycle beyond the fault-free closed form:
-        checkpoint copies, failed/repeated passes, and replays."""
+        checkpoint copies, failed/repeated passes, replays, and in-place
+        SDC corrections.  The always-on ABFT seal/verify overhead is
+        *not* recovery -- reconcile it via :attr:`abft_cycles`."""
         return (
             self.checkpoint_cycles
             + self.recompute_cycles
             + self.replay_compute_cycles
+            + self.sdc_correction_cycles
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -417,6 +452,21 @@ class ResiliencePolicy:
             only the chaos run's cost grows.
         checkpoint_cycles_per_word: modeled cost of snapshotting one
             word per node (local memory copy bandwidth).
+        abft: maintain row/column XOR checksum vectors over the result
+            stack and verify them after every iteration (or temporal
+            block).  A single corrupted word is localized by
+            intersecting the violated row and column residuals and
+            corrected in place -- forward recovery, zero rollback,
+            zero replay; multi-cell damage falls back to the
+            checkpoint/rollback ladder, so ``abft=True`` requires
+            ``max_replays >= 1``.
+        abft_cycles_per_word: modeled cost of streaming one word
+            through the row+column XOR reductions, charged per seal
+            and per verify (a fraction of a cycle: the checksum rides
+            the same SIMD pass as the stencil itself).
+        sdc_correction_cycles: modeled cost of localizing and
+            XOR-correcting one corrupted word (residual intersection
+            plus one write-back).
 
     Hard-fault attributes:
 
@@ -453,6 +503,9 @@ class ResiliencePolicy:
     max_replays: int = 2
     check_finite_results: bool = True
     checkpoint_cycles_per_word: float = 1.0
+    abft: bool = False
+    abft_cycles_per_word: float = 0.25
+    sdc_correction_cycles: int = 64
     exchange_deadline_cycles: int = 4096
     probe_cycles: int = 256
     probe_attempts: int = 2
@@ -483,6 +536,16 @@ class ResiliencePolicy:
         require(self.checkpoint_cycles_per_word > 0,
                 f"checkpoint_cycles_per_word must be positive, got "
                 f"{self.checkpoint_cycles_per_word}")
+        require(not (self.abft and self.max_replays == 0),
+                "contradictory knobs: abft=True needs the rollback "
+                "ladder as its multi-cell fallback, but max_replays=0 "
+                "disables it; set max_replays >= 1 or abft=False")
+        require(self.abft_cycles_per_word > 0,
+                f"abft_cycles_per_word must be positive, got "
+                f"{self.abft_cycles_per_word}")
+        require(self.sdc_correction_cycles >= 1,
+                f"sdc_correction_cycles must be >= 1, got "
+                f"{self.sdc_correction_cycles}")
         require(self.exchange_deadline_cycles >= 1,
                 f"exchange_deadline_cycles must be >= 1, got "
                 f"{self.exchange_deadline_cycles}")
@@ -562,6 +625,9 @@ class FaultInjector:
     the injector at a fixed sequence of sites, so a chaos run is exactly
     reproducible: same seed, same faults, same recovery path.
     ``max_faults`` bounds the total injections (None = unbounded).
+    ``sdc_cells`` is how many words one SDC strike corrupts: 1 (the
+    default) is the forward-correctable case; more forces the
+    multi-cell damage that exercises the rollback fallback.
     """
 
     def __init__(
@@ -570,8 +636,10 @@ class FaultInjector:
         rates: Optional[Dict[object, float]] = None,
         max_faults: Optional[int] = None,
         schedule: Sequence[HardFaultSpec] = (),
+        sdc_cells: int = 1,
     ) -> None:
         self.seed = int(seed)
+        self.sdc_cells = max(1, int(sdc_cells))
         self.rates: Dict[FaultKind, float] = {}
         for kind, rate in (rates or {}).items():
             self.rates[FaultKind(kind)] = float(rate)
@@ -658,6 +726,38 @@ class FaultInjector:
                 detail = self._flip_bit(buffer)
                 events.append(
                     self._record(FaultKind.SCRATCH_BITFLIP, label, detail)
+                )
+        return events
+
+    def inject_sdc(
+        self, regions: Sequence[Tuple[str, np.ndarray]]
+    ) -> List[FaultEvent]:
+        """Maybe silently corrupt a resident result stack.
+
+        One strike flips one random mantissa/exponent bit in each of
+        ``sdc_cells`` random words of one region -- after the executor
+        ran and after every message checksum was checked, so nothing
+        but the ABFT residuals can notice.  The sign bit (31) is never
+        flipped: the paper's fault model is particle strikes on the
+        FPU datapath and significand/exponent latches.
+        """
+        events: List[FaultEvent] = []
+        if self._fires(FaultKind.SDC) and regions:
+            label, region = regions[int(self._rng.integers(len(regions)))]
+            if region.size:
+                words = region.view(np.uint32)
+                details = []
+                for _ in range(self.sdc_cells):
+                    index = np.unravel_index(
+                        int(self._rng.integers(region.size)), region.shape
+                    )
+                    bit = int(self._rng.integers(31))
+                    words[index] ^= np.uint32(1 << bit)
+                    details.append(
+                        f"bit {bit} at {tuple(int(i) for i in index)}"
+                    )
+                events.append(
+                    self._record(FaultKind.SDC, label, "; ".join(details))
                 )
         return events
 
@@ -1084,6 +1184,17 @@ class FaultGuard:
     ) -> None:
         self.policy = policy or ResiliencePolicy()
         self.injector = injector
+        if (
+            self.injector is not None
+            and self.injector.rates.get(FaultKind.SDC, 0.0) > 0.0
+            and not self.policy.abft
+        ):
+            raise ValueError(
+                "FaultInjector has a FaultKind.SDC rate but "
+                "ResiliencePolicy.abft is False: silent corruption "
+                "would go undetected and break the bit-identical "
+                "contract; enable abft=True (or drop the sdc rate)"
+            )
         self.stats = FaultStats()
         #: Which exchange counter the next charge lands on.
         self.role = "source"
@@ -1138,6 +1249,10 @@ class FaultGuard:
     def inject_poison(self, result_stack: np.ndarray) -> None:
         if self.injector is not None:
             self._absorb(self.injector.inject_poison(result_stack))
+
+    def inject_sdc(self, regions: Sequence[Tuple[str, np.ndarray]]) -> None:
+        if self.injector is not None:
+            self._absorb(self.injector.inject_sdc(regions))
 
     def _absorb(self, events: List[FaultEvent]) -> None:
         for event in events:
@@ -1213,6 +1328,27 @@ class FaultGuard:
         )
         self.stats.checkpoints += 1
         self.stats.checkpoint_cycles += cycles
+        self.compute_cycles += cycles
+
+    def charge_abft(
+        self, words_per_node: int, *, seals: int = 0, verifies: int = 0
+    ) -> None:
+        """Charge one ABFT seal or verify pass over ``words_per_node``
+        words.  The cost lands in the dedicated ``abft_cycles`` bucket
+        (always-on overhead, paid fault-free too), never in the
+        recovery buckets -- reconciliation adds it explicitly."""
+        cycles = int(words_per_node * self.policy.abft_cycles_per_word)
+        self.stats.abft_seals += seals
+        self.stats.abft_verifies += verifies
+        self.stats.abft_cycles += cycles
+        self.compute_cycles += cycles
+
+    def charge_sdc_correction(self, cells: int) -> None:
+        """Charge ``cells`` in-place forward corrections (recovery
+        compute: localization intersect + one XOR write-back each)."""
+        cycles = int(cells) * self.policy.sdc_correction_cycles
+        self.stats.sdc_corrections += int(cells)
+        self.stats.sdc_correction_cycles += cycles
         self.compute_cycles += cycles
 
     # ------------------------------------------------------------------

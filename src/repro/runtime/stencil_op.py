@@ -18,7 +18,7 @@ shallow ones -- but not a single result bit.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
@@ -36,6 +36,7 @@ from .blocking import (
     blocked_costs,
     depth_cap,
 )
+from .abft import seal_checksums, verify_and_correct
 from .cm_array import CMArray
 from .executor import (
     ExecutionSetupError,
@@ -56,6 +57,7 @@ from .faults import (
     NodeDeadError,
     NoSpareError,
     ResiliencePolicy,
+    SdcUncorrectableError,
 )
 from .halo import (
     CommStats,
@@ -534,6 +536,33 @@ def _apply_blocked(
                 block_high = max(block_high, index + 1)
                 if guard is not None:
                     guard.replaying = False
+                if guard is not None and guard.policy.abft:
+                    # ABFT per temporal block: seal the freshly written
+                    # result, give the injector its SDC window, and
+                    # verify before the next block's deep exchange (or
+                    # the caller) reads the stack.  A single corrupted
+                    # word is forward-corrected in place; multi-cell
+                    # damage cannot replay here (the block input was
+                    # just overwritten), so the raised
+                    # SdcUncorrectableError degrades blocked->fast,
+                    # restarting from the pristine source.
+                    machine.storage.seal_abft(
+                        result.name, seal_checksums(result_stack)
+                    )
+                    guard.charge_abft(rows * cols, seals=1)
+                    guard.inject_sdc(
+                        [(f"blocked result stack {result.name!r}",
+                          result_stack)]
+                    )
+                    guard.charge_abft(rows * cols, verifies=1)
+                    corrected = verify_and_correct(
+                        result_stack,
+                        machine.storage.get_abft(result.name),
+                        site=f"abft block {index} result",
+                        guard=guard,
+                    )
+                    if corrected:
+                        guard.charge_sdc_correction(corrected)
                 if fixed:
                     # Every remaining iterate reproduces this one bit
                     # for bit; stop computing.  The accounting still
@@ -567,6 +596,8 @@ def _apply_blocked(
             guard.note_rollback(sum(blocks[:block_high]))
 
     if guard is not None:
+        if guard.policy.abft:
+            machine.storage.clear_abft(result.name)
         return StencilRun(
             compiled=compiled,
             machine=machine,
@@ -724,6 +755,15 @@ def _iterate_resilient(
     replay_high = 0
     exact_cycles: Optional[int] = None
     ran_batched = False
+    # ABFT protocol (policy.abft, stack-backed, non-exact rungs only --
+    # the exact rung's datapath is modeled ECC-protected): seal the
+    # result stack's row/column checksums after every pass, give the
+    # injector its SDC window once the periodic checkpoint is safely
+    # taken, and verify+forward-correct as the iteration's last act, so
+    # neither the next exchange nor the caller ever reads unverified
+    # bits.  Multi-cell damage rolls back like an executor fault.
+    result_stack = machine.stacked(result.name)
+    abft_on = policy.abft and not exact and result_stack is not None
     k = 0
     while k < iterations:
         # Iterations below the replay high-water mark were already
@@ -810,6 +850,11 @@ def _iterate_resilient(
         if rolled_back:
             continue
         k += 1
+        if abft_on:
+            machine.storage.seal_abft(
+                result.name, seal_checksums(result_stack)
+            )
+            guard.charge_abft(rows * cols, seals=1)
         if k < iterations and (
             _at_fixed_point(machine, halo_name, result.name, pad)
             if ran_batched
@@ -835,7 +880,44 @@ def _iterate_resilient(
             checkpoint = machine.storage.checkpoint([result.name])
             checkpoint_iteration = k
             guard.charge_checkpoint(rows * cols)
+        if abft_on:
+            # The SDC window: the checkpoint (if due) is already taken,
+            # so rollback state is always clean; the strike lands in the
+            # resident result tiles where no message checksum looks.
+            guard.inject_sdc(
+                [(f"result stack {result.name!r}", result_stack)]
+            )
+            guard.charge_abft(rows * cols, verifies=1)
+            try:
+                corrected = verify_and_correct(
+                    result_stack,
+                    machine.storage.get_abft(result.name),
+                    site=f"abft iteration {k - 1} result",
+                    guard=guard,
+                )
+            except SdcUncorrectableError:
+                # Forward correction is out; fall back to the same
+                # checkpoint/rollback ladder an executor fault uses.
+                # This iteration's exchange and compute were charged
+                # canonically and stand; every re-run below the new
+                # high-water mark lands in the replay buckets.
+                if replays >= policy.max_replays:
+                    raise
+                replays += 1
+                if checkpoint is not None:
+                    machine.storage.restore(checkpoint)
+                    resume = checkpoint_iteration
+                else:
+                    resume = 0
+                guard.note_rollback(k - resume)
+                replay_high = max(replay_high, k)
+                k = resume
+                continue
+            if corrected:
+                guard.charge_sdc_correction(corrected)
 
+    if abft_on:
+        machine.storage.clear_abft(result.name)
     return StencilRun(
         compiled=compiled,
         machine=machine,
@@ -932,6 +1014,7 @@ def apply_stencil(
     check_finite: bool = False,
     faults: Optional[FaultInjector] = None,
     resilience: Optional[ResiliencePolicy] = None,
+    abft: bool = False,
     tenant: Optional[str] = None,
 ) -> StencilRun:
     """Apply a compiled stencil to a distributed array.
@@ -981,6 +1064,15 @@ def apply_stencil(
         resilience: detection/recovery knobs for the guarded path (a
             :class:`~repro.runtime.faults.ResiliencePolicy`); defaults
             apply when only ``faults`` is given.
+        abft: shorthand that switches the run onto the guarded path
+            with :attr:`ResiliencePolicy.abft` enabled -- row/column
+            checksums sealed over the result stack every iteration (or
+            temporal block), verified before any consumer reads it,
+            single corrupted words forward-corrected in place (see
+            :mod:`repro.runtime.abft`).  Composes with ``resilience``
+            (the policy is upgraded via ``dataclasses.replace``) and
+            with ``faults`` (required for injecting
+            :attr:`~repro.runtime.faults.FaultKind.SDC`).
         tenant: tenant id scoping the compile-driver cache telemetry
             (the stencil service passes each job's tenant; results and
             cache *contents* are tenant-agnostic either way).
@@ -1009,6 +1101,12 @@ def apply_stencil(
         compiled, source, iterations, exact, batched, block_depth, tenant
     )
     ran_batched = False
+
+    if abft:
+        if resilience is None:
+            resilience = ResiliencePolicy(abft=True)
+        elif not resilience.abft:
+            resilience = replace(resilience, abft=True)
 
     if faults is not None or resilience is not None:
         guard = FaultGuard(policy=resilience, injector=faults)

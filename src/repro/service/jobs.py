@@ -69,6 +69,12 @@ class StencilJob:
         fault_rates: per-exchange fault-injection rates for chaos jobs
             (a mapping, stored canonically); empty/None runs unguarded.
         fault_seed: the injector seed for chaos jobs.
+        abft: arm algorithm-based fault tolerance: row/column checksum
+            seals over the job's result stack, verified every iteration
+            with single-word corruption forward-corrected in place (see
+            :mod:`repro.runtime.abft`).  Required when ``fault_rates``
+            includes ``"sdc"`` -- silent corruption with no detector
+            would void the service's bit-identity contract.
         label: optional display name; defaults to a description.
         batch: independent input grids to run in one batched machine
             pass (1 = the classic solo job).
@@ -91,6 +97,7 @@ class StencilJob:
     spares: int = 0
     fault_rates: Optional[Tuple[Tuple[str, float], ...]] = None
     fault_seed: int = 1
+    abft: bool = False
     label: str = ""
     batch: int = 1
     filters: Optional[Tuple[str, ...]] = None
@@ -147,12 +154,21 @@ class StencilJob:
                 "fault_rates",
                 tuple(sorted((str(k), float(v)) for k, v in self.fault_rates.items())),
             )
+        if not self.abft and any(
+            kind == "sdc" and rate > 0
+            for kind, rate in (self.fault_rates or ())
+        ):
+            raise JobSpecError(
+                "fault_rates includes 'sdc' but abft is False: silent "
+                "corruption needs the ABFT verifier; set abft=true on "
+                "the job (or drop the sdc rate)"
+            )
         if not self.label:
             object.__setattr__(self, "label", self.describe())
 
     @property
     def guarded(self) -> bool:
-        return bool(self.fault_rates) or self.spares > 0
+        return bool(self.fault_rates) or self.spares > 0 or self.abft
 
     @property
     def batched(self) -> bool:
@@ -214,6 +230,7 @@ class StencilJob:
                 else [[kind, rate] for kind, rate in self.fault_rates]
             ),
             "fault_seed": self.fault_seed,
+            "abft": self.abft,
             "label": self.label,
             "batch": self.batch,
             "filters": None if self.filters is None else list(self.filters),
@@ -453,7 +470,9 @@ def execute_job(
         injector = FaultInjector(
             seed=job.fault_seed, rates=dict(job.fault_rates or ())
         )
-        resilience = ResiliencePolicy(max_remaps=max(1, job.spares))
+        resilience = ResiliencePolicy(
+            max_remaps=max(1, job.spares), abft=job.abft
+        )
     started = time.perf_counter()
     try:
         run: StencilRun = apply_stencil(
@@ -537,7 +556,7 @@ def _execute_batched_job(
         injector = FaultInjector(
             seed=job.fault_seed, rates=dict(job.fault_rates or ())
         )
-        resilience = ResiliencePolicy()
+        resilience = ResiliencePolicy(abft=job.abft)
     started = time.perf_counter()
     try:
         run: BatchStencilRun = apply_stencil_batch(

@@ -191,10 +191,18 @@ class TestChaosProperty:
         _, expected = reference_result(pattern)
         _, compiled, x, coeffs = make_problem(pattern)
         injector = FaultInjector(seed=CHAOS_SEED, rates={kind: 0.25})
+        # SDC is only injectable under ABFT (the guard rejects the
+        # combination otherwise -- silent corruption with no detector
+        # would void the property under test).
+        resilience = (
+            ResiliencePolicy(abft=True)
+            if kind == FaultKind.SDC.value
+            else None
+        )
         try:
             run = apply_stencil(
                 compiled, x, coeffs, "R_CHAOS", iterations=ITERATIONS,
-                faults=injector, **exec_kwargs,
+                faults=injector, resilience=resilience, **exec_kwargs,
             )
         except FaultError:
             return  # surfaced, not silent: the property holds
